@@ -1,0 +1,133 @@
+// Experiment E4 — Theorem 5.11: Bag-Set Maximization runs in
+// O((|D| + |Dr|) · |Dr|²) time and O((|D| + |Dr|) · |Dr|) space.
+//
+// Two sweeps isolate the two factors:
+//   * DataSweep — budget fixed, |D| grows: expect linear;
+//   * BudgetSweep — data fixed, θ grows: expect quadratic (the ⊕/⊗
+//     max-plus/max-times convolutions cost O(θ²) each).
+// A third sweep shows the subset-enumeration brute force exploding.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hierarq/core/bagset.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+RepairInstance MakeInstance(const ConjunctiveQuery& q, size_t tuples,
+                            uint64_t seed) {
+  Rng rng(seed);
+  DataGenOptions opts;
+  opts.tuples_per_relation = tuples;
+  opts.domain_size = std::max<size_t>(8, tuples / 4);
+  return RandomRepairInstance(q, rng, opts, 0.7);
+}
+
+void Report() {
+  using bench::PrintHeader;
+  using bench::PrintNote;
+  using bench::PrintRow;
+  PrintHeader("E4: Theorem 5.11 — BagSetMax in O((|D|+|Dr|)·|Dr|^2)",
+              "linear in data size; quadratic in the budget/repair size");
+  const ConjunctiveQuery q = MakePaperQuery();
+  const RepairInstance inst = MakeInstance(q, 6, 11);
+  auto algo = MaximizeBagSet(q, inst.d, inst.repair, 4);
+  const BagMaxVec brute = BruteForceBagSetMax(q, inst.d, inst.repair, 4);
+  PrintRow("optimum, algorithm vs subset enumeration", "equal",
+           algo.ok() && algo->profile == brute ? "equal" : "MISMATCH");
+  PrintNote("DataSweep: θ=8 fixed, |D| grows -> expect ~linear;");
+  PrintNote("BudgetSweep: data fixed, θ grows -> expect ~quadratic.");
+}
+
+void BM_BagSetMax_DataSweep(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const RepairInstance inst =
+      MakeInstance(q, static_cast<size_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    auto result = MaximizeBagSet(q, inst.d, inst.repair, 8);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(
+      static_cast<int64_t>(inst.d.NumFacts() + inst.repair.NumFacts()));
+}
+BENCHMARK(BM_BagSetMax_DataSweep)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_BagSetMax_BudgetSweep(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const RepairInstance inst = MakeInstance(q, 1024, 22);
+  const size_t budget = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = MaximizeBagSet(q, inst.d, inst.repair, budget);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BagSetMax_BudgetSweep)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_BagSetMax_StarQuery(benchmark::State& state) {
+  const ConjunctiveQuery q = MakeStarQuery(3);
+  const RepairInstance inst =
+      MakeInstance(q, static_cast<size_t>(state.range(0)), 23);
+  for (auto _ : state) {
+    auto result = MaximizeBagSet(q, inst.d, inst.repair, 8);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(
+      static_cast<int64_t>(inst.d.NumFacts() + inst.repair.NumFacts()));
+}
+BENCHMARK(BM_BagSetMax_StarQuery)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+// Brute-force contrast: runtime doubles per candidate repair fact.
+void BM_BagSetMax_BruteForce(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const size_t candidates = static_cast<size_t>(state.range(0));
+  Database d;
+  d.AddFactOrDie("S", MakeTuple({1, 1}));
+  Database dr;
+  for (size_t i = 0; i < candidates; ++i) {
+    if (i % 2 == 0) {
+      dr.AddFactOrDie("R", MakeTuple({1, static_cast<Value>(i)}));
+    } else {
+      dr.AddFactOrDie("T", MakeTuple({1, 1, static_cast<Value>(i)}));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceBagSetMax(q, d, dr, candidates));
+  }
+}
+BENCHMARK(BM_BagSetMax_BruteForce)->DenseRange(4, 16, 2);
+
+// The weighted-cost extension has the same asymptotics.
+void BM_BagSetMax_WeightedCosts(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const RepairInstance inst =
+      MakeInstance(q, static_cast<size_t>(state.range(0)), 24);
+  RepairCosts costs;
+  size_t i = 0;
+  for (const Fact& f : inst.repair.AllFacts()) {
+    costs[f] = 1 + (i++ % 3);
+  }
+  for (auto _ : state) {
+    auto result = MaximizeBagSet(q, inst.d, inst.repair, 8, &costs);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BagSetMax_WeightedCosts)->RangeMultiplier(4)->Range(256, 4096);
+
+}  // namespace
+}  // namespace hierarq
+
+HIERARQ_BENCH_MAIN(hierarq::Report)

@@ -1,0 +1,113 @@
+// Experiment E2 — Examples 5.2-5.4 and the elimination procedure
+// (Proposition 5.1): plan construction is polynomial in the query size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/gyo.h"
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+void Report() {
+  using bench::PrintHeader;
+  using bench::PrintNote;
+  using bench::PrintRow;
+  PrintHeader("E2: Examples 5.2-5.4 — the elimination procedure",
+              "Eq.(1) reduces (6 steps); the path query gets stuck; the "
+              "disconnected query reduces (3 steps)");
+
+  {
+    const ConjunctiveQuery q = MakePaperQuery();
+    auto plan = EliminationPlan::Build(q);
+    PrintRow("Example 5.2: steps to reduce Eq.(1)", "6",
+             plan.ok() ? std::to_string(plan->steps().size()) : "stuck");
+    if (plan.ok()) {
+      std::printf("%s\n", plan->ToString(q.variables()).c_str());
+    }
+  }
+  {
+    const ConjunctiveQuery q =
+        ParseQueryOrDie("Q() :- R(A,B), S(B,C), T(C,D)");
+    auto plan = EliminationPlan::Build(q);
+    PrintRow("Example 5.3: path query R,S,T", "stuck (non-hierarchical)",
+             plan.ok() ? "reduced (UNEXPECTED)" : "stuck");
+  }
+  {
+    const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(B)");
+    auto plan = EliminationPlan::Build(q);
+    PrintRow("Example 5.4: disconnected R(A), S(B)", "3 steps",
+             plan.ok() ? std::to_string(plan->steps().size()) : "stuck");
+  }
+  PrintNote("Sweeps: plan construction time vs query size (polynomial).");
+}
+
+void BM_Elimination_NestedChain(benchmark::State& state) {
+  const ConjunctiveQuery q =
+      MakeNestedChain(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto plan = EliminationPlan::Build(q);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Elimination_NestedChain)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_Elimination_Star(benchmark::State& state) {
+  const ConjunctiveQuery q =
+      MakeStarQuery(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto plan = EliminationPlan::Build(q);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Elimination_Star)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_Elimination_RandomHierarchical(benchmark::State& state) {
+  Rng rng(21);
+  RandomHierarchicalOptions opts;
+  opts.num_variables = static_cast<size_t>(state.range(0));
+  const ConjunctiveQuery q = MakeRandomHierarchical(rng, opts);
+  for (auto _ : state) {
+    auto plan = EliminationPlan::Build(q);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_Elimination_RandomHierarchical)
+    ->RangeMultiplier(2)
+    ->Range(2, 32);
+
+void BM_Hierarchical_Test(benchmark::State& state) {
+  const ConjunctiveQuery q =
+      MakeNestedChain(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsHierarchical(q));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hierarchical_Test)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_Gyo_Acyclicity(benchmark::State& state) {
+  const ConjunctiveQuery q =
+      MakeNonHierarchicalChain(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsAcyclic(q));
+  }
+}
+BENCHMARK(BM_Gyo_Acyclicity)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+}  // namespace hierarq
+
+HIERARQ_BENCH_MAIN(hierarq::Report)

@@ -1,0 +1,147 @@
+// Experiment E9 — per-operation costs of the 2-monoid instantiations
+// (paper §5.4-§5.6 complexity bookkeeping).
+//
+// The probability/resilience/Boolean/counting operations are O(1); the
+// bag-max and #Sat operations are convolutions costing O(L²) in the vector
+// length L (= θ+1 resp. |Dn|+1). The length sweeps below expose the
+// quadratic per-op growth that drives Theorems 5.11 / 5.16.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hierarq/algebra/bagmax_monoid.h"
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/algebra/provenance.h"
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/algebra/satcount_monoid.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+namespace {
+
+void Report() {
+  using bench::PrintHeader;
+  using bench::PrintNote;
+  PrintHeader("E9: monoid operation costs",
+              "⊕/⊗: O(1) scalar monoids; O(L²) convolution monoids");
+  PrintNote("Sweeps below fit complexity per operation; L = vector length.");
+}
+
+void BM_ProbMonoid_Ops(benchmark::State& state) {
+  const ProbMonoid m;
+  Rng rng(91);
+  const double a = rng.UniformDouble();
+  const double b = rng.UniformDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(a, b));
+    benchmark::DoNotOptimize(m.Times(a, b));
+  }
+}
+BENCHMARK(BM_ProbMonoid_Ops);
+
+void BM_ResilienceMonoid_Ops(benchmark::State& state) {
+  const ResilienceMonoid m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(3, 4));
+    benchmark::DoNotOptimize(m.Times(3, 4));
+  }
+}
+BENCHMARK(BM_ResilienceMonoid_Ops);
+
+void BM_CountMonoid_Ops(benchmark::State& state) {
+  const CountMonoid m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(123, 456));
+    benchmark::DoNotOptimize(m.Times(123, 456));
+  }
+}
+BENCHMARK(BM_CountMonoid_Ops);
+
+void BM_BagMaxMonoid_PlusByLength(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));
+  const BagMaxMonoid m(budget);
+  Rng rng(92);
+  BagMaxVec a(m.vector_length());
+  BagMaxVec b(m.vector_length());
+  uint64_t acc_a = 0;
+  uint64_t acc_b = 0;
+  for (size_t i = 0; i < m.vector_length(); ++i) {
+    acc_a += static_cast<uint64_t>(rng.UniformInt(0, 3));
+    acc_b += static_cast<uint64_t>(rng.UniformInt(0, 3));
+    a[i] = acc_a;
+    b[i] = acc_b;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BagMaxMonoid_PlusByLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_BagMaxMonoid_TimesByLength(benchmark::State& state) {
+  const size_t budget = static_cast<size_t>(state.range(0));
+  const BagMaxMonoid m(budget);
+  const BagMaxVec a = m.One();
+  const BagMaxVec b = m.Star();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Times(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BagMaxMonoid_TimesByLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SatCountMonoid_Uint64PlusByLength(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SatCountMonoid<uint64_t> m(n);
+  const auto a = m.Star();
+  const auto b = m.Star();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SatCountMonoid_Uint64PlusByLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_SatCountMonoid_BigUintPlusByLength(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const SatCountMonoid<BigUint> m(n);
+  // Build realistic (binomially large) operands by ⊕-folding stars.
+  auto a = m.Zero();
+  for (size_t i = 0; i < n; ++i) {
+    a = m.Plus(a, m.Star());
+  }
+  const auto b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SatCountMonoid_BigUintPlusByLength)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ProvMonoid_Join(benchmark::State& state) {
+  const ProvMonoid m;
+  const auto a = ProvTree::Leaf(1);
+  const auto b = ProvTree::Leaf(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Plus(a, b));
+  }
+}
+BENCHMARK(BM_ProvMonoid_Join);
+
+}  // namespace
+}  // namespace hierarq
+
+HIERARQ_BENCH_MAIN(hierarq::Report)

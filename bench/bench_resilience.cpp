@@ -1,0 +1,106 @@
+// Experiment E10 — the resilience instantiation (paper §7, Question 2).
+//
+// Resilience of hierarchical queries via the fourth 2-monoid
+// (ℕ ∪ {∞}, +, min): linear-time, validated against subset enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hierarq/core/resilience.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+void Report() {
+  using bench::PrintHeader;
+  using bench::PrintNote;
+  using bench::PrintRow;
+  PrintHeader("E10: resilience via a fourth 2-monoid (Question 2)",
+              "(ℕ∪{∞}, +, min) instantiates Algorithm 1 for resilience");
+  Rng rng(15);
+  size_t agree = 0;
+  size_t trials = 0;
+  for (int round = 0; round < 10; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 4;
+    dopts.domain_size = 3;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    if (db.NumFacts() > 14) {
+      continue;
+    }
+    ++trials;
+    auto fast = ComputeResilience(q, db);
+    agree += fast.ok() &&
+             *fast == BruteForceResilience(q, Database{}, db);
+  }
+  PrintRow("resilience, algorithm vs subset enumeration",
+           "all agree",
+           std::to_string(agree) + "/" + std::to_string(trials) + " agree");
+  PrintNote("Timing sweep: expect ~linear in |D| (O(1) monoid ops).");
+}
+
+void BM_Resilience_DataSweep(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  Rng rng(16);
+  DataGenOptions opts;
+  opts.tuples_per_relation = static_cast<size_t>(state.range(0));
+  opts.domain_size = std::max<size_t>(8, opts.tuples_per_relation / 4);
+  const Database db = RandomDatabaseForQuery(q, rng, opts);
+  for (auto _ : state) {
+    auto r = ComputeResilience(q, db);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(static_cast<int64_t>(db.NumFacts()));
+}
+BENCHMARK(BM_Resilience_DataSweep)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_Resilience_WithExogenous(benchmark::State& state) {
+  const ConjunctiveQuery q = MakeStarQuery(3);
+  Rng rng(17);
+  DataGenOptions opts;
+  opts.tuples_per_relation = static_cast<size_t>(state.range(0));
+  opts.domain_size = std::max<size_t>(8, opts.tuples_per_relation / 4);
+  const Database db = RandomDatabaseForQuery(q, rng, opts);
+  const auto [exo, endo] = SplitExoEndo(db, rng, 0.5);
+  for (auto _ : state) {
+    auto r = ComputeResilience(q, exo, endo);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(static_cast<int64_t>(db.NumFacts()));
+}
+BENCHMARK(BM_Resilience_WithExogenous)
+    ->RangeMultiplier(4)
+    ->Range(256, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_Resilience_BruteForce(benchmark::State& state) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const size_t n = static_cast<size_t>(state.range(0));
+  Database db;
+  db.AddFactOrDie("S", MakeTuple({1, 1}));
+  for (size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      db.AddFactOrDie("R", MakeTuple({1, static_cast<Value>(i)}));
+    } else {
+      db.AddFactOrDie("T", MakeTuple({1, 1, static_cast<Value>(i)}));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BruteForceResilience(q, Database{}, db));
+  }
+}
+BENCHMARK(BM_Resilience_BruteForce)->DenseRange(4, 16, 2);
+
+}  // namespace
+}  // namespace hierarq
+
+HIERARQ_BENCH_MAIN(hierarq::Report)

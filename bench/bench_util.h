@@ -1,0 +1,49 @@
+#ifndef HIERARQ_BENCH_BENCH_UTIL_H_
+#define HIERARQ_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark binaries. Each binary regenerates one
+// paper artifact (see DESIGN.md §2 and EXPERIMENTS.md): it first prints a
+// human-readable reproduction report (the paper's claimed values next to
+// hierarq's measured ones), then runs its google-benchmark timing sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hierarq::bench {
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n====================================================\n");
+  std::printf("Experiment: %s\n", experiment.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("====================================================\n");
+}
+
+inline void PrintRow(const std::string& what, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("  %-44s paper=%-14s measured=%s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+/// Runs the report function, then google-benchmark.
+#define HIERARQ_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                         \
+    report_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                             \
+    }                                                       \
+    ::benchmark::RunSpecifiedBenchmarks();                  \
+    ::benchmark::Shutdown();                                \
+    return 0;                                               \
+  }
+
+}  // namespace hierarq::bench
+
+#endif  // HIERARQ_BENCH_BENCH_UTIL_H_

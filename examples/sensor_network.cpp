@@ -1,0 +1,68 @@
+// Scenario: probabilistic query evaluation over a noisy sensor network.
+//
+// A facility deploys sensors; each sensor is online with some probability
+// and produces event readings with per-reading confidence. The operator
+// asks: "what is the probability that some deployed sensor reported some
+// event?" — a hierarchical SJF-BCQ over a tuple-independent database,
+// solved exactly in linear time (Theorem 5.8).
+//
+//   $ ./examples/sensor_network
+
+#include <cstdio>
+
+#include "hierarq/hierarq.h"
+
+using namespace hierarq;  // NOLINT: example brevity.
+
+int main() {
+  Dictionary dict;
+  // Deployed(S) @ p: sensor S is online with probability p.
+  // Reading(S, E) @ p: sensor S reported event E with confidence p.
+  TidDatabase network = *LoadTidDatabase(R"(
+    Deployed(s1) @ 0.99
+    Deployed(s2) @ 0.95
+    Deployed(s3) @ 0.60
+
+    Reading(s1, smoke)     @ 0.15
+    Reading(s1, motion)    @ 0.40
+    Reading(s2, smoke)     @ 0.70
+    Reading(s3, intrusion) @ 0.90
+    Reading(s3, motion)    @ 0.25
+  )",
+                                         &dict);
+
+  const ConjunctiveQuery alert =
+      ParseQueryOrDie("Alert() :- Deployed(S), Reading(S, E).");
+  std::printf("query: %s   (hierarchical: %s)\n",
+              alert.ToString().c_str(),
+              IsHierarchical(alert) ? "yes" : "no");
+
+  auto p = EvaluateProbability(alert, network);
+  std::printf("Pr[some online sensor reported some event] = %.6f\n", *p);
+
+  // Cross-check on this small instance with possible-world enumeration.
+  const double brute = BruteForcePqe(alert, network);
+  std::printf("possible-worlds cross-check              = %.6f  (%s)\n",
+              brute, std::abs(*p - brute) < 1e-9 ? "match" : "MISMATCH");
+
+  // Drill-down: per-sensor alert probabilities via constants.
+  std::printf("\nper-sensor drill-down:\n");
+  for (const char* sensor : {"s1", "s2", "s3"}) {
+    const Value v = *dict.Find(sensor);
+    const std::string text = std::string("Alert() :- Deployed(") +
+                             std::to_string(v) + "), Reading(" +
+                             std::to_string(v) + ", E).";
+    const ConjunctiveQuery per_sensor = ParseQueryOrDie(text);
+    auto ps = EvaluateProbability(per_sensor, network);
+    std::printf("  %-3s Pr[online and reporting] = %.6f\n", sensor, *ps);
+  }
+
+  // What-if: hardening sensor s3 (probability 0.60 -> 0.99).
+  TidDatabase hardened = network;
+  hardened.AddFactOrDie("Deployed", MakeTuple({*dict.Find("s3")}), 0.99);
+  auto p2 = EvaluateProbability(alert, hardened);
+  std::printf("\nwhat-if: hardening s3 to 0.99 lifts Pr[alert] "
+              "%.6f -> %.6f\n",
+              *p, *p2);
+  return 0;
+}

@@ -1,0 +1,156 @@
+#ifndef HIERARQ_ALGEBRA_BAGMAX_MONOID_H_
+#define HIERARQ_ALGEBRA_BAGMAX_MONOID_H_
+
+/// \file bagmax_monoid.h
+/// \brief The bag-set-maximization 2-monoid (paper Definition 5.9).
+///
+/// Domain K = monotonic vectors x ∈ ℕ^ℕ, where x(i) is "the maximum
+/// multiplicity achievable with repair budget i". The operators are
+/// convolutions over the (ℕ, max, +) and (ℕ, max, ×) semirings:
+///
+///   (x ⊕ y)(i) = max_{i1+i2=i} x(i1) + y(i2)        Eq. (10)
+///   (x ⊗ y)(i) = max_{i1+i2=i} x(i1) · y(i2)        Eq. (11)
+///
+/// Identities: 0 = all-zeros, 1 = all-ones. ⊗ does not distribute over ⊕.
+///
+/// Vectors are truncated to θ+1 entries (θ = the repair budget): computing
+/// entry i of a convolution only reads entries ≤ i of the operands, so the
+/// truncation is lossless; this is what gives the O(|Dr|²) per-operation
+/// cost in Theorem 5.11. Entries use saturating uint64 arithmetic —
+/// multiplicities are bounded by ∏|relations| and saturation is reported
+/// via `saturated()` rather than silently wrapping.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+/// Saturating add/multiply on uint64 counters.
+inline uint64_t SatAddU64(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return ~uint64_t{0};
+  }
+  return out;
+}
+
+inline uint64_t SatMulU64(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return ~uint64_t{0};
+  }
+  return out;
+}
+
+/// A monotone (non-decreasing) multiplicity-by-budget vector.
+using BagMaxVec = std::vector<uint64_t>;
+
+class BagMaxMonoid {
+ public:
+  using value_type = BagMaxVec;
+
+  /// A monoid for repair budget `budget` (vectors of length budget+1).
+  explicit BagMaxMonoid(size_t budget) : length_(budget + 1) {
+    HIERARQ_CHECK_GE(length_, 1u);
+  }
+
+  size_t budget() const { return length_ - 1; }
+  size_t vector_length() const { return length_; }
+
+  /// The all-zeros vector (⊕ identity; annotation of absent facts).
+  BagMaxVec Zero() const { return BagMaxVec(length_, 0); }
+
+  /// The all-ones vector (⊗ identity; annotation of facts already in D,
+  /// Definition 5.10 case 1).
+  BagMaxVec One() const { return BagMaxVec(length_, 1); }
+
+  /// The ★ vector (0,1,1,...): multiplicity 1 from budget 1 on
+  /// (Definition 5.10 case 2: facts available in the repair database).
+  BagMaxVec Star() const { return FromCost(1); }
+
+  /// Generalized ★: multiplicity 1 achievable from budget `cost` on.
+  /// FromCost(0) == One() and FromCost(1) == Star(). Costs beyond the
+  /// budget yield Zero() — the fact is unaffordable. This powers the
+  /// weighted-repair extension (per-fact insertion costs).
+  BagMaxVec FromCost(size_t cost) const {
+    BagMaxVec out(length_, 0);
+    for (size_t i = cost; i < length_; ++i) {
+      out[i] = 1;
+    }
+    return out;
+  }
+
+  /// Max-plus convolution, Eq. (10).
+  BagMaxVec Plus(const BagMaxVec& x, const BagMaxVec& y) const {
+    HIERARQ_CHECK_EQ(x.size(), length_);
+    HIERARQ_CHECK_EQ(y.size(), length_);
+    BagMaxVec out(length_, 0);
+    for (size_t i1 = 0; i1 < length_; ++i1) {
+      for (size_t i2 = 0; i1 + i2 < length_; ++i2) {
+        const uint64_t candidate = SatAddU64(x[i1], y[i2]);
+        if (candidate > out[i1 + i2]) {
+          out[i1 + i2] = candidate;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Max-times convolution, Eq. (11).
+  BagMaxVec Times(const BagMaxVec& x, const BagMaxVec& y) const {
+    HIERARQ_CHECK_EQ(x.size(), length_);
+    HIERARQ_CHECK_EQ(y.size(), length_);
+    BagMaxVec out(length_, 0);
+    for (size_t i1 = 0; i1 < length_; ++i1) {
+      for (size_t i2 = 0; i1 + i2 < length_; ++i2) {
+        const uint64_t candidate = SatMulU64(x[i1], y[i2]);
+        if (candidate > out[i1 + i2]) {
+          out[i1 + i2] = candidate;
+        }
+      }
+    }
+    return out;
+  }
+
+  /// True iff `x` is monotone non-decreasing (the domain invariant of
+  /// Definition 5.9; preserved by Plus/Times — see algebra tests).
+  static bool IsMonotone(const BagMaxVec& x) {
+    for (size_t i = 1; i < x.size(); ++i) {
+      if (x[i] < x[i - 1]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True iff any entry saturated.
+  static bool Saturated(const BagMaxVec& x) {
+    for (uint64_t v : x) {
+      if (v == ~uint64_t{0}) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static std::string ToString(const BagMaxVec& x) {
+    std::string out = "[";
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::to_string(x[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  size_t length_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ALGEBRA_BAGMAX_MONOID_H_

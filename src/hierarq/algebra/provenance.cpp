@@ -1,0 +1,253 @@
+#include "hierarq/algebra/provenance.h"
+
+#include <algorithm>
+
+#include "hierarq/algebra/bagmax_monoid.h"  // SatAddU64 / SatMulU64
+#include "hierarq/util/hash.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+uint64_t ComputeHash(ProvTree::Kind kind, uint64_t symbol,
+                     const std::vector<ProvTreeRef>& children) {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind) + 0x517cc1b727220a95ULL);
+  h = HashCombine(h, symbol);
+  for (const ProvTreeRef& child : children) {
+    h = HashCombine(h, child->hash());
+  }
+  return h;
+}
+
+/// Builds an n-ary node of `kind`, flattening same-kind children and
+/// sorting children canonically.
+ProvTreeRef MakeNode(ProvTree::Kind kind, const ProvTreeRef& a,
+                     const ProvTreeRef& b) {
+  std::vector<ProvTreeRef> children;
+  for (const ProvTreeRef& side : {a, b}) {
+    if (side->kind() == kind) {
+      children.insert(children.end(), side->children().begin(),
+                      side->children().end());
+    } else {
+      children.push_back(side);
+    }
+  }
+  std::sort(children.begin(), children.end(),
+            [](const ProvTreeRef& x, const ProvTreeRef& y) {
+              return ProvTree::Compare(*x, *y) < 0;
+            });
+  return std::make_shared<const ProvTree>(kind, 0, std::move(children));
+}
+
+}  // namespace
+
+ProvTree::ProvTree(Kind kind, uint64_t symbol,
+                   std::vector<ProvTreeRef> children)
+    : kind_(kind), symbol_(symbol), children_(std::move(children)) {
+  hash_ = ComputeHash(kind_, symbol_, children_);
+}
+
+ProvTreeRef ProvTree::False() {
+  static const ProvTreeRef kFalseTree =
+      std::make_shared<const ProvTree>(Kind::kFalse, 0,
+                                       std::vector<ProvTreeRef>{});
+  return kFalseTree;
+}
+
+ProvTreeRef ProvTree::True() {
+  static const ProvTreeRef kTrueTree =
+      std::make_shared<const ProvTree>(Kind::kTrue, 0,
+                                       std::vector<ProvTreeRef>{});
+  return kTrueTree;
+}
+
+ProvTreeRef ProvTree::Leaf(uint64_t symbol) {
+  return std::make_shared<const ProvTree>(Kind::kLeaf, symbol,
+                                          std::vector<ProvTreeRef>{});
+}
+
+ProvTreeRef ProvTree::Or(const ProvTreeRef& a, const ProvTreeRef& b) {
+  HIERARQ_CHECK(a != nullptr && b != nullptr);
+  // Identity law of ⊕ (valid in every 2-monoid, hence safe to apply).
+  if (a->kind() == Kind::kFalse) {
+    return b;
+  }
+  if (b->kind() == Kind::kFalse) {
+    return a;
+  }
+  return MakeNode(Kind::kOr, a, b);
+}
+
+ProvTreeRef ProvTree::And(const ProvTreeRef& a, const ProvTreeRef& b) {
+  HIERARQ_CHECK(a != nullptr && b != nullptr);
+  // Identity law of ⊗. Note: no annihilation — And(x, false) is kept for
+  // x ≠ false. The one sanctioned collapse is 0 ⊗ 0 = 0 (Definition 5.6),
+  // which holds in every 2-monoid and so is safe to apply structurally.
+  if (a->kind() == Kind::kFalse && b->kind() == Kind::kFalse) {
+    return a;
+  }
+  if (a->kind() == Kind::kTrue) {
+    return b;
+  }
+  if (b->kind() == Kind::kTrue) {
+    return a;
+  }
+  return MakeNode(Kind::kAnd, a, b);
+}
+
+int ProvTree::Compare(const ProvTree& a, const ProvTree& b) {
+  if (a.kind_ != b.kind_) {
+    return a.kind_ < b.kind_ ? -1 : 1;
+  }
+  if (a.symbol_ != b.symbol_) {
+    return a.symbol_ < b.symbol_ ? -1 : 1;
+  }
+  if (a.children_.size() != b.children_.size()) {
+    return a.children_.size() < b.children_.size() ? -1 : 1;
+  }
+  for (size_t i = 0; i < a.children_.size(); ++i) {
+    const int c = Compare(*a.children_[i], *b.children_[i]);
+    if (c != 0) {
+      return c;
+    }
+  }
+  return 0;
+}
+
+std::set<uint64_t> ProvTree::Support() const {
+  std::set<uint64_t> out;
+  // Iterative DFS to avoid building a lambda-recursion for a hot helper.
+  std::vector<const ProvTree*> stack = {this};
+  while (!stack.empty()) {
+    const ProvTree* node = stack.back();
+    stack.pop_back();
+    if (node->kind_ == Kind::kLeaf) {
+      out.insert(node->symbol_);
+    }
+    for (const ProvTreeRef& child : node->children_) {
+      stack.push_back(child.get());
+    }
+  }
+  return out;
+}
+
+bool ProvTree::IsDecomposable() const {
+  std::set<uint64_t> seen_symbols;
+  std::vector<const ProvTree*> stack = {this};
+  while (!stack.empty()) {
+    const ProvTree* node = stack.back();
+    stack.pop_back();
+    if (node->kind_ == Kind::kLeaf &&
+        !seen_symbols.insert(node->symbol_).second) {
+      return false;
+    }
+    for (const ProvTreeRef& child : node->children_) {
+      stack.push_back(child.get());
+    }
+  }
+  return true;
+}
+
+size_t ProvTree::NumNodes() const {
+  size_t count = 0;
+  std::vector<const ProvTree*> stack = {this};
+  while (!stack.empty()) {
+    const ProvTree* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const ProvTreeRef& child : node->children_) {
+      stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+size_t ProvTree::Depth() const {
+  size_t depth = 1;
+  for (const ProvTreeRef& child : children_) {
+    depth = std::max(depth, 1 + child->Depth());
+  }
+  return depth;
+}
+
+std::string ProvTree::ToString() const {
+  switch (kind_) {
+    case Kind::kFalse:
+      return "⊥";
+    case Kind::kTrue:
+      return "⊤";
+    case Kind::kLeaf:
+      return "f" + std::to_string(symbol_);
+    case Kind::kOr:
+    case Kind::kAnd: {
+      const char* op = kind_ == Kind::kOr ? " ∨ " : " ∧ ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) {
+          out += op;
+        }
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool EvalTreeBool(const ProvTree& tree,
+                  const std::function<bool(uint64_t)>& present) {
+  switch (tree.kind()) {
+    case ProvTree::Kind::kFalse:
+      return false;
+    case ProvTree::Kind::kTrue:
+      return true;
+    case ProvTree::Kind::kLeaf:
+      return present(tree.symbol());
+    case ProvTree::Kind::kOr:
+      for (const ProvTreeRef& child : tree.children()) {
+        if (EvalTreeBool(*child, present)) {
+          return true;
+        }
+      }
+      return false;
+    case ProvTree::Kind::kAnd:
+      for (const ProvTreeRef& child : tree.children()) {
+        if (!EvalTreeBool(*child, present)) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+uint64_t EvalTreeCount(
+    const ProvTree& tree,
+    const std::function<uint64_t(uint64_t)>& multiplicity) {
+  switch (tree.kind()) {
+    case ProvTree::Kind::kFalse:
+      return 0;
+    case ProvTree::Kind::kTrue:
+      return 1;
+    case ProvTree::Kind::kLeaf:
+      return multiplicity(tree.symbol());
+    case ProvTree::Kind::kOr: {
+      uint64_t acc = 0;
+      for (const ProvTreeRef& child : tree.children()) {
+        acc = SatAddU64(acc, EvalTreeCount(*child, multiplicity));
+      }
+      return acc;
+    }
+    case ProvTree::Kind::kAnd: {
+      uint64_t acc = 1;
+      for (const ProvTreeRef& child : tree.children()) {
+        acc = SatMulU64(acc, EvalTreeCount(*child, multiplicity));
+      }
+      return acc;
+    }
+  }
+  return 0;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,158 @@
+#ifndef HIERARQ_ALGEBRA_PROVENANCE_H_
+#define HIERARQ_ALGEBRA_PROVENANCE_H_
+
+/// \file provenance.h
+/// \brief Provenance trees and the provenance 2-monoid (paper §6.1).
+///
+/// A provenance tree (Definition 6.1) is a rooted tree whose leaves are
+/// labeled with fact symbols or true/false and whose internal nodes are
+/// labeled ∧ or ∨. The provenance 2-monoid (Definition 6.2) — trees with
+/// ⊕ = ∨-join and ⊗ = ∧-join — is *universal*: running Algorithm 1 on it
+/// records the full syntax of the computation, and Theorem 6.4 transports
+/// correctness to every concrete 2-monoid via a homomorphism φ that only
+/// needs to respect decomposable trees with disjoint supports. hierarq uses
+/// this machinery exactly as the paper does: the tests instantiate φ for
+/// all four concrete monoids and check φ(output-tree) == concrete output.
+///
+/// Canonical representation: children of a node are kept sorted by a
+/// structural order and same-kind children are flattened into their parent,
+/// which realizes the paper's "children are an unordered set" and
+/// "merge equal-label parent/child" conventions; the identity
+/// simplifications Or(false, x) = x and And(true, x) = x hold by
+/// construction (they are monoid identity laws, valid in every 2-monoid).
+/// No other simplification is performed — in particular And(x, false) is
+/// *kept* (2-monoids lack annihilation).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hierarq/algebra/two_monoid.h"
+
+namespace hierarq {
+
+class ProvTree;
+using ProvTreeRef = std::shared_ptr<const ProvTree>;
+
+class ProvTree {
+ public:
+  enum class Kind : uint8_t { kFalse, kTrue, kLeaf, kOr, kAnd };
+
+  /// The single false leaf (⊕ identity).
+  static ProvTreeRef False();
+  /// The single true leaf (⊗ identity).
+  static ProvTreeRef True();
+  /// A fact-symbol leaf.
+  static ProvTreeRef Leaf(uint64_t symbol);
+  /// ∨-join with flattening and identity simplification.
+  static ProvTreeRef Or(const ProvTreeRef& a, const ProvTreeRef& b);
+  /// ∧-join with flattening and identity simplification.
+  static ProvTreeRef And(const ProvTreeRef& a, const ProvTreeRef& b);
+
+  Kind kind() const { return kind_; }
+  uint64_t symbol() const { return symbol_; }
+  const std::vector<ProvTreeRef>& children() const { return children_; }
+
+  /// Structural hash (cached; consistent with Equals).
+  uint64_t hash() const { return hash_; }
+
+  /// Total order on trees: kind, then symbol / child lists. Children are
+  /// stored sorted by this order, so the comparison realizes unordered-set
+  /// semantics.
+  static int Compare(const ProvTree& a, const ProvTree& b);
+  bool Equals(const ProvTree& other) const {
+    return Compare(*this, other) == 0;
+  }
+
+  /// supp(x): the set of fact symbols at the leaves (Definition 6.1).
+  std::set<uint64_t> Support() const;
+
+  /// Decomposable (Definition 6.1): all fact-symbol leaf labels are
+  /// distinct. Deviation from the paper's letter: repeated ⊤/⊥ leaves are
+  /// permitted. The paper's footnote 8 eliminates ⊤/⊥ by simplification,
+  /// but the annihilating simplification (x ∧ ⊥ → ⊥) is exactly what
+  /// 2-monoids do NOT license (e.g. a ⊗ 0 ≠ 0 in the #Sat monoid), so
+  /// hierarq retains ∧-⊥ subtrees; they arise once per absent-side Rule 2
+  /// join and are harmless to every φ-homomorphism, which maps each ⊥ to
+  /// the target monoid's 0 compositionally.
+  bool IsDecomposable() const;
+
+  size_t NumNodes() const;
+  size_t Depth() const;
+
+  /// Renders e.g. "(f1 ∧ (f2 ∨ f3))" with "⊤"/"⊥" for true/false.
+  std::string ToString() const;
+
+  // Trees must be built through the factory functions.
+  ProvTree(Kind kind, uint64_t symbol, std::vector<ProvTreeRef> children);
+
+ private:
+  Kind kind_;
+  uint64_t symbol_ = 0;
+  std::vector<ProvTreeRef> children_;
+  uint64_t hash_ = 0;
+};
+
+/// The provenance 2-monoid (Definition 6.2).
+class ProvMonoid {
+ public:
+  using value_type = ProvTreeRef;
+
+  ProvTreeRef Zero() const { return ProvTree::False(); }
+  ProvTreeRef One() const { return ProvTree::True(); }
+  ProvTreeRef Plus(const ProvTreeRef& a, const ProvTreeRef& b) const {
+    return ProvTree::Or(a, b);
+  }
+  ProvTreeRef Times(const ProvTreeRef& a, const ProvTreeRef& b) const {
+    return ProvTree::And(a, b);
+  }
+};
+
+/// The homomorphism φ of Theorem 6.4, generically: fold the tree in the
+/// target monoid, mapping leaf symbols through `leaf`. For decomposable
+/// trees with disjoint supports this is exactly the φ the theorem needs
+/// (each concrete choice of `leaf` matches the paper's per-problem φ).
+template <TwoMonoid M, typename LeafFn>
+typename M::value_type EvalTreeInMonoid(const M& monoid, const ProvTree& tree,
+                                        const LeafFn& leaf) {
+  switch (tree.kind()) {
+    case ProvTree::Kind::kFalse:
+      return monoid.Zero();
+    case ProvTree::Kind::kTrue:
+      return monoid.One();
+    case ProvTree::Kind::kLeaf:
+      return leaf(tree.symbol());
+    case ProvTree::Kind::kOr: {
+      typename M::value_type acc = monoid.Zero();
+      for (const ProvTreeRef& child : tree.children()) {
+        acc = monoid.Plus(acc, EvalTreeInMonoid(monoid, *child, leaf));
+      }
+      return acc;
+    }
+    case ProvTree::Kind::kAnd: {
+      typename M::value_type acc = monoid.One();
+      for (const ProvTreeRef& child : tree.children()) {
+        acc = monoid.Times(acc, EvalTreeInMonoid(monoid, *child, leaf));
+      }
+      return acc;
+    }
+  }
+  return monoid.Zero();  // Unreachable.
+}
+
+/// Boolean evaluation of the corresponding formula F_x in a world where
+/// `present(symbol)` says whether each fact holds.
+bool EvalTreeBool(const ProvTree& tree,
+                  const std::function<bool(uint64_t)>& present);
+
+/// Bag multiplicity of F_x: ∨ becomes +, ∧ becomes ×, a leaf contributes
+/// `multiplicity(symbol)`. (Saturating uint64 arithmetic.)
+uint64_t EvalTreeCount(const ProvTree& tree,
+                       const std::function<uint64_t(uint64_t)>& multiplicity);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ALGEBRA_PROVENANCE_H_

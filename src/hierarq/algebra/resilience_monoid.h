@@ -1,0 +1,54 @@
+#ifndef HIERARQ_ALGEBRA_RESILIENCE_MONOID_H_
+#define HIERARQ_ALGEBRA_RESILIENCE_MONOID_H_
+
+/// \file resilience_monoid.h
+/// \brief A fourth 2-monoid instantiation: resilience (an answer to the
+/// paper's concluding Question 2).
+///
+/// The resilience of a true query is the minimum number of (endogenous)
+/// facts whose removal makes it false [Freire et al., PVLDB'15]. For two
+/// subformulas with disjoint supports:
+///   * to falsify F1 ∨ F2 both must be falsified:   res = res1 + res2;
+///   * to falsify F1 ∧ F2 either suffices:           res = min(res1, res2).
+/// So K = ℕ ∪ {∞} with ⊕ = + and ⊗ = min is a 2-monoid with 0 = 0
+/// (an absent fact is already false: cost 0) and 1 = ∞ ("true" cannot be
+/// falsified), satisfying 0 ⊗ 0 = min(0,0) = 0. It is *not* a semiring:
+/// min(a, b+c) ≠ min(a,b) + min(a,c) in general.
+///
+/// Annotations: endogenous facts cost 1 to remove, exogenous facts ∞.
+/// Algorithm 1 then computes the resilience of any hierarchical SJF-BCQ in
+/// linear time. (Consistent with the literature: hierarchical queries lie
+/// strictly inside the poly-time side of the resilience dichotomy.)
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hierarq/algebra/bagmax_monoid.h"  // SatAddU64
+
+namespace hierarq {
+
+class ResilienceMonoid {
+ public:
+  using value_type = uint64_t;
+
+  /// ∞: the resilience of an unfalsifiable formula.
+  static constexpr uint64_t kInfinity = ~uint64_t{0};
+
+  uint64_t Zero() const { return 0; }
+  uint64_t One() const { return kInfinity; }
+
+  /// Cost of removing an endogenous fact.
+  uint64_t EndogenousCost() const { return 1; }
+  /// Cost of "removing" an exogenous fact (not allowed).
+  uint64_t ExogenousCost() const { return kInfinity; }
+
+  /// Falsify both disjuncts (saturating at ∞).
+  uint64_t Plus(uint64_t a, uint64_t b) const { return SatAddU64(a, b); }
+
+  /// Falsify the cheaper conjunct.
+  uint64_t Times(uint64_t a, uint64_t b) const { return std::min(a, b); }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ALGEBRA_RESILIENCE_MONOID_H_

@@ -1,0 +1,63 @@
+#ifndef HIERARQ_ALGEBRA_SEMIRINGS_H_
+#define HIERARQ_ALGEBRA_SEMIRINGS_H_
+
+/// \file semirings.h
+/// \brief Classical *distributive* (semiring) instantiations of the
+/// 2-monoid interface.
+///
+/// Every commutative semiring is in particular a 2-monoid, so Algorithm 1
+/// accepts these too. They serve three purposes in hierarq:
+///  * the counting semiring computes Q(D) under bag-set semantics, which
+///    cross-checks the join engine on hierarchical queries;
+///  * the Boolean semiring evaluates Q(D) under set semantics;
+///  * they are the experimental contrast for the paper's §1 remark: the
+///    interesting instantiations (probability / bag-max / #Sat) are
+///    exactly the non-distributive ones, and the distributivity tests in
+///    tests/algebra_laws_test.cpp demonstrate the difference.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "hierarq/algebra/bagmax_monoid.h"  // SatAddU64 / SatMulU64
+
+namespace hierarq {
+
+/// (𝔹, ∨, ∧): set-semantics query evaluation.
+class BoolMonoid {
+ public:
+  using value_type = bool;
+
+  bool Zero() const { return false; }
+  bool One() const { return true; }
+  bool Plus(bool a, bool b) const { return a || b; }
+  bool Times(bool a, bool b) const { return a && b; }
+};
+
+/// (ℕ, +, ×) with saturation: bag-set counting — Algorithm 1 with 0/1
+/// annotations computes the number of satisfying assignments Q(D).
+class CountMonoid {
+ public:
+  using value_type = uint64_t;
+
+  uint64_t Zero() const { return 0; }
+  uint64_t One() const { return 1; }
+  uint64_t Plus(uint64_t a, uint64_t b) const { return SatAddU64(a, b); }
+  uint64_t Times(uint64_t a, uint64_t b) const { return SatMulU64(a, b); }
+};
+
+/// (ℝ ∪ {+∞}, min, +): the tropical semiring — minimum total weight of a
+/// satisfying assignment (each fact weighted; absent = +∞).
+class TropicalMonoid {
+ public:
+  using value_type = double;
+
+  double Zero() const { return std::numeric_limits<double>::infinity(); }
+  double One() const { return 0.0; }
+  double Plus(double a, double b) const { return std::min(a, b); }
+  double Times(double a, double b) const { return a + b; }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ALGEBRA_SEMIRINGS_H_

@@ -1,0 +1,98 @@
+#ifndef HIERARQ_ALGEBRA_TWO_MONOID_H_
+#define HIERARQ_ALGEBRA_TWO_MONOID_H_
+
+/// \file two_monoid.h
+/// \brief The 2-monoid interface (paper Definition 5.6).
+///
+/// A 2-monoid K = (K, ⊕, ⊗) is a pair of commutative monoids over the same
+/// domain — (K, ⊕) with identity 0 and (K, ⊗) with identity 1 — satisfying
+/// 0 ⊗ 0 = 0. Crucially it need *not* be distributive, and none of the
+/// paper's three instantiations are: distributivity would make Algorithm 1
+/// solve all acyclic queries, contradicting the known hardness of the
+/// non-hierarchical (but acyclic) path query for all three problems (§1).
+///
+/// hierarq models 2-monoids as *objects* rather than traits-only types
+/// because several instantiations carry state: the bag-set-max monoid needs
+/// the budget θ (vector truncation length) and the #Sat monoid needs |Dn|.
+/// The concept below is what Algorithm 1 requires.
+
+#include <concepts>
+#include <cstddef>
+#include <utility>
+
+namespace hierarq {
+
+/// C++20 concept for 2-monoid objects.
+///
+/// Semantics required from a model (checked by algebra property tests, not
+/// expressible in the type system):
+///  * Plus is associative and commutative with identity Zero();
+///  * Times is associative and commutative with identity One();
+///  * Times(Zero(), Zero()) == Zero().
+template <typename M>
+concept TwoMonoid = requires(const M m, const typename M::value_type& a,
+                             const typename M::value_type& b) {
+  typename M::value_type;
+  { m.Zero() } -> std::convertible_to<typename M::value_type>;
+  { m.One() } -> std::convertible_to<typename M::value_type>;
+  { m.Plus(a, b) } -> std::convertible_to<typename M::value_type>;
+  { m.Times(a, b) } -> std::convertible_to<typename M::value_type>;
+};
+
+/// Folds ⊕ over a range (returns Zero() when empty).
+template <typename M, typename It>
+typename M::value_type PlusFold(const M& monoid, It first, It last) {
+  typename M::value_type acc = monoid.Zero();
+  for (; first != last; ++first) {
+    acc = monoid.Plus(acc, *first);
+  }
+  return acc;
+}
+
+/// Folds ⊗ over a range (returns One() when empty).
+template <typename M, typename It>
+typename M::value_type TimesFold(const M& monoid, It first, It last) {
+  typename M::value_type acc = monoid.One();
+  for (; first != last; ++first) {
+    acc = monoid.Times(acc, *first);
+  }
+  return acc;
+}
+
+/// Instrumentation wrapper: counts ⊕/⊗ applications. Used to verify
+/// Theorem 6.7 (Algorithm 1 performs O(|D|) monoid operations) without
+/// touching the algorithm itself.
+template <TwoMonoid M>
+class CountingMonoid {
+ public:
+  using value_type = typename M::value_type;
+
+  explicit CountingMonoid(M inner) : inner_(std::move(inner)) {}
+
+  value_type Zero() const { return inner_.Zero(); }
+  value_type One() const { return inner_.One(); }
+  value_type Plus(const value_type& a, const value_type& b) const {
+    ++plus_count_;
+    return inner_.Plus(a, b);
+  }
+  value_type Times(const value_type& a, const value_type& b) const {
+    ++times_count_;
+    return inner_.Times(a, b);
+  }
+
+  size_t plus_count() const { return plus_count_; }
+  size_t times_count() const { return times_count_; }
+  size_t total_count() const { return plus_count_ + times_count_; }
+  void ResetCounts() const { plus_count_ = times_count_ = 0; }
+
+  const M& inner() const { return inner_; }
+
+ private:
+  M inner_;
+  mutable size_t plus_count_ = 0;
+  mutable size_t times_count_ = 0;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ALGEBRA_TWO_MONOID_H_

@@ -1,0 +1,134 @@
+#ifndef HIERARQ_CORE_ALGORITHM1_H_
+#define HIERARQ_CORE_ALGORITHM1_H_
+
+/// \file algorithm1.h
+/// \brief The paper's Algorithm 1: the general-purpose evaluator for
+/// hierarchical SJF-BCQs over any 2-monoid.
+///
+/// The algorithm replays a compiled `EliminationPlan` (Proposition 5.1)
+/// over a K-annotated database:
+///   * Rule 1 (private variable Y of atom R(X)):
+///       R'(x') = ⊕_{y ∈ Dom} R(x', y)
+///     implemented as a hash ⊕-aggregation over the support of R — absent
+///     facts annotate to 0, the ⊕ identity, so they contribute nothing;
+///   * Rule 2 (atoms R1(X), R2(X) with equal variable sets):
+///       R'(x) = R1(x) ⊗ R2(x)
+///     implemented over the *union* of supports. This is the one subtle
+///     point: a 2-monoid guarantees only 0 ⊗ 0 = 0 (Definition 5.6), not
+///     annihilation, so a fact present in R1 but not R2 contributes
+///       R1(x) ⊗ 0, which may be non-zero (it is in the #Sat monoid).
+///     Only absent-absent pairs may be skipped — exactly the argument of
+///     Lemma 6.6, which bounds supp(R') ⊆ supp(R1) ∪ supp(R2).
+///
+/// The returned value is the annotation of the final nullary atom's empty
+/// tuple, or Zero() when its support is empty (an empty ⊕). Total work is
+/// O(|D|) ⊕/⊗ operations (Theorem 6.7).
+
+#include <utility>
+
+#include "hierarq/algebra/two_monoid.h"
+#include "hierarq/data/annotated.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Runs Algorithm 1 over a pre-built plan and annotated database.
+/// `input.relations` must be indexed by query atom position (as produced by
+/// `AnnotateForQuery`). Consumes `input`.
+template <TwoMonoid M>
+typename M::value_type RunAlgorithm1(
+    const EliminationPlan& plan, const M& monoid,
+    AnnotatedDatabase<typename M::value_type>&& input) {
+  using K = typename M::value_type;
+
+  HIERARQ_CHECK_EQ(input.relations.size(), plan.num_base_atoms());
+  std::vector<AnnotatedRelation<K>> relations;
+  relations.reserve(plan.num_atoms());
+  for (auto& rel : input.relations) {
+    relations.push_back(std::move(rel));
+  }
+  relations.resize(plan.num_atoms());
+
+  const auto plus = [&monoid](const K& a, const K& b) {
+    return monoid.Plus(a, b);
+  };
+
+  for (const EliminationStep& step : plan.steps()) {
+    if (step.rule == EliminationRule::kProjectVariable) {
+      // Rule 1: ⊕-project `step.variable` out of `step.source_atom`.
+      AnnotatedRelation<K>& source = relations[step.source_atom];
+      const VarSet& src_schema = source.schema();
+      // Position of the eliminated variable in the (sorted) schema.
+      size_t drop_pos = src_schema.size();
+      for (size_t i = 0; i < src_schema.size(); ++i) {
+        if (src_schema[i] == step.variable) {
+          drop_pos = i;
+          break;
+        }
+      }
+      HIERARQ_CHECK_LT(drop_pos, src_schema.size())
+          << "plan step eliminates a variable absent from the schema";
+
+      AnnotatedRelation<K> result(plan.vars_of(step.result_atom));
+      for (const auto& [key, value] : source) {
+        Tuple projected;
+        projected.reserve(key.size() - 1);
+        for (size_t i = 0; i < key.size(); ++i) {
+          if (i != drop_pos) {
+            projected.push_back(key[i]);
+          }
+        }
+        result.Merge(projected, value, plus);
+      }
+      source.Clear();
+      relations[step.result_atom] = std::move(result);
+    } else {
+      // Rule 2: ⊗-join over the union of supports.
+      AnnotatedRelation<K>& left = relations[step.left_atom];
+      AnnotatedRelation<K>& right = relations[step.right_atom];
+      HIERARQ_CHECK(left.schema() == right.schema())
+          << "Rule 2 requires equal schemas";
+
+      AnnotatedRelation<K> result(plan.vars_of(step.result_atom));
+      for (const auto& [key, value] : left) {
+        const K* other = right.Find(key);
+        result.Set(key,
+                   monoid.Times(value, other != nullptr ? *other
+                                                        : monoid.Zero()));
+      }
+      for (const auto& [key, value] : right) {
+        if (!left.Contains(key)) {
+          result.Set(key, monoid.Times(monoid.Zero(), value));
+        }
+      }
+      left.Clear();
+      right.Clear();
+      relations[step.result_atom] = std::move(result);
+    }
+  }
+
+  // The final atom is nullary; its only possible key is the empty tuple.
+  const AnnotatedRelation<K>& final_rel = relations[plan.final_atom()];
+  const K* value = final_rel.Find(Tuple{});
+  return value != nullptr ? *value : monoid.Zero();
+}
+
+/// Convenience wrapper: plans the query, annotates `facts` via `annotator`
+/// and runs Algorithm 1. Fails with kNotHierarchical for non-hierarchical
+/// queries.
+template <TwoMonoid M>
+Result<typename M::value_type> RunAlgorithm1OnQuery(
+    const ConjunctiveQuery& query, const M& monoid, const Database& facts,
+    const std::function<typename M::value_type(const Fact&)>& annotator) {
+  HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
+                           EliminationPlan::Build(query));
+  auto annotated =
+      AnnotateForQuery<typename M::value_type>(query, facts, annotator);
+  return RunAlgorithm1(plan, monoid, std::move(annotated));
+}
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_ALGORITHM1_H_

@@ -1,0 +1,15 @@
+#include "hierarq/core/expectation.h"
+
+#include "hierarq/core/algorithm1.h"
+
+namespace hierarq {
+
+Result<double> ExpectedMultiplicity(const ConjunctiveQuery& query,
+                                    const TidDatabase& db) {
+  const ExpectationMonoid monoid;
+  return RunAlgorithm1OnQuery<ExpectationMonoid>(
+      query, monoid, db.facts(),
+      [&db](const Fact& fact) { return db.Probability(fact); });
+}
+
+}  // namespace hierarq

@@ -1,0 +1,42 @@
+#ifndef HIERARQ_CORE_EXPECTATION_H_
+#define HIERARQ_CORE_EXPECTATION_H_
+
+/// \file expectation.h
+/// \brief Expected multiplicity over TID databases — a fifth instantiation
+/// (this one a true semiring).
+///
+/// E[Q(D)] under bag-set semantics over a tuple-independent database is,
+/// by linearity of expectation, the sum over assignments of the product of
+/// their facts' probabilities (each assignment of an SJF query uses each
+/// fact at most once). That is Algorithm 1 over the expectation semiring
+/// (ℝ≥0, +, ×) with probability annotations. Unlike the marginal
+/// probability Pr[Q] (which needs the non-distributive monoid of
+/// Definition 5.7), the expectation is a distributive instantiation —
+/// a useful contrast pair: same input, same plan, different algebra,
+/// different semantics.
+
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// The expectation semiring: (ℝ≥0, +, ×).
+class ExpectationMonoid {
+ public:
+  using value_type = double;
+
+  double Zero() const { return 0.0; }
+  double One() const { return 1.0; }
+  double Plus(double a, double b) const { return a + b; }
+  double Times(double a, double b) const { return a * b; }
+};
+
+/// E[number of satisfying assignments of Q] over the possible worlds of
+/// `db`. Fails with kNotHierarchical for non-hierarchical queries.
+Result<double> ExpectedMultiplicity(const ConjunctiveQuery& query,
+                                    const TidDatabase& db);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_EXPECTATION_H_

@@ -1,0 +1,16 @@
+#include "hierarq/core/pqe.h"
+
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/core/algorithm1.h"
+
+namespace hierarq {
+
+Result<double> EvaluateProbability(const ConjunctiveQuery& query,
+                                   const TidDatabase& db) {
+  const ProbMonoid monoid;
+  return RunAlgorithm1OnQuery<ProbMonoid>(
+      query, monoid, db.facts(),
+      [&db](const Fact& fact) { return db.Probability(fact); });
+}
+
+}  // namespace hierarq

@@ -1,0 +1,25 @@
+#ifndef HIERARQ_CORE_PQE_H_
+#define HIERARQ_CORE_PQE_H_
+
+/// \file pqe.h
+/// \brief Probabilistic Query Evaluation (paper §5.4, Theorem 5.8).
+///
+/// Computes the marginal probability of a hierarchical SJF-BCQ over a
+/// tuple-independent probabilistic database in O(|D|), by instantiating
+/// Algorithm 1 with the probability 2-monoid — which specializes it to the
+/// Dalvi–Suciu algorithm.
+
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Returns Pr[Q is true on a random possible world of `db`].
+/// Fails with kNotHierarchical for non-hierarchical queries.
+Result<double> EvaluateProbability(const ConjunctiveQuery& query,
+                                   const TidDatabase& db);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_PQE_H_

@@ -1,0 +1,39 @@
+#ifndef HIERARQ_CORE_PROVENANCE_PIPELINE_H_
+#define HIERARQ_CORE_PROVENANCE_PIPELINE_H_
+
+/// \file provenance_pipeline.h
+/// \brief Algorithm 1 over the universal provenance 2-monoid.
+///
+/// Annotates every fact with a unique symbol and runs Algorithm 1 with the
+/// provenance monoid (Definition 6.2). The output tree is guaranteed
+/// decomposable with pairwise-disjoint fact supports (Lemma 6.3) — it is a
+/// read-once lineage of the query. The φ-homomorphisms of Theorem 6.4 can
+/// then replay the tree in any concrete monoid; the tests use exactly this
+/// to validate all four solvers, and the provenance example renders the
+/// trees for inspection.
+
+#include <vector>
+
+#include "hierarq/algebra/provenance.h"
+#include "hierarq/data/database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// The lineage of a query over a database.
+struct ProvenanceResult {
+  /// The output provenance tree (read-once by Lemma 6.3).
+  ProvTreeRef tree;
+  /// Symbol i labels facts[i].
+  std::vector<Fact> facts;
+};
+
+/// Computes the query's provenance tree. Fails with kNotHierarchical for
+/// non-hierarchical queries.
+Result<ProvenanceResult> ComputeProvenance(const ConjunctiveQuery& query,
+                                           const Database& db);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_PROVENANCE_PIPELINE_H_

@@ -1,0 +1,28 @@
+#include "hierarq/core/resilience.h"
+
+#include "hierarq/core/algorithm1.h"
+
+namespace hierarq {
+
+Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+                                   const Database& exogenous,
+                                   const Database& endogenous) {
+  const ResilienceMonoid monoid;
+  HIERARQ_ASSIGN_OR_RETURN(Database combined,
+                           exogenous.UnionWith(endogenous));
+  return RunAlgorithm1OnQuery<ResilienceMonoid>(
+      query, monoid, combined, [&](const Fact& fact) -> uint64_t {
+        // Facts in both databases are exogenous: they cannot be removed.
+        if (exogenous.ContainsFact(fact)) {
+          return monoid.ExogenousCost();
+        }
+        return monoid.EndogenousCost();
+      });
+}
+
+Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+                                   const Database& db) {
+  return ComputeResilience(query, Database(), db);
+}
+
+}  // namespace hierarq

@@ -1,0 +1,33 @@
+#ifndef HIERARQ_CORE_RESILIENCE_H_
+#define HIERARQ_CORE_RESILIENCE_H_
+
+/// \file resilience.h
+/// \brief Resilience of hierarchical queries — a fourth instantiation of
+/// Algorithm 1 (hierarq's answer to the paper's concluding Question 2).
+///
+/// res(Q, Dx, Dn) is the minimum number of endogenous facts whose removal
+/// makes Q false (∞ when Q stays true even after removing all of Dn; 0
+/// when Q is already false). Computed in O(|D|) via the resilience
+/// 2-monoid (ℕ ∪ {∞}, +, min); see
+/// hierarq/algebra/resilience_monoid.h for the algebra and its φ-map.
+
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/data/database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Minimum removals from `endogenous` falsifying Q over Dx ∪ Dn.
+/// Returns ResilienceMonoid::kInfinity when Q cannot be falsified.
+Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+                                   const Database& exogenous,
+                                   const Database& endogenous);
+
+/// All-endogenous convenience overload.
+Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+                                   const Database& db);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_RESILIENCE_H_

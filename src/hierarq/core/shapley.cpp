@@ -1,0 +1,130 @@
+#include "hierarq/core/shapley.h"
+
+#include <utility>
+
+#include "hierarq/algebra/satcount_monoid.h"
+#include "hierarq/core/algorithm1.h"
+
+namespace hierarq {
+
+namespace {
+
+struct RawSatCount {
+  SatCountVec<BigUint> vec;
+  size_t relevant_endogenous = 0;  ///< m = |Dn[F]| (★-annotated facts).
+};
+
+/// Runs Algorithm 1 with the #Sat monoid. The raw output counts subsets of
+/// Dn[F] — the endogenous facts that actually occur in the query's lineage
+/// (Eq. (21)); facts of Dn that match no atom (wrong relation, constant
+/// mismatch, or shadowed by an identical exogenous fact) are irrelevant and
+/// are accounted for by the caller via a binomial expansion.
+Result<RawSatCount> RunSatCount(const ConjunctiveQuery& query,
+                                const Database& exogenous,
+                                const Database& endogenous) {
+  const size_t n = endogenous.NumFacts();
+  const SatCountMonoid<BigUint> monoid(n);
+
+  HIERARQ_ASSIGN_OR_RETURN(Database combined,
+                           exogenous.UnionWith(endogenous));
+  size_t relevant = 0;
+  HIERARQ_ASSIGN_OR_RETURN(
+      SatCountVec<BigUint> vec,
+      (RunAlgorithm1OnQuery<SatCountMonoid<BigUint>>(
+          query, monoid, combined,
+          [&](const Fact& fact) -> SatCountVec<BigUint> {
+            // Definition 5.15: exogenous facts are always present (1);
+            // endogenous facts toggle (★). A fact in both is treated as
+            // exogenous — its endogenous copy cannot change the query.
+            if (exogenous.ContainsFact(fact)) {
+              return monoid.One();
+            }
+            ++relevant;
+            return monoid.Star();
+          })));
+  return RawSatCount{std::move(vec), relevant};
+}
+
+}  // namespace
+
+Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
+                               const Database& exogenous,
+                               const Database& endogenous) {
+  const size_t n = endogenous.NumFacts();
+  HIERARQ_ASSIGN_OR_RETURN(RawSatCount raw,
+                           RunSatCount(query, exogenous, endogenous));
+  const size_t m = raw.relevant_endogenous;
+  HIERARQ_CHECK_LE(m, n);
+
+  // Expand counts over subsets of Dn[F] (m facts) to counts over subsets
+  // of Dn (n facts): the n−m irrelevant facts can be added freely without
+  // affecting the query, so
+  //   #Sat(k, b) = Σ_j raw(j, b) · binomial(n−m, k−j).
+  SatCounts out;
+  out.on_true.assign(n + 1, BigUint(0));
+  out.on_false.assign(n + 1, BigUint(0));
+  for (size_t k = 0; k <= n; ++k) {
+    for (size_t j = 0; j <= k && j <= m; ++j) {
+      const BigUint choices = BigUint::Binomial(n - m, k - j);
+      if (choices.IsZero()) {
+        continue;
+      }
+      out.on_true[k] += raw.vec.on_true[j] * choices;
+      out.on_false[k] += raw.vec.on_false[j] * choices;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<BigUint>> CountSat(const ConjunctiveQuery& query,
+                                      const Database& exogenous,
+                                      const Database& endogenous) {
+  HIERARQ_ASSIGN_OR_RETURN(SatCounts both,
+                           CountSatBoth(query, exogenous, endogenous));
+  return std::move(both.on_true);
+}
+
+Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous, const Fact& fact) {
+  if (!endogenous.ContainsFact(fact)) {
+    return Status::InvalidArgument("Shapley value requested for a fact that "
+                                   "is not endogenous: " + fact.ToString());
+  }
+  const size_t n = endogenous.NumFacts();
+
+  // Dn \ {f} and Dx ∪ {f}.
+  Database endo_minus = endogenous;
+  endo_minus.EraseFact(fact);
+  Database exo_plus = exogenous;
+  HIERARQ_RETURN_NOT_OK(exo_plus.AddFact(fact.relation, fact.tuple).status());
+
+  HIERARQ_ASSIGN_OR_RETURN(std::vector<BigUint> with_f,
+                           CountSat(query, exo_plus, endo_minus));
+  HIERARQ_ASSIGN_OR_RETURN(std::vector<BigUint> without_f,
+                           CountSat(query, exogenous, endo_minus));
+
+  // Σ_k k!(n-k-1)! (A_k − B_k), over denominator n!.
+  BigInt numerator(0);
+  for (size_t k = 0; k + 1 <= n; ++k) {
+    const BigUint weight =
+        BigUint::Factorial(k) * BigUint::Factorial(n - k - 1);
+    const BigInt delta = BigInt(with_f[k]) - BigInt(without_f[k]);
+    numerator += BigInt(weight) * delta;
+  }
+  return Fraction(numerator, BigInt(BigUint::Factorial(n)));
+}
+
+Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
+    const ConjunctiveQuery& query, const Database& exogenous,
+    const Database& endogenous) {
+  std::vector<std::pair<Fact, Fraction>> out;
+  for (const Fact& fact : endogenous.AllFacts()) {
+    HIERARQ_ASSIGN_OR_RETURN(Fraction value,
+                             ShapleyValue(query, exogenous, endogenous, fact));
+    out.emplace_back(fact, std::move(value));
+  }
+  return out;
+}
+
+}  // namespace hierarq

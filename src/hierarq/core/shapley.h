@@ -1,0 +1,62 @@
+#ifndef HIERARQ_CORE_SHAPLEY_H_
+#define HIERARQ_CORE_SHAPLEY_H_
+
+/// \file shapley.h
+/// \brief #Sat computation and Shapley values of facts
+/// (paper §5.6, Theorem 5.16).
+///
+/// #Sat_{Q,Dx,Dn}(k) counts the size-k subsets D' ⊆ Dn with Q(Dx ∪ D')
+/// true (Definition 5.13). Algorithm 1 computes the whole vector at once
+/// with the #Sat 2-monoid (Definition 5.14): exogenous facts are annotated
+/// 1, endogenous facts ★ (Definition 5.15). Shapley values then follow
+/// from the Livshits–Bertossi–Kimelfeld–Sebag reduction (the displayed
+/// equation after Definition 5.13):
+///
+///   Shapley(f) = Σ_{k=0}^{n-1} k!(n-k-1)!/n! ·
+///                ( #Sat_{Q, Dx∪{f}, Dn\{f}}(k) − #Sat_{Q, Dx, Dn\{f}}(k) )
+///
+/// with n = |Dn|. Counts use exact BigUint arithmetic; Shapley values are
+/// exact `Fraction`s (denominator n!).
+
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/bigint.h"
+#include "hierarq/util/fraction.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// The full #Sat vector: counts[k] = #Sat_{Q,Dx,Dn}(k) for k = 0..|Dn|.
+/// Exact (BigUint) counts.
+Result<std::vector<BigUint>> CountSat(const ConjunctiveQuery& query,
+                                      const Database& exogenous,
+                                      const Database& endogenous);
+
+/// Both polarity vectors: counts of subsets making Q true and false.
+/// Their sum at k is binomial(|Dn|, k) — an identity the tests rely on.
+struct SatCounts {
+  std::vector<BigUint> on_true;
+  std::vector<BigUint> on_false;
+};
+Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
+                               const Database& exogenous,
+                               const Database& endogenous);
+
+/// The Shapley value of endogenous fact `fact`, exact.
+/// Fails kInvalidArgument when `fact` is not endogenous.
+Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous, const Fact& fact);
+
+/// Shapley values of all endogenous facts, in `endogenous.AllFacts()`
+/// order. (Their sum equals Q(D) − Q(Dx) ∈ {0, 1} — the efficiency axiom —
+/// which the tests verify.)
+Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
+    const ConjunctiveQuery& query, const Database& exogenous,
+    const Database& endogenous);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_SHAPLEY_H_

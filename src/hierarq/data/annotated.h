@@ -1,0 +1,165 @@
+#ifndef HIERARQ_DATA_ANNOTATED_H_
+#define HIERARQ_DATA_ANNOTATED_H_
+
+/// \file annotated.h
+/// \brief K-annotated relations and databases (paper §2, §5.3).
+///
+/// A K-annotated relation associates each fact with a value from a
+/// 2-monoid's domain K. Facts whose annotation is the monoid zero are
+/// simply *absent* — supports are what the algorithm stores and what
+/// Lemma 6.6's size argument counts. Keys are tuples ordered by the
+/// relation's schema, which is the atom's variable set in ascending VarId
+/// order (atom term order, duplicate variables, and constants are resolved
+/// once, when the base database is annotated).
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/tuple.h"
+#include "hierarq/query/query.h"
+#include "hierarq/query/var_set.h"
+#include "hierarq/util/logging.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// A relation annotated with values from K, keyed by tuples over `schema`.
+template <typename K>
+class AnnotatedRelation {
+ public:
+  using Map = std::unordered_map<Tuple, K, TupleHash>;
+  using const_iterator = typename Map::const_iterator;
+
+  AnnotatedRelation() = default;
+  explicit AnnotatedRelation(VarSet schema) : schema_(std::move(schema)) {}
+
+  const VarSet& schema() const { return schema_; }
+  /// |supp(R)| — the number of stored (non-zero) facts.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  /// Sets the annotation of `key` (inserting or overwriting).
+  void Set(const Tuple& key, K value) {
+    HIERARQ_CHECK_EQ(key.size(), schema_.size());
+    entries_[key] = std::move(value);
+  }
+
+  /// Returns the annotation of `key`, or nullptr when `key` is not in the
+  /// support (i.e. its annotation is the monoid zero).
+  const K* Find(const Tuple& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
+
+  /// Inserts `value` at `key`, or combines it with the existing annotation
+  /// via `combine(existing, value)`. Used by Algorithm 1's Rule 1
+  /// (⊕-aggregation).
+  template <typename Combine>
+  void Merge(const Tuple& key, K value, Combine combine) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, std::move(value));
+    } else {
+      it->second = combine(it->second, value);
+    }
+  }
+
+  /// Releases all entries (frees intermediate relations eagerly).
+  void Clear() { entries_.clear(); }
+
+ private:
+  VarSet schema_;
+  Map entries_;
+};
+
+/// A K-annotated database instance for a query: one annotated relation per
+/// query atom, indexed by atom position.
+template <typename K>
+struct AnnotatedDatabase {
+  std::vector<AnnotatedRelation<K>> relations;
+
+  /// |D| in the sense of Definition 6.5: the sum of relation supports.
+  size_t TotalSupport() const {
+    size_t total = 0;
+    for (const auto& rel : relations) {
+      total += rel.size();
+    }
+    return total;
+  }
+};
+
+/// Builds the K-annotated database for `query` from the facts of `facts`,
+/// annotating each fact f with `annotator(f)`.
+///
+/// For every atom R(t1..tk) of the query, each tuple of relation R in
+/// `facts` is matched against the atom: constant terms must be equal and
+/// repeated variables must bind consistently; matching tuples are projected
+/// onto the atom's variable set (ascending VarId order) to form the key.
+/// Non-matching tuples are skipped — they can never contribute a satisfying
+/// assignment.
+///
+/// Atoms whose relation is absent from `facts` produce empty (all-zero)
+/// annotated relations, which is the correct semantics.
+template <typename K>
+AnnotatedDatabase<K> AnnotateForQuery(
+    const ConjunctiveQuery& query, const Database& facts,
+    const std::function<K(const Fact&)>& annotator) {
+  AnnotatedDatabase<K> out;
+  out.relations.reserve(query.num_atoms());
+  for (const Atom& atom : query.atoms()) {
+    AnnotatedRelation<K> annotated(atom.vars());
+    const Relation* relation = facts.FindRelation(atom.relation());
+    if (relation != nullptr) {
+      for (const Tuple& tuple : relation->tuples()) {
+        if (tuple.size() != atom.arity()) {
+          continue;  // Arity mismatch: cannot match the atom.
+        }
+        // Match the tuple against the atom pattern.
+        bool matches = true;
+        for (size_t i = 0; i < atom.terms().size() && matches; ++i) {
+          const Term& term = atom.terms()[i];
+          if (term.is_constant()) {
+            matches = term.constant() == tuple[i];
+          }
+        }
+        // Repeated variables must bind to equal values.
+        if (matches) {
+          for (VarId v : atom.vars()) {
+            const std::vector<size_t> positions = atom.PositionsOf(v);
+            for (size_t i = 1; i < positions.size() && matches; ++i) {
+              matches = tuple[positions[i]] == tuple[positions[0]];
+            }
+            if (!matches) {
+              break;
+            }
+          }
+        }
+        if (!matches) {
+          continue;
+        }
+        // Project onto the schema (ascending VarId order).
+        Tuple key;
+        key.reserve(atom.vars().size());
+        for (VarId v : atom.vars()) {
+          key.push_back(tuple[atom.PositionsOf(v).front()]);
+        }
+        HIERARQ_CHECK(!annotated.Contains(key))
+            << "duplicate key while annotating " << atom.relation();
+        annotated.Set(key, annotator(Fact{atom.relation(), tuple}));
+      }
+    }
+    out.relations.push_back(std::move(annotated));
+  }
+  return out;
+}
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_ANNOTATED_H_

@@ -1,0 +1,86 @@
+#include "hierarq/data/database.h"
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+Result<bool> Database::AddFact(const std::string& relation,
+                               const Tuple& tuple) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    it = relations_.emplace(relation, Relation(relation, tuple.size())).first;
+  } else if (it->second.arity() != tuple.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch for relation '" + relation + "': expected " +
+        std::to_string(it->second.arity()) + ", got " +
+        std::to_string(tuple.size()));
+  }
+  return it->second.Insert(tuple);
+}
+
+bool Database::AddFactOrDie(const std::string& relation, const Tuple& tuple) {
+  Result<bool> result = AddFact(relation, tuple);
+  HIERARQ_CHECK(result.ok()) << result.status().ToString();
+  return result.ValueOrDie();
+}
+
+bool Database::ContainsFact(const std::string& relation,
+                            const Tuple& tuple) const {
+  const Relation* rel = FindRelation(relation);
+  return rel != nullptr && rel->Contains(tuple);
+}
+
+bool Database::EraseFact(const Fact& fact) {
+  auto it = relations_.find(fact.relation);
+  if (it == relations_.end()) {
+    return false;
+  }
+  return it->second.Erase(fact.tuple);
+}
+
+const Relation* Database::FindRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+size_t Database::NumFacts() const {
+  size_t total = 0;
+  for (const auto& [name, relation] : relations_) {
+    total += relation.size();
+  }
+  return total;
+}
+
+std::vector<Fact> Database::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(NumFacts());
+  for (const auto& [name, relation] : relations_) {
+    for (const Tuple& tuple : relation.tuples()) {
+      out.push_back(Fact{name, tuple});
+    }
+  }
+  return out;
+}
+
+Result<Database> Database::UnionWith(const Database& other) const {
+  Database out = *this;
+  for (const auto& [name, relation] : other.relations_) {
+    for (const Tuple& tuple : relation.tuples()) {
+      HIERARQ_RETURN_NOT_OK(out.AddFact(name, tuple).status());
+    }
+  }
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, relation] : relations_) {
+    if (!out.empty()) {
+      out += "\n";
+    }
+    out += relation.ToString();
+  }
+  return out;
+}
+
+}  // namespace hierarq

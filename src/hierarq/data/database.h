@@ -1,0 +1,94 @@
+#ifndef HIERARQ_DATA_DATABASE_H_
+#define HIERARQ_DATA_DATABASE_H_
+
+/// \file database.h
+/// \brief Set database instances (paper §3): sets of facts over a schema.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hierarq/data/relation.h"
+#include "hierarq/util/hash.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// One fact R(v1,...,vk): a relation name plus a tuple.
+struct Fact {
+  std::string relation;
+  Tuple tuple;
+
+  bool operator==(const Fact& other) const {
+    return relation == other.relation && tuple == other.tuple;
+  }
+  bool operator!=(const Fact& other) const { return !(*this == other); }
+  /// Deterministic order: by relation name, then tuple.
+  bool operator<(const Fact& other) const {
+    if (relation != other.relation) {
+      return relation < other.relation;
+    }
+    return tuple < other.tuple;
+  }
+
+  std::string ToString() const { return relation + TupleToString(tuple); }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : f.relation) {
+      h = HashCombine(h, static_cast<uint64_t>(c));
+    }
+    return static_cast<size_t>(
+        HashCombine(h, TupleHash{}(f.tuple)));
+  }
+};
+
+/// A set database instance: named relations holding duplicate-free tuples.
+/// Relations are created lazily on first insert; arity is fixed by the
+/// first fact of each relation (subsequent mismatches are rejected).
+class Database {
+ public:
+  /// Adds a fact; creates the relation on first use. Returns
+  /// InvalidArgument on arity mismatch with an existing relation. The
+  /// boolean result is true iff the fact was new.
+  Result<bool> AddFact(const std::string& relation, const Tuple& tuple);
+
+  /// AddFact for trusted callers (CHECK on arity mismatch).
+  bool AddFactOrDie(const std::string& relation, const Tuple& tuple);
+
+  bool ContainsFact(const std::string& relation, const Tuple& tuple) const;
+  bool ContainsFact(const Fact& fact) const {
+    return ContainsFact(fact.relation, fact.tuple);
+  }
+
+  /// Removes a fact if present; true iff removed.
+  bool EraseFact(const Fact& fact);
+
+  /// The relation named `name`, or nullptr when absent.
+  const Relation* FindRelation(const std::string& name) const;
+
+  /// All relations, keyed by name (deterministic order).
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Total number of facts |D|.
+  size_t NumFacts() const;
+
+  /// All facts in deterministic order.
+  std::vector<Fact> AllFacts() const;
+
+  /// Set union with `other` (this ∪ other), as a new database.
+  Result<Database> UnionWith(const Database& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_DATABASE_H_

@@ -1,0 +1,156 @@
+#include "hierarq/data/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "hierarq/util/strings.h"
+
+namespace hierarq {
+
+namespace {
+
+struct ParsedFact {
+  std::string relation;
+  Tuple tuple;
+  double probability = 1.0;
+  bool has_probability = false;
+};
+
+Result<Value> ParseValue(const std::string& token, Dictionary* dict) {
+  Result<int64_t> as_int = ParseInt64(token);
+  if (as_int.ok()) {
+    if (*as_int >= kFirstSymbolicValue) {
+      return Status::ParseError("numeric value too large (collides with the "
+                                "symbolic range): " + token);
+    }
+    return *as_int;
+  }
+  if (!IsIdentifier(token)) {
+    return Status::ParseError("invalid value token: '" + token + "'");
+  }
+  if (dict == nullptr) {
+    return Status::InvalidArgument(
+        "symbolic value '" + token + "' requires a Dictionary");
+  }
+  return dict->Intern(token);
+}
+
+Result<ParsedFact> ParseFactLine(std::string_view line, Dictionary* dict) {
+  ParsedFact out;
+  std::string_view body = line;
+  // Optional "@ prob" suffix.
+  const size_t at = body.find('@');
+  if (at != std::string_view::npos) {
+    HIERARQ_ASSIGN_OR_RETURN(out.probability,
+                             ParseDouble(body.substr(at + 1)));
+    out.has_probability = true;
+    body = body.substr(0, at);
+  }
+  body = TrimView(body);
+  const size_t open = body.find('(');
+  if (open == std::string_view::npos || body.back() != ')') {
+    return Status::ParseError("malformed fact: '" + std::string(line) + "'");
+  }
+  out.relation = Trim(body.substr(0, open));
+  if (!IsIdentifier(out.relation)) {
+    return Status::ParseError("invalid relation name: '" + out.relation +
+                              "'");
+  }
+  const std::string_view args = body.substr(open + 1, body.size() - open - 2);
+  if (!TrimView(args).empty()) {
+    for (const std::string& token : Split(args, ',')) {
+      HIERARQ_ASSIGN_OR_RETURN(Value value, ParseValue(token, dict));
+      out.tuple.push_back(value);
+    }
+  }
+  return out;
+}
+
+/// Invokes `sink(fact)` for each fact line of `text`.
+template <typename Sink>
+Status ForEachFactLine(std::string_view text, Dictionary* dict, Sink sink) {
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = TrimView(line);
+    if (line.empty()) {
+      continue;
+    }
+    Result<ParsedFact> fact = ParseFactLine(line, dict);
+    if (!fact.ok()) {
+      return Status::ParseError("line " + std::to_string(line_number) + ": " +
+                                fact.status().message());
+    }
+    HIERARQ_RETURN_NOT_OK(sink(*fact));
+    if (start == text.size() + 1) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<Database> LoadDatabase(std::string_view text, Dictionary* dict) {
+  Database db;
+  Status status =
+      ForEachFactLine(text, dict, [&db](const ParsedFact& fact) -> Status {
+        if (fact.has_probability) {
+          return Status::InvalidArgument(
+              "probability annotation ('@') is only valid in TID databases: " +
+              fact.relation);
+        }
+        return db.AddFact(fact.relation, fact.tuple).status();
+      });
+  if (!status.ok()) {
+    return status;
+  }
+  return db;
+}
+
+Result<TidDatabase> LoadTidDatabase(std::string_view text, Dictionary* dict) {
+  TidDatabase db;
+  Status status =
+      ForEachFactLine(text, dict, [&db](const ParsedFact& fact) -> Status {
+        return db.AddFact(fact.relation, fact.tuple, fact.probability);
+      });
+  if (!status.ok()) {
+    return status;
+  }
+  return db;
+}
+
+Result<Database> LoadDatabaseFromFile(const std::string& path,
+                                      Dictionary* dict) {
+  HIERARQ_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return LoadDatabase(text, dict);
+}
+
+Result<TidDatabase> LoadTidDatabaseFromFile(const std::string& path,
+                                            Dictionary* dict) {
+  HIERARQ_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return LoadTidDatabase(text, dict);
+}
+
+}  // namespace hierarq

@@ -1,0 +1,40 @@
+#ifndef HIERARQ_DATA_LOADER_H_
+#define HIERARQ_DATA_LOADER_H_
+
+/// \file loader.h
+/// \brief Text format for database instances.
+///
+/// One fact per line; '#' starts a comment; blank lines are skipped.
+///
+///   R(1, 5)
+///   S(1, 2) @ 0.5      # optional probability annotation (TID databases)
+///   T(alice, bob)      # symbolic values are interned via a Dictionary
+///
+/// Values that parse as integers are stored as themselves; all other
+/// identifiers are interned. The probability annotation is only legal when
+/// loading a TID database.
+
+#include <string_view>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/data/value.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Parses a set database. `dict` may be null when the text is all-numeric.
+Result<Database> LoadDatabase(std::string_view text, Dictionary* dict);
+
+/// Parses a TID database; facts without '@' default to probability 1.
+Result<TidDatabase> LoadTidDatabase(std::string_view text, Dictionary* dict);
+
+/// File-reading wrappers.
+Result<Database> LoadDatabaseFromFile(const std::string& path,
+                                      Dictionary* dict);
+Result<TidDatabase> LoadTidDatabaseFromFile(const std::string& path,
+                                            Dictionary* dict);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_LOADER_H_

@@ -1,0 +1,44 @@
+#include "hierarq/data/relation.h"
+
+#include <algorithm>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+bool Relation::Insert(const Tuple& tuple) {
+  HIERARQ_CHECK_EQ(tuple.size(), arity_)
+      << "arity mismatch inserting into " << name_;
+  if (!index_.insert(tuple).second) {
+    return false;
+  }
+  tuples_.push_back(tuple);
+  return true;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) {
+    return false;
+  }
+  index_.erase(it);
+  auto pos = std::find(tuples_.begin(), tuples_.end(), tuple);
+  HIERARQ_CHECK(pos != tuples_.end());
+  *pos = tuples_.back();
+  tuples_.pop_back();
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::string out = name_ + "{";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += TupleToString(tuples_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hierarq

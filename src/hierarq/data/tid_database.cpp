@@ -1,0 +1,36 @@
+#include "hierarq/data/tid_database.h"
+
+#include <algorithm>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+Status TidDatabase::AddFact(const std::string& relation, const Tuple& tuple,
+                            double p) {
+  HIERARQ_RETURN_NOT_OK(facts_.AddFact(relation, tuple).status());
+  probabilities_[Fact{relation, tuple}] = std::clamp(p, 0.0, 1.0);
+  return Status::OK();
+}
+
+void TidDatabase::AddFactOrDie(const std::string& relation,
+                               const Tuple& tuple, double p) {
+  const Status status = AddFact(relation, tuple, p);
+  HIERARQ_CHECK(status.ok()) << status.ToString();
+}
+
+double TidDatabase::Probability(const Fact& fact) const {
+  auto it = probabilities_.find(fact);
+  return it == probabilities_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::pair<Fact, double>> TidDatabase::AllFacts() const {
+  std::vector<std::pair<Fact, double>> out;
+  out.reserve(NumFacts());
+  for (const Fact& fact : facts_.AllFacts()) {
+    out.emplace_back(fact, Probability(fact));
+  }
+  return out;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,43 @@
+#ifndef HIERARQ_DATA_TID_DATABASE_H_
+#define HIERARQ_DATA_TID_DATABASE_H_
+
+/// \file tid_database.h
+/// \brief Tuple-independent probabilistic databases (paper §1).
+///
+/// Each fact carries a marginal probability and all facts are independent
+/// events. This is the input type of Probabilistic Query Evaluation.
+
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/data/database.h"
+
+namespace hierarq {
+
+class TidDatabase {
+ public:
+  /// Adds a fact with probability `p` (clamped to [0,1]); re-adding an
+  /// existing fact overwrites its probability.
+  Status AddFact(const std::string& relation, const Tuple& tuple, double p);
+  void AddFactOrDie(const std::string& relation, const Tuple& tuple,
+                    double p);
+
+  /// Probability of a fact; absent facts have probability 0.
+  double Probability(const Fact& fact) const;
+
+  /// The deterministic skeleton (all facts, ignoring probabilities).
+  const Database& facts() const { return facts_; }
+
+  size_t NumFacts() const { return facts_.NumFacts(); }
+
+  /// All facts in deterministic order, paired with probabilities.
+  std::vector<std::pair<Fact, double>> AllFacts() const;
+
+ private:
+  Database facts_;
+  std::unordered_map<Fact, double, FactHash> probabilities_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_TID_DATABASE_H_

@@ -1,0 +1,38 @@
+#ifndef HIERARQ_DATA_TUPLE_H_
+#define HIERARQ_DATA_TUPLE_H_
+
+/// \file tuple.h
+/// \brief Tuples of domain values.
+
+#include <initializer_list>
+#include <string>
+
+#include "hierarq/data/value.h"
+#include "hierarq/util/inlined_vector.h"
+
+namespace hierarq {
+
+/// A tuple of domain values; inline storage covers common arities.
+using Tuple = InlinedVector<Value, 4>;
+using TupleHash = InlinedVectorHash<Value, 4>;
+
+inline Tuple MakeTuple(std::initializer_list<Value> values) {
+  return Tuple(values);
+}
+
+/// Renders "(v1,v2,...)" with numeric values.
+inline std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(tuple[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_TUPLE_H_

@@ -1,0 +1,34 @@
+#include "hierarq/data/value.h"
+
+namespace hierarq {
+
+Value Dictionary::Intern(const std::string& text) {
+  auto it = index_.find(text);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const Value value = kFirstSymbolicValue + static_cast<Value>(symbols_.size());
+  symbols_.push_back(text);
+  index_.emplace(text, value);
+  return value;
+}
+
+std::optional<Value> Dictionary::Find(const std::string& text) const {
+  auto it = index_.find(text);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string Dictionary::Render(Value value) const {
+  if (IsSymbolic(value)) {
+    const size_t index = static_cast<size_t>(value - kFirstSymbolicValue);
+    if (index < symbols_.size()) {
+      return symbols_[index];
+    }
+  }
+  return std::to_string(value);
+}
+
+}  // namespace hierarq

@@ -1,0 +1,52 @@
+#ifndef HIERARQ_DATA_VALUE_H_
+#define HIERARQ_DATA_VALUE_H_
+
+/// \file value.h
+/// \brief Domain values and the string dictionary.
+///
+/// Database values come from a countably infinite domain Dom (paper §3).
+/// hierarq represents them as 64-bit integers: integer data maps to itself,
+/// and symbolic data (strings) is interned into a `Dictionary` that assigns
+/// ids in a reserved high range so that the two never collide.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hierarq {
+
+/// A domain value.
+using Value = int64_t;
+
+/// First id handed out for interned symbolic values; numeric literals in
+/// loaded data must stay below this (checked by the loader).
+constexpr Value kFirstSymbolicValue = int64_t{1} << 40;
+
+/// Bidirectional string <-> Value interning for symbolic data.
+class Dictionary {
+ public:
+  /// Returns the value for `text`, interning it on first sight.
+  Value Intern(const std::string& text);
+
+  /// Returns the value of `text` if already interned.
+  std::optional<Value> Find(const std::string& text) const;
+
+  /// True iff `value` denotes an interned symbol (vs a numeric literal).
+  static bool IsSymbolic(Value value) { return value >= kFirstSymbolicValue; }
+
+  /// Renders a value: the symbol text for interned values (when this
+  /// dictionary knows it), the decimal rendering otherwise.
+  std::string Render(Value value) const;
+
+  size_t size() const { return symbols_.size(); }
+
+ private:
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, Value> index_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_VALUE_H_

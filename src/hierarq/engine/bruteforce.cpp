@@ -1,0 +1,215 @@
+#include "hierarq/engine/bruteforce.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+constexpr size_t kMaxSubsetBits = 28;
+
+/// Builds base ∪ {facts[i] : mask bit i set}.
+Database WithSubset(const Database& base, const std::vector<Fact>& facts,
+                    uint64_t mask) {
+  Database out = base;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if ((mask >> i) & 1) {
+      out.AddFactOrDie(facts[i].relation, facts[i].tuple);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double BruteForcePqe(const ConjunctiveQuery& query, const TidDatabase& db) {
+  // Split facts into certain (p == 1), impossible (p == 0) and uncertain.
+  Database certain;
+  std::vector<Fact> uncertain;
+  std::vector<double> probs;
+  for (const auto& [fact, p] : db.AllFacts()) {
+    if (p >= 1.0) {
+      certain.AddFactOrDie(fact.relation, fact.tuple);
+    } else if (p > 0.0) {
+      uncertain.push_back(fact);
+      probs.push_back(p);
+    }
+  }
+  HIERARQ_CHECK_LE(uncertain.size(), kMaxSubsetBits)
+      << "brute-force PQE instance too large";
+
+  double total = 0.0;
+  const uint64_t worlds = uint64_t{1} << uncertain.size();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double weight = 1.0;
+    for (size_t i = 0; i < uncertain.size(); ++i) {
+      weight *= ((mask >> i) & 1) ? probs[i] : (1.0 - probs[i]);
+    }
+    if (weight == 0.0) {
+      continue;
+    }
+    if (EvaluateBoolean(query, WithSubset(certain, uncertain, mask))) {
+      total += weight;
+    }
+  }
+  return total;
+}
+
+BruteForceSatCounts BruteForceCountSat(const ConjunctiveQuery& query,
+                                       const Database& exogenous,
+                                       const Database& endogenous) {
+  const std::vector<Fact> facts = endogenous.AllFacts();
+  const size_t n = facts.size();
+  HIERARQ_CHECK_LE(n, kMaxSubsetBits) << "brute-force #Sat instance too large";
+
+  BruteForceSatCounts out;
+  out.on_true.assign(n + 1, BigUint(0));
+  out.on_false.assign(n + 1, BigUint(0));
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    const size_t k = static_cast<size_t>(__builtin_popcountll(mask));
+    const bool sat =
+        EvaluateBoolean(query, WithSubset(exogenous, facts, mask));
+    if (sat) {
+      out.on_true[k] += BigUint(1);
+    } else {
+      out.on_false[k] += BigUint(1);
+    }
+  }
+  return out;
+}
+
+Fraction BruteForceShapleySubsets(const ConjunctiveQuery& query,
+                                  const Database& exogenous,
+                                  const Database& endogenous,
+                                  const Fact& fact) {
+  HIERARQ_CHECK(endogenous.ContainsFact(fact));
+  std::vector<Fact> others;
+  for (const Fact& g : endogenous.AllFacts()) {
+    if (g != fact) {
+      others.push_back(g);
+    }
+  }
+  const size_t n = others.size() + 1;
+  HIERARQ_CHECK_LE(others.size(), kMaxSubsetBits);
+
+  BigInt numerator(0);
+  const uint64_t worlds = uint64_t{1} << others.size();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    const size_t k = static_cast<size_t>(__builtin_popcountll(mask));
+    const Database base = WithSubset(exogenous, others, mask);
+    Database with_f = base;
+    with_f.AddFactOrDie(fact.relation, fact.tuple);
+    const int delta = static_cast<int>(EvaluateBoolean(query, with_f)) -
+                      static_cast<int>(EvaluateBoolean(query, base));
+    if (delta == 0) {
+      continue;
+    }
+    const BigUint weight =
+        BigUint::Factorial(k) * BigUint::Factorial(n - k - 1);
+    numerator += BigInt(weight, delta < 0);
+  }
+  return Fraction(numerator, BigInt(BigUint::Factorial(n)));
+}
+
+Fraction BruteForceShapleyPermutations(const ConjunctiveQuery& query,
+                                       const Database& exogenous,
+                                       const Database& endogenous,
+                                       const Fact& fact) {
+  HIERARQ_CHECK(endogenous.ContainsFact(fact));
+  std::vector<Fact> facts = endogenous.AllFacts();
+  const size_t n = facts.size();
+  HIERARQ_CHECK_LE(n, 9u) << "permutation brute force caps at |Dn| = 9";
+  std::sort(facts.begin(), facts.end());
+
+  BigUint flips(0);
+  uint64_t permutations = 0;
+  do {
+    ++permutations;
+    Database db = exogenous;
+    bool was_true = EvaluateBoolean(query, db);
+    for (const Fact& g : facts) {
+      db.AddFactOrDie(g.relation, g.tuple);
+      const bool now_true = was_true || EvaluateBoolean(query, db);
+      if (g == fact) {
+        if (now_true && !was_true) {
+          flips += BigUint(1);
+        }
+        break;  // Later insertions cannot change f's marginal contribution.
+      }
+      was_true = now_true;
+    }
+  } while (std::next_permutation(facts.begin(), facts.end()));
+  HIERARQ_CHECK_EQ(BigUint(permutations), BigUint::Factorial(n));
+
+  return Fraction(BigInt(flips), BigInt(BigUint::Factorial(n)));
+}
+
+BagMaxVec BruteForceBagSetMax(const ConjunctiveQuery& query,
+                              const Database& d, const Database& repair,
+                              size_t budget) {
+  std::vector<Fact> candidates;
+  for (const Fact& fact : repair.AllFacts()) {
+    if (!d.ContainsFact(fact)) {
+      candidates.push_back(fact);
+    }
+  }
+  HIERARQ_CHECK_LE(candidates.size(), kMaxSubsetBits)
+      << "brute-force bag-set-max instance too large";
+
+  BagMaxVec profile(budget + 1, 0);
+  const uint64_t worlds = uint64_t{1} << candidates.size();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    const size_t cost = static_cast<size_t>(__builtin_popcountll(mask));
+    if (cost > budget) {
+      continue;
+    }
+    const uint64_t value =
+        BagSetCount(query, WithSubset(d, candidates, mask));
+    if (value > profile[cost]) {
+      profile[cost] = value;
+    }
+  }
+  // profile[i] so far is "max at cost exactly i"; make it cumulative.
+  for (size_t i = 1; i <= budget; ++i) {
+    profile[i] = std::max(profile[i], profile[i - 1]);
+  }
+  return profile;
+}
+
+uint64_t BruteForceResilience(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous) {
+  const std::vector<Fact> facts = endogenous.AllFacts();
+  const size_t n = facts.size();
+  HIERARQ_CHECK_LE(n, kMaxSubsetBits)
+      << "brute-force resilience instance too large";
+
+  Result<Database> combined = exogenous.UnionWith(endogenous);
+  HIERARQ_CHECK(combined.ok()) << combined.status().ToString();
+  if (!EvaluateBoolean(query, *combined)) {
+    return 0;  // Already false: nothing to remove.
+  }
+
+  // `mask` selects the facts to REMOVE; keep the complement.
+  uint64_t best = ResilienceMonoid::kInfinity;
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t mask = 1; mask < worlds; ++mask) {
+    const uint64_t k = static_cast<uint64_t>(__builtin_popcountll(mask));
+    if (k >= best) {
+      continue;
+    }
+    const uint64_t keep = ~mask & (worlds - 1);
+    if (!EvaluateBoolean(query, WithSubset(exogenous, facts, keep))) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace hierarq

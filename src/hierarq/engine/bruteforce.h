@@ -1,0 +1,72 @@
+#ifndef HIERARQ_ENGINE_BRUTEFORCE_H_
+#define HIERARQ_ENGINE_BRUTEFORCE_H_
+
+/// \file bruteforce.h
+/// \brief Exponential exact oracles for all four problems.
+///
+/// These enumerate possible worlds / subsets / permutations directly from
+/// the definitions. They are deliberately simple — on small instances they
+/// *are* the ground truth the unified algorithm is validated against, and
+/// in the dichotomy benchmarks they exhibit the exponential wall that
+/// Theorem 4.4 predicts for non-hierarchical queries.
+///
+/// All entry points CHECK that the instance is small enough to enumerate
+/// (subset enumerations cap at 2^28 steps).
+
+#include <cstdint>
+#include <vector>
+
+#include "hierarq/algebra/bagmax_monoid.h"
+#include "hierarq/data/database.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/bigint.h"
+#include "hierarq/util/fraction.h"
+
+namespace hierarq {
+
+/// Pr[Q] by summing over all 2^u possible worlds, where u is the number of
+/// facts with probability strictly between 0 and 1.
+double BruteForcePqe(const ConjunctiveQuery& query, const TidDatabase& db);
+
+/// #Sat vectors by enumerating all subsets of Dn (Definition 5.13).
+struct BruteForceSatCounts {
+  std::vector<BigUint> on_true;
+  std::vector<BigUint> on_false;
+};
+BruteForceSatCounts BruteForceCountSat(const ConjunctiveQuery& query,
+                                       const Database& exogenous,
+                                       const Database& endogenous);
+
+/// Shapley value via the subset reformulation (the display after
+/// Definition 5.13), enumerating subsets of Dn \ {f}.
+Fraction BruteForceShapleySubsets(const ConjunctiveQuery& query,
+                                  const Database& exogenous,
+                                  const Database& endogenous,
+                                  const Fact& fact);
+
+/// Shapley value directly from Definition 5.12: averages the marginal
+/// contribution of `fact` over *all permutations* of Dn. Exponentially
+/// worse than the subset form — |Dn| ≤ 9 — but it validates the reduction
+/// itself.
+Fraction BruteForceShapleyPermutations(const ConjunctiveQuery& query,
+                                       const Database& exogenous,
+                                       const Database& endogenous,
+                                       const Fact& fact);
+
+/// Bag-set maximization by enumerating all subsets of Dr \ D with at most
+/// `budget` facts (Definition 4.1). Returns the full budget profile:
+/// profile[i] = max multiplicity at repair cost ≤ i.
+BagMaxVec BruteForceBagSetMax(const ConjunctiveQuery& query,
+                              const Database& d, const Database& repair,
+                              size_t budget);
+
+/// Resilience by trying removal sets of increasing size; returns
+/// ResilienceMonoid::kInfinity when the query cannot be falsified.
+uint64_t BruteForceResilience(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ENGINE_BRUTEFORCE_H_

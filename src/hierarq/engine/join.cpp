@@ -1,0 +1,216 @@
+#include "hierarq/engine/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "hierarq/algebra/bagmax_monoid.h"  // SatAddU64
+#include "hierarq/query/var_set.h"
+#include "hierarq/util/hash.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Candidate bindings of one atom: tuples over the atom's variable set in
+/// ascending VarId order, after constant/repeated-variable filtering.
+std::vector<Tuple> AtomBindings(const Atom& atom, const Database& db) {
+  std::vector<Tuple> out;
+  const Relation* relation = db.FindRelation(atom.relation());
+  if (relation == nullptr) {
+    return out;
+  }
+  for (const Tuple& tuple : relation->tuples()) {
+    if (tuple.size() != atom.arity()) {
+      continue;
+    }
+    bool matches = true;
+    for (size_t i = 0; i < atom.terms().size() && matches; ++i) {
+      if (atom.terms()[i].is_constant()) {
+        matches = atom.terms()[i].constant() == tuple[i];
+      }
+    }
+    if (matches) {
+      for (VarId v : atom.vars()) {
+        const auto positions = atom.PositionsOf(v);
+        for (size_t i = 1; i < positions.size() && matches; ++i) {
+          matches = tuple[positions[i]] == tuple[positions[0]];
+        }
+        if (!matches) {
+          break;
+        }
+      }
+    }
+    if (!matches) {
+      continue;
+    }
+    Tuple binding;
+    binding.reserve(atom.vars().size());
+    for (VarId v : atom.vars()) {
+      binding.push_back(tuple[atom.PositionsOf(v).front()]);
+    }
+    out.push_back(std::move(binding));
+  }
+  return out;
+}
+
+/// One atom in the join pipeline.
+struct JoinStage {
+  const Atom* atom = nullptr;
+  /// Variables of this atom already bound by earlier stages, in ascending
+  /// VarId order (positions within the atom's binding tuples).
+  std::vector<size_t> key_positions;
+  /// Variables newly bound here (positions within binding tuples).
+  std::vector<size_t> new_positions;
+  std::vector<VarId> new_vars;
+  /// key tuple -> bindings that extend it.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
+};
+
+class JoinEvaluator {
+ public:
+  JoinEvaluator(const ConjunctiveQuery& query, const Database& db)
+      : query_(query) {
+    // Greedy join order: repeatedly take the atom sharing the most
+    // variables with the already-bound set (ties: smallest index). This
+    // keeps intermediate key arity high, which is what the hash indexes
+    // exploit.
+    const size_t n = query.num_atoms();
+    std::vector<bool> used(n, false);
+    VarSet bound;
+    std::vector<size_t> order;
+    for (size_t step = 0; step < n; ++step) {
+      size_t best = n;
+      size_t best_shared = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) {
+          continue;
+        }
+        const size_t shared =
+            query.atoms()[i].vars().Intersect(bound).size();
+        if (best == n || shared > best_shared) {
+          best = i;
+          best_shared = shared;
+        }
+      }
+      used[best] = true;
+      order.push_back(best);
+      bound = bound.Union(query.atoms()[best].vars());
+    }
+
+    // Build the stages in that order.
+    bindings_.resize(n);
+    VarSet bound_so_far;
+    for (size_t idx : order) {
+      const Atom& atom = query.atoms()[idx];
+      bindings_[idx] = AtomBindings(atom, db);
+      JoinStage stage;
+      stage.atom = &atom;
+      const VarSet& vars = atom.vars();
+      for (size_t pos = 0; pos < vars.size(); ++pos) {
+        if (bound_so_far.Contains(vars[pos])) {
+          stage.key_positions.push_back(pos);
+        } else {
+          stage.new_positions.push_back(pos);
+          stage.new_vars.push_back(vars[pos]);
+        }
+      }
+      for (const Tuple& binding : bindings_[idx]) {
+        Tuple key;
+        key.reserve(stage.key_positions.size());
+        for (size_t pos : stage.key_positions) {
+          key.push_back(binding[pos]);
+        }
+        stage.index[key].push_back(&binding);
+      }
+      bound_so_far = bound_so_far.Union(vars);
+      stages_.push_back(std::move(stage));
+    }
+    assignment_.assign(query.variables().size(), 0);
+  }
+
+  /// Runs the backtracking join; `on_result` returns false to stop.
+  void Run(const std::function<bool(const std::vector<Value>&)>& on_result) {
+    on_result_ = &on_result;
+    stopped_ = false;
+    Recurse(0);
+    on_result_ = nullptr;
+  }
+
+ private:
+  void Recurse(size_t depth) {
+    if (stopped_) {
+      return;
+    }
+    if (depth == stages_.size()) {
+      // Report values of AllVars() in ascending VarId order.
+      result_buffer_.clear();
+      for (VarId v : query_.AllVars()) {
+        result_buffer_.push_back(assignment_[v]);
+      }
+      if (!(*on_result_)(result_buffer_)) {
+        stopped_ = true;
+      }
+      return;
+    }
+    JoinStage& stage = stages_[depth];
+    Tuple key;
+    key.reserve(stage.key_positions.size());
+    const VarSet& vars = stage.atom->vars();
+    for (size_t pos : stage.key_positions) {
+      key.push_back(assignment_[vars[pos]]);
+    }
+    auto it = stage.index.find(key);
+    if (it == stage.index.end()) {
+      return;
+    }
+    for (const Tuple* binding : it->second) {
+      for (size_t i = 0; i < stage.new_positions.size(); ++i) {
+        assignment_[stage.new_vars[i]] = (*binding)[stage.new_positions[i]];
+      }
+      Recurse(depth + 1);
+      if (stopped_) {
+        return;
+      }
+    }
+  }
+
+  const ConjunctiveQuery& query_;
+  std::vector<std::vector<Tuple>> bindings_;  // Keyed by atom index.
+  std::vector<JoinStage> stages_;
+  std::vector<Value> assignment_;  // Keyed by VarId.
+  std::vector<Value> result_buffer_;
+  const std::function<bool(const std::vector<Value>&)>* on_result_ = nullptr;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+uint64_t BagSetCount(const ConjunctiveQuery& query, const Database& db) {
+  uint64_t count = 0;
+  JoinEvaluator evaluator(query, db);
+  evaluator.Run([&count](const std::vector<Value>&) {
+    count = SatAddU64(count, 1);
+    return true;
+  });
+  return count;
+}
+
+bool EvaluateBoolean(const ConjunctiveQuery& query, const Database& db) {
+  bool satisfied = false;
+  JoinEvaluator evaluator(query, db);
+  evaluator.Run([&satisfied](const std::vector<Value>&) {
+    satisfied = true;
+    return false;  // Early exit on the first witness.
+  });
+  return satisfied;
+}
+
+void EnumerateAssignments(
+    const ConjunctiveQuery& query, const Database& db,
+    const std::function<bool(const std::vector<Value>&)>& callback) {
+  JoinEvaluator evaluator(query, db);
+  evaluator.Run(callback);
+}
+
+}  // namespace hierarq

@@ -1,0 +1,40 @@
+#ifndef HIERARQ_ENGINE_JOIN_H_
+#define HIERARQ_ENGINE_JOIN_H_
+
+/// \file join.h
+/// \brief Bag-set-semantics evaluation of SJF-BCQs over set databases.
+///
+/// Q(D) under bag-set semantics is the number of distinct satisfying
+/// assignments of vars(Q) (paper §1). This engine computes it by
+/// backtracking over the atoms in a greedy join order with per-atom hash
+/// indexes on the already-bound variables. It works for *every* SJF-BCQ —
+/// hierarchical or not — and is hierarq's ground truth: the unified
+/// algorithm's counting instantiation, the brute-force oracles, and the
+/// Theorem 4.4 reduction all validate against it.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/value.h"
+#include "hierarq/query/query.h"
+
+namespace hierarq {
+
+/// Q(D): the number of satisfying assignments (saturating uint64).
+uint64_t BagSetCount(const ConjunctiveQuery& query, const Database& db);
+
+/// Set-semantics evaluation: true iff Q(D) > 0 (early-exit).
+bool EvaluateBoolean(const ConjunctiveQuery& query, const Database& db);
+
+/// Enumerates satisfying assignments. The callback receives the values of
+/// the query variables in ascending VarId order (i.e. `query.AllVars()`
+/// order) and returns true to continue, false to stop the enumeration.
+void EnumerateAssignments(
+    const ConjunctiveQuery& query, const Database& db,
+    const std::function<bool(const std::vector<Value>&)>& callback);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ENGINE_JOIN_H_

@@ -1,0 +1,170 @@
+#include "hierarq/engine/lineage.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/engine/join.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Conditions `tree` on leaf `symbol` := `value`, applying full Boolean
+/// simplification (annihilation included — sound here because the
+/// semantics is purely Boolean, not 2-monoid).
+ProvTreeRef Condition(const ProvTreeRef& tree, uint64_t symbol, bool value) {
+  switch (tree->kind()) {
+    case ProvTree::Kind::kTrue:
+    case ProvTree::Kind::kFalse:
+      return tree;
+    case ProvTree::Kind::kLeaf:
+      if (tree->symbol() == symbol) {
+        return value ? ProvTree::True() : ProvTree::False();
+      }
+      return tree;
+    case ProvTree::Kind::kOr: {
+      ProvTreeRef acc = ProvTree::False();
+      for (const ProvTreeRef& child : tree->children()) {
+        const ProvTreeRef conditioned = Condition(child, symbol, value);
+        if (conditioned->kind() == ProvTree::Kind::kTrue) {
+          return ProvTree::True();  // Annihilation for ∨.
+        }
+        acc = ProvTree::Or(acc, conditioned);
+      }
+      return acc;
+    }
+    case ProvTree::Kind::kAnd: {
+      ProvTreeRef acc = ProvTree::True();
+      for (const ProvTreeRef& child : tree->children()) {
+        const ProvTreeRef conditioned = Condition(child, symbol, value);
+        if (conditioned->kind() == ProvTree::Kind::kFalse) {
+          return ProvTree::False();  // Annihilation for ∧.
+        }
+        acc = ProvTree::And(acc, conditioned);
+      }
+      return acc;
+    }
+  }
+  return tree;
+}
+
+/// Most frequent leaf symbol (ties: smallest), or nullopt for constants.
+std::optional<uint64_t> PickBranchSymbol(const ProvTree& tree) {
+  std::map<uint64_t, size_t> frequency;
+  std::vector<const ProvTree*> stack = {&tree};
+  while (!stack.empty()) {
+    const ProvTree* node = stack.back();
+    stack.pop_back();
+    if (node->kind() == ProvTree::Kind::kLeaf) {
+      frequency[node->symbol()] += 1;
+    }
+    for (const ProvTreeRef& child : node->children()) {
+      stack.push_back(child.get());
+    }
+  }
+  if (frequency.empty()) {
+    return std::nullopt;
+  }
+  uint64_t best = frequency.begin()->first;
+  size_t best_count = frequency.begin()->second;
+  for (const auto& [symbol, count] : frequency) {
+    if (count > best_count) {
+      best = symbol;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ProvenanceResult> ComputeDnfLineage(const ConjunctiveQuery& query,
+                                           const Database& db) {
+  ProvenanceResult out;
+  std::unordered_map<Fact, uint64_t, FactHash> symbol_of;
+
+  auto symbol_for = [&](Fact fact) {
+    auto it = symbol_of.find(fact);
+    if (it != symbol_of.end()) {
+      return it->second;
+    }
+    const uint64_t symbol = out.facts.size();
+    out.facts.push_back(fact);
+    symbol_of.emplace(std::move(fact), symbol);
+    return symbol;
+  };
+
+  ProvTreeRef dnf = ProvTree::False();
+  // Assignment values arrive in ascending-VarId order; map them back.
+  const VarSet& all_vars = query.AllVars();
+  EnumerateAssignments(
+      query, db, [&](const std::vector<Value>& row) {
+        ProvTreeRef clause = ProvTree::True();
+        for (const Atom& atom : query.atoms()) {
+          Tuple tuple;
+          tuple.reserve(atom.arity());
+          for (const Term& term : atom.terms()) {
+            if (term.is_constant()) {
+              tuple.push_back(term.constant());
+            } else {
+              // Index of the variable within AllVars order.
+              size_t index = 0;
+              while (all_vars[index] != term.var()) {
+                ++index;
+              }
+              tuple.push_back(row[index]);
+            }
+          }
+          clause = ProvTree::And(
+              clause, ProvTree::Leaf(symbol_for(Fact{atom.relation(),
+                                                     std::move(tuple)})));
+        }
+        dnf = ProvTree::Or(dnf, clause);
+        return true;
+      });
+  out.tree = std::move(dnf);
+  return out;
+}
+
+double TreeProbabilityShannon(
+    const ProvTreeRef& tree,
+    const std::function<double(uint64_t)>& probability) {
+  HIERARQ_CHECK_LE(tree->Support().size(), 30u)
+      << "Shannon expansion support too large";
+  // Recursive expansion; simplification after each conditioning step keeps
+  // the branches shrinking.
+  auto recurse = [&probability](auto&& self,
+                                const ProvTreeRef& node) -> double {
+    if (node->kind() == ProvTree::Kind::kTrue) {
+      return 1.0;
+    }
+    if (node->kind() == ProvTree::Kind::kFalse) {
+      return 0.0;
+    }
+    const auto branch = PickBranchSymbol(*node);
+    HIERARQ_CHECK(branch.has_value());
+    const double p = probability(*branch);
+    double total = 0.0;
+    if (p > 0.0) {
+      total += p * self(self, Condition(node, *branch, true));
+    }
+    if (p < 1.0) {
+      total += (1.0 - p) * self(self, Condition(node, *branch, false));
+    }
+    return total;
+  };
+  return recurse(recurse, tree);
+}
+
+Result<double> EvaluateProbabilityExhaustive(const ConjunctiveQuery& query,
+                                             const TidDatabase& db) {
+  HIERARQ_ASSIGN_OR_RETURN(ProvenanceResult lineage,
+                           ComputeDnfLineage(query, db.facts()));
+  return TreeProbabilityShannon(lineage.tree, [&](uint64_t symbol) {
+    return db.Probability(lineage.facts[symbol]);
+  });
+}
+
+}  // namespace hierarq

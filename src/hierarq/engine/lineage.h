@@ -1,0 +1,58 @@
+#ifndef HIERARQ_ENGINE_LINEAGE_H_
+#define HIERARQ_ENGINE_LINEAGE_H_
+
+/// \file lineage.h
+/// \brief DNF lineage and Shannon-expansion PQE for arbitrary SJF-BCQs.
+///
+/// On the intractable side of the dichotomy (non-hierarchical queries,
+/// #P-hard by Dalvi–Suciu), practical systems fall back to *lineage*: the
+/// query's Boolean provenance as a DNF over facts — one disjunct per
+/// satisfying assignment — evaluated exactly by Shannon expansion
+/// (condition on a fact, recurse on both branches). Worst-case exponential
+/// in the lineage's fact count, but exact and often fast.
+///
+/// hierarq includes this fallback for three reasons:
+///  * completeness: `EvaluateProbabilityExhaustive` answers PQE for *any*
+///    SJF-BCQ on instances whose lineage support is small;
+///  * validation: for hierarchical queries its output must equal the
+///    unified algorithm's (tests do exactly this cross-check);
+///  * contrast: unlike Algorithm 1's provenance trees (read-once by
+///    Lemma 6.3), DNF lineage of a non-hierarchical query repeats facts —
+///    which is precisely why independent-events evaluation fails and
+///    exponential Shannon expansion becomes necessary.
+
+#include <functional>
+
+#include "hierarq/algebra/provenance.h"
+#include "hierarq/core/provenance_pipeline.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Builds the DNF lineage of Q over `db` via the join engine: an ∨ of one
+/// ∧-clause per satisfying assignment. Works for every SJF-BCQ. The
+/// returned tree is generally NOT decomposable (facts repeat across
+/// clauses) — check `tree->IsDecomposable()` to see whether the instance
+/// happens to be read-once.
+Result<ProvenanceResult> ComputeDnfLineage(const ConjunctiveQuery& query,
+                                           const Database& db);
+
+/// Exact probability that the Boolean formula of `tree` is true, where
+/// leaf s holds independently with probability `probability(s)`. Shannon
+/// expansion on the most frequent fact; exponential worst case. CHECKs
+/// that the support has at most 30 facts.
+double TreeProbabilityShannon(
+    const ProvTreeRef& tree,
+    const std::function<double(uint64_t)>& probability);
+
+/// PQE for an arbitrary SJF-BCQ: DNF lineage + Shannon expansion.
+/// Exact; exponential worst case (use `EvaluateProbability` for
+/// hierarchical queries — it is linear-time and agrees, see tests).
+Result<double> EvaluateProbabilityExhaustive(const ConjunctiveQuery& query,
+                                             const TidDatabase& db);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_ENGINE_LINEAGE_H_

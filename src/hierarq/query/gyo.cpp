@@ -1,0 +1,88 @@
+#include "hierarq/query/gyo.h"
+
+#include <map>
+#include <vector>
+
+#include "hierarq/query/hierarchical.h"
+
+namespace hierarq {
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kHierarchical:
+      return "hierarchical";
+    case QueryClass::kAcyclicOnly:
+      return "acyclic-only";
+    case QueryClass::kCyclic:
+      return "cyclic";
+  }
+  return "?";
+}
+
+bool IsAcyclic(const ConjunctiveQuery& query) {
+  // GYO ear removal on variable sets:
+  //   Rule 1: drop a variable occurring in exactly one atom;
+  //   Rule 2 (relaxed): absorb atom X into atom Y when vars(X) ⊆ vars(Y).
+  // The query is acyclic iff this reduces to a single empty atom.
+  std::vector<VarSet> live;
+  for (const Atom& atom : query.atoms()) {
+    live.push_back(atom.vars());
+  }
+
+  bool changed = true;
+  while (changed && live.size() > 1) {
+    changed = false;
+
+    // Rule 2 (absorption). Run it before Rule 1 — it strictly shrinks the
+    // atom count and keeps the occurrence map small.
+    for (size_t i = 0; i < live.size() && !changed; ++i) {
+      for (size_t j = 0; j < live.size() && !changed; ++j) {
+        if (i != j && live[i].IsSubsetOf(live[j])) {
+          live.erase(live.begin() + static_cast<ptrdiff_t>(i));
+          changed = true;
+        }
+      }
+    }
+    if (changed) {
+      continue;
+    }
+
+    // Rule 1 (private variable removal).
+    std::map<VarId, size_t> occurrences;
+    for (const VarSet& vars : live) {
+      for (VarId v : vars) {
+        occurrences[v] += 1;
+      }
+    }
+    for (auto& vars : live) {
+      for (VarId v : vars) {
+        if (occurrences[v] == 1) {
+          vars.Erase(v);
+          changed = true;
+          break;
+        }
+      }
+      if (changed) {
+        break;
+      }
+    }
+  }
+
+  if (live.size() != 1) {
+    return false;
+  }
+  // A single atom is always acyclic: its private variables all drop.
+  return true;
+}
+
+QueryClass Classify(const ConjunctiveQuery& query) {
+  if (IsHierarchical(query)) {
+    return QueryClass::kHierarchical;
+  }
+  if (IsAcyclic(query)) {
+    return QueryClass::kAcyclicOnly;
+  }
+  return QueryClass::kCyclic;
+}
+
+}  // namespace hierarq

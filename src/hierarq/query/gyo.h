@@ -1,0 +1,38 @@
+#ifndef HIERARQ_QUERY_GYO_H_
+#define HIERARQ_QUERY_GYO_H_
+
+/// \file gyo.h
+/// \brief GYO ear-removal: acyclicity of conjunctive queries.
+///
+/// The paper (§5.1) contrasts its elimination procedure with GYO: GYO's
+/// Rule 2 is relaxed to absorb an atom R1(X) into any atom R2(Y) with
+/// X ⊆ Y. Hence hierarchical ⟹ acyclic but not conversely — e.g. the
+/// non-hierarchical path query Q() :- R(X), S(X,Y), T(Y) is acyclic. This
+/// module exists to (a) verify that strict inclusion experimentally and
+/// (b) explain the paper's remark that a *distributive* 2-monoid would let
+/// Algorithm 1 solve all acyclic queries, contradicting hardness — see the
+/// dichotomy tests.
+
+#include "hierarq/query/query.h"
+
+namespace hierarq {
+
+/// Classification of an SJF-BCQ, computed by RunGyo/IsHierarchical.
+enum class QueryClass {
+  kHierarchical,     ///< Hierarchical (hence also acyclic).
+  kAcyclicOnly,      ///< Acyclic but not hierarchical (e.g. path query).
+  kCyclic,           ///< Not even acyclic (e.g. triangle query).
+};
+
+const char* QueryClassName(QueryClass c);
+
+/// True iff the query hypergraph is (alpha-)acyclic, decided by GYO
+/// ear removal.
+bool IsAcyclic(const ConjunctiveQuery& query);
+
+/// Classifies the query (hierarchical / acyclic-only / cyclic).
+QueryClass Classify(const ConjunctiveQuery& query);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_QUERY_GYO_H_

@@ -1,0 +1,240 @@
+#include "hierarq/query/hierarchical.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+using Signature = std::vector<size_t>;  // Sorted atom indices.
+
+bool IsSubset(const Signature& a, const Signature& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+bool IsDisjoint(const Signature& a, const Signature& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      return false;
+    }
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HierarchyViolation::ToString(const ConjunctiveQuery& query) const {
+  const VariableTable& vars = query.variables();
+  return "variables " + vars.Name(a) + " and " + vars.Name(b) +
+         " violate the hierarchical property via atoms " +
+         query.atoms()[r_atom].ToString(vars) + ", " +
+         query.atoms()[s_atom].ToString(vars) + ", " +
+         query.atoms()[t_atom].ToString(vars);
+}
+
+std::optional<HierarchyViolation> FindHierarchyViolation(
+    const ConjunctiveQuery& query) {
+  const VarSet& all = query.AllVars();
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      const VarId x = all[i];
+      const VarId y = all[j];
+      const Signature& at_x = query.AtomsOf(x);
+      const Signature& at_y = query.AtomsOf(y);
+      if (IsSubset(at_x, at_y) || IsSubset(at_y, at_x) ||
+          IsDisjoint(at_x, at_y)) {
+        continue;
+      }
+      // Violation: extract witness atoms.
+      HierarchyViolation v;
+      v.a = x;
+      v.b = y;
+      // r: contains x, not y. s: contains both. t: contains y, not x.
+      for (size_t atom : at_x) {
+        if (!std::binary_search(at_y.begin(), at_y.end(), atom)) {
+          v.r_atom = atom;
+          break;
+        }
+      }
+      for (size_t atom : at_x) {
+        if (std::binary_search(at_y.begin(), at_y.end(), atom)) {
+          v.s_atom = atom;
+          break;
+        }
+      }
+      for (size_t atom : at_y) {
+        if (!std::binary_search(at_x.begin(), at_x.end(), atom)) {
+          v.t_atom = atom;
+          break;
+        }
+      }
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsHierarchical(const ConjunctiveQuery& query) {
+  return !FindHierarchyViolation(query).has_value();
+}
+
+size_t HierarchyForest::NodeOf(VarId v) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].var == v) {
+      return i;
+    }
+  }
+  HIERARQ_LOG(Fatal) << "variable " << v << " not in hierarchy forest";
+  return 0;
+}
+
+VarSet HierarchyForest::PathToRoot(size_t i) const {
+  VarSet out;
+  std::optional<size_t> cur = i;
+  while (cur.has_value()) {
+    out.Insert(nodes[*cur].var);
+    cur = nodes[*cur].parent;
+  }
+  return out;
+}
+
+std::string HierarchyForest::ToString(const VariableTable& vars) const {
+  std::string out;
+  // Depth-first rendering, one "var(children...)" clause per root.
+  auto render = [&](auto&& self, size_t node) -> std::string {
+    std::string s = vars.Name(nodes[node].var);
+    if (!nodes[node].children.empty()) {
+      s += "(";
+      for (size_t k = 0; k < nodes[node].children.size(); ++k) {
+        if (k > 0) {
+          s += " ";
+        }
+        s += self(self, nodes[node].children[k]);
+      }
+      s += ")";
+    }
+    return s;
+  };
+  for (size_t k = 0; k < roots.size(); ++k) {
+    if (k > 0) {
+      out += " | ";
+    }
+    out += render(render, roots[k]);
+  }
+  return out;
+}
+
+bool ForestRealizesQuery(const HierarchyForest& forest,
+                         const ConjunctiveQuery& query) {
+  for (const Atom& atom : query.atoms()) {
+    if (atom.vars().empty()) {
+      continue;  // Nullary/constant-only atoms impose no tree constraint.
+    }
+    bool found = false;
+    for (size_t i = 0; i < forest.nodes.size() && !found; ++i) {
+      found = forest.PathToRoot(i) == atom.vars();
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<HierarchyForest> BuildHierarchyForest(const ConjunctiveQuery& query) {
+  if (auto violation = FindHierarchyViolation(query)) {
+    return Status::NotHierarchical(violation->ToString(query));
+  }
+
+  // Group variables by their at(X) signature. std::map gives deterministic
+  // iteration order.
+  std::map<Signature, std::vector<VarId>> groups;
+  for (VarId v : query.AllVars()) {
+    groups[query.AtomsOf(v)].push_back(v);
+  }
+
+  HierarchyForest forest;
+  std::unordered_map<VarId, size_t> node_of;
+
+  // For each group: find the parent group = minimal strict superset
+  // signature. For hierarchical queries all strict supersets are nested, so
+  // "minimal size" identifies it uniquely.
+  struct GroupInfo {
+    const Signature* sig;
+    const std::vector<VarId>* vars;
+    const Signature* parent_sig = nullptr;
+  };
+  std::vector<GroupInfo> infos;
+  for (const auto& [sig, vars] : groups) {
+    GroupInfo info;
+    info.sig = &sig;
+    info.vars = &vars;
+    for (const auto& [other_sig, other_vars] : groups) {
+      if (other_sig.size() > sig.size() && IsSubset(sig, other_sig)) {
+        if (info.parent_sig == nullptr ||
+            other_sig.size() < info.parent_sig->size()) {
+          info.parent_sig = &other_sig;
+        }
+      }
+    }
+    infos.push_back(info);
+  }
+
+  // Create chains for groups in order of decreasing signature size so that
+  // parents exist before children. (Equal sizes cannot be ancestors of one
+  // another.)
+  std::sort(infos.begin(), infos.end(),
+            [](const GroupInfo& a, const GroupInfo& b) {
+              if (a.sig->size() != b.sig->size()) {
+                return a.sig->size() > b.sig->size();
+              }
+              return *a.sig < *b.sig;
+            });
+
+  // Bottom (deepest) node of each realized group, keyed by signature.
+  std::map<Signature, size_t> bottom_of;
+
+  for (const GroupInfo& info : infos) {
+    std::vector<VarId> chain = *info.vars;
+    std::sort(chain.begin(), chain.end());
+    std::optional<size_t> parent;
+    if (info.parent_sig != nullptr) {
+      auto it = bottom_of.find(*info.parent_sig);
+      HIERARQ_CHECK(it != bottom_of.end())
+          << "parent group not yet realized (internal ordering bug)";
+      parent = it->second;
+    }
+    for (VarId v : chain) {
+      HierarchyNode node;
+      node.var = v;
+      node.parent = parent;
+      const size_t index = forest.nodes.size();
+      forest.nodes.push_back(node);
+      node_of[v] = index;
+      if (parent.has_value()) {
+        forest.nodes[*parent].children.push_back(index);
+      } else if (v == chain.front()) {
+        forest.roots.push_back(index);
+      }
+      parent = index;
+    }
+    bottom_of[*info.sig] = *parent;
+  }
+
+  HIERARQ_CHECK(ForestRealizesQuery(forest, query))
+      << "constructed hierarchy forest does not realize " << query.ToString();
+  return forest;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,86 @@
+#ifndef HIERARQ_QUERY_HIERARCHICAL_H_
+#define HIERARQ_QUERY_HIERARCHICAL_H_
+
+/// \file hierarchical.h
+/// \brief The hierarchical property of SJF-BCQs (paper §1, §5.1).
+///
+/// A query Q is hierarchical iff for every pair of variables X, Y one of
+/// `at(X) ⊆ at(Y)`, `at(Y) ⊆ at(X)`, `at(X) ∩ at(Y) = ∅` holds, where
+/// `at(Z)` is the set of atoms containing Z. This file implements:
+///  * the direct pairwise test,
+///  * extraction of a *violation witness* — the variables A, B and atoms
+///    R(A,..), S(A,B,..), T(B,..) used both by tests and by the Theorem 4.4
+///    hardness reduction, which needs exactly this shape, and
+///  * hierarchy trees (Proposition 5.5): for each connected component a
+///    rooted tree on its variables such that every atom's variable set is a
+///    root-to-node path.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hierarq/query/query.h"
+
+namespace hierarq {
+
+/// Witness that a query is not hierarchical: variables `a`, `b` and atom
+/// indices such that a ∈ r_atom ∩ s_atom \ t_atom and
+/// b ∈ s_atom ∩ t_atom \ r_atom.
+struct HierarchyViolation {
+  VarId a = 0;
+  VarId b = 0;
+  size_t r_atom = 0;  ///< Contains a, not b.
+  size_t s_atom = 0;  ///< Contains both a and b.
+  size_t t_atom = 0;  ///< Contains b, not a.
+
+  std::string ToString(const ConjunctiveQuery& query) const;
+};
+
+/// Direct pairwise test of the hierarchical property; O(|vars|^2 · |atoms|).
+bool IsHierarchical(const ConjunctiveQuery& query);
+
+/// Returns a violation witness, or nullopt when the query is hierarchical.
+std::optional<HierarchyViolation> FindHierarchyViolation(
+    const ConjunctiveQuery& query);
+
+/// One node of a hierarchy tree.
+struct HierarchyNode {
+  VarId var;
+  std::optional<size_t> parent;   ///< Index into HierarchyForest::nodes.
+  std::vector<size_t> children;   ///< Indices into HierarchyForest::nodes.
+};
+
+/// Rooted forest on vars(Q) per Proposition 5.5: one tree per connected
+/// component with at least one variable. (Components without variables —
+/// nullary atoms — contribute no tree.)
+struct HierarchyForest {
+  std::vector<HierarchyNode> nodes;
+  std::vector<size_t> roots;  ///< Node indices of the tree roots.
+
+  /// Node index of `v`. Precondition: v occurs in the query.
+  size_t NodeOf(VarId v) const;
+
+  /// The variable set along the path from node `i` to its root (inclusive).
+  VarSet PathToRoot(size_t i) const;
+
+  std::string ToString(const VariableTable& vars) const;
+};
+
+/// Builds the hierarchy forest. Fails with kNotHierarchical when the query
+/// is not hierarchical (Proposition 5.5 guarantees existence exactly then).
+///
+/// Construction: for a hierarchical query, `at(X)` sets that intersect are
+/// nested, so ordering variables by decreasing |at(X)| (chaining equal
+/// signatures arbitrarily-but-deterministically) yields the parent relation
+/// "smallest strict superset signature".
+Result<HierarchyForest> BuildHierarchyForest(const ConjunctiveQuery& query);
+
+/// Checks the Proposition 5.5 property for a given forest: every atom's
+/// variable set equals PathToRoot(node) for some node. Used by tests and
+/// by BuildHierarchyForest's internal self-check.
+bool ForestRealizesQuery(const HierarchyForest& forest,
+                         const ConjunctiveQuery& query);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_QUERY_HIERARCHICAL_H_

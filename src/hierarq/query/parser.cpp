@@ -1,0 +1,95 @@
+#include "hierarq/query/parser.h"
+
+#include <string>
+#include <vector>
+
+#include "hierarq/util/logging.h"
+#include "hierarq/util/strings.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Parses "R(A,B,3)" into an Atom, interning variables into `vars`.
+Result<Atom> ParseAtom(std::string_view text, VariableTable& vars) {
+  text = TrimView(text);
+  const size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return Status::ParseError("malformed atom: '" + std::string(text) + "'");
+  }
+  const std::string relation = Trim(text.substr(0, open));
+  if (!IsIdentifier(relation)) {
+    return Status::ParseError("invalid relation name: '" + relation + "'");
+  }
+  const std::string_view body = text.substr(open + 1,
+                                            text.size() - open - 2);
+  std::vector<Term> terms;
+  if (!TrimView(body).empty()) {
+    for (const std::string& piece : SplitTopLevel(body, ',')) {
+      if (piece.empty()) {
+        return Status::ParseError("empty term in atom '" +
+                                  std::string(text) + "'");
+      }
+      if (LooksLikeVariable(piece)) {
+        terms.push_back(Term::Var(vars.Intern(piece)));
+      } else {
+        HIERARQ_ASSIGN_OR_RETURN(int64_t value, ParseInt64(piece));
+        terms.push_back(Term::Const(value));
+      }
+    }
+  }
+  return Atom(relation, std::move(terms));
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  std::string_view body = TrimView(text);
+  // Strip an optional trailing period.
+  if (!body.empty() && body.back() == '.') {
+    body.remove_suffix(1);
+    body = TrimView(body);
+  }
+  // Strip an optional "Q() :-" head.
+  const size_t turnstile = body.find(":-");
+  if (turnstile != std::string_view::npos) {
+    const std::string_view head = TrimView(body.substr(0, turnstile));
+    if (!head.empty()) {
+      // Validate the head shape "ident()".
+      const size_t open = head.find('(');
+      if (open == std::string_view::npos || head.back() != ')' ||
+          !TrimView(head.substr(open + 1, head.size() - open - 2)).empty()) {
+        return Status::ParseError(
+            "query head must be a nullary atom like 'Q()', got: '" +
+            std::string(head) + "'");
+      }
+      if (!IsIdentifier(Trim(head.substr(0, open)))) {
+        return Status::ParseError("invalid head predicate name");
+      }
+    }
+    body = TrimView(body.substr(turnstile + 2));
+  }
+  if (body.empty()) {
+    return Status::ParseError("query has no atoms");
+  }
+
+  VariableTable vars;
+  std::vector<Atom> atoms;
+  for (const std::string& piece : SplitTopLevel(body, ',')) {
+    if (piece.empty()) {
+      return Status::ParseError("empty atom in query body");
+    }
+    HIERARQ_ASSIGN_OR_RETURN(Atom atom, ParseAtom(piece, vars));
+    atoms.push_back(std::move(atom));
+  }
+  return ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+}
+
+ConjunctiveQuery ParseQueryOrDie(std::string_view text) {
+  Result<ConjunctiveQuery> result = ParseQuery(text);
+  HIERARQ_CHECK(result.ok()) << "ParseQueryOrDie(\"" << std::string(text)
+                             << "\"): " << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace hierarq

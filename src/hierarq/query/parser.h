@@ -1,0 +1,36 @@
+#ifndef HIERARQ_QUERY_PARSER_H_
+#define HIERARQ_QUERY_PARSER_H_
+
+/// \file parser.h
+/// \brief Datalog-style text syntax for SJF-BCQs.
+///
+/// Grammar (whitespace-insensitive):
+///
+///   query  := [ head ":-" ] atoms [ "." ]
+///   head   := ident "(" ")"
+///   atoms  := atom { "," atom }
+///   atom   := ident "(" [ term { "," term } ] ")"
+///   term   := VARIABLE | INTEGER
+///
+/// Identifiers starting with an uppercase letter are variables; integer
+/// literals are constants. Example: "Q() :- R(A,B), S(A,C), T(A,C,D)."
+/// is the paper's running query, Eq. (1).
+
+#include <string_view>
+
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Parses a query. Fails with kParseError on malformed input and with
+/// kInvalidArgument when the query is not self-join-free.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+/// Parses a query and aborts on failure; for tests and examples with
+/// string literals that are known to be valid.
+ConjunctiveQuery ParseQueryOrDie(std::string_view text);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_QUERY_PARSER_H_

@@ -1,0 +1,163 @@
+#include "hierarq/query/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+VarId VariableTable::Intern(const std::string& name) {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<VarId>(i);
+    }
+  }
+  names_.push_back(name);
+  return static_cast<VarId>(names_.size() - 1);
+}
+
+std::optional<VarId> VariableTable::Find(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return static_cast<VarId>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+const std::string& VariableTable::Name(VarId id) const {
+  HIERARQ_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+Atom::Atom(std::string relation, std::vector<Term> terms)
+    : relation_(std::move(relation)), terms_(std::move(terms)) {
+  for (const Term& t : terms_) {
+    if (t.is_variable()) {
+      vars_.Insert(t.var());
+    } else {
+      has_constants_ = true;
+    }
+  }
+}
+
+std::vector<size_t> Atom::PositionsOf(VarId v) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i].is_variable() && terms_[i].var() == v) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::string Atom::ToString(const VariableTable& vars) const {
+  std::string out = relation_ + "(";
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    if (terms_[i].is_variable()) {
+      out += vars.Name(terms_[i].var());
+    } else {
+      out += std::to_string(terms_[i].constant());
+    }
+  }
+  out += ")";
+  return out;
+}
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Create(std::vector<Atom> atoms,
+                                                  VariableTable variables) {
+  std::unordered_set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    if (!seen.insert(atom.relation()).second) {
+      return Status::InvalidArgument(
+          "query is not self-join-free: relation '" + atom.relation() +
+          "' appears in two atoms");
+    }
+  }
+  ConjunctiveQuery query;
+  query.atoms_ = std::move(atoms);
+  query.variables_ = std::move(variables);
+  query.atoms_of_.assign(query.variables_.size(), {});
+  for (size_t i = 0; i < query.atoms_.size(); ++i) {
+    for (VarId v : query.atoms_[i].vars()) {
+      query.all_vars_.Insert(v);
+      HIERARQ_CHECK_LT(v, query.atoms_of_.size())
+          << "atom references a variable missing from the VariableTable";
+      query.atoms_of_[v].push_back(i);
+    }
+  }
+  return query;
+}
+
+const std::vector<size_t>& ConjunctiveQuery::AtomsOf(VarId v) const {
+  HIERARQ_CHECK_LT(v, atoms_of_.size());
+  return atoms_of_[v];
+}
+
+std::optional<size_t> ConjunctiveQuery::AtomIndexOf(
+    const std::string& name) const {
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (atoms_[i].relation() == name) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<size_t>> ConjunctiveQuery::ConnectedComponents()
+    const {
+  // Union-find over atom indices, uniting atoms that share a variable.
+  std::vector<size_t> parent(atoms_.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    parent[i] = i;
+  }
+  auto find = [&parent](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  auto unite = [&](size_t a, size_t b) { parent[find(a)] = find(b); };
+
+  for (const auto& owners : atoms_of_) {
+    for (size_t i = 1; i < owners.size(); ++i) {
+      unite(owners[0], owners[i]);
+    }
+  }
+
+  std::unordered_map<size_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    groups[find(i)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(groups.size());
+  // Deterministic order: by smallest atom index in the component.
+  std::vector<size_t> roots;
+  for (const auto& [root, members] : groups) {
+    roots.push_back(members.front());
+  }
+  std::sort(roots.begin(), roots.end());
+  for (size_t head : roots) {
+    out.push_back(groups[find(head)]);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Q() :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += atoms_[i].ToString(variables_);
+  }
+  return out;
+}
+
+}  // namespace hierarq

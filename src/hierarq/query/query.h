@@ -1,0 +1,132 @@
+#ifndef HIERARQ_QUERY_QUERY_H_
+#define HIERARQ_QUERY_QUERY_H_
+
+/// \file query.h
+/// \brief Self-join-free Boolean conjunctive queries (SJF-BCQs), paper §3.
+///
+/// A query is a set of atoms `R(t1, ..., tk)` whose terms are variables or
+/// constants. The paper's development is variable-only; constants are a
+/// convenience extension (they act as selections when a database is
+/// annotated) and do not participate in the hierarchical property.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hierarq/query/var_set.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Interns variable names to dense VarIds, per query.
+class VariableTable {
+ public:
+  /// Returns the id of `name`, interning it on first sight.
+  VarId Intern(const std::string& name);
+  /// Returns the id of `name` if known.
+  std::optional<VarId> Find(const std::string& name) const;
+  /// Returns the name of `id`. Precondition: id was interned.
+  const std::string& Name(VarId id) const;
+  /// Number of interned variables.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// One term of an atom: a variable or an integer constant.
+class Term {
+ public:
+  static Term Var(VarId id) { return Term(true, static_cast<int64_t>(id)); }
+  static Term Const(int64_t value) { return Term(false, value); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+  VarId var() const { return static_cast<VarId>(payload_); }
+  int64_t constant() const { return payload_; }
+
+  bool operator==(const Term& other) const {
+    return is_variable_ == other.is_variable_ && payload_ == other.payload_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+ private:
+  Term(bool is_variable, int64_t payload)
+      : is_variable_(is_variable), payload_(payload) {}
+
+  bool is_variable_;
+  int64_t payload_;
+};
+
+/// An atom R(t1, ..., tk). Terms are ordered (positional schema); `vars()`
+/// is the *set* of variables, which is what all hierarchical-query theory
+/// operates on.
+class Atom {
+ public:
+  Atom(std::string relation, std::vector<Term> terms);
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<Term>& terms() const { return terms_; }
+  size_t arity() const { return terms_.size(); }
+  const VarSet& vars() const { return vars_; }
+  bool HasConstants() const { return has_constants_; }
+
+  /// Positions (0-based) where `v` occurs.
+  std::vector<size_t> PositionsOf(VarId v) const;
+
+  std::string ToString(const VariableTable& vars) const;
+
+ private:
+  std::string relation_;
+  std::vector<Term> terms_;
+  VarSet vars_;
+  bool has_constants_ = false;
+};
+
+/// A self-join-free Boolean conjunctive query (paper Eq. (12)).
+///
+/// Invariants (validated by `Validate()` / the builder): all atoms carry
+/// distinct relation symbols (self-join-freeness).
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+
+  /// Builds a query; fails if two atoms share a relation symbol.
+  static Result<ConjunctiveQuery> Create(std::vector<Atom> atoms,
+                                         VariableTable variables);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const VariableTable& variables() const { return variables_; }
+
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// vars(Q): the set of all variables in the query.
+  const VarSet& AllVars() const { return all_vars_; }
+
+  /// at(Y): indices (into atoms()) of the atoms containing variable `v`.
+  const std::vector<size_t>& AtomsOf(VarId v) const;
+
+  /// Index of the atom with relation `name`, if any.
+  std::optional<size_t> AtomIndexOf(const std::string& name) const;
+
+  /// Partition of atom indices into connected components (atoms connected
+  /// iff they transitively share variables; paper §5.1).
+  std::vector<std::vector<size_t>> ConnectedComponents() const;
+
+  /// True iff every pair of atoms is connected.
+  bool IsConnected() const { return ConnectedComponents().size() <= 1; }
+
+  /// Renders "Q() :- R(A,B), S(A,C)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;
+  VariableTable variables_;
+  VarSet all_vars_;
+  std::vector<std::vector<size_t>> atoms_of_;  // Indexed by VarId.
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_QUERY_QUERY_H_

@@ -1,0 +1,180 @@
+#ifndef HIERARQ_QUERY_VAR_SET_H_
+#define HIERARQ_QUERY_VAR_SET_H_
+
+/// \file var_set.h
+/// \brief Variable identifiers and sets of variables.
+///
+/// Variables are interned per-query into dense `VarId`s (see
+/// VariableTable in query.h). A `VarSet` is a sorted, duplicate-free set of
+/// `VarId`s with the set algebra the hierarchical-query machinery needs:
+/// the hierarchical property is literally defined through subset /
+/// disjointness tests on `at(X)`-style sets (paper §1), and the elimination
+/// procedure of Proposition 5.1 manipulates atom variable-sets.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "hierarq/util/hash.h"
+#include "hierarq/util/inlined_vector.h"
+
+namespace hierarq {
+
+/// Dense per-query variable identifier.
+using VarId = uint32_t;
+
+/// A sorted set of variable ids (small-buffer optimized: query arities are
+/// small constants).
+class VarSet {
+ public:
+  using Storage = InlinedVector<VarId, 8>;
+  using const_iterator = Storage::const_iterator;
+
+  VarSet() = default;
+  VarSet(std::initializer_list<VarId> init) {
+    for (VarId v : init) {
+      Insert(v);
+    }
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+  VarId operator[](size_t i) const { return items_[i]; }
+
+  /// Inserts `v`; no-op if already present. Returns true if inserted.
+  bool Insert(VarId v) {
+    size_t pos = LowerBound(v);
+    if (pos < items_.size() && items_[pos] == v) {
+      return false;
+    }
+    items_.push_back(v);  // Grow, then shift into place.
+    for (size_t i = items_.size() - 1; i > pos; --i) {
+      items_[i] = items_[i - 1];
+    }
+    items_[pos] = v;
+    return true;
+  }
+
+  /// Removes `v` if present. Returns true if removed.
+  bool Erase(VarId v) {
+    size_t pos = LowerBound(v);
+    if (pos >= items_.size() || items_[pos] != v) {
+      return false;
+    }
+    items_.erase_at(pos);
+    return true;
+  }
+
+  bool Contains(VarId v) const {
+    size_t pos = LowerBound(v);
+    return pos < items_.size() && items_[pos] == v;
+  }
+
+  /// True iff every element of *this is in `other`.
+  bool IsSubsetOf(const VarSet& other) const {
+    if (size() > other.size()) {
+      return false;
+    }
+    size_t j = 0;
+    for (VarId v : items_) {
+      while (j < other.size() && other[j] < v) {
+        ++j;
+      }
+      if (j == other.size() || other[j] != v) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool IsDisjointFrom(const VarSet& other) const {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < size() && j < other.size()) {
+      if (items_[i] == other[j]) {
+        return false;
+      }
+      if (items_[i] < other[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return true;
+  }
+
+  VarSet Union(const VarSet& other) const {
+    VarSet out = *this;
+    for (VarId v : other) {
+      out.Insert(v);
+    }
+    return out;
+  }
+
+  VarSet Intersect(const VarSet& other) const {
+    VarSet out;
+    for (VarId v : items_) {
+      if (other.Contains(v)) {
+        out.items_.push_back(v);  // Already sorted: we iterate in order.
+      }
+    }
+    return out;
+  }
+
+  VarSet Minus(const VarSet& other) const {
+    VarSet out;
+    for (VarId v : items_) {
+      if (!other.Contains(v)) {
+        out.items_.push_back(v);
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const VarSet& other) const { return items_ == other.items_; }
+  bool operator!=(const VarSet& other) const { return items_ != other.items_; }
+  /// Lexicographic; lets VarSet key ordered containers.
+  bool operator<(const VarSet& other) const { return items_ < other.items_; }
+
+  /// Renders as "{X0,X3}" using raw ids (names live in VariableTable).
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += std::to_string(items_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  size_t LowerBound(VarId v) const {
+    size_t lo = 0;
+    size_t hi = items_.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (items_[mid] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  Storage items_;
+};
+
+struct VarSetHash {
+  size_t operator()(const VarSet& s) const {
+    return static_cast<size_t>(HashRange(s.begin(), s.end()));
+  }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_QUERY_VAR_SET_H_

@@ -1,0 +1,120 @@
+#include "hierarq/reductions/bagset_reduction.h"
+
+#include "hierarq/engine/join.h"
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+Result<BagSetMaxDecisionInstance> ReduceBcbsToBagSetMax(
+    const ConjunctiveQuery& query, const Graph& graph, size_t k) {
+  const auto violation = FindHierarchyViolation(query);
+  if (!violation.has_value()) {
+    return Status::InvalidArgument(
+        "the Theorem 4.4 reduction requires a non-hierarchical query");
+  }
+  for (const Atom& atom : query.atoms()) {
+    if (atom.HasConstants()) {
+      return Status::InvalidArgument(
+          "the reduction is defined for constant-free queries");
+    }
+  }
+
+  const VarId a_var = violation->a;
+  const VarId b_var = violation->b;
+  const size_t r_atom = violation->r_atom;
+  const size_t t_atom = violation->t_atom;
+  const size_t n = graph.NumVertices();
+  if (n == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  const Value fixed_vertex = 0;  // The arbitrary vertex `a` of the proof.
+
+  // Instantiates atom `atom` under the assignment A := va, B := vb, all
+  // other variables := fixed_vertex.
+  const auto instantiate = [&](const Atom& atom, Value va, Value vb) {
+    Tuple tuple;
+    tuple.reserve(atom.arity());
+    for (const Term& term : atom.terms()) {
+      const VarId v = term.var();
+      if (v == a_var) {
+        tuple.push_back(va);
+      } else if (v == b_var) {
+        tuple.push_back(vb);
+      } else {
+        tuple.push_back(fixed_vertex);
+      }
+    }
+    return tuple;
+  };
+
+  BagSetMaxDecisionInstance out;
+  out.budget = 2 * k;
+  out.target = static_cast<uint64_t>(k) * static_cast<uint64_t>(k);
+
+  // D: S-facts and P_i-facts for every edge-consistent assignment
+  // (both orientations of each undirected edge).
+  for (const auto& [u, v] : graph.Edges()) {
+    for (const auto& [va, vb] : {std::pair<Value, Value>(u, v),
+                                 std::pair<Value, Value>(v, u)}) {
+      for (size_t i = 0; i < query.num_atoms(); ++i) {
+        if (i == r_atom || i == t_atom) {
+          continue;
+        }
+        HIERARQ_RETURN_NOT_OK(
+            out.d.AddFact(query.atoms()[i].relation(),
+                          instantiate(query.atoms()[i], va, vb))
+                .status());
+      }
+    }
+  }
+  // Ensure the R and T relations exist (empty) in D for clarity.
+
+  // Dr: all R-facts (choice of A) and all T-facts (choice of B).
+  for (size_t vertex = 0; vertex < n; ++vertex) {
+    HIERARQ_RETURN_NOT_OK(
+        out.repair
+            .AddFact(query.atoms()[r_atom].relation(),
+                     instantiate(query.atoms()[r_atom],
+                                 static_cast<Value>(vertex), fixed_vertex))
+            .status());
+    HIERARQ_RETURN_NOT_OK(
+        out.repair
+            .AddFact(query.atoms()[t_atom].relation(),
+                     instantiate(query.atoms()[t_atom], fixed_vertex,
+                                 static_cast<Value>(vertex)))
+            .status());
+  }
+  return out;
+}
+
+bool DecideBagSetMaxBruteForce(const ConjunctiveQuery& query,
+                               const BagSetMaxDecisionInstance& instance) {
+  std::vector<Fact> candidates;
+  for (const Fact& fact : instance.repair.AllFacts()) {
+    if (!instance.d.ContainsFact(fact)) {
+      candidates.push_back(fact);
+    }
+  }
+  HIERARQ_CHECK_LE(candidates.size(), 28u)
+      << "brute-force decision instance too large";
+
+  const uint64_t worlds = uint64_t{1} << candidates.size();
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    if (static_cast<size_t>(__builtin_popcountll(mask)) > instance.budget) {
+      continue;
+    }
+    Database repaired = instance.d;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if ((mask >> i) & 1) {
+        repaired.AddFactOrDie(candidates[i].relation, candidates[i].tuple);
+      }
+    }
+    if (BagSetCount(query, repaired) >= instance.target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,107 @@
+#include "hierarq/reductions/bcbs.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Calls `fn(subset)` for every k-subset of {0..n-1}; `fn` returns true to
+/// stop early. Returns whether the enumeration was stopped.
+bool ForEachSubset(size_t n, size_t k,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  if (k > n) {
+    return false;
+  }
+  std::vector<size_t> subset(k);
+  for (size_t i = 0; i < k; ++i) {
+    subset[i] = i;
+  }
+  while (true) {
+    if (fn(subset)) {
+      return true;
+    }
+    // Advance to the next combination.
+    size_t i = k;
+    while (i > 0) {
+      --i;
+      if (subset[i] != i + n - k) {
+        ++subset[i];
+        for (size_t j = i + 1; j < k; ++j) {
+          subset[j] = subset[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) {
+        return false;
+      }
+    }
+    if (k == 0) {
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+bool IsBiclique(const Graph& graph, const std::vector<size_t>& left,
+                const std::vector<size_t>& right) {
+  for (size_t u : left) {
+    for (size_t v : right) {
+      if (u == v || !graph.HasEdge(u, v)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<BicliqueWitness> FindBalancedBiclique(const Graph& graph,
+                                                    size_t k) {
+  if (k == 0) {
+    return BicliqueWitness{};  // Trivially present.
+  }
+  const size_t n = graph.NumVertices();
+  std::optional<BicliqueWitness> found;
+  ForEachSubset(n, k, [&](const std::vector<size_t>& left) {
+    // Common neighborhood of `left`. No self-loops, so members of `left`
+    // exclude themselves automatically.
+    std::vector<size_t> common;
+    for (size_t v = 0; v < n; ++v) {
+      bool adjacent_to_all = true;
+      for (size_t u : left) {
+        if (!graph.HasEdge(u, v) && u != v) {
+          adjacent_to_all = false;
+          break;
+        }
+        if (u == v) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      if (adjacent_to_all) {
+        common.push_back(v);
+      }
+    }
+    if (common.size() >= k) {
+      BicliqueWitness witness;
+      witness.left = left;
+      witness.right.assign(common.begin(), common.begin() +
+                                               static_cast<ptrdiff_t>(k));
+      HIERARQ_CHECK(IsBiclique(graph, witness.left, witness.right));
+      found = std::move(witness);
+      return true;
+    }
+    return false;
+  });
+  return found;
+}
+
+bool HasBalancedBiclique(const Graph& graph, size_t k) {
+  return FindBalancedBiclique(graph, k).has_value();
+}
+
+}  // namespace hierarq

@@ -1,0 +1,43 @@
+#ifndef HIERARQ_REDUCTIONS_BCBS_H_
+#define HIERARQ_REDUCTIONS_BCBS_H_
+
+/// \file bcbs.h
+/// \brief The Balanced Complete Bipartite Subgraph problem
+/// ([Garey & Johnson GT24]; "bipartite clique").
+///
+/// BCBS asks whether a graph contains a complete bipartite subgraph whose
+/// two (disjoint) parts each have size k. It is NP-complete and its
+/// natural parameterization by k is W[1]-hard [Lin'18] — the paper's
+/// Theorem 4.4 reduces it to Bag-Set Maximization Decision for every
+/// non-hierarchical SJF-BCQ.
+
+#include <optional>
+#include <vector>
+
+#include "hierarq/reductions/graph.h"
+
+namespace hierarq {
+
+/// A witness: two disjoint vertex sets fully connected across.
+struct BicliqueWitness {
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+};
+
+/// Exhaustive BCBS solver: enumerates k-subsets for the left part and
+/// checks the common neighborhood. O(C(n,k) · n · k) — the exponential
+/// baseline the W[1]-hardness predicts.
+std::optional<BicliqueWitness> FindBalancedBiclique(const Graph& graph,
+                                                    size_t k);
+
+/// Decision wrapper.
+bool HasBalancedBiclique(const Graph& graph, size_t k);
+
+/// Checks a claimed witness (used by tests and by the reduction
+/// round-trip).
+bool IsBiclique(const Graph& graph, const std::vector<size_t>& left,
+                const std::vector<size_t>& right);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_REDUCTIONS_BCBS_H_

@@ -1,0 +1,77 @@
+#include "hierarq/reductions/graph.h"
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+Graph::Graph(size_t num_vertices) : n_(num_vertices) {
+  adjacency_.assign(n_ * n_, false);
+}
+
+void Graph::AddEdge(size_t u, size_t v) {
+  HIERARQ_CHECK_LT(u, n_);
+  HIERARQ_CHECK_LT(v, n_);
+  HIERARQ_CHECK_NE(u, v) << "self-loops are not allowed";
+  if (adjacency_[Index(u, v)]) {
+    return;
+  }
+  adjacency_[Index(u, v)] = true;
+  adjacency_[Index(v, u)] = true;
+  ++num_edges_;
+}
+
+bool Graph::HasEdge(size_t u, size_t v) const {
+  HIERARQ_CHECK_LT(u, n_);
+  HIERARQ_CHECK_LT(v, n_);
+  return adjacency_[Index(u, v)];
+}
+
+std::vector<std::pair<size_t, size_t>> Graph::Edges() const {
+  std::vector<std::pair<size_t, size_t>> out;
+  out.reserve(num_edges_);
+  for (size_t u = 0; u < n_; ++u) {
+    for (size_t v = u + 1; v < n_; ++v) {
+      if (adjacency_[Index(u, v)]) {
+        out.emplace_back(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+Graph Graph::Complete(size_t n) {
+  Graph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph Graph::CompleteBipartite(size_t a, size_t b) {
+  Graph g(a + b);
+  for (size_t u = 0; u < a; ++u) {
+    for (size_t v = a; v < a + b; ++v) {
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+std::string Graph::ToString() const {
+  std::string out =
+      "Graph(n=" + std::to_string(n_) + ", m=" + std::to_string(num_edges_) +
+      ", edges={";
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{" + std::to_string(u) + "," + std::to_string(v) + "}";
+  }
+  return out + "})";
+}
+
+}  // namespace hierarq

@@ -1,0 +1,48 @@
+#ifndef HIERARQ_REDUCTIONS_GRAPH_H_
+#define HIERARQ_REDUCTIONS_GRAPH_H_
+
+/// \file graph.h
+/// \brief Simple undirected graphs (no self-loops) for the BCBS problem.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hierarq {
+
+class Graph {
+ public:
+  explicit Graph(size_t num_vertices);
+
+  size_t NumVertices() const { return n_; }
+  size_t NumEdges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}; self-loops are rejected with a CHECK
+  /// (the BCBS reduction requires a self-loop-free graph). Duplicate adds
+  /// are no-ops.
+  void AddEdge(size_t u, size_t v);
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  /// All edges as (u, v) pairs with u < v, in deterministic order.
+  std::vector<std::pair<size_t, size_t>> Edges() const;
+
+  /// The complete graph K_n.
+  static Graph Complete(size_t n);
+  /// The complete bipartite graph K_{a,b} (vertices 0..a-1 vs a..a+b-1).
+  static Graph CompleteBipartite(size_t a, size_t b);
+
+  std::string ToString() const;
+
+ private:
+  size_t Index(size_t u, size_t v) const { return u * n_ + v; }
+
+  size_t n_;
+  size_t num_edges_ = 0;
+  std::vector<bool> adjacency_;  // n × n matrix.
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_REDUCTIONS_GRAPH_H_

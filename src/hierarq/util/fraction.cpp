@@ -1,0 +1,155 @@
+#include "hierarq/util/fraction.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+Fraction::Fraction(BigInt numerator, BigInt denominator) {
+  HIERARQ_CHECK(!denominator.IsZero()) << "Fraction with zero denominator";
+  const bool negative =
+      numerator.IsNegative() != denominator.IsNegative() &&
+      !numerator.IsZero();
+  numerator_ = BigInt(numerator.Magnitude(), negative);
+  denominator_ = denominator.Magnitude();
+  Reduce();
+}
+
+Fraction Fraction::Of(int64_t num, int64_t den) {
+  return Fraction(BigInt(num), BigInt(den));
+}
+
+void Fraction::Reduce() {
+  if (numerator_.IsZero()) {
+    denominator_ = BigUint(1);
+    return;
+  }
+  const BigUint g = BigUint::Gcd(numerator_.Magnitude(), denominator_);
+  if (g == BigUint(1)) {
+    return;
+  }
+  // Exact division by the GCD via repeated small division is not available
+  // (no general long division), so divide via the identity
+  // a / g with binary GCD structure: we instead rebuild using DivModSmall
+  // when g fits a word, else strip common powers of two and fall back to
+  // word-chunked division.
+  auto divide_exact = [](const BigUint& value, const BigUint& divisor) {
+    // General exact division via schoolbook long division in base 2:
+    // O(bits^2 / 64) worst case, acceptable for Shapley coefficient sizes.
+    BigUint quotient;
+    BigUint remainder;
+    const size_t bits = value.BitLength();
+    for (size_t i = bits; i-- > 0;) {
+      remainder = remainder << 1;
+      if (((value >> i).Low64() & 1) != 0) {
+        remainder += BigUint(1);
+      }
+      quotient = quotient << 1;
+      if (remainder >= divisor) {
+        remainder -= divisor;
+        quotient += BigUint(1);
+      }
+    }
+    HIERARQ_CHECK(remainder.IsZero()) << "non-exact division during Reduce";
+    return quotient;
+  };
+  BigUint num_mag;
+  BigUint den_mag;
+  if (g.FitsUint64()) {
+    uint64_t rem = 0;
+    num_mag = numerator_.Magnitude().DivModSmall(g.Low64(), &rem);
+    HIERARQ_CHECK_EQ(rem, 0u);
+    den_mag = denominator_.DivModSmall(g.Low64(), &rem);
+    HIERARQ_CHECK_EQ(rem, 0u);
+  } else {
+    num_mag = divide_exact(numerator_.Magnitude(), g);
+    den_mag = divide_exact(denominator_, g);
+  }
+  numerator_ = BigInt(std::move(num_mag), numerator_.IsNegative());
+  denominator_ = std::move(den_mag);
+}
+
+Fraction Fraction::operator-() const {
+  Fraction out = *this;
+  out.numerator_ = -out.numerator_;
+  return out;
+}
+
+Fraction Fraction::operator+(const Fraction& other) const {
+  // a/b + c/d = (a*d + c*b) / (b*d), then reduce.
+  BigInt num = numerator_ * BigInt(other.denominator_) +
+               other.numerator_ * BigInt(denominator_);
+  BigInt den(denominator_ * other.denominator_);
+  return Fraction(std::move(num), std::move(den));
+}
+
+Fraction Fraction::operator-(const Fraction& other) const {
+  return *this + (-other);
+}
+
+Fraction Fraction::operator*(const Fraction& other) const {
+  BigInt num = numerator_ * other.numerator_;
+  BigInt den(denominator_ * other.denominator_);
+  return Fraction(std::move(num), std::move(den));
+}
+
+Fraction Fraction::operator/(const Fraction& other) const {
+  HIERARQ_CHECK(!other.IsZero()) << "Fraction division by zero";
+  BigInt num = numerator_ * BigInt(other.denominator_);
+  BigInt den = BigInt(denominator_) * other.numerator_;
+  return Fraction(std::move(num), std::move(den));
+}
+
+Fraction& Fraction::operator+=(const Fraction& other) {
+  *this = *this + other;
+  return *this;
+}
+Fraction& Fraction::operator-=(const Fraction& other) {
+  *this = *this - other;
+  return *this;
+}
+Fraction& Fraction::operator*=(const Fraction& other) {
+  *this = *this * other;
+  return *this;
+}
+Fraction& Fraction::operator/=(const Fraction& other) {
+  *this = *this / other;
+  return *this;
+}
+
+int Fraction::Compare(const Fraction& other) const {
+  // Cross-multiplied comparison avoids needing division.
+  const BigInt lhs = numerator_ * BigInt(other.denominator_);
+  const BigInt rhs = other.numerator_ * BigInt(denominator_);
+  return lhs.Compare(rhs);
+}
+
+std::string Fraction::ToString() const {
+  if (denominator_ == BigUint(1)) {
+    return numerator_.ToString();
+  }
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Fraction::ToDouble() const {
+  if (numerator_.IsZero()) {
+    return 0.0;
+  }
+  double num_mantissa = 0.0;
+  double den_mantissa = 0.0;
+  int64_t num_exp = 0;
+  int64_t den_exp = 0;
+  numerator_.Magnitude().Frexp(&num_mantissa, &num_exp);
+  denominator_.Frexp(&den_mantissa, &den_exp);
+  const double magnitude = std::ldexp(num_mantissa / den_mantissa,
+                                      static_cast<int>(num_exp - den_exp));
+  return numerator_.IsNegative() ? -magnitude : magnitude;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fraction& value) {
+  return os << value.ToString();
+}
+
+}  // namespace hierarq

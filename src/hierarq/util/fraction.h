@@ -1,0 +1,76 @@
+#ifndef HIERARQ_UTIL_FRACTION_H_
+#define HIERARQ_UTIL_FRACTION_H_
+
+/// \file fraction.h
+/// \brief Exact rational numbers over BigInt.
+///
+/// Shapley values are rationals with denominator |Dn|! (paper Eq. (14)); a
+/// `Fraction` represents them exactly. The denominator is kept positive and
+/// the fraction reduced with binary GCD after every operation, so equality is
+/// structural.
+
+#include <string>
+
+#include "hierarq/util/bigint.h"
+
+namespace hierarq {
+
+class Fraction {
+ public:
+  /// Constructs 0/1.
+  Fraction() : numerator_(0), denominator_(BigUint(1)) {}
+  /// Constructs n/1.
+  Fraction(int64_t value)  // NOLINT(runtime/explicit): numeric literal use.
+      : numerator_(value), denominator_(BigUint(1)) {}
+  /// Constructs numerator/denominator (denominator must be nonzero; sign is
+  /// normalized into the numerator and the fraction reduced).
+  Fraction(BigInt numerator, BigInt denominator);
+
+  /// num/den from machine integers. Precondition: den != 0.
+  static Fraction Of(int64_t num, int64_t den);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigUint& denominator() const { return denominator_; }
+
+  bool IsZero() const { return numerator_.IsZero(); }
+  bool IsNegative() const { return numerator_.IsNegative(); }
+
+  Fraction operator-() const;
+  Fraction operator+(const Fraction& other) const;
+  Fraction operator-(const Fraction& other) const;
+  Fraction operator*(const Fraction& other) const;
+  /// Precondition: other != 0 (checked).
+  Fraction operator/(const Fraction& other) const;
+
+  Fraction& operator+=(const Fraction& other);
+  Fraction& operator-=(const Fraction& other);
+  Fraction& operator*=(const Fraction& other);
+  Fraction& operator/=(const Fraction& other);
+
+  int Compare(const Fraction& other) const;
+  bool operator==(const Fraction& other) const { return Compare(other) == 0; }
+  bool operator!=(const Fraction& other) const { return Compare(other) != 0; }
+  bool operator<(const Fraction& other) const { return Compare(other) < 0; }
+  bool operator<=(const Fraction& other) const { return Compare(other) <= 0; }
+  bool operator>(const Fraction& other) const { return Compare(other) > 0; }
+  bool operator>=(const Fraction& other) const { return Compare(other) >= 0; }
+
+  /// "num/den" (or "num" when den == 1).
+  std::string ToString() const;
+
+  /// Nearest double, computed with exponent tracking so that e.g.
+  /// (170! / 171!) converts correctly even though both factorials overflow.
+  double ToDouble() const;
+
+ private:
+  void Reduce();
+
+  BigInt numerator_;
+  BigUint denominator_;  // Always > 0.
+};
+
+std::ostream& operator<<(std::ostream& os, const Fraction& value);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_UTIL_FRACTION_H_

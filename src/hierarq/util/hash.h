@@ -1,0 +1,62 @@
+#ifndef HIERARQ_UTIL_HASH_H_
+#define HIERARQ_UTIL_HASH_H_
+
+/// \file hash.h
+/// \brief Hash helpers: 64-bit mixing, combination, and hashers for the
+/// aggregate types hierarq keys its hash tables on (tuples of value ids).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hierarq {
+
+/// Finalizer from MurmurHash3 (fmix64): a cheap, well-distributed 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines an existing seed with the hash of one more value
+/// (boost::hash_combine shape, widened to 64 bits).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+uint64_t HashRange(It first, It last) {
+  uint64_t seed = 0x51ed2701a9a1e6f5ULL;
+  for (; first != last; ++first) {
+    seed = HashCombine(seed, static_cast<uint64_t>(*first));
+  }
+  return seed;
+}
+
+/// std::hash-compatible hasher for vectors of integral ids.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    return static_cast<size_t>(HashRange(v.begin(), v.end()));
+  }
+};
+
+/// std::hash-compatible hasher for pairs of integral ids.
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    return static_cast<size_t>(
+        HashCombine(Mix64(static_cast<uint64_t>(p.first)),
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_UTIL_HASH_H_

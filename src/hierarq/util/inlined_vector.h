@@ -1,0 +1,221 @@
+#ifndef HIERARQ_UTIL_INLINED_VECTOR_H_
+#define HIERARQ_UTIL_INLINED_VECTOR_H_
+
+/// \file inlined_vector.h
+/// \brief A vector with small-buffer optimization for trivially copyable
+/// element types.
+///
+/// Database tuples are short (query arity is a small constant), so storing
+/// their values inline avoids one heap allocation per tuple. `InlinedVector`
+/// supports exactly the operations the data layer needs; it intentionally
+/// restricts `T` to trivially copyable types, which makes relocation a
+/// memcpy and keeps the implementation small and obviously correct.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "hierarq/util/hash.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+template <typename T, size_t N>
+class InlinedVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlinedVector requires trivially copyable elements");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlinedVector() = default;
+
+  explicit InlinedVector(size_t count, const T& value = T()) {
+    resize(count, value);
+  }
+
+  InlinedVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) {
+      push_back(v);
+    }
+  }
+
+  template <typename It>
+  InlinedVector(It first, It last) {
+    for (; first != last; ++first) {
+      push_back(*first);
+    }
+  }
+
+  InlinedVector(const InlinedVector& other) { CopyFrom(other); }
+
+  InlinedVector& operator=(const InlinedVector& other) {
+    if (this != &other) {
+      Clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  InlinedVector(InlinedVector&& other) noexcept { MoveFrom(other); }
+
+  InlinedVector& operator=(InlinedVector&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  ~InlinedVector() { Clear(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  /// True while elements live in the inline buffer (no heap allocation).
+  bool is_inline() const { return data_ == InlineData(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) {
+    HIERARQ_CHECK_LT(i, size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    HIERARQ_CHECK_LT(i, size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    data_[size_++] = value;
+  }
+
+  void pop_back() {
+    HIERARQ_CHECK_GT(size_, 0u);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(size_t count, const T& value = T()) {
+    reserve(count);
+    for (size_t i = size_; i < count; ++i) {
+      data_[i] = value;
+    }
+    size_ = count;
+  }
+
+  void reserve(size_t count) {
+    if (count > capacity_) {
+      Grow(std::max(count, capacity_ * 2));
+    }
+  }
+
+  /// Removes the element at `index`, preserving the order of the rest.
+  void erase_at(size_t index) {
+    HIERARQ_CHECK_LT(index, size_);
+    std::memmove(data_ + index, data_ + index + 1,
+                 (size_ - index - 1) * sizeof(T));
+    --size_;
+  }
+
+  bool operator==(const InlinedVector& other) const {
+    if (size_ != other.size_) {
+      return false;
+    }
+    return std::equal(begin(), end(), other.begin());
+  }
+  bool operator!=(const InlinedVector& other) const {
+    return !(*this == other);
+  }
+
+  /// Lexicographic order, so InlinedVector can key ordered containers.
+  bool operator<(const InlinedVector& other) const {
+    return std::lexicographical_compare(begin(), end(), other.begin(),
+                                        other.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(size_t new_capacity) {
+    T* fresh = new T[new_capacity];
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (!is_inline()) {
+      delete[] data_;
+    }
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void Clear() {
+    if (!is_inline()) {
+      delete[] data_;
+    }
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void CopyFrom(const InlinedVector& other) {
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void MoveFrom(InlinedVector& other) {
+    if (other.is_inline()) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+    other.clear();
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t capacity_ = N;
+  size_t size_ = 0;
+};
+
+/// Hasher so InlinedVector can key unordered containers.
+template <typename T, size_t N>
+struct InlinedVectorHash {
+  size_t operator()(const InlinedVector<T, N>& v) const {
+    return static_cast<size_t>(HashRange(v.begin(), v.end()));
+  }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_UTIL_INLINED_VECTOR_H_

@@ -1,0 +1,79 @@
+#ifndef HIERARQ_UTIL_LOGGING_H_
+#define HIERARQ_UTIL_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logging plus CHECK macros for internal invariants.
+///
+/// Logging is intentionally tiny: hierarq is a library, so it stays quiet by
+/// default (level = kWarning) and writes to stderr. CHECK macros abort on
+/// violation regardless of build type — invariants guarded by them are cheap
+/// and catching them in Release benchmarks is worth the branch.
+
+#include <sstream>
+#include <string>
+
+namespace hierarq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum severity that will be emitted.
+void SetLogLevel(LogLevel level);
+/// Returns the global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// `kFatal` messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hierarq
+
+#define HIERARQ_LOG(level)                                             \
+  ::hierarq::internal::LogMessage(::hierarq::LogLevel::k##level,       \
+                                  __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Active in all builds.
+#define HIERARQ_CHECK(condition)                                       \
+  if (!(condition))                                                    \
+  HIERARQ_LOG(Fatal) << "Check failed: " #condition " "
+
+#define HIERARQ_CHECK_EQ(a, b) HIERARQ_CHECK((a) == (b))
+#define HIERARQ_CHECK_NE(a, b) HIERARQ_CHECK((a) != (b))
+#define HIERARQ_CHECK_LT(a, b) HIERARQ_CHECK((a) < (b))
+#define HIERARQ_CHECK_LE(a, b) HIERARQ_CHECK((a) <= (b))
+#define HIERARQ_CHECK_GT(a, b) HIERARQ_CHECK((a) > (b))
+#define HIERARQ_CHECK_GE(a, b) HIERARQ_CHECK((a) >= (b))
+
+/// Marks internal unreachable code paths.
+#define HIERARQ_UNREACHABLE() \
+  HIERARQ_LOG(Fatal) << "Unreachable code reached "
+
+#endif  // HIERARQ_UTIL_LOGGING_H_

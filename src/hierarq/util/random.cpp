@@ -1,0 +1,128 @@
+#include "hierarq/util/random.h"
+
+#include <cmath>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+inline uint64_t RotL(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64: used only for seeding the main generator.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  HIERARQ_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  // Lemire's multiply-then-reject method (unbiased).
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * range;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < range) {
+    const uint64_t threshold = (0 - range) % range;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * range;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return lo + static_cast<int64_t>(m >> 64);
+}
+
+double Rng::UniformDouble() {
+  // 53 top bits scaled into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return UniformDouble() < p;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  HIERARQ_CHECK_LE(k, n);
+  // Partial Fisher-Yates over an index array; O(n) memory, O(n + k) time.
+  std::vector<size_t> indices(n);
+  for (size_t i = 0; i < n; ++i) {
+    indices[i] = i;
+  }
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(indices[i], indices[j]);
+    out.push_back(indices[i]);
+  }
+  return out;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double skew) : skew_(skew) {
+  HIERARQ_CHECK_GT(n, 0u);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // Guard against floating-point round-off.
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // Binary search for the first CDF entry >= u.
+  size_t lo = 0;
+  size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace hierarq

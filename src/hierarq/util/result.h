@@ -1,0 +1,92 @@
+#ifndef HIERARQ_UTIL_RESULT_H_
+#define HIERARQ_UTIL_RESULT_H_
+
+/// \file result.h
+/// \brief `Result<T>` — the value-or-error companion of `Status`, modeled on
+/// `arrow::Result`. A `Result<T>` holds either a `T` or an error `Status`
+/// (never an OK status without a value).
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "hierarq/util/status.h"
+
+namespace hierarq {
+
+template <typename T>
+class Result {
+ public:
+  using value_type = T;
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from an error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is held, the stored error otherwise.
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Precondition: `ok()`.
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on error Result");
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Shorthands matching arrow::Result.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    if (ok()) {
+      return std::get<T>(repr_);
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace hierarq
+
+/// Propagates the error of a `Result` expression or assigns its value:
+/// `HIERARQ_ASSIGN_OR_RETURN(auto plan, BuildPlan(query));`
+#define HIERARQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define HIERARQ_ASSIGN_OR_RETURN(lhs, expr)                                    \
+  HIERARQ_ASSIGN_OR_RETURN_IMPL(                                               \
+      HIERARQ_CONCAT_(_hierarq_result__, __LINE__), lhs, expr)
+
+#define HIERARQ_CONCAT_INNER_(a, b) a##b
+#define HIERARQ_CONCAT_(a, b) HIERARQ_CONCAT_INNER_(a, b)
+
+#endif  // HIERARQ_UTIL_RESULT_H_

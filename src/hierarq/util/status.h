@@ -1,0 +1,115 @@
+#ifndef HIERARQ_UTIL_STATUS_H_
+#define HIERARQ_UTIL_STATUS_H_
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style status codes used for error handling across the
+/// public API. hierarq never throws exceptions across API boundaries; fallible
+/// operations return a `Status` or a `Result<T>` (see result.h).
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hierarq {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode : int {
+  kOk = 0,
+  /// The arguments to an operation were malformed (e.g. arity mismatch).
+  kInvalidArgument = 1,
+  /// A lookup failed (relation, variable, fact, file...).
+  kNotFound = 2,
+  /// The operation is valid but not for this input class; notably raised by
+  /// Algorithm 1 when the elimination procedure gets stuck, i.e. the input
+  /// query is not hierarchical (Proposition 5.1 of the paper).
+  kNotHierarchical = 3,
+  /// Parsing a query or database text failed.
+  kParseError = 4,
+  /// An internal invariant was violated; indicates a bug in hierarq itself.
+  kInternal = 5,
+  /// Arithmetic left the representable range (e.g. saturated counters when a
+  /// caller demanded exactness).
+  kOutOfRange = 6,
+  /// The requested feature is recognized but not implemented.
+  kNotImplemented = 7,
+};
+
+/// \brief Returns the canonical lowercase name of a status code
+/// (e.g. "invalid-argument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief The result of an operation that can fail.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// human-readable message. `Status` is cheap to move and to copy in the OK
+/// case (the message is empty).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NotHierarchical(std::string msg) {
+    return Status(StatusCode::kNotHierarchical, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// True iff the status carries the given code.
+  bool Is(StatusCode code) const { return code_ == code; }
+
+  /// Renders "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace hierarq
+
+/// Propagates an error status from an expression, Arrow-style:
+/// `HIERARQ_RETURN_NOT_OK(DoThing());`
+#define HIERARQ_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::hierarq::Status _hierarq_status__ = (expr);   \
+    if (!_hierarq_status__.ok()) {                  \
+      return _hierarq_status__;                     \
+    }                                               \
+  } while (false)
+
+#endif  // HIERARQ_UTIL_STATUS_H_

@@ -1,0 +1,38 @@
+#ifndef HIERARQ_UTIL_TIMER_H_
+#define HIERARQ_UTIL_TIMER_H_
+
+/// \file timer.h
+/// \brief Wall-clock timing helper for examples and ad-hoc measurements
+/// (benchmarks proper use google-benchmark).
+
+#include <chrono>
+
+namespace hierarq {
+
+/// A restartable wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_UTIL_TIMER_H_

@@ -1,0 +1,125 @@
+#include "hierarq/workload/data_gen.h"
+
+#include <memory>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Draws one value, uniform or Zipf.
+Value DrawValue(Rng& rng, const DataGenOptions& opts,
+                const ZipfDistribution* zipf) {
+  if (zipf != nullptr) {
+    return static_cast<Value>(zipf->Sample(rng));
+  }
+  return rng.UniformInt(0, static_cast<int64_t>(opts.domain_size) - 1);
+}
+
+/// Fills one relation with up to `opts.tuples_per_relation` random tuples.
+void FillRelation(Database& db, const std::string& name, size_t arity,
+                  Rng& rng, const DataGenOptions& opts,
+                  const ZipfDistribution* zipf) {
+  // Cap retries so tight domains terminate (|Dom|^arity may be < target).
+  const size_t target = opts.tuples_per_relation;
+  size_t attempts = 0;
+  size_t inserted = 0;
+  const size_t max_attempts = target * 8 + 64;
+  while (inserted < target && attempts < max_attempts) {
+    ++attempts;
+    Tuple tuple;
+    tuple.reserve(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      tuple.push_back(DrawValue(rng, opts, zipf));
+    }
+    auto added = db.AddFact(name, tuple);
+    HIERARQ_CHECK(added.ok());
+    if (*added) {
+      ++inserted;
+    }
+  }
+}
+
+}  // namespace
+
+Database RandomDatabaseForQuery(const ConjunctiveQuery& query, Rng& rng,
+                                const DataGenOptions& opts) {
+  std::unique_ptr<ZipfDistribution> zipf;
+  if (opts.zipf_skew > 0.0) {
+    zipf = std::make_unique<ZipfDistribution>(opts.domain_size,
+                                              opts.zipf_skew);
+  }
+  Database db;
+  for (const Atom& atom : query.atoms()) {
+    FillRelation(db, atom.relation(), atom.arity(), rng, opts, zipf.get());
+  }
+  return db;
+}
+
+TidDatabase RandomTidForQuery(const ConjunctiveQuery& query, Rng& rng,
+                              const DataGenOptions& opts, double p_min,
+                              double p_max) {
+  const Database facts = RandomDatabaseForQuery(query, rng, opts);
+  TidDatabase out;
+  for (const Fact& fact : facts.AllFacts()) {
+    const double p = p_min + (p_max - p_min) * rng.UniformDouble();
+    out.AddFactOrDie(fact.relation, fact.tuple, p);
+  }
+  return out;
+}
+
+RepairInstance RandomRepairInstance(const ConjunctiveQuery& query, Rng& rng,
+                                    const DataGenOptions& opts,
+                                    double in_d_prob) {
+  const Database facts = RandomDatabaseForQuery(query, rng, opts);
+  RepairInstance out;
+  for (const Fact& fact : facts.AllFacts()) {
+    if (rng.Bernoulli(in_d_prob)) {
+      out.d.AddFactOrDie(fact.relation, fact.tuple);
+    } else {
+      out.repair.AddFactOrDie(fact.relation, fact.tuple);
+    }
+  }
+  return out;
+}
+
+std::pair<Database, Database> SplitExoEndo(const Database& db, Rng& rng,
+                                           double endogenous_prob) {
+  Database exo;
+  Database endo;
+  for (const Fact& fact : db.AllFacts()) {
+    if (rng.Bernoulli(endogenous_prob)) {
+      endo.AddFactOrDie(fact.relation, fact.tuple);
+    } else {
+      exo.AddFactOrDie(fact.relation, fact.tuple);
+    }
+  }
+  return {std::move(exo), std::move(endo)};
+}
+
+Graph RandomGraph(Rng& rng, size_t n, double edge_prob) {
+  Graph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(edge_prob)) {
+        g.AddEdge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph PlantedBicliqueGraph(Rng& rng, size_t n, size_t k, double noise_prob) {
+  HIERARQ_CHECK_GE(n, 2 * k);
+  Graph g = RandomGraph(rng, n, noise_prob);
+  const std::vector<size_t> picks = rng.SampleWithoutReplacement(n, 2 * k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = k; j < 2 * k; ++j) {
+      g.AddEdge(picks[i], picks[j]);
+    }
+  }
+  return g;
+}
+
+}  // namespace hierarq

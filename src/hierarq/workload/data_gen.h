@@ -1,0 +1,64 @@
+#ifndef HIERARQ_WORKLOAD_DATA_GEN_H_
+#define HIERARQ_WORKLOAD_DATA_GEN_H_
+
+/// \file data_gen.h
+/// \brief Random database / TID / repair-instance / graph generators.
+///
+/// All generators take an explicit `Rng` and are fully deterministic given
+/// the seed; benchmark tables cite the seeds they use.
+
+#include <cstddef>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/reductions/graph.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+
+/// Options for random fact generation.
+struct DataGenOptions {
+  size_t tuples_per_relation = 100;
+  size_t domain_size = 32;   ///< Values are drawn from [0, domain_size).
+  double zipf_skew = 0.0;    ///< 0 = uniform; > 0 = Zipf-distributed values.
+};
+
+/// A random set database over the query's schema (one relation per atom,
+/// with the atom's arity). Duplicate draws are discarded, so relations may
+/// end up slightly smaller than requested when the domain is tight.
+Database RandomDatabaseForQuery(const ConjunctiveQuery& query, Rng& rng,
+                                const DataGenOptions& opts);
+
+/// A random TID database: facts as above, probabilities uniform in
+/// [p_min, p_max].
+TidDatabase RandomTidForQuery(const ConjunctiveQuery& query, Rng& rng,
+                              const DataGenOptions& opts, double p_min = 0.05,
+                              double p_max = 0.95);
+
+/// A Bag-Set Maximization input: facts are generated as above and each
+/// lands in D with probability `in_d_prob`, in the repair database
+/// otherwise.
+struct RepairInstance {
+  Database d;
+  Database repair;
+};
+RepairInstance RandomRepairInstance(const ConjunctiveQuery& query, Rng& rng,
+                                    const DataGenOptions& opts,
+                                    double in_d_prob = 0.5);
+
+/// Splits `db` into (exogenous, endogenous) parts: each fact is endogenous
+/// with probability `endogenous_prob`.
+std::pair<Database, Database> SplitExoEndo(const Database& db, Rng& rng,
+                                           double endogenous_prob);
+
+/// Erdős–Rényi G(n, p).
+Graph RandomGraph(Rng& rng, size_t n, double edge_prob);
+
+/// G(n, p) noise plus a planted balanced k-biclique (on random disjoint
+/// vertex sets), for positive BCBS instances.
+Graph PlantedBicliqueGraph(Rng& rng, size_t n, size_t k, double noise_prob);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_WORKLOAD_DATA_GEN_H_

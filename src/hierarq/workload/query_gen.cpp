@@ -1,0 +1,194 @@
+#include "hierarq/workload/query_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+ConjunctiveQuery MakePaperQuery() {
+  return ParseQueryOrDie("Q() :- R(A,B), S(A,C), T(A,C,D).");
+}
+
+ConjunctiveQuery MakeQnh() {
+  return ParseQueryOrDie("Q() :- R(X), S(X,Y), T(Y).");
+}
+
+ConjunctiveQuery MakeQh() {
+  return ParseQueryOrDie("Q() :- E(X,Y), F(Y,Z).");
+}
+
+ConjunctiveQuery MakeNestedChain(size_t depth) {
+  HIERARQ_CHECK_GE(depth, 1u);
+  VariableTable vars;
+  std::vector<Atom> atoms;
+  std::vector<Term> terms;
+  for (size_t i = 1; i <= depth; ++i) {
+    terms.push_back(Term::Var(vars.Intern("X" + std::to_string(i))));
+    atoms.emplace_back("R" + std::to_string(i), terms);
+  }
+  auto query = ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+  HIERARQ_CHECK(query.ok());
+  return std::move(query).ValueOrDie();
+}
+
+ConjunctiveQuery MakeStarQuery(size_t branches) {
+  HIERARQ_CHECK_GE(branches, 1u);
+  VariableTable vars;
+  const VarId hub = vars.Intern("X");
+  std::vector<Atom> atoms;
+  atoms.emplace_back("R0", std::vector<Term>{Term::Var(hub)});
+  for (size_t i = 1; i <= branches; ++i) {
+    const VarId leaf = vars.Intern("Y" + std::to_string(i));
+    atoms.emplace_back(
+        "R" + std::to_string(i),
+        std::vector<Term>{Term::Var(hub), Term::Var(leaf)});
+  }
+  auto query = ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+  HIERARQ_CHECK(query.ok());
+  return std::move(query).ValueOrDie();
+}
+
+ConjunctiveQuery MakeNonHierarchicalChain(size_t links) {
+  HIERARQ_CHECK_GE(links, 1u);
+  VariableTable vars;
+  std::vector<Atom> atoms;
+  std::vector<VarId> xs;
+  for (size_t i = 1; i <= links + 1; ++i) {
+    xs.push_back(vars.Intern("X" + std::to_string(i)));
+  }
+  for (size_t i = 0; i <= links; ++i) {
+    atoms.emplace_back("R" + std::to_string(i + 1),
+                       std::vector<Term>{Term::Var(xs[i])});
+  }
+  for (size_t i = 0; i < links; ++i) {
+    atoms.emplace_back(
+        "S" + std::to_string(i + 1),
+        std::vector<Term>{Term::Var(xs[i]), Term::Var(xs[i + 1])});
+  }
+  auto query = ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+  HIERARQ_CHECK(query.ok());
+  ConjunctiveQuery out = std::move(query).ValueOrDie();
+  HIERARQ_CHECK(!IsHierarchical(out));
+  return out;
+}
+
+ConjunctiveQuery MakeRandomHierarchical(
+    Rng& rng, const RandomHierarchicalOptions& opts) {
+  const size_t n = std::max<size_t>(opts.num_variables, 1);
+  const size_t roots = std::min(std::max<size_t>(opts.num_roots, 1), n);
+
+  // Random forest: node i's parent is a uniformly random earlier node of
+  // the same tree; the first `roots` nodes are the roots.
+  std::vector<std::optional<size_t>> parent(n);
+  std::vector<size_t> tree_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < roots) {
+      parent[i] = std::nullopt;
+      tree_of[i] = i;
+    } else {
+      const size_t p =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(i) - 1));
+      parent[i] = p;
+      tree_of[i] = tree_of[p];
+    }
+  }
+  std::vector<bool> is_leaf(n, true);
+  for (size_t i = roots; i < n; ++i) {
+    is_leaf[*parent[i]] = false;
+  }
+
+  VariableTable vars;
+  std::vector<VarId> var_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    var_of[i] = vars.Intern("X" + std::to_string(i));
+  }
+
+  std::vector<Atom> atoms;
+  size_t next_relation = 0;
+  const auto emit_atom = [&](size_t node) {
+    // Variables along the path node -> root.
+    std::vector<VarId> path;
+    std::optional<size_t> cur = node;
+    while (cur.has_value()) {
+      path.push_back(var_of[*cur]);
+      cur = parent[*cur];
+    }
+    if (opts.shuffle_term_order) {
+      rng.Shuffle(path);
+    }
+    std::vector<Term> terms;
+    terms.reserve(path.size());
+    for (VarId v : path) {
+      terms.push_back(Term::Var(v));
+    }
+    atoms.emplace_back("R" + std::to_string(next_relation++), terms);
+    if (rng.Bernoulli(opts.twin_atom_prob)) {
+      std::vector<Term> twin_terms = terms;
+      if (opts.shuffle_term_order) {
+        rng.Shuffle(twin_terms);
+      }
+      atoms.emplace_back("R" + std::to_string(next_relation++), twin_terms);
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    if (is_leaf[i]) {
+      emit_atom(i);
+    } else if (rng.Bernoulli(opts.extra_atom_prob)) {
+      emit_atom(i);
+    }
+  }
+
+  auto query = ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+  HIERARQ_CHECK(query.ok()) << query.status().ToString();
+  ConjunctiveQuery out = std::move(query).ValueOrDie();
+  HIERARQ_CHECK(IsHierarchical(out))
+      << "generator produced a non-hierarchical query: " << out.ToString();
+  return out;
+}
+
+ConjunctiveQuery MakeRandomQuery(Rng& rng, size_t num_atoms,
+                                 size_t num_variables, size_t max_arity) {
+  HIERARQ_CHECK_GE(num_atoms, 1u);
+  HIERARQ_CHECK_GE(num_variables, 1u);
+  HIERARQ_CHECK_GE(max_arity, 1u);
+  VariableTable vars;
+  std::vector<VarId> pool;
+  for (size_t i = 0; i < num_variables; ++i) {
+    pool.push_back(vars.Intern("X" + std::to_string(i)));
+  }
+
+  std::vector<Atom> atoms;
+  std::vector<bool> used(num_variables, false);
+  for (size_t i = 0; i < num_atoms; ++i) {
+    const size_t arity = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(max_arity)));
+    // Draw distinct variables for the atom (bounded by the pool size).
+    const size_t distinct = std::min(arity, num_variables);
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(num_variables, distinct);
+    std::vector<Term> terms;
+    for (size_t p : picks) {
+      terms.push_back(Term::Var(pool[p]));
+      used[p] = true;
+    }
+    atoms.emplace_back("R" + std::to_string(i), std::move(terms));
+  }
+  // Ensure every variable occurs somewhere: extend the last atoms.
+  for (size_t p = 0; p < num_variables; ++p) {
+    if (!used[p]) {
+      std::vector<Term> terms{Term::Var(pool[p])};
+      atoms.emplace_back("U" + std::to_string(p), std::move(terms));
+    }
+  }
+  auto query = ConjunctiveQuery::Create(std::move(atoms), std::move(vars));
+  HIERARQ_CHECK(query.ok());
+  return std::move(query).ValueOrDie();
+}
+
+}  // namespace hierarq

@@ -1,0 +1,67 @@
+#ifndef HIERARQ_WORKLOAD_QUERY_GEN_H_
+#define HIERARQ_WORKLOAD_QUERY_GEN_H_
+
+/// \file query_gen.h
+/// \brief Query families and random hierarchical-query generation.
+///
+/// The fixed families are the shapes used throughout the paper and the
+/// benchmarks; the random generator draws a hierarchy forest first and
+/// reads atoms off root-to-node paths, so it produces hierarchical queries
+/// *by construction* (Proposition 5.5), covering both elimination rules.
+
+#include "hierarq/query/query.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+
+/// The paper's running example, Eq. (1):
+///   Q() :- R(A,B), S(A,C), T(A,C,D).
+ConjunctiveQuery MakePaperQuery();
+
+/// The canonical non-hierarchical (but acyclic) query of §1:
+///   Q() :- R(X), S(X,Y), T(Y).
+ConjunctiveQuery MakeQnh();
+
+/// The hierarchical two-atom query of §1:  Q() :- E(X,Y), F(Y,Z).
+ConjunctiveQuery MakeQh();
+
+/// Nested chain of `depth` atoms: R1(X1), R2(X1,X2), ..., Rd(X1..Xd).
+/// Hierarchical; exercises long Rule 1 cascades.
+ConjunctiveQuery MakeNestedChain(size_t depth);
+
+/// Star: R0(X), R1(X,Y1), ..., Rb(X,Yb). Hierarchical; exercises Rule 2
+/// after the leaf projections.
+ConjunctiveQuery MakeStarQuery(size_t branches);
+
+/// Non-hierarchical chain of 2k+1 atoms:
+///   R1(X1), S1(X1,X2), R2(X2), S2(X2,X3), ..., Rk+1(Xk+1)
+/// (k >= 1 links; k = 1 gives MakeQnh up to renaming).
+ConjunctiveQuery MakeNonHierarchicalChain(size_t links);
+
+/// Options for the random hierarchical generator.
+struct RandomHierarchicalOptions {
+  size_t num_variables = 5;       ///< Nodes of the hierarchy forest.
+  size_t num_roots = 1;           ///< Connected components with variables.
+  double extra_atom_prob = 0.35;  ///< P(extra atom at a non-leaf node).
+  double twin_atom_prob = 0.25;   ///< P(second atom with the same var set).
+  bool shuffle_term_order = true; ///< Randomize positional schemas.
+};
+
+/// Draws a random hierarchical query. Every leaf contributes an atom (so
+/// every variable occurs), interior nodes contribute extra atoms with
+/// probability `extra_atom_prob`, and any emitted atom is duplicated under
+/// a fresh relation name with probability `twin_atom_prob` (exercising
+/// Rule 2). The result is hierarchical by construction; the generator
+/// CHECKs it.
+ConjunctiveQuery MakeRandomHierarchical(Rng& rng,
+                                        const RandomHierarchicalOptions& opts);
+
+/// Draws a random SJF-BCQ with `num_atoms` atoms over `num_variables`
+/// variables with arities in [1, max_arity]; makes no structural promise
+/// (useful for classifier tests). Every variable is used at least once.
+ConjunctiveQuery MakeRandomQuery(Rng& rng, size_t num_atoms,
+                                 size_t num_variables, size_t max_arity);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_WORKLOAD_QUERY_GEN_H_

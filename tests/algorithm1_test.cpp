@@ -1,0 +1,291 @@
+// Tests for Algorithm 1 itself: the universality theorem (6.4), the
+// decomposability lemma (6.3), the support lemma (6.6) and the operation
+// bound (Theorem 6.7) — all on random hierarchical instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hierarq/query/parser.h"
+
+#include "hierarq/algebra/bagmax_monoid.h"
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/algebra/provenance.h"
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/algebra/satcount_monoid.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/algorithm1.h"
+#include "hierarq/core/provenance_pipeline.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+struct RandomInstance {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+RandomInstance DrawInstance(Rng& rng, size_t max_vars = 6,
+                            size_t tuples = 12, size_t domain = 4) {
+  RandomHierarchicalOptions qopts;
+  qopts.num_variables = 1 + static_cast<size_t>(
+                                rng.UniformInt(0, static_cast<int64_t>(max_vars) - 1));
+  qopts.num_roots = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+  RandomInstance out{MakeRandomHierarchical(rng, qopts), Database{}};
+  DataGenOptions dopts;
+  dopts.tuples_per_relation = tuples;
+  dopts.domain_size = domain;
+  out.db = RandomDatabaseForQuery(out.query, rng, dopts);
+  return out;
+}
+
+TEST(Algorithm1, CountingMonoidMatchesJoinEngine) {
+  // The counting semiring run counts satisfying assignments — the join
+  // engine is the independent ground truth.
+  Rng rng(101);
+  for (int round = 0; round < 60; ++round) {
+    const RandomInstance inst = DrawInstance(rng);
+    const CountMonoid m;
+    auto algo = RunAlgorithm1OnQuery<CountMonoid>(
+        inst.query, m, inst.db, [](const Fact&) -> uint64_t { return 1; });
+    ASSERT_TRUE(algo.ok()) << inst.query.ToString();
+    EXPECT_EQ(*algo, BagSetCount(inst.query, inst.db))
+        << inst.query.ToString();
+  }
+}
+
+TEST(Algorithm1, BoolMonoidMatchesJoinEngine) {
+  Rng rng(102);
+  for (int round = 0; round < 60; ++round) {
+    const RandomInstance inst = DrawInstance(rng);
+    const BoolMonoid m;
+    auto algo = RunAlgorithm1OnQuery<BoolMonoid>(
+        inst.query, m, inst.db, [](const Fact&) { return true; });
+    ASSERT_TRUE(algo.ok());
+    EXPECT_EQ(*algo, EvaluateBoolean(inst.query, inst.db))
+        << inst.query.ToString();
+  }
+}
+
+TEST(Algorithm1, RejectsNonHierarchical) {
+  const ConjunctiveQuery q = MakeQnh();
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  const CountMonoid m;
+  auto result = RunAlgorithm1OnQuery<CountMonoid>(
+      q, m, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotHierarchical);
+}
+
+TEST(Algorithm1, EmptyDatabaseYieldsZero) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const CountMonoid m;
+  auto result = RunAlgorithm1OnQuery<CountMonoid>(
+      q, m, Database{}, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0u);
+}
+
+TEST(Algorithm1, Lemma63OutputsAreDecomposableWithUniqueLeaves) {
+  // Lemma 6.3: with unique symbols per fact, the output provenance tree is
+  // decomposable.
+  Rng rng(103);
+  for (int round = 0; round < 60; ++round) {
+    const RandomInstance inst = DrawInstance(rng);
+    auto prov = ComputeProvenance(inst.query, inst.db);
+    ASSERT_TRUE(prov.ok()) << inst.query.ToString();
+    EXPECT_TRUE(prov->tree->IsDecomposable()) << prov->tree->ToString();
+  }
+}
+
+TEST(Algorithm1, ProvenanceBooleanMatchesEngineOnWorlds) {
+  // The output tree is a lineage: its Boolean evaluation on any sub-world
+  // must agree with evaluating the query there.
+  Rng rng(104);
+  for (int round = 0; round < 25; ++round) {
+    const RandomInstance inst = DrawInstance(rng, 4, 4, 3);
+    auto prov = ComputeProvenance(inst.query, inst.db);
+    ASSERT_TRUE(prov.ok());
+    const size_t n = prov->facts.size();
+    if (n > 12) {
+      continue;  // Keep the world enumeration tiny.
+    }
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      Database world;
+      for (size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          world.AddFactOrDie(prov->facts[i].relation, prov->facts[i].tuple);
+        }
+      }
+      const bool via_tree = EvalTreeBool(
+          *prov->tree, [&](uint64_t s) { return (mask >> s) & 1; });
+      EXPECT_EQ(via_tree, EvaluateBoolean(inst.query, world))
+          << inst.query.ToString() << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Algorithm1, Theorem64UniversalityForAllMonoids) {
+  // φ(provenance output) == direct run, for the probability, counting,
+  // Boolean, resilience and bag-max monoids. φ is the generic tree fold
+  // with the problem's leaf annotation.
+  Rng rng(105);
+  for (int round = 0; round < 40; ++round) {
+    const RandomInstance inst = DrawInstance(rng);
+    auto prov = ComputeProvenance(inst.query, inst.db);
+    ASSERT_TRUE(prov.ok());
+
+    // Per-fact annotations, keyed by symbol.
+    std::vector<double> probs(prov->facts.size());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      probs[i] = rng.UniformDouble();
+    }
+
+    {
+      const ProbMonoid m;
+      auto direct = RunAlgorithm1OnQuery<ProbMonoid>(
+          inst.query, m, inst.db, [&](const Fact& f) {
+            for (size_t i = 0; i < prov->facts.size(); ++i) {
+              if (prov->facts[i] == f) {
+                return probs[i];
+              }
+            }
+            ADD_FAILURE() << "fact not found";
+            return 0.0;
+          });
+      ASSERT_TRUE(direct.ok());
+      const double via_phi = EvalTreeInMonoid(
+          m, *prov->tree, [&](uint64_t s) { return probs[s]; });
+      EXPECT_NEAR(*direct, via_phi, 1e-9);
+    }
+    {
+      const CountMonoid m;
+      auto direct = RunAlgorithm1OnQuery<CountMonoid>(
+          inst.query, m, inst.db, [](const Fact&) -> uint64_t { return 1; });
+      ASSERT_TRUE(direct.ok());
+      const uint64_t via_phi = EvalTreeInMonoid(
+          m, *prov->tree, [](uint64_t) -> uint64_t { return 1; });
+      EXPECT_EQ(*direct, via_phi);
+    }
+    {
+      const ResilienceMonoid m;
+      auto direct = RunAlgorithm1OnQuery<ResilienceMonoid>(
+          inst.query, m, inst.db,
+          [](const Fact&) -> uint64_t { return 1; });
+      ASSERT_TRUE(direct.ok());
+      const uint64_t via_phi = EvalTreeInMonoid(
+          m, *prov->tree, [](uint64_t) -> uint64_t { return 1; });
+      EXPECT_EQ(*direct, via_phi);
+    }
+    {
+      const BagMaxMonoid m(3);
+      auto direct = RunAlgorithm1OnQuery<BagMaxMonoid>(
+          inst.query, m, inst.db,
+          [&m](const Fact&) { return m.One(); });
+      ASSERT_TRUE(direct.ok());
+      const BagMaxVec via_phi = EvalTreeInMonoid(
+          m, *prov->tree, [&m](uint64_t) { return m.One(); });
+      EXPECT_EQ(*direct, via_phi);
+    }
+  }
+}
+
+TEST(Algorithm1, Theorem67LinearOperationCount) {
+  // The number of ⊕/⊗ operations is O(|D|): measure with the counting
+  // wrapper at two database sizes and check (near-)linear growth.
+  const ConjunctiveQuery q = MakePaperQuery();
+  Rng rng(106);
+
+  auto ops_for_size = [&](size_t tuples) {
+    DataGenOptions opts;
+    opts.tuples_per_relation = tuples;
+    opts.domain_size = std::max<size_t>(4, tuples);
+    const Database db = RandomDatabaseForQuery(q, rng, opts);
+    const CountingMonoid<CountMonoid> m{CountMonoid{}};
+    auto result = RunAlgorithm1OnQuery<CountingMonoid<CountMonoid>>(
+        q, m, db, [](const Fact&) -> uint64_t { return 1; });
+    EXPECT_TRUE(result.ok());
+    return std::pair<size_t, size_t>(m.total_count(), db.NumFacts());
+  };
+
+  const auto [ops_small, n_small] = ops_for_size(100);
+  const auto [ops_large, n_large] = ops_for_size(1000);
+  // ops ≤ c·|D| with a small constant (one ⊕ or ⊗ per support entry per
+  // step; steps = O(query)).
+  EXPECT_LE(ops_small, 4 * n_small);
+  EXPECT_LE(ops_large, 4 * n_large);
+  // Growth is linear: ratio of ops tracks ratio of sizes within 2x.
+  const double ops_ratio =
+      static_cast<double>(ops_large) / static_cast<double>(ops_small);
+  const double size_ratio =
+      static_cast<double>(n_large) / static_cast<double>(n_small);
+  EXPECT_LT(ops_ratio, 2.0 * size_ratio);
+}
+
+TEST(Algorithm1, Lemma66FinalSupportBoundedByInput) {
+  // |supp| never grows; in particular the output stage cannot exceed the
+  // input size. We check the observable consequence: the provenance tree
+  // contains each input fact at most once (disjoint supports all the way).
+  Rng rng(107);
+  for (int round = 0; round < 30; ++round) {
+    const RandomInstance inst = DrawInstance(rng);
+    auto prov = ComputeProvenance(inst.query, inst.db);
+    ASSERT_TRUE(prov.ok());
+    EXPECT_LE(prov->tree->Support().size(), prov->facts.size());
+    EXPECT_TRUE(prov->tree->IsDecomposable());
+  }
+}
+
+TEST(Algorithm1, DisconnectedQueryMultipliesComponents) {
+  // Q() :- R(A), S(B): count = |R| * |S| (via ⊗ of the two projections).
+  const ConjunctiveQuery query = ParseQueryOrDie("Q() :- R(A), S(B)");
+  Database db;
+  for (int i = 0; i < 3; ++i) {
+    db.AddFactOrDie("R", MakeTuple({i}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    db.AddFactOrDie("S", MakeTuple({i}));
+  }
+  const CountMonoid m;
+  auto result = RunAlgorithm1OnQuery<CountMonoid>(
+      query, m, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 15u);
+}
+
+TEST(Algorithm1, ConstantsInAtomsActAsSelections) {
+  // Q() :- R(A, 3): only tuples with second column 3 count.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A, 3)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 3}));
+  db.AddFactOrDie("R", MakeTuple({2, 3}));
+  db.AddFactOrDie("R", MakeTuple({3, 4}));
+  const CountMonoid m;
+  auto result = RunAlgorithm1OnQuery<CountMonoid>(
+      q, m, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2u);
+  EXPECT_EQ(*result, BagSetCount(q, db));
+}
+
+TEST(Algorithm1, RepeatedVariablesActAsEqualitySelections) {
+  // Q() :- R(A, A).
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A, A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 1}));
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  db.AddFactOrDie("R", MakeTuple({2, 2}));
+  const CountMonoid m;
+  auto result = RunAlgorithm1OnQuery<CountMonoid>(
+      q, m, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 2u);
+  EXPECT_EQ(*result, BagSetCount(q, db));
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,115 @@
+// Tests for K-annotated relations and the query-driven annotation builder.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/data/annotated.h"
+#include "hierarq/query/parser.h"
+
+namespace hierarq {
+namespace {
+
+TEST(AnnotatedRelation, SetFindContains) {
+  AnnotatedRelation<int> rel(VarSet{0, 1});
+  EXPECT_TRUE(rel.empty());
+  rel.Set(MakeTuple({1, 2}), 42);
+  EXPECT_EQ(rel.size(), 1u);
+  ASSERT_NE(rel.Find(MakeTuple({1, 2})), nullptr);
+  EXPECT_EQ(*rel.Find(MakeTuple({1, 2})), 42);
+  EXPECT_EQ(rel.Find(MakeTuple({2, 1})), nullptr);
+  EXPECT_TRUE(rel.Contains(MakeTuple({1, 2})));
+  rel.Set(MakeTuple({1, 2}), 7);  // Overwrite.
+  EXPECT_EQ(*rel.Find(MakeTuple({1, 2})), 7);
+}
+
+TEST(AnnotatedRelation, MergeCombines) {
+  AnnotatedRelation<int> rel(VarSet{0});
+  auto add = [](int a, int b) { return a + b; };
+  rel.Merge(MakeTuple({5}), 1, add);
+  rel.Merge(MakeTuple({5}), 2, add);
+  rel.Merge(MakeTuple({6}), 10, add);
+  EXPECT_EQ(*rel.Find(MakeTuple({5})), 3);
+  EXPECT_EQ(*rel.Find(MakeTuple({6})), 10);
+}
+
+TEST(AnnotatedRelation, Clear) {
+  AnnotatedRelation<int> rel(VarSet{0});
+  rel.Set(MakeTuple({1}), 1);
+  rel.Clear();
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(AnnotateForQuery, SchemaIsSortedVarOrder) {
+  // Atom R(B, A): schema is {A, B} in VarId order — B was interned first
+  // so VarIds follow the first-occurrence order B, A.
+  const ConjunctiveQuery q = ParseQueryOrDie("R(B, A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({10, 20}));  // B=10, A=20.
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_EQ(annotated.relations.size(), 1u);
+  const VarId b = *q.variables().Find("B");
+  const VarId a = *q.variables().Find("A");
+  ASSERT_LT(b, a);  // Interning order.
+  // Key is (value(B), value(A)) = (10, 20).
+  EXPECT_TRUE(annotated.relations[0].Contains(MakeTuple({10, 20})));
+}
+
+TEST(AnnotateForQuery, ConstantsAreFiltered) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, 3)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 3}));
+  db.AddFactOrDie("R", MakeTuple({2, 4}));  // Fails the constant test.
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 1; });
+  EXPECT_EQ(annotated.relations[0].size(), 1u);
+  EXPECT_TRUE(annotated.relations[0].Contains(MakeTuple({1})));
+}
+
+TEST(AnnotateForQuery, RepeatedVariablesAreFiltered) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 1}));
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 1; });
+  EXPECT_EQ(annotated.relations[0].size(), 1u);
+  EXPECT_TRUE(annotated.relations[0].Contains(MakeTuple({1})));
+}
+
+TEST(AnnotateForQuery, MissingRelationGivesEmpty) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A), S(B)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 1; });
+  EXPECT_EQ(annotated.relations[0].size(), 1u);
+  EXPECT_EQ(annotated.relations[1].size(), 0u);
+  EXPECT_EQ(annotated.TotalSupport(), 1u);
+}
+
+TEST(AnnotateForQuery, ArityMismatchSkipped) {
+  // A fact of the wrong arity for its atom cannot match.
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 1; });
+  EXPECT_EQ(annotated.TotalSupport(), 0u);
+}
+
+TEST(AnnotateForQuery, AnnotatorSeesOriginalFact) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, 3)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 3}));
+  std::vector<Fact> seen;
+  AnnotateForQuery<uint64_t>(q, db, [&seen](const Fact& f) -> uint64_t {
+    seen.push_back(f);
+    return 1;
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].ToString(), "R(1,3)");  // Full original tuple.
+}
+
+}  // namespace
+}  // namespace hierarq

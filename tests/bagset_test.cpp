@@ -1,0 +1,203 @@
+// Tests for Bag-Set Maximization (paper §4 / §5.5, Theorem 5.11).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/bagset.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(BagSetMax, ZeroBudgetIsPlainCount) {
+  Rng rng(1);
+  RandomHierarchicalOptions qopts;
+  qopts.num_variables = 4;
+  const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+  DataGenOptions dopts;
+  dopts.tuples_per_relation = 20;
+  dopts.domain_size = 4;
+  const RepairInstance inst = RandomRepairInstance(q, rng, dopts);
+  auto result = MaximizeBagSet(q, inst.d, inst.repair, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_multiplicity, BagSetCount(q, inst.d));
+}
+
+TEST(BagSetMax, ProfileIsMonotone) {
+  Rng rng(2);
+  for (int round = 0; round < 20; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 10;
+    dopts.domain_size = 4;
+    const RepairInstance inst = RandomRepairInstance(q, rng, dopts);
+    auto result = MaximizeBagSet(q, inst.d, inst.repair, 6);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(BagMaxMonoid::IsMonotone(result->profile));
+  }
+}
+
+TEST(BagSetMax, FullBudgetReachesUnionCount) {
+  // With budget ≥ |Dr \ D| the optimum is Q(D ∪ Dr).
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 8;
+    dopts.domain_size = 4;
+    const RepairInstance inst = RandomRepairInstance(q, rng, dopts);
+    auto everything = inst.d.UnionWith(inst.repair);
+    ASSERT_TRUE(everything.ok());
+    auto result =
+        MaximizeBagSet(q, inst.d, inst.repair, inst.repair.NumFacts());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->max_multiplicity, BagSetCount(q, *everything))
+        << q.ToString();
+  }
+}
+
+class BagSetBruteForceParam : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BagSetBruteForceParam, MatchesSubsetEnumeration) {
+  // Theorem 5.11 correctness: the whole budget profile equals the
+  // brute-force optimum at every budget.
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 4;
+    dopts.domain_size = 3;
+    const RepairInstance inst = RandomRepairInstance(q, rng, dopts, 0.5);
+    size_t candidates = 0;
+    for (const Fact& f : inst.repair.AllFacts()) {
+      candidates += !inst.d.ContainsFact(f);
+    }
+    if (candidates > 12) {
+      continue;
+    }
+    const size_t budget = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    auto algo = MaximizeBagSet(q, inst.d, inst.repair, budget);
+    ASSERT_TRUE(algo.ok()) << q.ToString();
+    const BagMaxVec brute =
+        BruteForceBagSetMax(q, inst.d, inst.repair, budget);
+    EXPECT_EQ(algo->profile, brute) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BagSetBruteForceParam,
+                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56, 63,
+                                           70));
+
+TEST(BagSetMax, RepairFactsAlreadyInDAreFree) {
+  // Facts present in both D and Dr must be treated as already-present.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database d;
+  d.AddFactOrDie("R", MakeTuple({1}));
+  Database dr;
+  dr.AddFactOrDie("R", MakeTuple({1}));  // Duplicate of D.
+  dr.AddFactOrDie("R", MakeTuple({2}));
+  auto result = MaximizeBagSet(q, d, dr, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->profile[0], 1u);
+  EXPECT_EQ(result->profile[1], 2u);
+}
+
+TEST(BagSetMax, NonHierarchicalRejected) {
+  auto result = MaximizeBagSet(MakeQnh(), Database{}, Database{}, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotHierarchical);
+}
+
+TEST(BagSetMax, WeightedCostsRespectBudget) {
+  // Weighted extension: a fact of cost 3 only helps from budget 3 on.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database d;
+  Database dr;
+  dr.AddFactOrDie("R", MakeTuple({1}));
+  RepairCosts costs;
+  costs[Fact{"R", MakeTuple({1})}] = 3;
+  auto result = MaximizeBagSet(q, d, dr, 4, &costs);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->profile, (BagMaxVec{0, 0, 0, 1, 1}));
+}
+
+TEST(BagSetMax, WeightedCostsChooseCheaperAlternative) {
+  // Two ways to gain multiplicity: expensive fact (cost 3) with payoff 2,
+  // or two cheap facts (cost 1 each) with payoff 1 each.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database d;
+  Database dr;
+  dr.AddFactOrDie("R", MakeTuple({1}));
+  dr.AddFactOrDie("R", MakeTuple({2}));
+  dr.AddFactOrDie("R", MakeTuple({3}));
+  RepairCosts costs;
+  costs[Fact{"R", MakeTuple({3})}] = 3;
+  auto result = MaximizeBagSet(q, d, dr, 3, &costs);
+  ASSERT_TRUE(result.ok());
+  // Budget 1: one cheap fact. Budget 2: both cheap. Budget 3: all three
+  // would cost 5 — best is the two cheap ones OR cheap+expensive = 2.
+  EXPECT_EQ(result->profile, (BagMaxVec{0, 1, 2, 2}));
+}
+
+TEST(BagSetMax, WitnessAchievesOptimum) {
+  Rng rng(77);
+  for (int round = 0; round < 12; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 5;
+    dopts.domain_size = 3;
+    const RepairInstance inst = RandomRepairInstance(q, rng, dopts);
+    const size_t budget = 2;
+    auto opt = MaximizeBagSet(q, inst.d, inst.repair, budget);
+    ASSERT_TRUE(opt.ok());
+    auto witness = ExtractOptimalRepair(q, inst.d, inst.repair, budget);
+    ASSERT_TRUE(witness.ok()) << q.ToString();
+    ASSERT_LE(witness->size(), budget);
+    Database repaired = inst.d;
+    for (const Fact& f : *witness) {
+      EXPECT_TRUE(inst.repair.ContainsFact(f));
+      repaired.AddFactOrDie(f.relation, f.tuple);
+    }
+    EXPECT_EQ(BagSetCount(q, repaired), opt->max_multiplicity)
+        << q.ToString();
+  }
+}
+
+TEST(BagSetMax, EmptyRepairDatabase) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database d;
+  d.AddFactOrDie("R", MakeTuple({1, 5}));
+  d.AddFactOrDie("S", MakeTuple({1, 2}));
+  d.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  auto result = MaximizeBagSet(q, d, Database{}, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_multiplicity, 1u);
+}
+
+TEST(BagSetMax, CountHierarchicalMatchesEngineOnFamilies) {
+  Rng rng(88);
+  for (size_t branches = 1; branches <= 4; ++branches) {
+    const ConjunctiveQuery q = MakeStarQuery(branches);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 25;
+    dopts.domain_size = 5;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    auto fast = BagSetCountHierarchical(q, db);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, BagSetCount(q, db));
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,135 @@
+// Tests for the expected-multiplicity instantiation (expectation
+// semiring) and its contrast with marginal probability.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/expectation.h"
+#include "hierarq/core/pqe.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+/// Reference: E[Q] = Σ_worlds P(world) · Q(world), enumerated.
+double BruteForceExpectation(const ConjunctiveQuery& q,
+                             const TidDatabase& db) {
+  const auto facts = db.AllFacts();
+  HIERARQ_CHECK_LE(facts.size(), 20u);
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << facts.size()); ++mask) {
+    double weight = 1.0;
+    Database world;
+    for (size_t i = 0; i < facts.size(); ++i) {
+      if ((mask >> i) & 1) {
+        weight *= facts[i].second;
+        world.AddFactOrDie(facts[i].first.relation, facts[i].first.tuple);
+      } else {
+        weight *= 1.0 - facts[i].second;
+      }
+    }
+    if (weight > 0.0) {
+      total += weight * static_cast<double>(BagSetCount(q, world));
+    }
+  }
+  return total;
+}
+
+TEST(Expectation, SingleAtomIsSumOfProbabilities) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  TidDatabase db;
+  db.AddFactOrDie("R", MakeTuple({1}), 0.5);
+  db.AddFactOrDie("R", MakeTuple({2}), 0.25);
+  auto e = ExpectedMultiplicity(q, db);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 0.75);
+}
+
+TEST(Expectation, ProductOverIndependentAtoms) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(B)");
+  TidDatabase db;
+  db.AddFactOrDie("R", MakeTuple({1}), 0.5);
+  db.AddFactOrDie("R", MakeTuple({2}), 0.5);
+  db.AddFactOrDie("S", MakeTuple({1}), 0.5);
+  auto e = ExpectedMultiplicity(q, db);
+  ASSERT_TRUE(e.ok());
+  EXPECT_DOUBLE_EQ(*e, 1.0 * 0.5);  // E[|R|] * E[|S|].
+}
+
+TEST(Expectation, CertainDatabaseGivesExactCount) {
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 10;
+    dopts.domain_size = 4;
+    const Database facts = RandomDatabaseForQuery(q, rng, dopts);
+    TidDatabase db;
+    for (const Fact& f : facts.AllFacts()) {
+      db.AddFactOrDie(f.relation, f.tuple, 1.0);
+    }
+    auto e = ExpectedMultiplicity(q, db);
+    ASSERT_TRUE(e.ok());
+    EXPECT_DOUBLE_EQ(*e, static_cast<double>(BagSetCount(q, facts)))
+        << q.ToString();
+  }
+}
+
+class ExpectationBruteForceParam : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ExpectationBruteForceParam, MatchesWorldEnumeration) {
+  Rng rng(GetParam() * 1000 + 17);
+  for (int round = 0; round < 8; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 3;
+    dopts.domain_size = 3;
+    const TidDatabase db = RandomTidForQuery(q, rng, dopts, 0.1, 0.9);
+    if (db.NumFacts() > 14) {
+      continue;
+    }
+    auto fast = ExpectedMultiplicity(q, db);
+    ASSERT_TRUE(fast.ok()) << q.ToString();
+    EXPECT_NEAR(*fast, BruteForceExpectation(q, db), 1e-9) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpectationBruteForceParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Expectation, DominatesMarginalProbability) {
+  // Markov: Pr[Q] = Pr[count >= 1] <= E[count].
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 6;
+    dopts.domain_size = 4;
+    const TidDatabase db = RandomTidForQuery(q, rng, dopts);
+    auto pr = EvaluateProbability(q, db);
+    auto ev = ExpectedMultiplicity(q, db);
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(ev.ok());
+    EXPECT_LE(*pr, *ev + 1e-9) << q.ToString();
+  }
+}
+
+TEST(Expectation, NonHierarchicalRejected) {
+  TidDatabase db;
+  db.AddFactOrDie("R", MakeTuple({1}), 0.5);
+  auto e = ExpectedMultiplicity(MakeQnh(), db);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotHierarchical);
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,122 @@
+// Unit tests for exact rationals.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/util/fraction.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+namespace {
+
+TEST(Fraction, DefaultIsZero) {
+  Fraction f;
+  EXPECT_TRUE(f.IsZero());
+  EXPECT_EQ(f.ToString(), "0");
+  EXPECT_EQ(f.ToDouble(), 0.0);
+}
+
+TEST(Fraction, ReducesOnConstruction) {
+  const Fraction f = Fraction::Of(6, 8);
+  EXPECT_EQ(f.ToString(), "3/4");
+  EXPECT_EQ(Fraction::Of(10, 5).ToString(), "2");
+  EXPECT_EQ(Fraction::Of(0, 7).ToString(), "0");
+}
+
+TEST(Fraction, SignNormalization) {
+  EXPECT_EQ(Fraction::Of(1, -2).ToString(), "-1/2");
+  EXPECT_EQ(Fraction::Of(-1, -2).ToString(), "1/2");
+  EXPECT_EQ(Fraction::Of(-1, 2).ToString(), "-1/2");
+}
+
+TEST(Fraction, Arithmetic) {
+  EXPECT_EQ(Fraction::Of(1, 2) + Fraction::Of(1, 3), Fraction::Of(5, 6));
+  EXPECT_EQ(Fraction::Of(1, 2) - Fraction::Of(1, 3), Fraction::Of(1, 6));
+  EXPECT_EQ(Fraction::Of(2, 3) * Fraction::Of(3, 4), Fraction::Of(1, 2));
+  EXPECT_EQ(Fraction::Of(1, 2) / Fraction::Of(1, 4), Fraction(2));
+  EXPECT_EQ(-Fraction::Of(1, 2), Fraction::Of(-1, 2));
+}
+
+TEST(Fraction, CompoundAssignment) {
+  Fraction f = Fraction::Of(1, 4);
+  f += Fraction::Of(1, 4);
+  EXPECT_EQ(f, Fraction::Of(1, 2));
+  f *= Fraction(4);
+  EXPECT_EQ(f, Fraction(2));
+  f -= Fraction::Of(1, 2);
+  EXPECT_EQ(f, Fraction::Of(3, 2));
+  f /= Fraction(3);
+  EXPECT_EQ(f, Fraction::Of(1, 2));
+}
+
+TEST(Fraction, Comparison) {
+  EXPECT_LT(Fraction::Of(1, 3), Fraction::Of(1, 2));
+  EXPECT_GT(Fraction::Of(2, 3), Fraction::Of(1, 2));
+  EXPECT_LE(Fraction::Of(2, 4), Fraction::Of(1, 2));
+  EXPECT_LT(Fraction::Of(-1, 2), Fraction::Of(1, 100));
+  EXPECT_LT(Fraction::Of(-2, 3), Fraction::Of(-1, 3));
+}
+
+TEST(Fraction, ToDoubleSimple) {
+  EXPECT_DOUBLE_EQ(Fraction::Of(1, 2).ToDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Fraction::Of(-3, 4).ToDouble(), -0.75);
+  EXPECT_DOUBLE_EQ(Fraction::Of(1, 3).ToDouble(), 1.0 / 3.0);
+}
+
+TEST(Fraction, ToDoubleHugeFactorials) {
+  // 170!/171! = 1/171 even though both factorials overflow double... 171!
+  // does; the exponent-tracked conversion must still work.
+  const Fraction f(BigInt(BigUint::Factorial(170)),
+                   BigInt(BigUint::Factorial(171)));
+  EXPECT_NEAR(f.ToDouble(), 1.0 / 171.0, 1e-15);
+
+  const Fraction g(BigInt(BigUint::Factorial(500)),
+                   BigInt(BigUint::Factorial(501)));
+  EXPECT_NEAR(g.ToDouble(), 1.0 / 501.0, 1e-15);
+}
+
+TEST(Fraction, HugeFactorialReduction) {
+  // 100!/98! must reduce to 9900.
+  const Fraction f(BigInt(BigUint::Factorial(100)),
+                   BigInt(BigUint::Factorial(98)));
+  EXPECT_EQ(f, Fraction(9900));
+}
+
+TEST(Fraction, ShapleyStyleCoefficientsSumToOne) {
+  // Σ_{k=0}^{n-1} k!(n-k-1)!/n! · C(n-1, k) = 1 — the permutation-weight
+  // identity behind Eq. (14).
+  for (uint64_t n = 1; n <= 30; ++n) {
+    Fraction sum;
+    for (uint64_t k = 0; k < n; ++k) {
+      const Fraction weight(
+          BigInt(BigUint::Factorial(k) * BigUint::Factorial(n - k - 1)),
+          BigInt(BigUint::Factorial(n)));
+      sum += weight * Fraction(BigInt(BigUint::Binomial(n - 1, k)), BigInt(1));
+    }
+    EXPECT_EQ(sum, Fraction(1)) << "n=" << n;
+  }
+}
+
+TEST(Fraction, RandomizedFieldAxioms) {
+  Rng rng(123);
+  auto random_fraction = [&rng]() {
+    return Fraction::Of(rng.UniformInt(-50, 50), rng.UniformInt(1, 50));
+  };
+  for (int i = 0; i < 200; ++i) {
+    const Fraction a = random_fraction();
+    const Fraction b = random_fraction();
+    const Fraction c = random_fraction();
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a + Fraction(), a);
+    EXPECT_EQ(a * Fraction(1), a);
+    EXPECT_EQ(a - a, Fraction());
+    if (!b.IsZero()) {
+      EXPECT_EQ(a / b * b, a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,83 @@
+// Tests for GYO acyclicity and query classification (paper §5.1 contrast).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/query/gyo.h"
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+struct ClassifiedQuery {
+  const char* text;
+  QueryClass expected;
+};
+
+class ClassifyParam : public ::testing::TestWithParam<ClassifiedQuery> {};
+
+TEST_P(ClassifyParam, Classification) {
+  const ConjunctiveQuery q = ParseQueryOrDie(GetParam().text);
+  EXPECT_EQ(Classify(q), GetParam().expected) << q.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryZoo, ClassifyParam,
+    ::testing::Values(
+        ClassifiedQuery{"R(A)", QueryClass::kHierarchical},
+        ClassifiedQuery{"R(A,B), S(A,C), T(A,C,D)",
+                        QueryClass::kHierarchical},
+        ClassifiedQuery{"E(X,Y), F(Y,Z)", QueryClass::kHierarchical},
+        // The paper's central contrast: acyclic but NOT hierarchical —
+        // if Algorithm 1 worked on these, hardness results would collapse.
+        ClassifiedQuery{"R(X), S(X,Y), T(Y)", QueryClass::kAcyclicOnly},
+        ClassifiedQuery{"R(A,B), S(B,C), T(C,D)", QueryClass::kAcyclicOnly},
+        ClassifiedQuery{"R(A,B), S(B,C), T(C,A)", QueryClass::kCyclic},
+        ClassifiedQuery{"R(A,B), S(B,C), T(C,D), U(D,A)",
+                        QueryClass::kCyclic},
+        // The triangle with a guard atom covering all variables is
+        // alpha-acyclic (absorbed by GYO) but still not hierarchical.
+        ClassifiedQuery{"R(X,Y), S(Y,Z), T(Z,X), W(X,Y,Z)",
+                        QueryClass::kAcyclicOnly}));
+
+TEST(Gyo, TriangleWithGuardIsAcyclic) {
+  // Adding a guard atom covering all three variables makes the triangle
+  // alpha-acyclic (classic example).
+  const ConjunctiveQuery q =
+      ParseQueryOrDie("R(X,Y), S(Y,Z), T(Z,X), G(X,Y,Z)");
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_EQ(Classify(q), QueryClass::kAcyclicOnly);
+}
+
+TEST(Gyo, SingleAtomAlwaysAcyclic) {
+  EXPECT_TRUE(IsAcyclic(ParseQueryOrDie("R(A,B,C,D)")));
+  EXPECT_TRUE(IsAcyclic(ParseQueryOrDie("R()")));
+}
+
+TEST(Gyo, HierarchicalImpliesAcyclic) {
+  // Strict inclusion (paper §5.1): every hierarchical query passes GYO.
+  Rng rng(31337);
+  for (int round = 0; round < 80; ++round) {
+    RandomHierarchicalOptions opts;
+    opts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 6));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, opts);
+    EXPECT_TRUE(IsAcyclic(q)) << q.ToString();
+    EXPECT_EQ(Classify(q), QueryClass::kHierarchical);
+  }
+}
+
+TEST(Gyo, ClassNames) {
+  EXPECT_STREQ(QueryClassName(QueryClass::kHierarchical), "hierarchical");
+  EXPECT_STREQ(QueryClassName(QueryClass::kAcyclicOnly), "acyclic-only");
+  EXPECT_STREQ(QueryClassName(QueryClass::kCyclic), "cyclic");
+}
+
+TEST(Gyo, DisconnectedAcyclicity) {
+  EXPECT_TRUE(IsAcyclic(ParseQueryOrDie("R(A), S(B)")));
+  EXPECT_EQ(Classify(ParseQueryOrDie("R(A,B), S(B,C), T(C,D), U(E)")),
+            QueryClass::kAcyclicOnly);
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,161 @@
+// Tests for the hierarchical property, violation witnesses, and hierarchy
+// trees (paper §1, Propositions 5.1 / 5.5).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/query/gyo.h"
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+struct NamedQuery {
+  const char* text;
+  bool hierarchical;
+};
+
+class HierarchicalParam : public ::testing::TestWithParam<NamedQuery> {};
+
+TEST_P(HierarchicalParam, Classification) {
+  const ConjunctiveQuery q = ParseQueryOrDie(GetParam().text);
+  EXPECT_EQ(IsHierarchical(q), GetParam().hierarchical) << q.ToString();
+  // FindHierarchyViolation must agree.
+  EXPECT_EQ(!FindHierarchyViolation(q).has_value(), GetParam().hierarchical);
+  // BuildHierarchyForest succeeds exactly on hierarchical queries
+  // (Proposition 5.5).
+  EXPECT_EQ(BuildHierarchyForest(q).ok(), GetParam().hierarchical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryZoo, HierarchicalParam,
+    ::testing::Values(
+        // Hierarchical queries.
+        NamedQuery{"R(A)", true},
+        NamedQuery{"R()", true},
+        NamedQuery{"R(A,B)", true},
+        NamedQuery{"R(A,B), S(A,C), T(A,C,D)", true},   // Paper Eq. (1).
+        NamedQuery{"E(X,Y), F(Y,Z)", true},             // Q_h of §1.
+        NamedQuery{"R(A), S(B)", true},                 // Example 5.4.
+        NamedQuery{"R(X), S(X,Y)", true},
+        NamedQuery{"R(X,Y), S(Y,X)", true},             // Same var sets.
+        NamedQuery{"R(A,B,C), S(A,B), T(A)", true},     // Chain.
+        NamedQuery{"R0(X), R1(X,Y1), R2(X,Y2)", true},  // Star.
+        NamedQuery{"A1(X), A2(X), A3(X)", true},        // Triplicate.
+        // Non-hierarchical queries.
+        NamedQuery{"R(X), S(X,Y), T(Y)", false},        // Q_nh of §1.
+        NamedQuery{"R(A,B), S(B,C), T(C,D)", false},    // Example 5.3.
+        NamedQuery{"R(X,Y), S(Y,Z), T(Z,X)", false},    // Triangle.
+        NamedQuery{"R(A,B), S(B,C), T(C)", false},
+        NamedQuery{"R(X), S(X,Y), T(Y), U(X,Y)", false}));
+
+TEST(Hierarchical, QhOfPaperIsHierarchical) {
+  // The paper calls Q_h() :- E(X,Y) ∧ F(Y,Z) hierarchical: at(X) = {E},
+  // at(Z) = {F} are disjoint, and at(Y) = {E,F} contains both.
+  const ConjunctiveQuery q = MakeQh();
+  EXPECT_TRUE(IsHierarchical(q));
+}
+
+TEST(Hierarchical, ViolationWitnessShape) {
+  const ConjunctiveQuery q = MakeQnh();  // R(X), S(X,Y), T(Y).
+  const auto v = FindHierarchyViolation(q);
+  ASSERT_TRUE(v.has_value());
+  const VarSet& r_vars = q.atoms()[v->r_atom].vars();
+  const VarSet& s_vars = q.atoms()[v->s_atom].vars();
+  const VarSet& t_vars = q.atoms()[v->t_atom].vars();
+  EXPECT_TRUE(r_vars.Contains(v->a));
+  EXPECT_FALSE(r_vars.Contains(v->b));
+  EXPECT_TRUE(s_vars.Contains(v->a));
+  EXPECT_TRUE(s_vars.Contains(v->b));
+  EXPECT_TRUE(t_vars.Contains(v->b));
+  EXPECT_FALSE(t_vars.Contains(v->a));
+  EXPECT_NE(v->ToString(q).find("violate"), std::string::npos);
+}
+
+TEST(Hierarchical, ForestForPaperQuery) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto forest = BuildHierarchyForest(q);
+  ASSERT_TRUE(forest.ok());
+  // One tree (connected query), rooted at A.
+  ASSERT_EQ(forest->roots.size(), 1u);
+  const VarId a = *q.variables().Find("A");
+  EXPECT_EQ(forest->nodes[forest->roots[0]].var, a);
+  EXPECT_TRUE(ForestRealizesQuery(*forest, q));
+  // Each atom's variable set must be a root path (Proposition 5.5).
+  for (const Atom& atom : q.atoms()) {
+    bool realized = false;
+    for (size_t i = 0; i < forest->nodes.size(); ++i) {
+      realized |= forest->PathToRoot(i) == atom.vars();
+    }
+    EXPECT_TRUE(realized) << atom.ToString(q.variables());
+  }
+}
+
+TEST(Hierarchical, ForestForDisconnectedQuery) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A), S(B), T(B,C)");
+  auto forest = BuildHierarchyForest(q);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->roots.size(), 2u);  // {A} and {B,C} components.
+  EXPECT_TRUE(ForestRealizesQuery(*forest, q));
+}
+
+TEST(Hierarchical, ForestChainsEqualSignatures) {
+  // R(X,Y): at(X) == at(Y) — the two variables must form a chain.
+  const ConjunctiveQuery q = ParseQueryOrDie("R(X,Y)");
+  auto forest = BuildHierarchyForest(q);
+  ASSERT_TRUE(forest.ok());
+  ASSERT_EQ(forest->roots.size(), 1u);
+  ASSERT_EQ(forest->nodes.size(), 2u);
+  const size_t root = forest->roots[0];
+  ASSERT_EQ(forest->nodes[root].children.size(), 1u);
+  const size_t child = forest->nodes[root].children[0];
+  EXPECT_EQ(forest->PathToRoot(child), q.atoms()[0].vars());
+}
+
+TEST(Hierarchical, ForestToStringSmoke) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto forest = BuildHierarchyForest(q);
+  ASSERT_TRUE(forest.ok());
+  const std::string rendered = forest->ToString(q.variables());
+  EXPECT_NE(rendered.find("A"), std::string::npos);
+}
+
+TEST(Hierarchical, RandomHierarchicalAlwaysBuildsForest) {
+  Rng rng(2024);
+  for (int round = 0; round < 60; ++round) {
+    RandomHierarchicalOptions opts;
+    opts.num_variables = 2 + static_cast<size_t>(rng.UniformInt(0, 6));
+    opts.num_roots = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, opts);
+    ASSERT_TRUE(IsHierarchical(q)) << q.ToString();
+    auto forest = BuildHierarchyForest(q);
+    ASSERT_TRUE(forest.ok()) << q.ToString();
+    EXPECT_TRUE(ForestRealizesQuery(*forest, q)) << q.ToString();
+  }
+}
+
+TEST(Hierarchical, NonHierarchicalChainFamily) {
+  for (size_t links = 1; links <= 5; ++links) {
+    const ConjunctiveQuery q = MakeNonHierarchicalChain(links);
+    EXPECT_FALSE(IsHierarchical(q)) << q.ToString();
+    EXPECT_TRUE(IsAcyclic(q)) << q.ToString();
+  }
+}
+
+TEST(Hierarchical, NestedChainFamily) {
+  for (size_t depth = 1; depth <= 8; ++depth) {
+    const ConjunctiveQuery q = MakeNestedChain(depth);
+    EXPECT_TRUE(IsHierarchical(q)) << q.ToString();
+  }
+}
+
+TEST(Hierarchical, StarFamily) {
+  for (size_t branches = 1; branches <= 8; ++branches) {
+    const ConjunctiveQuery q = MakeStarQuery(branches);
+    EXPECT_TRUE(IsHierarchical(q)) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,161 @@
+// Unit tests for the small-buffer-optimized vector.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/util/inlined_vector.h"
+
+namespace hierarq {
+namespace {
+
+using Vec = InlinedVector<int64_t, 4>;
+
+TEST(InlinedVector, StartsEmptyAndInline) {
+  Vec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlinedVector, PushWithinInlineCapacity) {
+  Vec v;
+  for (int64_t i = 0; i < 4; ++i) {
+    v.push_back(i * 10);
+  }
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+  }
+}
+
+TEST(InlinedVector, SpillsToHeap) {
+  Vec v;
+  for (int64_t i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlinedVector, InitializerList) {
+  Vec v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(InlinedVector, CopySmallAndLarge) {
+  Vec small{1, 2};
+  Vec small_copy = small;
+  EXPECT_EQ(small_copy, small);
+
+  Vec large;
+  for (int64_t i = 0; i < 50; ++i) {
+    large.push_back(i);
+  }
+  Vec large_copy = large;
+  EXPECT_EQ(large_copy, large);
+  large_copy.push_back(99);
+  EXPECT_NE(large_copy, large);  // Deep copy.
+}
+
+TEST(InlinedVector, CopyAssignOverwrites) {
+  Vec a{1, 2, 3};
+  Vec b{9};
+  b = a;
+  EXPECT_EQ(b, a);
+  a = a;  // Self-assignment is a no-op.
+  EXPECT_EQ(a, (Vec{1, 2, 3}));
+}
+
+TEST(InlinedVector, MoveStealsHeapBuffer) {
+  Vec large;
+  for (int64_t i = 0; i < 50; ++i) {
+    large.push_back(i);
+  }
+  const int64_t* buffer = large.data();
+  Vec moved = std::move(large);
+  EXPECT_EQ(moved.data(), buffer);  // Pointer stolen, no copy.
+  EXPECT_EQ(moved.size(), 50u);
+  EXPECT_TRUE(large.empty());  // NOLINT(bugprone-use-after-move): spec'd.
+}
+
+TEST(InlinedVector, MoveInlineCopies) {
+  Vec small{5, 6};
+  Vec moved = std::move(small);
+  EXPECT_EQ(moved, (Vec{5, 6}));
+  EXPECT_TRUE(moved.is_inline());
+}
+
+TEST(InlinedVector, PopBack) {
+  Vec v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v, (Vec{1, 2}));
+}
+
+TEST(InlinedVector, Resize) {
+  Vec v;
+  v.resize(3, 7);
+  EXPECT_EQ(v, (Vec{7, 7, 7}));
+  v.resize(1);
+  EXPECT_EQ(v, (Vec{7}));
+  v.resize(6, 1);
+  EXPECT_EQ(v, (Vec{7, 1, 1, 1, 1, 1}));
+}
+
+TEST(InlinedVector, EraseAt) {
+  Vec v{10, 20, 30, 40};
+  v.erase_at(1);
+  EXPECT_EQ(v, (Vec{10, 30, 40}));
+  v.erase_at(2);
+  EXPECT_EQ(v, (Vec{10, 30}));
+  v.erase_at(0);
+  EXPECT_EQ(v, (Vec{30}));
+}
+
+TEST(InlinedVector, LexicographicOrder) {
+  EXPECT_LT((Vec{1, 2}), (Vec{1, 3}));
+  EXPECT_LT((Vec{1, 2}), (Vec{1, 2, 0}));
+  EXPECT_LT((Vec{}), (Vec{0}));
+  EXPECT_FALSE((Vec{2}) < (Vec{1, 9}));
+}
+
+TEST(InlinedVector, HashConsistentWithEquality) {
+  InlinedVectorHash<int64_t, 4> hasher;
+  Vec a{1, 2, 3};
+  Vec b{1, 2, 3};
+  Vec c{3, 2, 1};
+  EXPECT_EQ(hasher(a), hasher(b));
+  EXPECT_NE(hasher(a), hasher(c));  // Not guaranteed, but Mix64 is good.
+}
+
+TEST(InlinedVector, IteratorRange) {
+  Vec v{4, 5, 6};
+  int64_t sum = 0;
+  for (int64_t x : v) {
+    sum += x;
+  }
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(InlinedVector, RangeConstructor) {
+  std::vector<int64_t> src{9, 8, 7, 6, 5, 4};
+  Vec v(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 9);
+  EXPECT_EQ(v[5], 4);
+}
+
+TEST(InlinedVector, ReserveKeepsContents) {
+  Vec v{1, 2, 3};
+  v.reserve(100);
+  EXPECT_GE(v.capacity(), 100u);
+  EXPECT_EQ(v, (Vec{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,193 @@
+// Cross-solver integration tests: all four instantiations run on the same
+// instances and their outputs must be mutually consistent.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/bagset.h"
+#include "hierarq/core/pqe.h"
+#include "hierarq/core/provenance_pipeline.h"
+#include "hierarq/core/resilience.h"
+#include "hierarq/core/shapley.h"
+#include "hierarq/data/loader.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+struct SharedInstance {
+  ConjunctiveQuery query;
+  Database db;
+};
+
+SharedInstance Draw(Rng& rng) {
+  RandomHierarchicalOptions qopts;
+  qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+  SharedInstance out{MakeRandomHierarchical(rng, qopts), Database{}};
+  DataGenOptions dopts;
+  dopts.tuples_per_relation = 8;
+  dopts.domain_size = 4;
+  out.db = RandomDatabaseForQuery(out.query, rng, dopts);
+  return out;
+}
+
+TEST(Integration, CertainTidMatchesBooleanEvaluation) {
+  // PQE with all probabilities 1 must equal [Q true].
+  Rng rng(1001);
+  for (int round = 0; round < 20; ++round) {
+    const SharedInstance inst = Draw(rng);
+    TidDatabase tid;
+    for (const Fact& f : inst.db.AllFacts()) {
+      tid.AddFactOrDie(f.relation, f.tuple, 1.0);
+    }
+    auto p = EvaluateProbability(inst.query, tid);
+    ASSERT_TRUE(p.ok());
+    EXPECT_DOUBLE_EQ(*p, EvaluateBoolean(inst.query, inst.db) ? 1.0 : 0.0)
+        << inst.query.ToString();
+  }
+}
+
+TEST(Integration, ResilienceZeroIffQueryFalse) {
+  Rng rng(1002);
+  for (int round = 0; round < 20; ++round) {
+    const SharedInstance inst = Draw(rng);
+    auto r = ComputeResilience(inst.query, inst.db);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r == 0, !EvaluateBoolean(inst.query, inst.db))
+        << inst.query.ToString();
+  }
+}
+
+TEST(Integration, SatCountAtFullSizeIsQueryTruth) {
+  // #Sat(n, true) = 1 iff Q holds on Dx ∪ Dn (only one subset of size n).
+  Rng rng(1003);
+  for (int round = 0; round < 20; ++round) {
+    const SharedInstance inst = Draw(rng);
+    const auto [exo, endo] = SplitExoEndo(inst.db, rng, 0.5);
+    auto counts = CountSat(inst.query, exo, endo);
+    ASSERT_TRUE(counts.ok());
+    const bool sat = EvaluateBoolean(inst.query, inst.db);
+    EXPECT_EQ(counts->back(), BigUint(sat ? 1 : 0)) << inst.query.ToString();
+  }
+}
+
+TEST(Integration, BagMaxAtZeroBudgetEqualsCountingRun) {
+  Rng rng(1004);
+  for (int round = 0; round < 20; ++round) {
+    const SharedInstance inst = Draw(rng);
+    auto profile = MaximizeBagSet(inst.query, inst.db, Database{}, 0);
+    ASSERT_TRUE(profile.ok());
+    auto count = BagSetCountHierarchical(inst.query, inst.db);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(profile->max_multiplicity, *count);
+  }
+}
+
+TEST(Integration, ProvenanceSupportEqualsUsefulFactCount) {
+  // Facts outside the lineage support contribute to no assignment.
+  Rng rng(1005);
+  for (int round = 0; round < 10; ++round) {
+    const SharedInstance inst = Draw(rng);
+    auto prov = ComputeProvenance(inst.query, inst.db);
+    ASSERT_TRUE(prov.ok());
+    EXPECT_EQ(prov->facts.size(), inst.db.NumFacts());
+    EXPECT_LE(prov->tree->Support().size(), prov->facts.size());
+  }
+}
+
+TEST(Integration, LoaderToSolversEndToEnd) {
+  // Figure 1 via the text loader, through all four solvers.
+  auto d = LoadDatabase(R"(
+    R(1,5)
+    S(1,1)
+    S(1,2)
+    T(1,2,4)
+  )",
+                        nullptr);
+  ASSERT_TRUE(d.ok());
+  auto dr = LoadDatabase(R"(
+    R(1,6)
+    R(1,7)
+    T(1,1,4)
+    T(1,2,9)
+  )",
+                         nullptr);
+  ASSERT_TRUE(dr.ok());
+  const ConjunctiveQuery q = MakePaperQuery();
+
+  auto bagset = MaximizeBagSet(q, *d, *dr, 2);
+  ASSERT_TRUE(bagset.ok());
+  EXPECT_EQ(bagset->max_multiplicity, 4u);
+
+  auto resilience = ComputeResilience(q, *d);
+  ASSERT_TRUE(resilience.ok());
+  EXPECT_EQ(*resilience, 1u);
+
+  auto tid = LoadTidDatabase(R"(
+    R(1,5) @ 0.5
+    S(1,1) @ 0.5
+    S(1,2) @ 0.5
+    T(1,2,4) @ 0.5
+  )",
+                             nullptr);
+  ASSERT_TRUE(tid.ok());
+  auto p = EvaluateProbability(q, *tid);
+  ASSERT_TRUE(p.ok());
+  // Pr = p_R · (p_S2 · p_T) (S(1,1) has no matching T(1,1,_)).
+  EXPECT_NEAR(*p, 0.5 * (0.5 * 0.5), 1e-12);
+
+  auto shapley = AllShapleyValues(q, Database{}, *d);
+  ASSERT_TRUE(shapley.ok());
+  Fraction sum;
+  for (const auto& [fact, value] : *shapley) {
+    sum += value;
+  }
+  EXPECT_EQ(sum, Fraction(1));  // Q flips from false to true: efficiency.
+  // S(1,1) participates in no assignment: null player.
+  for (const auto& [fact, value] : *shapley) {
+    if (fact == (Fact{"S", MakeTuple({1, 1})})) {
+      EXPECT_EQ(value, Fraction(0));
+    } else {
+      EXPECT_GT(value, Fraction(0));
+    }
+  }
+}
+
+TEST(Integration, SymbolicDataEndToEnd) {
+  // Symbolic (string) values flow through the whole pipeline.
+  Dictionary dict;
+  auto db = LoadDatabase(R"(
+    Author(alice, p1)
+    Author(bob, p1)
+    Cites(p1, p2)
+  )",
+                         &dict);
+  ASSERT_TRUE(db.ok());
+  const ConjunctiveQuery q = ParseQueryOrDie("Author(A, P), Cites(P, O)");
+  EXPECT_EQ(BagSetCount(q, *db), 2u);
+  auto count = BagSetCountHierarchical(q, *db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 2u);
+}
+
+TEST(Integration, AllSolversAgreeOnEmptyDatabase) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto p = EvaluateProbability(q, TidDatabase{});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 0.0);
+  auto r = ComputeResilience(q, Database{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+  auto b = MaximizeBagSet(q, Database{}, Database{}, 3);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->max_multiplicity, 0u);
+  auto s = CountSat(q, Database{}, Database{});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 1u);
+  EXPECT_EQ((*s)[0], BigUint(0));
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,152 @@
+// Tests for DNF lineage + Shannon-expansion PQE (the fallback for the
+// intractable side of the dichotomy).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/pqe.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/engine/lineage.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(DnfLineage, ClausePerAssignment) {
+  const ConjunctiveQuery q = MakeQnh();  // R(X), S(X,Y), T(Y).
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  db.AddFactOrDie("S", MakeTuple({1, 10}));
+  db.AddFactOrDie("S", MakeTuple({1, 11}));
+  db.AddFactOrDie("T", MakeTuple({10}));
+  db.AddFactOrDie("T", MakeTuple({11}));
+  auto lineage = ComputeDnfLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  // Two satisfying assignments -> ∨ of two ∧-clauses; R(1) repeats.
+  EXPECT_EQ(lineage->tree->kind(), ProvTree::Kind::kOr);
+  EXPECT_EQ(lineage->tree->children().size(), 2u);
+  EXPECT_FALSE(lineage->tree->IsDecomposable());  // R(1) in both clauses.
+  EXPECT_EQ(lineage->facts.size(), 5u);
+}
+
+TEST(DnfLineage, FalseWhenUnsatisfied) {
+  const ConjunctiveQuery q = MakeQnh();
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  auto lineage = ComputeDnfLineage(q, db);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->tree->kind(), ProvTree::Kind::kFalse);
+}
+
+TEST(DnfLineage, BooleanSemanticsMatchEngineOnWorlds) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const ConjunctiveQuery q =
+        MakeRandomQuery(rng, 1 + static_cast<size_t>(rng.UniformInt(0, 2)),
+                        1 + static_cast<size_t>(rng.UniformInt(0, 2)), 2);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 3;
+    dopts.domain_size = 2;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    auto lineage = ComputeDnfLineage(q, db);
+    ASSERT_TRUE(lineage.ok());
+    const size_t n = lineage->facts.size();
+    if (n > 10) {
+      continue;
+    }
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      Database world;
+      for (size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          world.AddFactOrDie(lineage->facts[i].relation,
+                             lineage->facts[i].tuple);
+        }
+      }
+      EXPECT_EQ(EvalTreeBool(*lineage->tree,
+                             [&](uint64_t s) { return (mask >> s) & 1; }),
+                EvaluateBoolean(q, world))
+          << q.ToString();
+    }
+  }
+}
+
+TEST(Shannon, HandComputedNonReadOnce) {
+  // (f0 ∧ f1) ∨ (f0 ∧ f2) with all p = 1/2:
+  // Pr = p0 · (1 - (1-p1)(1-p2)) = 0.5 · 0.75 = 0.375.
+  // Naive independent-events evaluation of the DNF would give
+  // 1-(1-0.25)^2 = 0.4375 — wrong, because f0 is shared.
+  const ProvTreeRef tree = ProvTree::Or(
+      ProvTree::And(ProvTree::Leaf(0), ProvTree::Leaf(1)),
+      ProvTree::And(ProvTree::Leaf(0), ProvTree::Leaf(2)));
+  const double p =
+      TreeProbabilityShannon(tree, [](uint64_t) { return 0.5; });
+  EXPECT_NEAR(p, 0.375, 1e-12);
+}
+
+TEST(Shannon, ConstantsAndExtremes) {
+  EXPECT_EQ(TreeProbabilityShannon(ProvTree::True(),
+                                   [](uint64_t) { return 0.5; }),
+            1.0);
+  EXPECT_EQ(TreeProbabilityShannon(ProvTree::False(),
+                                   [](uint64_t) { return 0.5; }),
+            0.0);
+  const ProvTreeRef leaf = ProvTree::Leaf(0);
+  EXPECT_EQ(TreeProbabilityShannon(leaf, [](uint64_t) { return 0.0; }), 0.0);
+  EXPECT_EQ(TreeProbabilityShannon(leaf, [](uint64_t) { return 1.0; }), 1.0);
+}
+
+class ShannonPqeParam : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShannonPqeParam, MatchesPossibleWorldsOnNonHierarchical) {
+  // The whole point: exact PQE where Algorithm 1 cannot go.
+  Rng rng(GetParam() * 77 + 3);
+  const ConjunctiveQuery queries[] = {
+      MakeQnh(), ParseQueryOrDie("R(A,B), S(B,C), T(C,D)")};
+  for (const ConjunctiveQuery& q : queries) {
+    for (int round = 0; round < 4; ++round) {
+      DataGenOptions dopts;
+      dopts.tuples_per_relation = 3;
+      dopts.domain_size = 3;
+      const TidDatabase db = RandomTidForQuery(q, rng, dopts, 0.2, 0.8);
+      if (db.NumFacts() > 12) {
+        continue;
+      }
+      ASSERT_FALSE(EvaluateProbability(q, db).ok());  // Dichotomy.
+      auto shannon = EvaluateProbabilityExhaustive(q, db);
+      ASSERT_TRUE(shannon.ok());
+      EXPECT_NEAR(*shannon, BruteForcePqe(q, db), 1e-9) << q.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShannonPqeParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Shannon, AgreesWithUnifiedAlgorithmOnHierarchical) {
+  // On the tractable side both methods must coincide.
+  Rng rng(99);
+  for (int round = 0; round < 15; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 4;
+    dopts.domain_size = 3;
+    const TidDatabase db = RandomTidForQuery(q, rng, dopts, 0.1, 0.9);
+    auto lineage = ComputeDnfLineage(q, db.facts());
+    ASSERT_TRUE(lineage.ok());
+    if (lineage->tree->Support().size() > 20) {
+      continue;
+    }
+    auto fast = EvaluateProbability(q, db);
+    auto shannon = EvaluateProbabilityExhaustive(q, db);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(shannon.ok());
+    EXPECT_NEAR(*fast, *shannon, 1e-9) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,200 @@
+// End-to-end reproduction of the paper's worked material:
+//   * Figure 1 + Eq. (1): the Bag-Set Maximization running example (§1-§2);
+//   * the probabilistic evaluation pipeline of §2 (Eqs. (4)-(9));
+//   * Examples 5.2 / 5.3 / 5.4: elimination traces.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/bagset.h"
+#include "hierarq/core/pqe.h"
+#include "hierarq/data/database.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+/// Figure 1a: the database D.
+Database Fig1D() {
+  Database d;
+  d.AddFactOrDie("R", MakeTuple({1, 5}));
+  d.AddFactOrDie("S", MakeTuple({1, 1}));
+  d.AddFactOrDie("S", MakeTuple({1, 2}));
+  d.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  return d;
+}
+
+/// Figure 1b: the repair database Dr.
+Database Fig1Dr() {
+  Database dr;
+  dr.AddFactOrDie("R", MakeTuple({1, 6}));
+  dr.AddFactOrDie("R", MakeTuple({1, 7}));
+  dr.AddFactOrDie("T", MakeTuple({1, 1, 4}));
+  dr.AddFactOrDie("T", MakeTuple({1, 2, 9}));
+  return dr;
+}
+
+TEST(PaperExample, QueryEq1IsHierarchical) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  EXPECT_TRUE(IsHierarchical(q));
+  EXPECT_EQ(q.num_atoms(), 3u);
+  EXPECT_EQ(q.AllVars().size(), 4u);
+}
+
+TEST(PaperExample, InitialMultiplicityIsOne) {
+  // "Initially, Q has one satisfying assignment over D, namely
+  //  (A,B,C,D) = (1,5,2,4). Hence Q(D) = 1."
+  const ConjunctiveQuery q = MakePaperQuery();
+  EXPECT_EQ(BagSetCount(q, Fig1D()), 1u);
+
+  auto via_algorithm = BagSetCountHierarchical(q, Fig1D());
+  ASSERT_TRUE(via_algorithm.ok());
+  EXPECT_EQ(*via_algorithm, 1u);
+}
+
+TEST(PaperExample, TheUniqueInitialAssignmentIs1524) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  std::vector<std::vector<Value>> rows;
+  EnumerateAssignments(q, Fig1D(), [&rows](const std::vector<Value>& row) {
+    rows.push_back(row);
+    return true;
+  });
+  ASSERT_EQ(rows.size(), 1u);
+  // AllVars order is interning order: A, B, C, D.
+  EXPECT_EQ(rows[0], (std::vector<Value>{1, 5, 2, 4}));
+}
+
+TEST(PaperExample, TwoRFactsGiveThree) {
+  // "We could amend D with the two facts R(1,6) and R(1,7) from Dr, which
+  //  would bring Q(D) to 3."
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database d = Fig1D();
+  d.AddFactOrDie("R", MakeTuple({1, 6}));
+  d.AddFactOrDie("R", MakeTuple({1, 7}));
+  EXPECT_EQ(BagSetCount(q, d), 3u);
+}
+
+TEST(PaperExample, OptimalRepairGivesFour) {
+  // "A better repair is to amend D with R(1,6) and T(1,2,9), since this
+  //  would bring Q(D) to 4. [...] this would be an optimal repair, hence
+  //  the answer to this Bag-Set Maximization instance is 4."
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database d = Fig1D();
+  d.AddFactOrDie("R", MakeTuple({1, 6}));
+  d.AddFactOrDie("T", MakeTuple({1, 2, 9}));
+  EXPECT_EQ(BagSetCount(q, d), 4u);
+
+  auto result = MaximizeBagSet(MakePaperQuery(), Fig1D(), Fig1Dr(), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_multiplicity, 4u);
+  EXPECT_FALSE(result->saturated);
+}
+
+TEST(PaperExample, FullBudgetProfile) {
+  // profile[i] = optimum at budget i: 1 (no repair), 2 (one fact),
+  // 4 (two facts).
+  auto result = MaximizeBagSet(MakePaperQuery(), Fig1D(), Fig1Dr(), 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->profile.size(), 3u);
+  EXPECT_EQ(result->profile[0], 1u);
+  EXPECT_EQ(result->profile[1], 2u);
+  EXPECT_EQ(result->profile[2], 4u);
+}
+
+TEST(PaperExample, ProfileMatchesBruteForce) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  for (size_t budget : {0, 1, 2, 3, 4}) {
+    auto algo = MaximizeBagSet(q, Fig1D(), Fig1Dr(), budget);
+    ASSERT_TRUE(algo.ok());
+    const BagMaxVec brute = BruteForceBagSetMax(q, Fig1D(), Fig1Dr(), budget);
+    EXPECT_EQ(algo->profile, brute) << "budget=" << budget;
+  }
+}
+
+TEST(PaperExample, OptimalRepairWitness) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto repair = ExtractOptimalRepair(q, Fig1D(), Fig1Dr(), 2);
+  ASSERT_TRUE(repair.ok());
+  ASSERT_EQ(repair->size(), 2u);
+  Database d = Fig1D();
+  for (const Fact& fact : *repair) {
+    EXPECT_TRUE(Fig1Dr().ContainsFact(fact));
+    EXPECT_FALSE(Fig1D().ContainsFact(fact));
+    d.AddFactOrDie(fact.relation, fact.tuple);
+  }
+  EXPECT_EQ(BagSetCount(q, d), 4u);
+}
+
+TEST(PaperExample, WholeRepairDatabaseBudget) {
+  // With budget >= |Dr| = 4 every fact can be added:
+  // R ∈ {5,6,7} × {S(1,1)T(1,1,4), S(1,2)T(1,2,4), S(1,2)T(1,2,9)} = 9.
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto result = MaximizeBagSet(q, Fig1D(), Fig1Dr(), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->max_multiplicity, 9u);
+}
+
+TEST(PaperExample, Section2ProbabilisticPipeline) {
+  // §2 instantiates the same elimination with the probability monoid; on a
+  // uniform-0.5 TID version of Figure 1's D the result must match the
+  // possible-worlds brute force.
+  const ConjunctiveQuery q = MakePaperQuery();
+  TidDatabase tid;
+  tid.AddFactOrDie("R", MakeTuple({1, 5}), 0.5);
+  tid.AddFactOrDie("S", MakeTuple({1, 1}), 0.25);
+  tid.AddFactOrDie("S", MakeTuple({1, 2}), 0.75);
+  tid.AddFactOrDie("T", MakeTuple({1, 2, 4}), 0.5);
+  tid.AddFactOrDie("T", MakeTuple({1, 1, 4}), 0.125);
+
+  auto fast = EvaluateProbability(q, tid);
+  ASSERT_TRUE(fast.ok());
+  const double slow = BruteForcePqe(q, tid);
+  EXPECT_NEAR(*fast, slow, 1e-12);
+}
+
+TEST(PaperExample, Example52EliminationSucceedsInSixSteps) {
+  // Example 5.2 reduces Eq. (1) with 4 applications of Rule 1 and 2 of
+  // Rule 2 (6 steps total), ending in a nullary atom.
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto plan = EliminationPlan::Build(q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps().size(), 6u);
+  size_t rule1 = 0;
+  size_t rule2 = 0;
+  for (const EliminationStep& step : plan->steps()) {
+    (step.rule == EliminationRule::kProjectVariable ? rule1 : rule2) += 1;
+  }
+  EXPECT_EQ(rule1, 4u);
+  EXPECT_EQ(rule2, 2u);
+  EXPECT_TRUE(plan->vars_of(plan->final_atom()).empty());
+}
+
+TEST(PaperExample, Example53PathQueryGetsStuck) {
+  // Q() :- R(A,B), S(B,C), T(C,D): Rule 1 eliminates A and D, then the
+  // procedure is stuck — the query is not hierarchical.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A,B), S(B,C), T(C,D)");
+  EXPECT_FALSE(IsHierarchical(q));
+  auto plan = EliminationPlan::Build(q);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotHierarchical);
+}
+
+TEST(PaperExample, Example54DisconnectedQueryReduces) {
+  // Q() :- R(A), S(B) reduces via Rule 1, Rule 1, Rule 2.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(B)");
+  ASSERT_TRUE(IsHierarchical(q));
+  auto plan = EliminationPlan::Build(q);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->steps().size(), 3u);
+  EXPECT_EQ(plan->steps()[0].rule, EliminationRule::kProjectVariable);
+  EXPECT_EQ(plan->steps()[1].rule, EliminationRule::kProjectVariable);
+  EXPECT_EQ(plan->steps()[2].rule, EliminationRule::kMergeAtoms);
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,204 @@
+// Tests for provenance trees and the provenance 2-monoid
+// (paper Definitions 6.1 / 6.2).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/algebra/provenance.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+namespace {
+
+TEST(ProvTree, IdentitiesAreSingletons) {
+  EXPECT_EQ(ProvTree::False()->kind(), ProvTree::Kind::kFalse);
+  EXPECT_EQ(ProvTree::True()->kind(), ProvTree::Kind::kTrue);
+  EXPECT_TRUE(ProvTree::False()->Equals(*ProvTree::False()));
+  EXPECT_FALSE(ProvTree::False()->Equals(*ProvTree::True()));
+}
+
+TEST(ProvTree, IdentityLaws) {
+  // Or(x, false) = x and And(x, true) = x — the identity laws hold
+  // structurally by construction.
+  const ProvTreeRef leaf = ProvTree::Leaf(3);
+  EXPECT_TRUE(ProvTree::Or(leaf, ProvTree::False())->Equals(*leaf));
+  EXPECT_TRUE(ProvTree::Or(ProvTree::False(), leaf)->Equals(*leaf));
+  EXPECT_TRUE(ProvTree::And(leaf, ProvTree::True())->Equals(*leaf));
+  EXPECT_TRUE(ProvTree::And(ProvTree::True(), leaf)->Equals(*leaf));
+}
+
+TEST(ProvTree, NoAnnihilation) {
+  // And(x, false) must be KEPT — 2-monoids have no annihilation law.
+  const ProvTreeRef leaf = ProvTree::Leaf(3);
+  const ProvTreeRef product = ProvTree::And(leaf, ProvTree::False());
+  EXPECT_EQ(product->kind(), ProvTree::Kind::kAnd);
+  EXPECT_FALSE(product->Equals(*ProvTree::False()));
+}
+
+TEST(ProvTree, CommutativityByCanonicalization) {
+  const ProvTreeRef a = ProvTree::Leaf(1);
+  const ProvTreeRef b = ProvTree::Leaf(2);
+  EXPECT_TRUE(ProvTree::Or(a, b)->Equals(*ProvTree::Or(b, a)));
+  EXPECT_TRUE(ProvTree::And(a, b)->Equals(*ProvTree::And(b, a)));
+  EXPECT_EQ(ProvTree::Or(a, b)->hash(), ProvTree::Or(b, a)->hash());
+}
+
+TEST(ProvTree, AssociativityByFlattening) {
+  const ProvTreeRef a = ProvTree::Leaf(1);
+  const ProvTreeRef b = ProvTree::Leaf(2);
+  const ProvTreeRef c = ProvTree::Leaf(3);
+  const ProvTreeRef left = ProvTree::Or(ProvTree::Or(a, b), c);
+  const ProvTreeRef right = ProvTree::Or(a, ProvTree::Or(b, c));
+  EXPECT_TRUE(left->Equals(*right));
+  EXPECT_EQ(left->children().size(), 3u);  // Flattened, not nested.
+}
+
+TEST(ProvTree, MixedKindsDoNotFlatten) {
+  const ProvTreeRef a = ProvTree::Leaf(1);
+  const ProvTreeRef b = ProvTree::Leaf(2);
+  const ProvTreeRef c = ProvTree::Leaf(3);
+  const ProvTreeRef tree = ProvTree::And(ProvTree::Or(a, b), c);
+  EXPECT_EQ(tree->kind(), ProvTree::Kind::kAnd);
+  ASSERT_EQ(tree->children().size(), 2u);
+}
+
+TEST(ProvTree, Support) {
+  const ProvTreeRef tree = ProvTree::And(
+      ProvTree::Or(ProvTree::Leaf(1), ProvTree::Leaf(4)), ProvTree::Leaf(2));
+  EXPECT_EQ(tree->Support(), (std::set<uint64_t>{1, 2, 4}));
+  EXPECT_TRUE(ProvTree::True()->Support().empty());
+}
+
+TEST(ProvTree, Decomposability) {
+  const ProvTreeRef a = ProvTree::Leaf(1);
+  const ProvTreeRef b = ProvTree::Leaf(2);
+  EXPECT_TRUE(ProvTree::Or(a, b)->IsDecomposable());
+  // Repeated leaf symbol -> not decomposable.
+  EXPECT_FALSE(ProvTree::Or(a, ProvTree::And(a, b))->IsDecomposable());
+  // ⊤/⊥ leaves do not break decomposability (they carry no fact), even
+  // when repeated — see the doc comment on IsDecomposable().
+  EXPECT_TRUE(ProvTree::True()->IsDecomposable());
+  const ProvTreeRef two_falses =
+      ProvTree::Or(ProvTree::And(a, ProvTree::False()),
+                   ProvTree::And(b, ProvTree::False()));
+  EXPECT_TRUE(two_falses->IsDecomposable());
+}
+
+TEST(ProvTree, ZeroTimesZeroIsZero) {
+  // The Definition 5.6 law, structurally.
+  const ProvTreeRef product =
+      ProvTree::And(ProvTree::False(), ProvTree::False());
+  EXPECT_TRUE(product->Equals(*ProvTree::False()));
+}
+
+TEST(ProvTree, NumNodesAndDepth) {
+  const ProvTreeRef tree = ProvTree::And(
+      ProvTree::Or(ProvTree::Leaf(1), ProvTree::Leaf(2)), ProvTree::Leaf(3));
+  EXPECT_EQ(tree->NumNodes(), 5u);
+  EXPECT_EQ(tree->Depth(), 3u);
+  EXPECT_EQ(ProvTree::Leaf(0)->Depth(), 1u);
+}
+
+TEST(ProvTree, ToStringSmoke) {
+  const ProvTreeRef tree =
+      ProvTree::And(ProvTree::Or(ProvTree::Leaf(1), ProvTree::Leaf(2)),
+                    ProvTree::Leaf(3));
+  const std::string s = tree->ToString();
+  EXPECT_NE(s.find("f1"), std::string::npos);
+  EXPECT_NE(s.find("∧"), std::string::npos);
+  EXPECT_NE(s.find("∨"), std::string::npos);
+  EXPECT_EQ(ProvTree::True()->ToString(), "⊤");
+  EXPECT_EQ(ProvTree::False()->ToString(), "⊥");
+}
+
+TEST(ProvMonoid, SatisfiesConcept) {
+  static_assert(TwoMonoid<ProvMonoid>);
+  const ProvMonoid m;
+  const ProvTreeRef leaf = ProvTree::Leaf(7);
+  EXPECT_TRUE(m.Plus(leaf, m.Zero())->Equals(*leaf));
+  EXPECT_TRUE(m.Times(leaf, m.One())->Equals(*leaf));
+  EXPECT_TRUE(m.Times(m.Zero(), m.Zero())->Equals(*m.Zero()));
+}
+
+TEST(EvalTree, BooleanSemantics) {
+  // (f1 ∨ f2) ∧ f3.
+  const ProvTreeRef tree =
+      ProvTree::And(ProvTree::Or(ProvTree::Leaf(1), ProvTree::Leaf(2)),
+                    ProvTree::Leaf(3));
+  auto world = [](std::set<uint64_t> present) {
+    return [present](uint64_t s) { return present.count(s) > 0; };
+  };
+  EXPECT_TRUE(EvalTreeBool(*tree, world({1, 3})));
+  EXPECT_TRUE(EvalTreeBool(*tree, world({2, 3})));
+  EXPECT_FALSE(EvalTreeBool(*tree, world({1, 2})));
+  EXPECT_FALSE(EvalTreeBool(*tree, world({3})));
+  EXPECT_TRUE(EvalTreeBool(*ProvTree::True(), world({})));
+  EXPECT_FALSE(EvalTreeBool(*ProvTree::False(), world({})));
+}
+
+TEST(EvalTree, CountSemantics) {
+  // (f1 ∨ f2) ∧ f3 with multiplicities 2, 3, 4 -> (2+3)*4 = 20.
+  const ProvTreeRef tree =
+      ProvTree::And(ProvTree::Or(ProvTree::Leaf(1), ProvTree::Leaf(2)),
+                    ProvTree::Leaf(3));
+  auto mult = [](uint64_t s) { return s + 1; };
+  EXPECT_EQ(EvalTreeCount(*tree, mult), 20u);
+  EXPECT_EQ(EvalTreeCount(*ProvTree::True(), mult), 1u);
+  EXPECT_EQ(EvalTreeCount(*ProvTree::False(), mult), 0u);
+}
+
+TEST(EvalTree, GenericMonoidFoldMatchesSpecial) {
+  // EvalTreeInMonoid over CountMonoid == EvalTreeCount; over ProbMonoid it
+  // is the independent-events probability (valid: tree is decomposable).
+  const ProvTreeRef tree =
+      ProvTree::And(ProvTree::Or(ProvTree::Leaf(0), ProvTree::Leaf(1)),
+                    ProvTree::Leaf(2));
+  const CountMonoid count;
+  EXPECT_EQ(EvalTreeInMonoid(count, *tree,
+                             [](uint64_t) -> uint64_t { return 1; }),
+            2u);
+
+  const ProbMonoid prob;
+  const double p = EvalTreeInMonoid(prob, *tree, [](uint64_t s) {
+    return s == 2 ? 0.5 : 0.5;
+  });
+  // (0.5 ⊕ 0.5) ⊗ 0.5 = 0.75 * 0.5.
+  EXPECT_DOUBLE_EQ(p, 0.375);
+}
+
+TEST(EvalTree, RandomizedCountMatchesBooleanOverWorlds) {
+  // For decomposable trees over {0..n-1} with 0/1 multiplicities, count
+  // semantics and Boolean semantics agree on "positive iff satisfied".
+  Rng rng(4242);
+  for (int round = 0; round < 100; ++round) {
+    // Random decomposable tree over distinct leaves.
+    std::vector<ProvTreeRef> pool;
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 5));
+    for (size_t i = 0; i < n; ++i) {
+      pool.push_back(ProvTree::Leaf(i));
+    }
+    while (pool.size() > 1) {
+      const size_t i =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+      ProvTreeRef a = pool[i];
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(i));
+      const size_t j =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1));
+      ProvTreeRef b = pool[j];
+      pool[j] = rng.Bernoulli(0.5) ? ProvTree::Or(a, b) : ProvTree::And(a, b);
+    }
+    const ProvTreeRef tree = pool[0];
+    ASSERT_TRUE(tree->IsDecomposable());
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      const bool b =
+          EvalTreeBool(*tree, [&](uint64_t s) { return (mask >> s) & 1; });
+      const uint64_t c = EvalTreeCount(
+          *tree, [&](uint64_t s) -> uint64_t { return (mask >> s) & 1; });
+      EXPECT_EQ(b, c > 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

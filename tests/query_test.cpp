@@ -1,0 +1,136 @@
+// Unit tests for the query model and parser.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/query/parser.h"
+#include "hierarq/query/query.h"
+
+namespace hierarq {
+namespace {
+
+TEST(VariableTable, InternIsIdempotent) {
+  VariableTable t;
+  const VarId a = t.Intern("A");
+  const VarId b = t.Intern("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.Intern("A"), a);
+  EXPECT_EQ(t.Name(a), "A");
+  EXPECT_EQ(t.Name(b), "B");
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Find("B"), b);
+  EXPECT_FALSE(t.Find("C").has_value());
+}
+
+TEST(Atom, VarsAndConstants) {
+  VariableTable t;
+  const VarId a = t.Intern("A");
+  Atom atom("R", {Term::Var(a), Term::Const(7), Term::Var(a)});
+  EXPECT_EQ(atom.relation(), "R");
+  EXPECT_EQ(atom.arity(), 3u);
+  EXPECT_TRUE(atom.HasConstants());
+  EXPECT_EQ(atom.vars(), (VarSet{a}));
+  EXPECT_EQ(atom.PositionsOf(a), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(atom.ToString(t), "R(A,7,A)");
+}
+
+TEST(Parser, PaperQuery) {
+  auto q = ParseQuery("Q() :- R(A,B), S(A,C), T(A,C,D).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_atoms(), 3u);
+  EXPECT_EQ(q->AllVars().size(), 4u);
+  EXPECT_EQ(q->ToString(), "Q() :- R(A,B), S(A,C), T(A,C,D)");
+}
+
+TEST(Parser, HeadIsOptional) {
+  auto q = ParseQuery("R(A,B), S(B)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_atoms(), 2u);
+}
+
+TEST(Parser, TrailingPeriodOptional) {
+  EXPECT_TRUE(ParseQuery("R(A)").ok());
+  EXPECT_TRUE(ParseQuery("R(A).").ok());
+}
+
+TEST(Parser, NullaryAtom) {
+  auto q = ParseQuery("Q() :- R()");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms()[0].arity(), 0u);
+  EXPECT_TRUE(q->AllVars().empty());
+}
+
+TEST(Parser, Constants) {
+  auto q = ParseQuery("R(A, 3), S(A, -1)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->atoms()[0].HasConstants());
+  EXPECT_EQ(q->atoms()[0].terms()[1].constant(), 3);
+  EXPECT_EQ(q->atoms()[1].terms()[1].constant(), -1);
+}
+
+TEST(Parser, RepeatedVariableWithinAtom) {
+  auto q = ParseQuery("R(A, A)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms()[0].vars().size(), 1u);
+}
+
+TEST(Parser, RejectsSelfJoins) {
+  auto q = ParseQuery("R(A), R(B)");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Parser, RejectsMalformed) {
+  EXPECT_EQ(ParseQuery("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseQuery("R(A").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseQuery("R A)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseQuery("Q(X) :- R(X)").status().code(),
+            StatusCode::kParseError);  // Head must be nullary.
+  EXPECT_EQ(ParseQuery("R(,)").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseQuery("R(A), , S(B)").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseQuery("1R(A)").status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, LowercaseTokenIsNotAVariable) {
+  // Lowercase identifiers are rejected as values in queries (only integer
+  // constants are supported there).
+  EXPECT_FALSE(ParseQuery("R(alice)").ok());
+}
+
+TEST(Query, AtomsOfVariable) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A,C), T(A,C,D)");
+  const VarId a = *q.variables().Find("A");
+  const VarId d = *q.variables().Find("D");
+  EXPECT_EQ(q.AtomsOf(a), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(q.AtomsOf(d), (std::vector<size_t>{2}));
+}
+
+TEST(Query, AtomIndexOf) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A), S(A,B)");
+  EXPECT_EQ(q.AtomIndexOf("R"), 0u);
+  EXPECT_EQ(q.AtomIndexOf("S"), 1u);
+  EXPECT_FALSE(q.AtomIndexOf("T").has_value());
+}
+
+TEST(Query, ConnectedComponentsSingle) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(B,C), T(C)");
+  const auto components = q.ConnectedComponents();
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].size(), 3u);
+}
+
+TEST(Query, ConnectedComponentsDisconnected) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A), S(B), T(B,C), U()");
+  const auto components = q.ConnectedComponents();
+  // {R}, {S,T}, {U}.
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST(Query, ConnectedViaSharedVariableOnly) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,X), S(B,X)");
+  EXPECT_TRUE(q.IsConnected());
+}
+
+}  // namespace
+}  // namespace hierarq

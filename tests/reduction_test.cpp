@@ -1,0 +1,170 @@
+// Tests for the BCBS solver and the Theorem 4.4 reduction.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/bagset.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/reductions/bagset_reduction.h"
+#include "hierarq/reductions/bcbs.h"
+#include "hierarq/reductions/graph.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(Graph, Basics) {
+  Graph g(4);
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // Duplicate: no-op.
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Edges().size(), 2u);
+}
+
+TEST(Graph, CompleteFamilies) {
+  EXPECT_EQ(Graph::Complete(5).NumEdges(), 10u);
+  const Graph kb = Graph::CompleteBipartite(3, 4);
+  EXPECT_EQ(kb.NumEdges(), 12u);
+  EXPECT_TRUE(kb.HasEdge(0, 3));
+  EXPECT_FALSE(kb.HasEdge(0, 1));
+}
+
+TEST(Bcbs, CompleteBipartiteHasExactBiclique) {
+  const Graph g = Graph::CompleteBipartite(3, 3);
+  EXPECT_TRUE(HasBalancedBiclique(g, 3));
+  EXPECT_TRUE(HasBalancedBiclique(g, 2));
+  EXPECT_FALSE(HasBalancedBiclique(g, 4));
+}
+
+TEST(Bcbs, CompleteGraph) {
+  // K_n contains a k-biclique iff 2k <= n.
+  const Graph g = Graph::Complete(6);
+  EXPECT_TRUE(HasBalancedBiclique(g, 3));
+  EXPECT_FALSE(HasBalancedBiclique(g, 4));
+}
+
+TEST(Bcbs, EmptyGraphHasNone) {
+  const Graph g(5);
+  EXPECT_FALSE(HasBalancedBiclique(g, 1));
+  EXPECT_TRUE(HasBalancedBiclique(g, 0));  // Trivial.
+}
+
+TEST(Bcbs, SingleEdgeIsOneBiclique) {
+  Graph g(3);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(HasBalancedBiclique(g, 1));
+  EXPECT_FALSE(HasBalancedBiclique(g, 2));
+}
+
+TEST(Bcbs, WitnessIsValidated) {
+  Rng rng(5);
+  const Graph g = PlantedBicliqueGraph(rng, 10, 3, 0.2);
+  const auto witness = FindBalancedBiclique(g, 3);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->left.size(), 3u);
+  EXPECT_EQ(witness->right.size(), 3u);
+  EXPECT_TRUE(IsBiclique(g, witness->left, witness->right));
+}
+
+TEST(Bcbs, IsBicliqueRejectsBadPairs) {
+  Graph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(IsBiclique(g, {0}, {2, 3}));
+  EXPECT_FALSE(IsBiclique(g, {0, 1}, {2, 3}));  // (1,3) missing.
+  EXPECT_FALSE(IsBiclique(g, {0}, {0}));        // Overlapping parts.
+}
+
+TEST(Reduction, RejectsHierarchicalQueries) {
+  const Graph g = Graph::Complete(3);
+  auto inst = ReduceBcbsToBagSetMax(MakePaperQuery(), g, 1);
+  ASSERT_FALSE(inst.ok());
+  EXPECT_EQ(inst.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Reduction, InstanceShapeForQnh) {
+  // For Q_nh() :- R(X), S(X,Y), T(Y) on a graph with n vertices and m
+  // edges: D has 2m S-facts (both orientations), Dr has n R-facts and n
+  // T-facts; θ = 2k, τ = k².
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  auto inst = ReduceBcbsToBagSetMax(MakeQnh(), g, 2);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->budget, 4u);
+  EXPECT_EQ(inst->target, 4u);
+  EXPECT_EQ(inst->d.FindRelation("S")->size(), 6u);
+  EXPECT_EQ(inst->d.FindRelation("R"), nullptr);  // Empty in D.
+  EXPECT_EQ(inst->repair.FindRelation("R")->size(), 4u);
+  EXPECT_EQ(inst->repair.FindRelation("T")->size(), 4u);
+  EXPECT_EQ(inst->repair.FindRelation("S"), nullptr);
+}
+
+TEST(Reduction, PositiveInstanceForCompleteBipartite) {
+  const Graph g = Graph::CompleteBipartite(2, 2);
+  auto inst = ReduceBcbsToBagSetMax(MakeQnh(), g, 2);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(DecideBagSetMaxBruteForce(MakeQnh(), *inst));
+}
+
+TEST(Reduction, NegativeInstanceForSparseGraph) {
+  Graph g(4);
+  g.AddEdge(0, 1);  // One edge: no 2-biclique.
+  auto inst = ReduceBcbsToBagSetMax(MakeQnh(), g, 2);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(DecideBagSetMaxBruteForce(MakeQnh(), *inst));
+}
+
+class ReductionEquivalenceParam : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ReductionEquivalenceParam, Theorem44RoundTrip) {
+  // The reduction is correct: BCBS(G, k) iff the reduced Bag-Set
+  // Maximization Decision instance is a "yes" instance — verified with
+  // exhaustive solvers on both sides, for two different non-hierarchical
+  // queries (the theorem quantifies over *all* of them).
+  Rng rng(GetParam() * 13 + 1);
+  const ConjunctiveQuery queries[] = {
+      MakeQnh(),
+      ParseQueryOrDie("R(A,B), S(B,C), T(C,D)"),  // Example 5.3.
+  };
+  for (int round = 0; round < 3; ++round) {
+    const size_t n = 4 + static_cast<size_t>(rng.UniformInt(0, 1));
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+    const Graph g = RandomGraph(rng, n, 0.5);
+    const bool has_biclique = HasBalancedBiclique(g, k);
+    for (const ConjunctiveQuery& q : queries) {
+      auto inst = ReduceBcbsToBagSetMax(q, g, k);
+      ASSERT_TRUE(inst.ok());
+      EXPECT_EQ(DecideBagSetMaxBruteForce(q, *inst), has_biclique)
+          << q.ToString() << "\n"
+          << g.ToString() << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalenceParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Reduction, PlantedBicliqueAlwaysYes) {
+  Rng rng(37);
+  for (int round = 0; round < 5; ++round) {
+    const size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 1));
+    const Graph g = PlantedBicliqueGraph(rng, 6, k, 0.1);
+    ASSERT_TRUE(HasBalancedBiclique(g, k));
+    auto inst = ReduceBcbsToBagSetMax(MakeQnh(), g, k);
+    ASSERT_TRUE(inst.ok());
+    EXPECT_TRUE(DecideBagSetMaxBruteForce(MakeQnh(), *inst));
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,215 @@
+// Targeted regression tests for the subtle corners of the unified
+// algorithm — each encodes a way the implementation could plausibly have
+// been wrong.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/algebra/satcount_monoid.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/algorithm1.h"
+#include "hierarq/core/bagset.h"
+#include "hierarq/core/pqe.h"
+#include "hierarq/core/shapley.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(Regression, Rule2MustJoinOnSupportUnion) {
+  // Q() :- A1(X), A2(X) with A1 = {1,2}, A2 = {2,3}, all endogenous.
+  // Q is true iff both A1(2) and A2(2) are chosen, so
+  //   #Sat(k, true) = C(2, k-2) for k >= 2.
+  // An (incorrect) intersection-based Rule 2 would lose the one-sided
+  // facts A1(1)/A2(3) from the lineage and misreport the false-side
+  // counts; the union-based implementation keeps them (a ⊗ 0 ≠ 0).
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- A1(X), A2(X)");
+  Database endo;
+  endo.AddFactOrDie("A1", MakeTuple({1}));
+  endo.AddFactOrDie("A1", MakeTuple({2}));
+  endo.AddFactOrDie("A2", MakeTuple({2}));
+  endo.AddFactOrDie("A2", MakeTuple({3}));
+  auto counts = CountSatBoth(q, Database{}, endo);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->on_true[0], BigUint(0));
+  EXPECT_EQ(counts->on_true[1], BigUint(0));
+  EXPECT_EQ(counts->on_true[2], BigUint(1));   // {A1(2),A2(2)}.
+  EXPECT_EQ(counts->on_true[3], BigUint(2));   // + one of the others.
+  EXPECT_EQ(counts->on_true[4], BigUint(1));   // Everything.
+  // False side completes the binomials.
+  for (size_t k = 0; k <= 4; ++k) {
+    EXPECT_EQ(counts->on_true[k] + counts->on_false[k],
+              BigUint::Binomial(4, k));
+  }
+  // Cross-check the whole vector against enumeration.
+  const auto brute = BruteForceCountSat(q, Database{}, endo);
+  EXPECT_EQ(counts->on_true, brute.on_true);
+  EXPECT_EQ(counts->on_false, brute.on_false);
+}
+
+TEST(Regression, SatCountPhiOfAndFalseIsTimesZero) {
+  // φ(x ∧ ⊥) must equal φ(x) ⊗ 0, NOT φ(⊥) = 0 — retaining the ∧-⊥
+  // subtree (no annihilating simplification) is load-bearing.
+  const SatCountMonoid<uint64_t> m(2);
+  const auto star = m.Star();
+  const auto product = m.Times(star, m.Zero());
+  // One endogenous fact that can never make the query true: subsets of
+  // size 0 and 1 all map to false.
+  EXPECT_EQ(product.on_false[0], 1u);
+  EXPECT_EQ(product.on_false[1], 1u);
+  EXPECT_EQ(product.on_true[0], 0u);
+  EXPECT_EQ(product.on_true[1], 0u);
+}
+
+TEST(Regression, ExactOpCountForSingleAtomQuery) {
+  // Q() :- R(A) over n facts: Rule 1 ⊕-merges n entries into one group —
+  // exactly n-1 Plus operations and no Times.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  for (size_t n : {1, 2, 5, 32}) {
+    Database db;
+    for (size_t i = 0; i < n; ++i) {
+      db.AddFactOrDie("R", MakeTuple({static_cast<Value>(i)}));
+    }
+    const CountingMonoid<CountMonoid> m{CountMonoid{}};
+    auto result = RunAlgorithm1OnQuery<CountingMonoid<CountMonoid>>(
+        q, m, db, [](const Fact&) -> uint64_t { return 1; });
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, n);
+    EXPECT_EQ(m.plus_count(), n - 1);
+    EXPECT_EQ(m.times_count(), 0u);
+  }
+}
+
+TEST(Regression, ExactOpCountForMergeQuery) {
+  // Q() :- A1(X), A2(X) with disjoint supports of sizes a and b:
+  // Rule 2 performs a+b Times (union join), then Rule 1 a+b-1 Plus.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- A1(X), A2(X)");
+  Database db;
+  const size_t a = 3;
+  const size_t b = 4;
+  for (size_t i = 0; i < a; ++i) {
+    db.AddFactOrDie("A1", MakeTuple({static_cast<Value>(i)}));
+  }
+  for (size_t i = 0; i < b; ++i) {
+    db.AddFactOrDie("A2", MakeTuple({static_cast<Value>(100 + i)}));
+  }
+  const CountingMonoid<CountMonoid> m{CountMonoid{}};
+  auto result = RunAlgorithm1OnQuery<CountingMonoid<CountMonoid>>(
+      q, m, db, [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 0u);  // Disjoint: no shared X value.
+  EXPECT_EQ(m.times_count(), a + b);
+  EXPECT_EQ(m.plus_count(), a + b - 1);
+}
+
+TEST(Regression, PlanIsDeterministic) {
+  const ConjunctiveQuery q1 = MakePaperQuery();
+  const ConjunctiveQuery q2 = MakePaperQuery();
+  auto p1 = EliminationPlan::Build(q1);
+  auto p2 = EliminationPlan::Build(q2);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->ToString(q1.variables()), p2->ToString(q2.variables()));
+}
+
+TEST(Regression, BagMaxProfilePrefixConsistency) {
+  // Running with budget θ must agree with budget θ' < θ on the shared
+  // prefix (truncation is lossless).
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database d;
+  d.AddFactOrDie("R", MakeTuple({1, 5}));
+  d.AddFactOrDie("S", MakeTuple({1, 2}));
+  Database dr;
+  dr.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  dr.AddFactOrDie("T", MakeTuple({1, 2, 9}));
+  dr.AddFactOrDie("R", MakeTuple({1, 6}));
+  auto big = MaximizeBagSet(q, d, dr, 3);
+  ASSERT_TRUE(big.ok());
+  for (size_t theta = 0; theta < 3; ++theta) {
+    auto small = MaximizeBagSet(q, d, dr, theta);
+    ASSERT_TRUE(small.ok());
+    for (size_t i = 0; i <= theta; ++i) {
+      EXPECT_EQ(small->profile[i], big->profile[i])
+          << "theta=" << theta << " i=" << i;
+    }
+  }
+}
+
+TEST(Regression, ExtremeProbabilitiesAreStable) {
+  // p = 0 facts act as absent; p = 1 facts as certain. No NaNs, exact
+  // endpoints.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(A)");
+  TidDatabase db;
+  db.AddFactOrDie("R", MakeTuple({1}), 0.0);
+  db.AddFactOrDie("S", MakeTuple({1}), 1.0);
+  db.AddFactOrDie("R", MakeTuple({2}), 1.0);
+  db.AddFactOrDie("S", MakeTuple({2}), 1.0);
+  auto p = EvaluateProbability(q, db);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 1.0);
+
+  TidDatabase none;
+  none.AddFactOrDie("R", MakeTuple({1}), 0.0);
+  none.AddFactOrDie("S", MakeTuple({1}), 1.0);
+  auto p0 = EvaluateProbability(q, none);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_DOUBLE_EQ(*p0, 0.0);
+}
+
+TEST(Regression, DuplicateAtomSchemasWithSharedTuples) {
+  // Three atoms over the same variable set exercise repeated Rule 2.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- A(X,Y), B(Y,X), C(X,Y)");
+  Database db;
+  db.AddFactOrDie("A", MakeTuple({1, 2}));
+  db.AddFactOrDie("B", MakeTuple({2, 1}));  // B(Y,X): Y=2, X=1.
+  db.AddFactOrDie("C", MakeTuple({1, 2}));
+  auto count = BagSetCountHierarchical(q, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  EXPECT_EQ(*count, BagSetCount(q, db));
+}
+
+TEST(Regression, ShapleyWithAllFactsExogenousButOne) {
+  // n = 1: the single endogenous fact has value Q(Dx ∪ {f}) − Q(Dx).
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database exo;
+  exo.AddFactOrDie("R", MakeTuple({1, 5}));
+  exo.AddFactOrDie("S", MakeTuple({1, 2}));
+  Database endo;
+  endo.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  auto v = ShapleyValue(q, exo, endo, Fact{"T", MakeTuple({1, 2, 4})});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Fraction(1));
+}
+
+TEST(Regression, LargeScaleSmoke) {
+  // 60k facts through all linear-time instantiations: must simply finish
+  // (this is the laptop-scale claim of the reproduction).
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database db;
+  TidDatabase tid;
+  for (Value a = 0; a < 200; ++a) {
+    for (Value i = 0; i < 100; ++i) {
+      db.AddFactOrDie("R", MakeTuple({a, i}));
+      db.AddFactOrDie("S", MakeTuple({a, i}));
+      db.AddFactOrDie("T", MakeTuple({a, i, 0}));
+      tid.AddFactOrDie("R", MakeTuple({a, i}), 0.5);
+      tid.AddFactOrDie("S", MakeTuple({a, i}), 0.5);
+      tid.AddFactOrDie("T", MakeTuple({a, i, 0}), 0.5);
+    }
+  }
+  ASSERT_EQ(db.NumFacts(), 60000u);
+  auto count = BagSetCountHierarchical(q, db);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 200u * 100 * 100);  // Per a: |B|=100 × |(C,D)|=100.
+  auto p = EvaluateProbability(q, tid);
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(*p, 0.0);
+  EXPECT_LE(*p, 1.0);
+}
+
+}  // namespace
+}  // namespace hierarq

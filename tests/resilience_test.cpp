@@ -1,0 +1,150 @@
+// Tests for the resilience instantiation (hierarq's answer to the paper's
+// concluding Question 2).
+
+#include <gtest/gtest.h>
+
+#include "hierarq/core/resilience.h"
+#include "hierarq/engine/bruteforce.h"
+#include "hierarq/engine/join.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(Resilience, FalseQueryNeedsNothing) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  auto r = ComputeResilience(q, Database{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0u);
+}
+
+TEST(Resilience, SingleWitnessNeedsOneRemoval) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  auto r = ComputeResilience(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(Resilience, DisjunctionNeedsAllWitnessesRemoved) {
+  // Q() :- R(A): k facts ⇒ resilience k.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database db;
+  for (int i = 0; i < 5; ++i) {
+    db.AddFactOrDie("R", MakeTuple({i}));
+  }
+  auto r = ComputeResilience(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5u);
+}
+
+TEST(Resilience, ConjunctionTakesCheapestSide) {
+  // Q() :- R(A), S(B): falsify the smaller relation.
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(B)");
+  Database db;
+  for (int i = 0; i < 5; ++i) {
+    db.AddFactOrDie("R", MakeTuple({i}));
+  }
+  for (int i = 0; i < 2; ++i) {
+    db.AddFactOrDie("S", MakeTuple({i}));
+  }
+  auto r = ComputeResilience(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+}
+
+TEST(Resilience, ExogenousFactsCannotBeRemoved) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A), S(B)");
+  Database exo;
+  exo.AddFactOrDie("R", MakeTuple({1}));
+  Database endo;
+  endo.AddFactOrDie("S", MakeTuple({1}));
+  endo.AddFactOrDie("S", MakeTuple({2}));
+  auto r = ComputeResilience(q, exo, endo);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);  // Must take out both S facts; R is protected.
+}
+
+TEST(Resilience, FullyExogenousTrueQueryIsUnfalsifiable) {
+  const ConjunctiveQuery q = ParseQueryOrDie("Q() :- R(A)");
+  Database exo;
+  exo.AddFactOrDie("R", MakeTuple({1}));
+  auto r = ComputeResilience(q, exo, Database{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, ResilienceMonoid::kInfinity);
+}
+
+TEST(Resilience, PaperQueryHandComputed) {
+  // Figure 1's D: the single assignment uses R(1,5), S(1,2), T(1,2,4);
+  // removing any one of them falsifies Q.
+  const ConjunctiveQuery q = MakePaperQuery();
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 5}));
+  db.AddFactOrDie("S", MakeTuple({1, 1}));
+  db.AddFactOrDie("S", MakeTuple({1, 2}));
+  db.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  auto r = ComputeResilience(q, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(Resilience, NonHierarchicalRejected) {
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  auto r = ComputeResilience(MakeQnh(), db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotHierarchical);
+}
+
+class ResilienceBruteForceParam : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ResilienceBruteForceParam, MatchesSubsetEnumeration) {
+  Rng rng(GetParam() * 101 + 7);
+  for (int round = 0; round < 10; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 4;
+    dopts.domain_size = 3;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    const auto [exo, endo] = SplitExoEndo(db, rng, 0.7);
+    if (endo.NumFacts() > 14) {
+      continue;
+    }
+    auto fast = ComputeResilience(q, exo, endo);
+    ASSERT_TRUE(fast.ok()) << q.ToString();
+    EXPECT_EQ(*fast, BruteForceResilience(q, exo, endo)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceBruteForceParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Resilience, BoundedByEndogenousSize) {
+  Rng rng(99);
+  for (int round = 0; round < 15; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 10;
+    dopts.domain_size = 4;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    auto r = ComputeResilience(q, db);
+    ASSERT_TRUE(r.ok());
+    if (EvaluateBoolean(q, db)) {
+      EXPECT_LE(*r, db.NumFacts());
+      EXPECT_GE(*r, 1u);
+    } else {
+      EXPECT_EQ(*r, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,145 @@
+// Theorem 6.4 for the #Sat monoid — the most delicate φ-homomorphism
+// (it lacks annihilation) — plus parser/loader robustness fuzzing.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/algebra/satcount_monoid.h"
+#include "hierarq/core/algorithm1.h"
+#include "hierarq/core/provenance_pipeline.h"
+#include "hierarq/data/loader.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(Universality, Theorem64ForSatCountMonoid) {
+  // φ(provenance tree) — the generic fold with leaves mapped to 1
+  // (exogenous) or ★ (endogenous) — must equal the direct #Sat run.
+  Rng rng(606);
+  for (int round = 0; round < 30; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 4));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 6;
+    dopts.domain_size = 4;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    const auto [exo, endo] = SplitExoEndo(db, rng, 0.5);
+
+    auto prov = ComputeProvenance(q, db);
+    ASSERT_TRUE(prov.ok());
+
+    const SatCountMonoid<uint64_t> m(endo.NumFacts());
+    const auto via_phi = EvalTreeInMonoid(
+        m, *prov->tree, [&](uint64_t symbol) {
+          const Fact& fact = prov->facts[symbol];
+          return endo.ContainsFact(fact) && !exo.ContainsFact(fact)
+                     ? m.Star()
+                     : m.One();
+        });
+
+    auto combined = exo.UnionWith(endo);
+    ASSERT_TRUE(combined.ok());
+    auto direct = RunAlgorithm1OnQuery<SatCountMonoid<uint64_t>>(
+        q, m, *combined, [&](const Fact& fact) {
+          return exo.ContainsFact(fact) ? m.One() : m.Star();
+        });
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(via_phi, *direct) << q.ToString();
+  }
+}
+
+TEST(Universality, BigUintAndUint64CountsAgreeModulo64) {
+  // The fast counter is the exact counter reduced mod 2^64.
+  Rng rng(607);
+  for (int round = 0; round < 15; ++round) {
+    RandomHierarchicalOptions qopts;
+    qopts.num_variables = 1 + static_cast<size_t>(rng.UniformInt(0, 3));
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, qopts);
+    DataGenOptions dopts;
+    dopts.tuples_per_relation = 8;
+    dopts.domain_size = 4;
+    const Database db = RandomDatabaseForQuery(q, rng, dopts);
+    const size_t n = db.NumFacts();
+
+    const SatCountMonoid<BigUint> exact(n);
+    const SatCountMonoid<uint64_t> fast(n);
+    auto exact_out = RunAlgorithm1OnQuery<SatCountMonoid<BigUint>>(
+        q, exact, db, [&](const Fact&) { return exact.Star(); });
+    auto fast_out = RunAlgorithm1OnQuery<SatCountMonoid<uint64_t>>(
+        q, fast, db, [&](const Fact&) { return fast.Star(); });
+    ASSERT_TRUE(exact_out.ok());
+    ASSERT_TRUE(fast_out.ok());
+    for (size_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(exact_out->on_true[k].Low64(), fast_out->on_true[k]);
+      EXPECT_EQ(exact_out->on_false[k].Low64(), fast_out->on_false[k]);
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(608);
+  const char alphabet[] = "RSTABXYZ(),:-. 0123456789'qe";
+  for (int round = 0; round < 3000; ++round) {
+    std::string input;
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 40));
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.UniformInt(0, sizeof(alphabet) - 2)];
+    }
+    // Must return, never crash; errors are fine.
+    auto result = ParseQuery(input);
+    if (result.ok()) {
+      // Whatever parsed must round-trip through its own ToString.
+      auto again = ParseQuery(result->ToString());
+      EXPECT_TRUE(again.ok()) << input << " -> " << result->ToString();
+    }
+  }
+}
+
+TEST(ParserFuzz, MutatedValidQueries) {
+  Rng rng(609);
+  const std::string base = "Q() :- R(A,B), S(A,C), T(A,C,D).";
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = base;
+    const size_t edits = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
+    for (size_t e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, '(');
+          break;
+        default:
+          mutated[pos] = ',';
+          break;
+      }
+    }
+    auto result = ParseQuery(mutated);  // Must not crash.
+    (void)result;
+  }
+}
+
+TEST(LoaderFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(610);
+  const char alphabet[] = "RST(),@.# 0123456789ab\n";
+  for (int round = 0; round < 3000; ++round) {
+    std::string input;
+    const size_t len = static_cast<size_t>(rng.UniformInt(0, 60));
+    for (size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.UniformInt(0, sizeof(alphabet) - 2)];
+    }
+    Dictionary dict;
+    auto db = LoadDatabase(input, &dict);
+    auto tid = LoadTidDatabase(input, &dict);
+    (void)db;
+    (void)tid;
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,145 @@
+// Unit tests for sorted variable sets.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/query/var_set.h"
+#include "hierarq/util/random.h"
+
+#include <set>
+
+namespace hierarq {
+namespace {
+
+TEST(VarSet, InsertKeepsSortedUnique) {
+  VarSet s;
+  EXPECT_TRUE(s.Insert(5));
+  EXPECT_TRUE(s.Insert(1));
+  EXPECT_TRUE(s.Insert(3));
+  EXPECT_FALSE(s.Insert(3));  // Duplicate.
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 5u);
+}
+
+TEST(VarSet, InitializerList) {
+  VarSet s{4, 2, 2, 9};
+  EXPECT_EQ(s, (VarSet{2, 4, 9}));
+}
+
+TEST(VarSet, Contains) {
+  VarSet s{1, 3, 5};
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_FALSE(VarSet{}.Contains(0));
+}
+
+TEST(VarSet, Erase) {
+  VarSet s{1, 2, 3};
+  EXPECT_TRUE(s.Erase(2));
+  EXPECT_EQ(s, (VarSet{1, 3}));
+  EXPECT_FALSE(s.Erase(2));
+  EXPECT_TRUE(s.Erase(1));
+  EXPECT_TRUE(s.Erase(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(VarSet, SubsetRelation) {
+  EXPECT_TRUE((VarSet{1, 3}).IsSubsetOf(VarSet{1, 2, 3}));
+  EXPECT_TRUE((VarSet{}).IsSubsetOf(VarSet{1}));
+  EXPECT_TRUE((VarSet{1, 2}).IsSubsetOf(VarSet{1, 2}));
+  EXPECT_FALSE((VarSet{1, 4}).IsSubsetOf(VarSet{1, 2, 3}));
+  EXPECT_FALSE((VarSet{1, 2, 3}).IsSubsetOf(VarSet{1, 2}));
+}
+
+TEST(VarSet, Disjointness) {
+  EXPECT_TRUE((VarSet{1, 2}).IsDisjointFrom(VarSet{3, 4}));
+  EXPECT_FALSE((VarSet{1, 2}).IsDisjointFrom(VarSet{2, 3}));
+  EXPECT_TRUE((VarSet{}).IsDisjointFrom(VarSet{1}));
+  EXPECT_TRUE((VarSet{}).IsDisjointFrom(VarSet{}));
+}
+
+TEST(VarSet, SetAlgebra) {
+  const VarSet a{1, 2, 3};
+  const VarSet b{2, 3, 4};
+  EXPECT_EQ(a.Union(b), (VarSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (VarSet{2, 3}));
+  EXPECT_EQ(a.Minus(b), (VarSet{1}));
+  EXPECT_EQ(b.Minus(a), (VarSet{4}));
+}
+
+TEST(VarSet, ToString) {
+  EXPECT_EQ((VarSet{2, 0}).ToString(), "{0,2}");
+  EXPECT_EQ(VarSet{}.ToString(), "{}");
+}
+
+TEST(VarSet, RandomizedAgainstStdSet) {
+  Rng rng(4242);
+  for (int round = 0; round < 50; ++round) {
+    VarSet mine;
+    std::set<VarId> reference;
+    for (int op = 0; op < 60; ++op) {
+      const VarId v = static_cast<VarId>(rng.UniformInt(0, 15));
+      if (rng.Bernoulli(0.6)) {
+        EXPECT_EQ(mine.Insert(v), reference.insert(v).second);
+      } else {
+        EXPECT_EQ(mine.Erase(v), reference.erase(v) > 0);
+      }
+    }
+    ASSERT_EQ(mine.size(), reference.size());
+    size_t i = 0;
+    for (VarId v : reference) {
+      EXPECT_EQ(mine[i++], v);
+    }
+  }
+}
+
+TEST(VarSet, RandomizedAlgebraAgainstStdSet) {
+  Rng rng(777);
+  auto random_set = [&rng]() {
+    VarSet s;
+    const int n = static_cast<int>(rng.UniformInt(0, 10));
+    for (int i = 0; i < n; ++i) {
+      s.Insert(static_cast<VarId>(rng.UniformInt(0, 12)));
+    }
+    return s;
+  };
+  auto to_std = [](const VarSet& s) {
+    return std::set<VarId>(s.begin(), s.end());
+  };
+  for (int round = 0; round < 100; ++round) {
+    const VarSet a = random_set();
+    const VarSet b = random_set();
+    const auto sa = to_std(a);
+    const auto sb = to_std(b);
+
+    std::set<VarId> expected_union = sa;
+    expected_union.insert(sb.begin(), sb.end());
+    EXPECT_EQ(to_std(a.Union(b)), expected_union);
+
+    std::set<VarId> expected_inter;
+    for (VarId v : sa) {
+      if (sb.count(v)) {
+        expected_inter.insert(v);
+      }
+    }
+    EXPECT_EQ(to_std(a.Intersect(b)), expected_inter);
+
+    std::set<VarId> expected_minus;
+    for (VarId v : sa) {
+      if (!sb.count(v)) {
+        expected_minus.insert(v);
+      }
+    }
+    EXPECT_EQ(to_std(a.Minus(b)), expected_minus);
+
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(sb.begin(), sb.end(), sa.begin(), sa.end()));
+    EXPECT_EQ(a.IsDisjointFrom(b), expected_inter.empty());
+  }
+}
+
+}  // namespace
+}  // namespace hierarq

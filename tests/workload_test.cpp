@@ -1,0 +1,156 @@
+// Tests for the workload generators.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/query/hierarchical.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+TEST(QueryGen, FixedFamiliesHaveDocumentedShapes) {
+  EXPECT_EQ(MakePaperQuery().ToString(), "Q() :- R(A,B), S(A,C), T(A,C,D)");
+  EXPECT_EQ(MakeQnh().ToString(), "Q() :- R(X), S(X,Y), T(Y)");
+  EXPECT_EQ(MakeQh().ToString(), "Q() :- E(X,Y), F(Y,Z)");
+  EXPECT_EQ(MakeNestedChain(3).num_atoms(), 3u);
+  EXPECT_EQ(MakeStarQuery(4).num_atoms(), 5u);
+  EXPECT_EQ(MakeNonHierarchicalChain(2).num_atoms(), 5u);
+}
+
+TEST(QueryGen, RandomHierarchicalIsDeterministicPerSeed) {
+  RandomHierarchicalOptions opts;
+  opts.num_variables = 5;
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(MakeRandomHierarchical(a, opts).ToString(),
+            MakeRandomHierarchical(b, opts).ToString());
+}
+
+TEST(QueryGen, RandomHierarchicalCoversBothRules) {
+  // With twin_atom_prob > 0 some draw must produce duplicate-schema atoms.
+  Rng rng(7);
+  RandomHierarchicalOptions opts;
+  opts.num_variables = 4;
+  opts.twin_atom_prob = 0.9;
+  bool saw_twins = false;
+  for (int i = 0; i < 20 && !saw_twins; ++i) {
+    const ConjunctiveQuery q = MakeRandomHierarchical(rng, opts);
+    for (size_t x = 0; x < q.num_atoms() && !saw_twins; ++x) {
+      for (size_t y = x + 1; y < q.num_atoms(); ++y) {
+        if (q.atoms()[x].vars() == q.atoms()[y].vars()) {
+          saw_twins = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_twins);
+}
+
+TEST(QueryGen, EveryVariableOccursInRandomQueries) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const ConjunctiveQuery q = MakeRandomQuery(rng, 3, 5, 3);
+    EXPECT_EQ(q.AllVars().size(), q.variables().size());
+  }
+}
+
+TEST(DataGen, RespectsSizeTargets) {
+  Rng rng(13);
+  const ConjunctiveQuery q = MakePaperQuery();
+  DataGenOptions opts;
+  opts.tuples_per_relation = 50;
+  opts.domain_size = 100;
+  const Database db = RandomDatabaseForQuery(q, rng, opts);
+  // Large domain: collisions are rare, so all relations are full.
+  for (const auto& [name, rel] : db.relations()) {
+    EXPECT_EQ(rel.size(), 50u) << name;
+  }
+}
+
+TEST(DataGen, TightDomainStillTerminates) {
+  Rng rng(17);
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A)");
+  DataGenOptions opts;
+  opts.tuples_per_relation = 100;
+  opts.domain_size = 3;  // Only 3 possible tuples.
+  const Database db = RandomDatabaseForQuery(q, rng, opts);
+  EXPECT_LE(db.NumFacts(), 3u);
+  EXPECT_GE(db.NumFacts(), 1u);
+}
+
+TEST(DataGen, TidProbabilitiesInRange) {
+  Rng rng(19);
+  const TidDatabase db =
+      RandomTidForQuery(MakePaperQuery(), rng, DataGenOptions{}, 0.2, 0.4);
+  for (const auto& [fact, p] : db.AllFacts()) {
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 0.4);
+  }
+}
+
+TEST(DataGen, RepairInstancePartitionsFacts) {
+  Rng rng(23);
+  const RepairInstance inst =
+      RandomRepairInstance(MakePaperQuery(), rng, DataGenOptions{}, 0.5);
+  for (const Fact& f : inst.d.AllFacts()) {
+    EXPECT_FALSE(inst.repair.ContainsFact(f));
+  }
+  EXPECT_GT(inst.d.NumFacts(), 0u);
+  EXPECT_GT(inst.repair.NumFacts(), 0u);
+}
+
+TEST(DataGen, SplitExoEndoPartitions) {
+  Rng rng(29);
+  DataGenOptions opts;
+  opts.tuples_per_relation = 30;
+  const Database db = RandomDatabaseForQuery(MakeQh(), rng, opts);
+  const auto [exo, endo] = SplitExoEndo(db, rng, 0.5);
+  EXPECT_EQ(exo.NumFacts() + endo.NumFacts(), db.NumFacts());
+  for (const Fact& f : exo.AllFacts()) {
+    EXPECT_TRUE(db.ContainsFact(f));
+    EXPECT_FALSE(endo.ContainsFact(f));
+  }
+}
+
+TEST(DataGen, RandomGraphEdgeProbability) {
+  Rng rng(31);
+  const Graph g = RandomGraph(rng, 40, 0.3);
+  const size_t possible = 40 * 39 / 2;
+  EXPECT_NEAR(static_cast<double>(g.NumEdges()) / possible, 0.3, 0.08);
+}
+
+TEST(DataGen, PlantedBicliqueContainsPlant) {
+  Rng rng(37);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = PlantedBicliqueGraph(rng, 12, 3, 0.05);
+    // The plant guarantees a 3-biclique (checked by the exhaustive
+    // solver in reduction_test; here we just sanity-check edge counts).
+    EXPECT_GE(g.NumEdges(), 9u);
+  }
+}
+
+TEST(DataGen, ZipfSkewConcentratesValues) {
+  Rng rng(41);
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, B)");
+  DataGenOptions uniform;
+  uniform.tuples_per_relation = 400;
+  uniform.domain_size = 1000;
+  DataGenOptions zipf = uniform;
+  zipf.zipf_skew = 1.5;
+  const Database u = RandomDatabaseForQuery(q, rng, uniform);
+  const Database z = RandomDatabaseForQuery(q, rng, zipf);
+  auto head_hits = [](const Database& db) {
+    size_t hits = 0;
+    for (const Fact& f : db.AllFacts()) {
+      hits += f.tuple[0] < 5;
+    }
+    return hits;
+  };
+  EXPECT_GT(head_hits(z), head_hits(u) * 5);
+}
+
+}  // namespace
+}  // namespace hierarq

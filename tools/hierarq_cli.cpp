@@ -1,0 +1,265 @@
+// hierarq command-line tool.
+//
+// Solves any of the library's problems from a query string and database
+// files in the text format of hierarq/data/loader.h.
+//
+//   hierarq_cli classify   <query>
+//   hierarq_cli plan       <query>
+//   hierarq_cli count      <query> <db>
+//   hierarq_cli pqe        <query> <tid-db>
+//   hierarq_cli pqe-any    <query> <tid-db>   (Shannon; any SJF-BCQ)
+//   hierarq_cli expect     <query> <tid-db>
+//   hierarq_cli bagset     <query> <db> <repair-db> <budget>
+//   hierarq_cli repair     <query> <db> <repair-db> <budget>
+//   hierarq_cli shapley    <query> <exo-db> <endo-db>
+//   hierarq_cli resilience <query> <exo-db> <endo-db>
+//   hierarq_cli provenance <query> <db>
+//
+// Example:
+//   hierarq_cli bagset "Q() :- R(A,B), S(A,C), T(A,C,D)" d.facts dr.facts 2
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hierarq/hierarq.h"
+#include "hierarq/query/gyo.h"
+#include "hierarq/util/strings.h"
+
+namespace hierarq {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hierarq_cli <command> <query> [files...]\n"
+               "commands:\n"
+               "  classify   <query>\n"
+               "  plan       <query>\n"
+               "  count      <query> <db>\n"
+               "  pqe        <query> <tid-db>\n"
+               "  pqe-any    <query> <tid-db>   (exhaustive; any SJF-BCQ)\n"
+               "  expect     <query> <tid-db>\n"
+               "  bagset     <query> <db> <repair-db> <budget>\n"
+               "  repair     <query> <db> <repair-db> <budget>\n"
+               "  shapley    <query> <exo-db> <endo-db>\n"
+               "  resilience <query> <exo-db> <endo-db>\n"
+               "  provenance <query> <db>\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string RenderFact(const Fact& fact, const Dictionary& dict) {
+  std::string out = fact.relation + "(";
+  for (size_t i = 0; i < fact.tuple.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += dict.Render(fact.tuple[i]);
+  }
+  return out + ")";
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  auto parsed = ParseQuery(argv[2]);
+  if (!parsed.ok()) {
+    return Fail(parsed.status());
+  }
+  const ConjunctiveQuery query = std::move(parsed).ValueOrDie();
+  Dictionary dict;
+
+  auto load = [&dict](const char* path) {
+    return LoadDatabaseFromFile(path, &dict);
+  };
+  auto load_tid = [&dict](const char* path) {
+    return LoadTidDatabaseFromFile(path, &dict);
+  };
+
+  if (command == "classify") {
+    std::printf("query: %s\n", query.ToString().c_str());
+    std::printf("class: %s\n", QueryClassName(Classify(query)));
+    if (auto violation = FindHierarchyViolation(query)) {
+      std::printf("violation: %s\n", violation->ToString(query).c_str());
+    } else {
+      auto forest = BuildHierarchyForest(query);
+      std::printf("hierarchy tree: %s\n",
+                  forest->ToString(query.variables()).c_str());
+    }
+    return 0;
+  }
+
+  if (command == "plan") {
+    auto plan = EliminationPlan::Build(query);
+    if (!plan.ok()) {
+      return Fail(plan.status());
+    }
+    std::printf("%s\n", plan->ToString(query.variables()).c_str());
+    return 0;
+  }
+
+  if (command == "count") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto db = load(argv[3]);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    std::printf("Q(D) = %llu  (join engine)\n",
+                static_cast<unsigned long long>(BagSetCount(query, *db)));
+    auto fast = BagSetCountHierarchical(query, *db);
+    if (fast.ok()) {
+      std::printf("Q(D) = %llu  (Algorithm 1, counting semiring)\n",
+                  static_cast<unsigned long long>(*fast));
+    }
+    return 0;
+  }
+
+  if (command == "pqe" || command == "pqe-any" || command == "expect") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto db = load_tid(argv[3]);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    auto value = command == "pqe" ? EvaluateProbability(query, *db)
+                : command == "pqe-any"
+                    ? EvaluateProbabilityExhaustive(query, *db)
+                    : ExpectedMultiplicity(query, *db);
+    if (!value.ok()) {
+      return Fail(value.status());
+    }
+    std::printf(command == "expect" ? "E[Q(D)] = %.12g\n"
+                                    : "Pr[Q] = %.12g\n",
+                *value);
+    return 0;
+  }
+
+  if (command == "bagset" || command == "repair") {
+    if (argc != 6) {
+      return Usage();
+    }
+    auto d = load(argv[3]);
+    if (!d.ok()) {
+      return Fail(d.status());
+    }
+    auto dr = load(argv[4]);
+    if (!dr.ok()) {
+      return Fail(dr.status());
+    }
+    auto budget = ParseInt64(argv[5]);
+    if (!budget.ok() || *budget < 0) {
+      return Usage();
+    }
+    auto result =
+        MaximizeBagSet(query, *d, *dr, static_cast<size_t>(*budget));
+    if (!result.ok()) {
+      return Fail(result.status());
+    }
+    std::printf("optimum at budget %lld: %llu\n",
+                static_cast<long long>(*budget),
+                static_cast<unsigned long long>(result->max_multiplicity));
+    std::printf("profile:");
+    for (uint64_t v : result->profile) {
+      std::printf(" %llu", static_cast<unsigned long long>(v));
+    }
+    std::printf("\n");
+    if (command == "repair") {
+      auto witness = ExtractOptimalRepair(query, *d, *dr,
+                                          static_cast<size_t>(*budget));
+      if (!witness.ok()) {
+        return Fail(witness.status());
+      }
+      std::printf("optimal repair:\n");
+      for (const Fact& f : *witness) {
+        std::printf("  + %s\n", RenderFact(f, dict).c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (command == "shapley") {
+    if (argc != 5) {
+      return Usage();
+    }
+    auto exo = load(argv[3]);
+    if (!exo.ok()) {
+      return Fail(exo.status());
+    }
+    auto endo = load(argv[4]);
+    if (!endo.ok()) {
+      return Fail(endo.status());
+    }
+    auto values = AllShapleyValues(query, *exo, *endo);
+    if (!values.ok()) {
+      return Fail(values.status());
+    }
+    for (const auto& [fact, value] : *values) {
+      std::printf("%-30s %s  (%.6f)\n", RenderFact(fact, dict).c_str(),
+                  value.ToString().c_str(), value.ToDouble());
+    }
+    return 0;
+  }
+
+  if (command == "resilience") {
+    if (argc != 5) {
+      return Usage();
+    }
+    auto exo = load(argv[3]);
+    if (!exo.ok()) {
+      return Fail(exo.status());
+    }
+    auto endo = load(argv[4]);
+    if (!endo.ok()) {
+      return Fail(endo.status());
+    }
+    auto value = ComputeResilience(query, *exo, *endo);
+    if (!value.ok()) {
+      return Fail(value.status());
+    }
+    if (*value == ResilienceMonoid::kInfinity) {
+      std::printf("resilience = infinity (query cannot be falsified)\n");
+    } else {
+      std::printf("resilience = %llu\n",
+                  static_cast<unsigned long long>(*value));
+    }
+    return 0;
+  }
+
+  if (command == "provenance") {
+    if (argc != 4) {
+      return Usage();
+    }
+    auto db = load(argv[3]);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    auto prov = ComputeProvenance(query, *db);
+    if (!prov.ok()) {
+      return Fail(prov.status());
+    }
+    std::printf("%s\n", prov->tree->ToString().c_str());
+    for (size_t i = 0; i < prov->facts.size(); ++i) {
+      std::printf("  f%zu = %s\n", i,
+                  RenderFact(prov->facts[i], dict).c_str());
+    }
+    return 0;
+  }
+
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hierarq
+
+int main(int argc, char** argv) {
+  return hierarq::Run(argc, argv);
+}
