@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace hierarq::bench {
 
@@ -30,6 +32,69 @@ inline void PrintRow(const std::string& what, const std::string& paper,
 inline void PrintNote(const std::string& note) {
   std::printf("  %s\n", note.c_str());
 }
+
+/// Collects named rows of numeric metrics and writes them as one JSON
+/// document, so successive PRs can diff measured throughput machine-to-
+/// machine (e.g. BENCH_algorithm1.json records ops/sec per storage
+/// backend). The format is flat on purpose:
+///   {"benchmark": "...", "storage": "...", "rows": [
+///     {"name": "...", "metric_a": 1.0, ...}, ...]}
+class JsonReport {
+ public:
+  JsonReport(std::string benchmark, std::string path)
+      : benchmark_(std::move(benchmark)), path_(std::move(path)) {}
+
+  /// Adds one row; metrics render in insertion order.
+  void AddRow(const std::string& name,
+              std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back(Row{name, std::move(metrics)});
+  }
+
+  /// Writes the document; returns false (with a note on stderr) on I/O
+  /// failure so benches never abort over a read-only working directory.
+  bool WriteToFile() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark_.c_str());
+    std::fprintf(f, "  \"storage\": \"%s\",\n", StorageBackend());
+    std::fprintf(f, "  \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
+                   rows_[i].name.c_str());
+      for (const auto& [key, value] : rows_[i].metrics) {
+        std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path_.c_str());
+    return true;
+  }
+
+  /// The compile-time storage backend of AnnotatedRelation, recorded so
+  /// flat-vs-baseline comparison runs are self-describing.
+  static const char* StorageBackend() {
+#ifdef HIERARQ_ANNOTATED_STD_MAP
+    return "std_unordered_map";
+#else
+    return "flat";
+#endif
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  std::string benchmark_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 /// Runs the report function, then google-benchmark.
 #define HIERARQ_BENCH_MAIN(report_fn)                       \

@@ -20,11 +20,20 @@
 ///     Only absent-absent pairs may be skipped — exactly the argument of
 ///     Lemma 6.6, which bounds supp(R') ⊆ supp(R1) ∪ supp(R2).
 ///
+/// Hot-path mechanics: the position of a Rule 1 projection is precomputed
+/// in the plan (`EliminationStep::drop_pos`), every result relation is
+/// `Reserve`d to its Lemma 6.6 support bound before filling so growth
+/// rehashes never fire, and both rules use the storage layer's combined
+/// find-or-insert so no fact pays two probe sequences. The in-place
+/// overload runs over a caller-owned relations vector, which lets
+/// `Evaluator` (core/evaluator.h) reuse table buffers across runs.
+///
 /// The returned value is the annotation of the final nullary atom's empty
 /// tuple, or Zero() when its support is empty (an empty ⊕). Total work is
 /// O(|D|) ⊕/⊗ operations (Theorem 6.7).
 
 #include <utility>
+#include <vector>
 
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/data/annotated.h"
@@ -33,6 +42,85 @@
 #include "hierarq/util/result.h"
 
 namespace hierarq {
+
+/// Runs Algorithm 1 in place over `relations`, which must have
+/// `plan.num_atoms()` entries with the first `plan.num_base_atoms()` filled
+/// by annotation (indexed by query atom position). Intermediate slots are
+/// Reset as their steps execute; consumed inputs are Cleared (capacity
+/// retained for reuse).
+template <TwoMonoid M>
+typename M::value_type RunAlgorithm1InPlace(
+    const EliminationPlan& plan, const M& monoid,
+    std::vector<AnnotatedRelation<typename M::value_type>>& relations) {
+  using K = typename M::value_type;
+
+  HIERARQ_CHECK_EQ(relations.size(), plan.num_atoms());
+
+  for (const EliminationStep& step : plan.steps()) {
+    AnnotatedRelation<K>& result = relations[step.result_atom];
+    result.Reset(plan.vars_of(step.result_atom));
+
+    if (step.rule == EliminationRule::kProjectVariable) {
+      // Rule 1: ⊕-project `step.variable` out of `step.source_atom`.
+      AnnotatedRelation<K>& source = relations[step.source_atom];
+      const size_t drop_pos = step.drop_pos;
+      HIERARQ_CHECK_LT(drop_pos, source.schema().size());
+      HIERARQ_CHECK_EQ(source.schema()[drop_pos], step.variable);
+
+      result.Reserve(source.size());
+      for (const auto& [key, value] : source) {
+        Tuple projected;
+        projected.reserve(key.size() - 1);
+        for (size_t i = 0; i < key.size(); ++i) {
+          if (i != drop_pos) {
+            projected.push_back(key[i]);
+          }
+        }
+        auto [slot, inserted] = result.FindOrInsert(projected);
+        if (inserted) {
+          *slot = value;
+        } else {
+          *slot = monoid.Plus(*slot, value);
+        }
+      }
+      source.Clear();
+    } else {
+      // Rule 2: ⊗-join over the union of supports.
+      AnnotatedRelation<K>& left = relations[step.left_atom];
+      AnnotatedRelation<K>& right = relations[step.right_atom];
+      HIERARQ_CHECK(left.schema() == right.schema())
+          << "Rule 2 requires equal schemas";
+
+      result.Reserve(left.size() + right.size());  // Lemma 6.6 bound.
+      for (const auto& [key, value] : left) {
+        const K* other = right.Find(key);
+        result.Set(key,
+                   monoid.Times(value, other != nullptr ? *other
+                                                        : monoid.Zero()));
+      }
+      for (const auto& [key, value] : right) {
+        // Keys shared with the left leg are already final; the combined
+        // find-or-insert detects them in the same probe sequence an insert
+        // would need, replacing the old Contains-then-Set double lookup.
+        auto [slot, inserted] = result.FindOrInsert(key);
+        if (inserted) {
+          *slot = monoid.Times(monoid.Zero(), value);
+        }
+      }
+      left.Clear();
+      right.Clear();
+    }
+  }
+
+  // The final atom is nullary; its only possible key is the empty tuple.
+  // Move the annotation out (it can be a whole provenance tree or #Sat
+  // vector) and clear the slot so a reused scratch doesn't retain it.
+  AnnotatedRelation<K>& final_rel = relations[plan.final_atom()];
+  auto [slot, inserted] = final_rel.FindOrInsert(Tuple{});
+  K result = inserted ? monoid.Zero() : std::move(*slot);
+  final_rel.Clear();
+  return result;
+}
 
 /// Runs Algorithm 1 over a pre-built plan and annotated database.
 /// `input.relations` must be indexed by query atom position (as produced by
@@ -50,82 +138,23 @@ typename M::value_type RunAlgorithm1(
     relations.push_back(std::move(rel));
   }
   relations.resize(plan.num_atoms());
-
-  const auto plus = [&monoid](const K& a, const K& b) {
-    return monoid.Plus(a, b);
-  };
-
-  for (const EliminationStep& step : plan.steps()) {
-    if (step.rule == EliminationRule::kProjectVariable) {
-      // Rule 1: ⊕-project `step.variable` out of `step.source_atom`.
-      AnnotatedRelation<K>& source = relations[step.source_atom];
-      const VarSet& src_schema = source.schema();
-      // Position of the eliminated variable in the (sorted) schema.
-      size_t drop_pos = src_schema.size();
-      for (size_t i = 0; i < src_schema.size(); ++i) {
-        if (src_schema[i] == step.variable) {
-          drop_pos = i;
-          break;
-        }
-      }
-      HIERARQ_CHECK_LT(drop_pos, src_schema.size())
-          << "plan step eliminates a variable absent from the schema";
-
-      AnnotatedRelation<K> result(plan.vars_of(step.result_atom));
-      for (const auto& [key, value] : source) {
-        Tuple projected;
-        projected.reserve(key.size() - 1);
-        for (size_t i = 0; i < key.size(); ++i) {
-          if (i != drop_pos) {
-            projected.push_back(key[i]);
-          }
-        }
-        result.Merge(projected, value, plus);
-      }
-      source.Clear();
-      relations[step.result_atom] = std::move(result);
-    } else {
-      // Rule 2: ⊗-join over the union of supports.
-      AnnotatedRelation<K>& left = relations[step.left_atom];
-      AnnotatedRelation<K>& right = relations[step.right_atom];
-      HIERARQ_CHECK(left.schema() == right.schema())
-          << "Rule 2 requires equal schemas";
-
-      AnnotatedRelation<K> result(plan.vars_of(step.result_atom));
-      for (const auto& [key, value] : left) {
-        const K* other = right.Find(key);
-        result.Set(key,
-                   monoid.Times(value, other != nullptr ? *other
-                                                        : monoid.Zero()));
-      }
-      for (const auto& [key, value] : right) {
-        if (!left.Contains(key)) {
-          result.Set(key, monoid.Times(monoid.Zero(), value));
-        }
-      }
-      left.Clear();
-      right.Clear();
-      relations[step.result_atom] = std::move(result);
-    }
-  }
-
-  // The final atom is nullary; its only possible key is the empty tuple.
-  const AnnotatedRelation<K>& final_rel = relations[plan.final_atom()];
-  const K* value = final_rel.Find(Tuple{});
-  return value != nullptr ? *value : monoid.Zero();
+  return RunAlgorithm1InPlace(plan, monoid, relations);
 }
 
 /// Convenience wrapper: plans the query, annotates `facts` via `annotator`
 /// and runs Algorithm 1. Fails with kNotHierarchical for non-hierarchical
-/// queries.
+/// queries. Callers that evaluate repeatedly should hold an `Evaluator`
+/// (core/evaluator.h) instead, which caches the plan and reuses buffers.
 template <TwoMonoid M>
 Result<typename M::value_type> RunAlgorithm1OnQuery(
     const ConjunctiveQuery& query, const M& monoid, const Database& facts,
     const std::function<typename M::value_type(const Fact&)>& annotator) {
+  using K = typename M::value_type;
   HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
                            EliminationPlan::Build(query));
-  auto annotated =
-      AnnotateForQuery<typename M::value_type>(query, facts, annotator);
+  auto annotated = AnnotateForQuery<K>(
+      query, facts, annotator,
+      [&monoid](const K& a, const K& b) { return monoid.Plus(a, b); });
   return RunAlgorithm1(plan, monoid, std::move(annotated));
 }
 

@@ -1,0 +1,29 @@
+#include "hierarq/core/evaluator.h"
+
+#include <utility>
+
+namespace hierarq {
+
+Result<const EliminationPlan*> Evaluator::GetPlan(
+    const ConjunctiveQuery& query) {
+  const std::string key = query.ToString();
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++stats_.plan_cache_hits;
+    return const_cast<const EliminationPlan*>(it->second.get());
+  }
+  HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
+                           EliminationPlan::Build(query));
+  ++stats_.plans_built;
+  auto owned = std::make_unique<EliminationPlan>(std::move(plan));
+  const EliminationPlan* raw = owned.get();
+  plans_.emplace(key, std::move(owned));
+  return raw;
+}
+
+void Evaluator::ClearCache() {
+  plans_.clear();
+  scratch_.clear();
+}
+
+}  // namespace hierarq

@@ -1,0 +1,132 @@
+#ifndef HIERARQ_CORE_EVALUATOR_H_
+#define HIERARQ_CORE_EVALUATOR_H_
+
+/// \file evaluator.h
+/// \brief `Evaluator` — the amortizing front door to Algorithm 1.
+///
+/// Algorithm 1 splits into a query-only phase (building the
+/// `EliminationPlan`, Proposition 5.1) and a data phase (annotating and
+/// replaying the plan). Workloads that evaluate the *same* query against
+/// *many* databases — Shapley values run Algorithm 1 O(n²) times on
+/// perturbed databases, the CLI and servers answer the same query per
+/// request — were paying the plan build and fresh hash-table allocations
+/// on every call. `Evaluator` amortizes both:
+///
+///   * plans are cached per canonical query text, so the second and later
+///     evaluations of a query skip `EliminationPlan::Build` entirely;
+///   * the per-monoid scratch vector of annotated relations is kept
+///     between runs; `AnnotatedRelation::Reset` drops entries but keeps
+///     each table's slot array, so steady-state evaluation allocates
+///     nothing but the tuples themselves.
+///
+/// An Evaluator is single-threaded by design (one per worker); the cached
+/// plans are immutable once built, so sharing *plans* across threads is a
+/// future refactor, not a semantic change.
+
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/algorithm1.h"
+#include "hierarq/data/annotated.h"
+#include "hierarq/data/database.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+class Evaluator {
+ public:
+  /// Cache observability, used by tests and ops counters.
+  struct Stats {
+    size_t plans_built = 0;      ///< EliminationPlan::Build invocations.
+    size_t plan_cache_hits = 0;  ///< Evaluations that reused a cached plan.
+    size_t evaluations = 0;      ///< Successful Evaluate calls.
+  };
+
+  Evaluator() = default;
+
+  // The scratch tables and plan cache are identity, not value.
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
+
+  /// Returns the cached plan for `query`, building (and caching) it on
+  /// first sight. The pointer stays valid for the Evaluator's lifetime.
+  /// Fails with kNotHierarchical exactly as EliminationPlan::Build does;
+  /// failures are not cached (they are cheap to re-derive and callers
+  /// usually stop at the first one).
+  Result<const EliminationPlan*> GetPlan(const ConjunctiveQuery& query);
+
+  /// Evaluates `query` over `facts` in the given 2-monoid: annotates each
+  /// matching fact with `annotator(fact)` (duplicates ⊕-merge) and replays
+  /// the cached plan. Equivalent to RunAlgorithm1OnQuery, minus the
+  /// repeated plan builds and table allocations.
+  template <TwoMonoid M>
+  Result<typename M::value_type> Evaluate(
+      const ConjunctiveQuery& query, const M& monoid, const Database& facts,
+      const std::function<typename M::value_type(const Fact&)>& annotator) {
+    using K = typename M::value_type;
+    HIERARQ_ASSIGN_OR_RETURN(const EliminationPlan* plan, GetPlan(query));
+
+    std::vector<AnnotatedRelation<K>>& relations = ScratchFor<K>();
+    if (relations.size() != plan->num_atoms()) {
+      relations.assign(plan->num_atoms(), AnnotatedRelation<K>());
+    }
+    const auto plus = [&monoid](const K& a, const K& b) {
+      return monoid.Plus(a, b);
+    };
+    for (size_t i = 0; i < plan->num_base_atoms(); ++i) {
+      const Atom& atom = query.atoms()[i];
+      relations[i].Reset(atom.vars());
+      const Relation* relation = facts.FindRelation(atom.relation());
+      if (relation != nullptr) {
+        relations[i].Reserve(relation->size());
+        AnnotateAtom<K>(atom, *relation, annotator, plus, &relations[i]);
+      }
+    }
+
+    ++stats_.evaluations;
+    return RunAlgorithm1InPlace(*plan, monoid, relations);
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Number of distinct queries with a cached plan.
+  size_t num_cached_plans() const { return plans_.size(); }
+
+  /// Drops all cached plans and scratch buffers.
+  void ClearCache();
+
+ private:
+  struct ScratchBase {
+    virtual ~ScratchBase() = default;
+  };
+  template <typename K>
+  struct Scratch : ScratchBase {
+    std::vector<AnnotatedRelation<K>> relations;
+  };
+
+  /// The reusable relations vector for annotation type K. One live scratch
+  /// per K: evaluating in a new monoid domain does not invalidate others.
+  template <typename K>
+  std::vector<AnnotatedRelation<K>>& ScratchFor() {
+    std::unique_ptr<ScratchBase>& slot = scratch_[std::type_index(typeid(K))];
+    if (slot == nullptr) {
+      slot = std::make_unique<Scratch<K>>();
+    }
+    return static_cast<Scratch<K>*>(slot.get())->relations;
+  }
+
+  // unique_ptr values keep plan addresses stable across cache rehashes.
+  std::unordered_map<std::string, std::unique_ptr<EliminationPlan>> plans_;
+  std::unordered_map<std::type_index, std::unique_ptr<ScratchBase>> scratch_;
+  Stats stats_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_EVALUATOR_H_

@@ -1,15 +1,20 @@
 #include "hierarq/core/expectation.h"
 
-#include "hierarq/core/algorithm1.h"
-
 namespace hierarq {
+
+Result<double> ExpectedMultiplicity(Evaluator& evaluator,
+                                    const ConjunctiveQuery& query,
+                                    const TidDatabase& db) {
+  const ExpectationMonoid monoid;
+  return evaluator.Evaluate<ExpectationMonoid>(
+      query, monoid, db.facts(),
+      [&db](const Fact& fact) { return db.Probability(fact); });
+}
 
 Result<double> ExpectedMultiplicity(const ConjunctiveQuery& query,
                                     const TidDatabase& db) {
-  const ExpectationMonoid monoid;
-  return RunAlgorithm1OnQuery<ExpectationMonoid>(
-      query, monoid, db.facts(),
-      [&db](const Fact& fact) { return db.Probability(fact); });
+  Evaluator evaluator;
+  return ExpectedMultiplicity(evaluator, query, db);
 }
 
 }  // namespace hierarq

@@ -15,6 +15,7 @@
 /// a useful contrast pair: same input, same plan, different algebra,
 /// different semantics.
 
+#include "hierarq/core/evaluator.h"
 #include "hierarq/data/tid_database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -35,6 +36,12 @@ class ExpectationMonoid {
 /// E[number of satisfying assignments of Q] over the possible worlds of
 /// `db`. Fails with kNotHierarchical for non-hierarchical queries.
 Result<double> ExpectedMultiplicity(const ConjunctiveQuery& query,
+                                    const TidDatabase& db);
+
+/// As above, but amortized through `evaluator` (cached plan, reused
+/// relation buffers).
+Result<double> ExpectedMultiplicity(Evaluator& evaluator,
+                                    const ConjunctiveQuery& query,
                                     const TidDatabase& db);
 
 }  // namespace hierarq

@@ -1,16 +1,22 @@
 #include "hierarq/core/pqe.h"
 
 #include "hierarq/algebra/prob_monoid.h"
-#include "hierarq/core/algorithm1.h"
 
 namespace hierarq {
 
-Result<double> EvaluateProbability(const ConjunctiveQuery& query,
+Result<double> EvaluateProbability(Evaluator& evaluator,
+                                   const ConjunctiveQuery& query,
                                    const TidDatabase& db) {
   const ProbMonoid monoid;
-  return RunAlgorithm1OnQuery<ProbMonoid>(
+  return evaluator.Evaluate<ProbMonoid>(
       query, monoid, db.facts(),
       [&db](const Fact& fact) { return db.Probability(fact); });
+}
+
+Result<double> EvaluateProbability(const ConjunctiveQuery& query,
+                                   const TidDatabase& db) {
+  Evaluator evaluator;
+  return EvaluateProbability(evaluator, query, db);
 }
 
 }  // namespace hierarq

@@ -9,6 +9,7 @@
 /// Algorithm 1 with the probability 2-monoid — which specializes it to the
 /// Dalvi–Suciu algorithm.
 
+#include "hierarq/core/evaluator.h"
 #include "hierarq/data/tid_database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -18,6 +19,12 @@ namespace hierarq {
 /// Returns Pr[Q is true on a random possible world of `db`].
 /// Fails with kNotHierarchical for non-hierarchical queries.
 Result<double> EvaluateProbability(const ConjunctiveQuery& query,
+                                   const TidDatabase& db);
+
+/// As above, but amortized through `evaluator`: the query's plan is built
+/// at most once per evaluator and relation buffers are reused across calls.
+Result<double> EvaluateProbability(Evaluator& evaluator,
+                                   const ConjunctiveQuery& query,
                                    const TidDatabase& db);
 
 }  // namespace hierarq

@@ -1,21 +1,26 @@
 #include "hierarq/core/provenance_pipeline.h"
 
-#include "hierarq/core/algorithm1.h"
-
 namespace hierarq {
 
-Result<ProvenanceResult> ComputeProvenance(const ConjunctiveQuery& query,
+Result<ProvenanceResult> ComputeProvenance(Evaluator& evaluator,
+                                           const ConjunctiveQuery& query,
                                            const Database& db) {
   const ProvMonoid monoid;
   ProvenanceResult out;
   HIERARQ_ASSIGN_OR_RETURN(
-      out.tree, (RunAlgorithm1OnQuery<ProvMonoid>(
+      out.tree, (evaluator.Evaluate<ProvMonoid>(
                     query, monoid, db, [&out](const Fact& fact) {
                       const uint64_t symbol = out.facts.size();
                       out.facts.push_back(fact);
                       return ProvTree::Leaf(symbol);
                     })));
   return out;
+}
+
+Result<ProvenanceResult> ComputeProvenance(const ConjunctiveQuery& query,
+                                           const Database& db) {
+  Evaluator evaluator;
+  return ComputeProvenance(evaluator, query, db);
 }
 
 }  // namespace hierarq

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hierarq/algebra/provenance.h"
+#include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -32,6 +33,12 @@ struct ProvenanceResult {
 /// Computes the query's provenance tree. Fails with kNotHierarchical for
 /// non-hierarchical queries.
 Result<ProvenanceResult> ComputeProvenance(const ConjunctiveQuery& query,
+                                           const Database& db);
+
+/// As above, but amortized through `evaluator` (cached plan, reused
+/// relation buffers).
+Result<ProvenanceResult> ComputeProvenance(Evaluator& evaluator,
+                                           const ConjunctiveQuery& query,
                                            const Database& db);
 
 }  // namespace hierarq

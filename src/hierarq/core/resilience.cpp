@@ -1,16 +1,15 @@
 #include "hierarq/core/resilience.h"
 
-#include "hierarq/core/algorithm1.h"
-
 namespace hierarq {
 
-Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+Result<uint64_t> ComputeResilience(Evaluator& evaluator,
+                                   const ConjunctiveQuery& query,
                                    const Database& exogenous,
                                    const Database& endogenous) {
   const ResilienceMonoid monoid;
   HIERARQ_ASSIGN_OR_RETURN(Database combined,
                            exogenous.UnionWith(endogenous));
-  return RunAlgorithm1OnQuery<ResilienceMonoid>(
+  return evaluator.Evaluate<ResilienceMonoid>(
       query, monoid, combined, [&](const Fact& fact) -> uint64_t {
         // Facts in both databases are exogenous: they cannot be removed.
         if (exogenous.ContainsFact(fact)) {
@@ -18,6 +17,13 @@ Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
         }
         return monoid.EndogenousCost();
       });
+}
+
+Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
+                                   const Database& exogenous,
+                                   const Database& endogenous) {
+  Evaluator evaluator;
+  return ComputeResilience(evaluator, query, exogenous, endogenous);
 }
 
 Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,

@@ -12,6 +12,7 @@
 /// hierarq/algebra/resilience_monoid.h for the algebra and its φ-map.
 
 #include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -27,6 +28,13 @@ Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
 /// All-endogenous convenience overload.
 Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,
                                    const Database& db);
+
+/// As the two-database form, but amortized through `evaluator` (cached
+/// plan, reused relation buffers).
+Result<uint64_t> ComputeResilience(Evaluator& evaluator,
+                                   const ConjunctiveQuery& query,
+                                   const Database& exogenous,
+                                   const Database& endogenous);
 
 }  // namespace hierarq
 

@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "hierarq/algebra/satcount_monoid.h"
-#include "hierarq/core/algorithm1.h"
 
 namespace hierarq {
 
@@ -19,7 +18,8 @@ struct RawSatCount {
 /// (Eq. (21)); facts of Dn that match no atom (wrong relation, constant
 /// mismatch, or shadowed by an identical exogenous fact) are irrelevant and
 /// are accounted for by the caller via a binomial expansion.
-Result<RawSatCount> RunSatCount(const ConjunctiveQuery& query,
+Result<RawSatCount> RunSatCount(Evaluator& evaluator,
+                                const ConjunctiveQuery& query,
                                 const Database& exogenous,
                                 const Database& endogenous) {
   const size_t n = endogenous.NumFacts();
@@ -30,7 +30,7 @@ Result<RawSatCount> RunSatCount(const ConjunctiveQuery& query,
   size_t relevant = 0;
   HIERARQ_ASSIGN_OR_RETURN(
       SatCountVec<BigUint> vec,
-      (RunAlgorithm1OnQuery<SatCountMonoid<BigUint>>(
+      (evaluator.Evaluate<SatCountMonoid<BigUint>>(
           query, monoid, combined,
           [&](const Fact& fact) -> SatCountVec<BigUint> {
             // Definition 5.15: exogenous facts are always present (1);
@@ -47,12 +47,13 @@ Result<RawSatCount> RunSatCount(const ConjunctiveQuery& query,
 
 }  // namespace
 
-Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
+Result<SatCounts> CountSatBoth(Evaluator& evaluator,
+                               const ConjunctiveQuery& query,
                                const Database& exogenous,
                                const Database& endogenous) {
   const size_t n = endogenous.NumFacts();
-  HIERARQ_ASSIGN_OR_RETURN(RawSatCount raw,
-                           RunSatCount(query, exogenous, endogenous));
+  HIERARQ_ASSIGN_OR_RETURN(
+      RawSatCount raw, RunSatCount(evaluator, query, exogenous, endogenous));
   const size_t m = raw.relevant_endogenous;
   HIERARQ_CHECK_LE(m, n);
 
@@ -76,15 +77,31 @@ Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
   return out;
 }
 
-Result<std::vector<BigUint>> CountSat(const ConjunctiveQuery& query,
+Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
+                               const Database& exogenous,
+                               const Database& endogenous) {
+  Evaluator evaluator;
+  return CountSatBoth(evaluator, query, exogenous, endogenous);
+}
+
+Result<std::vector<BigUint>> CountSat(Evaluator& evaluator,
+                                      const ConjunctiveQuery& query,
                                       const Database& exogenous,
                                       const Database& endogenous) {
-  HIERARQ_ASSIGN_OR_RETURN(SatCounts both,
-                           CountSatBoth(query, exogenous, endogenous));
+  HIERARQ_ASSIGN_OR_RETURN(
+      SatCounts both, CountSatBoth(evaluator, query, exogenous, endogenous));
   return std::move(both.on_true);
 }
 
-Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
+Result<std::vector<BigUint>> CountSat(const ConjunctiveQuery& query,
+                                      const Database& exogenous,
+                                      const Database& endogenous) {
+  Evaluator evaluator;
+  return CountSat(evaluator, query, exogenous, endogenous);
+}
+
+Result<Fraction> ShapleyValue(Evaluator& evaluator,
+                              const ConjunctiveQuery& query,
                               const Database& exogenous,
                               const Database& endogenous, const Fact& fact) {
   if (!endogenous.ContainsFact(fact)) {
@@ -99,10 +116,12 @@ Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
   Database exo_plus = exogenous;
   HIERARQ_RETURN_NOT_OK(exo_plus.AddFact(fact.relation, fact.tuple).status());
 
-  HIERARQ_ASSIGN_OR_RETURN(std::vector<BigUint> with_f,
-                           CountSat(query, exo_plus, endo_minus));
-  HIERARQ_ASSIGN_OR_RETURN(std::vector<BigUint> without_f,
-                           CountSat(query, exogenous, endo_minus));
+  HIERARQ_ASSIGN_OR_RETURN(
+      std::vector<BigUint> with_f,
+      CountSat(evaluator, query, exo_plus, endo_minus));
+  HIERARQ_ASSIGN_OR_RETURN(
+      std::vector<BigUint> without_f,
+      CountSat(evaluator, query, exogenous, endo_minus));
 
   // Σ_k k!(n-k-1)! (A_k − B_k), over denominator n!.
   BigInt numerator(0);
@@ -115,16 +134,31 @@ Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
   return Fraction(numerator, BigInt(BigUint::Factorial(n)));
 }
 
+Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous, const Fact& fact) {
+  Evaluator evaluator;
+  return ShapleyValue(evaluator, query, exogenous, endogenous, fact);
+}
+
 Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
-    const ConjunctiveQuery& query, const Database& exogenous,
-    const Database& endogenous) {
+    Evaluator& evaluator, const ConjunctiveQuery& query,
+    const Database& exogenous, const Database& endogenous) {
   std::vector<std::pair<Fact, Fraction>> out;
   for (const Fact& fact : endogenous.AllFacts()) {
-    HIERARQ_ASSIGN_OR_RETURN(Fraction value,
-                             ShapleyValue(query, exogenous, endogenous, fact));
+    HIERARQ_ASSIGN_OR_RETURN(
+        Fraction value,
+        ShapleyValue(evaluator, query, exogenous, endogenous, fact));
     out.emplace_back(fact, std::move(value));
   }
   return out;
+}
+
+Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
+    const ConjunctiveQuery& query, const Database& exogenous,
+    const Database& endogenous) {
+  Evaluator evaluator;
+  return AllShapleyValues(evaluator, query, exogenous, endogenous);
 }
 
 }  // namespace hierarq

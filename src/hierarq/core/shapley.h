@@ -18,8 +18,14 @@
 /// with n = |Dn|. Counts use exact BigUint arithmetic; Shapley values are
 /// exact `Fraction`s (denominator n!).
 
+/// Every entry point has an `Evaluator&` overload that amortizes the plan
+/// build and relation buffers across Algorithm 1 invocations — the
+/// all-facts Shapley computation runs Algorithm 1 2·|Dn| times on the same
+/// query, so it reuses one evaluator throughout.
+
 #include <vector>
 
+#include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/bigint.h"
@@ -33,6 +39,10 @@ namespace hierarq {
 Result<std::vector<BigUint>> CountSat(const ConjunctiveQuery& query,
                                       const Database& exogenous,
                                       const Database& endogenous);
+Result<std::vector<BigUint>> CountSat(Evaluator& evaluator,
+                                      const ConjunctiveQuery& query,
+                                      const Database& exogenous,
+                                      const Database& endogenous);
 
 /// Both polarity vectors: counts of subsets making Q true and false.
 /// Their sum at k is binomial(|Dn|, k) — an identity the tests rely on.
@@ -43,10 +53,18 @@ struct SatCounts {
 Result<SatCounts> CountSatBoth(const ConjunctiveQuery& query,
                                const Database& exogenous,
                                const Database& endogenous);
+Result<SatCounts> CountSatBoth(Evaluator& evaluator,
+                               const ConjunctiveQuery& query,
+                               const Database& exogenous,
+                               const Database& endogenous);
 
 /// The Shapley value of endogenous fact `fact`, exact.
 /// Fails kInvalidArgument when `fact` is not endogenous.
 Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
+                              const Database& exogenous,
+                              const Database& endogenous, const Fact& fact);
+Result<Fraction> ShapleyValue(Evaluator& evaluator,
+                              const ConjunctiveQuery& query,
                               const Database& exogenous,
                               const Database& endogenous, const Fact& fact);
 
@@ -56,6 +74,9 @@ Result<Fraction> ShapleyValue(const ConjunctiveQuery& query,
 Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
     const ConjunctiveQuery& query, const Database& exogenous,
     const Database& endogenous);
+Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
+    Evaluator& evaluator, const ConjunctiveQuery& query,
+    const Database& exogenous, const Database& endogenous);
 
 }  // namespace hierarq
 

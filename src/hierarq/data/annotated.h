@@ -11,25 +11,83 @@
 /// relation's schema, which is the atom's variable set in ascending VarId
 /// order (atom term order, duplicate variables, and constants are resolved
 /// once, when the base database is annotated).
+///
+/// Storage is the open-addressing `FlatMap` (util/flat_map.h); define
+/// HIERARQ_ANNOTATED_STD_MAP (CMake option HIERARQ_STORAGE_BASELINE) to
+/// fall back to the std::unordered_map baseline for A/B comparison runs.
 
 #include <functional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#ifdef HIERARQ_ANNOTATED_STD_MAP
+#include <unordered_map>
+#endif
 
 #include "hierarq/data/database.h"
 #include "hierarq/data/tuple.h"
 #include "hierarq/query/query.h"
 #include "hierarq/query/var_set.h"
+#include "hierarq/util/flat_map.h"
 #include "hierarq/util/logging.h"
 #include "hierarq/util/result.h"
 
 namespace hierarq {
 
+#ifdef HIERARQ_ANNOTATED_STD_MAP
+/// Gives std::unordered_map the FlatMap surface, so the baseline swap is a
+/// single type alias rather than per-method dispatch in AnnotatedRelation.
+template <typename Key, typename Mapped, typename Hash>
+class StdMapAdapter {
+ public:
+  using Map = std::unordered_map<Key, Mapped, Hash>;
+  using const_iterator = typename Map::const_iterator;
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  const_iterator begin() const { return map_.begin(); }
+  const_iterator end() const { return map_.end(); }
+
+  const Mapped* Find(const Key& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  std::pair<Mapped*, bool> FindOrInsert(const Key& key) {
+    auto [it, inserted] = map_.try_emplace(key);
+    return {&it->second, inserted};
+  }
+
+  void Set(const Key& key, Mapped value) { map_[key] = std::move(value); }
+
+  template <typename Combine>
+  void Merge(const Key& key, Mapped value, Combine combine) {
+    auto [slot, inserted] = FindOrInsert(key);
+    if (inserted) {
+      *slot = std::move(value);
+    } else {
+      *slot = combine(*slot, value);
+    }
+  }
+
+  void Reserve(size_t count) { map_.reserve(count); }
+  void Clear() { map_.clear(); }
+
+ private:
+  Map map_;
+};
+#endif
+
 /// A relation annotated with values from K, keyed by tuples over `schema`.
 template <typename K>
 class AnnotatedRelation {
  public:
-  using Map = std::unordered_map<Tuple, K, TupleHash>;
+#ifdef HIERARQ_ANNOTATED_STD_MAP
+  using Map = StdMapAdapter<Tuple, K, TupleHash>;
+#else
+  using Map = FlatMap<Tuple, K, TupleHash>;
+#endif
   using const_iterator = typename Map::const_iterator;
 
   AnnotatedRelation() = default;
@@ -46,33 +104,46 @@ class AnnotatedRelation {
   /// Sets the annotation of `key` (inserting or overwriting).
   void Set(const Tuple& key, K value) {
     HIERARQ_CHECK_EQ(key.size(), schema_.size());
-    entries_[key] = std::move(value);
+    entries_.Set(key, std::move(value));
   }
 
   /// Returns the annotation of `key`, or nullptr when `key` is not in the
   /// support (i.e. its annotation is the monoid zero).
-  const K* Find(const Tuple& key) const {
-    auto it = entries_.find(key);
-    return it == entries_.end() ? nullptr : &it->second;
-  }
+  const K* Find(const Tuple& key) const { return entries_.Find(key); }
 
   bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
+
+  /// Finds the annotation of `key`, inserting a value-initialized slot when
+  /// absent; the bool is true iff the slot was just inserted (the caller
+  /// must then assign a real annotation). One probe sequence total — the
+  /// entry point Algorithm 1 uses for Rule 1's ⊕-merge and for the
+  /// right-minus-left leg of Rule 2's union-of-supports iteration.
+  std::pair<K*, bool> FindOrInsert(const Tuple& key) {
+    return entries_.FindOrInsert(key);
+  }
 
   /// Inserts `value` at `key`, or combines it with the existing annotation
   /// via `combine(existing, value)`. Used by Algorithm 1's Rule 1
   /// (⊕-aggregation).
   template <typename Combine>
   void Merge(const Tuple& key, K value, Combine combine) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
-      entries_.emplace(key, std::move(value));
-    } else {
-      it->second = combine(it->second, value);
-    }
+    entries_.Merge(key, std::move(value), combine);
   }
 
-  /// Releases all entries (frees intermediate relations eagerly).
-  void Clear() { entries_.clear(); }
+  /// Pre-sizes the table so `count` insertions proceed without rehashing.
+  void Reserve(size_t count) { entries_.Reserve(count); }
+
+  /// Releases all entries (frees intermediate relations eagerly). The
+  /// underlying table keeps its slot array, so a relation reused across
+  /// evaluations (core/evaluator.h) reaches steady state allocation-free.
+  void Clear() { entries_.Clear(); }
+
+  /// Re-targets this relation at `schema`, dropping all entries but keeping
+  /// the table's capacity — the buffer-reuse entry point.
+  void Reset(const VarSet& schema) {
+    schema_ = schema;
+    Clear();
+  }
 
  private:
   VarSet schema_;
@@ -95,69 +166,103 @@ struct AnnotatedDatabase {
   }
 };
 
-/// Builds the K-annotated database for `query` from the facts of `facts`,
-/// annotating each fact f with `annotator(f)`.
+/// Annotates one atom's relation into `out` (whose schema must already be
+/// the atom's variable set). Each tuple of `relation` is matched against
+/// the atom pattern: constant terms must be equal and repeated variables
+/// must bind consistently; matching tuples are projected onto the atom's
+/// variable set (ascending VarId order) to form the key. Non-matching
+/// tuples are skipped — they can never contribute a satisfying assignment.
 ///
-/// For every atom R(t1..tk) of the query, each tuple of relation R in
-/// `facts` is matched against the atom: constant terms must be equal and
-/// repeated variables must bind consistently; matching tuples are projected
-/// onto the atom's variable set (ascending VarId order) to form the key.
-/// Non-matching tuples are skipped — they can never contribute a satisfying
-/// assignment.
+/// Duplicate keys — e.g. literally duplicated facts in a bag of tuples —
+/// are combined with `combine(existing, fresh)`; callers evaluating over a
+/// 2-monoid pass ⊕ so duplicates merge instead of aborting.
+template <typename K, typename Combine>
+void AnnotateAtom(const Atom& atom, const Relation& relation,
+                  const std::function<K(const Fact&)>& annotator,
+                  Combine combine, AnnotatedRelation<K>* out) {
+  HIERARQ_CHECK(out->schema() == atom.vars());
+  // Resolve each schema variable's occurrence positions once — the tuple
+  // loop below runs |relation| times and must not allocate per tuple.
+  std::vector<std::vector<size_t>> var_positions;
+  var_positions.reserve(atom.vars().size());
+  for (VarId v : atom.vars()) {
+    var_positions.push_back(atom.PositionsOf(v));
+  }
+  // One Fact reused across tuples: the relation-name string is built once,
+  // only the tuple payload changes per iteration.
+  Fact fact{atom.relation(), Tuple{}};
+  for (const Tuple& tuple : relation.tuples()) {
+    if (tuple.size() != atom.arity()) {
+      continue;  // Arity mismatch: cannot match the atom.
+    }
+    // Match the tuple against the atom pattern.
+    bool matches = true;
+    for (size_t i = 0; i < atom.terms().size() && matches; ++i) {
+      const Term& term = atom.terms()[i];
+      if (term.is_constant()) {
+        matches = term.constant() == tuple[i];
+      }
+    }
+    // Repeated variables must bind to equal values.
+    if (matches) {
+      for (const std::vector<size_t>& positions : var_positions) {
+        for (size_t i = 1; i < positions.size() && matches; ++i) {
+          matches = tuple[positions[i]] == tuple[positions[0]];
+        }
+        if (!matches) {
+          break;
+        }
+      }
+    }
+    if (!matches) {
+      continue;
+    }
+    // Project onto the schema (ascending VarId order).
+    Tuple key;
+    key.reserve(var_positions.size());
+    for (const std::vector<size_t>& positions : var_positions) {
+      key.push_back(tuple[positions.front()]);
+    }
+    fact.tuple = tuple;
+    out->Merge(key, annotator(fact), combine);
+  }
+}
+
+/// Builds the K-annotated database for `query` from the facts of `facts`,
+/// annotating each fact f with `annotator(f)` and ⊕-combining duplicate
+/// keys with `combine`.
 ///
 /// Atoms whose relation is absent from `facts` produce empty (all-zero)
 /// annotated relations, which is the correct semantics.
-template <typename K>
+template <typename K, typename Combine>
 AnnotatedDatabase<K> AnnotateForQuery(
     const ConjunctiveQuery& query, const Database& facts,
-    const std::function<K(const Fact&)>& annotator) {
+    const std::function<K(const Fact&)>& annotator, Combine combine) {
   AnnotatedDatabase<K> out;
   out.relations.reserve(query.num_atoms());
   for (const Atom& atom : query.atoms()) {
     AnnotatedRelation<K> annotated(atom.vars());
     const Relation* relation = facts.FindRelation(atom.relation());
     if (relation != nullptr) {
-      for (const Tuple& tuple : relation->tuples()) {
-        if (tuple.size() != atom.arity()) {
-          continue;  // Arity mismatch: cannot match the atom.
-        }
-        // Match the tuple against the atom pattern.
-        bool matches = true;
-        for (size_t i = 0; i < atom.terms().size() && matches; ++i) {
-          const Term& term = atom.terms()[i];
-          if (term.is_constant()) {
-            matches = term.constant() == tuple[i];
-          }
-        }
-        // Repeated variables must bind to equal values.
-        if (matches) {
-          for (VarId v : atom.vars()) {
-            const std::vector<size_t> positions = atom.PositionsOf(v);
-            for (size_t i = 1; i < positions.size() && matches; ++i) {
-              matches = tuple[positions[i]] == tuple[positions[0]];
-            }
-            if (!matches) {
-              break;
-            }
-          }
-        }
-        if (!matches) {
-          continue;
-        }
-        // Project onto the schema (ascending VarId order).
-        Tuple key;
-        key.reserve(atom.vars().size());
-        for (VarId v : atom.vars()) {
-          key.push_back(tuple[atom.PositionsOf(v).front()]);
-        }
-        HIERARQ_CHECK(!annotated.Contains(key))
-            << "duplicate key while annotating " << atom.relation();
-        annotated.Set(key, annotator(Fact{atom.relation(), tuple}));
-      }
+      annotated.Reserve(relation->size());
+      AnnotateAtom(atom, *relation, annotator, combine, &annotated);
     }
     out.relations.push_back(std::move(annotated));
   }
   return out;
+}
+
+/// AnnotateForQuery without an explicit combiner: duplicate keys keep the
+/// latest annotation. Set databases cannot produce duplicate keys (atom
+/// matching plus projection is injective on a duplicate-free relation), so
+/// the combiner only matters for bag-like inputs — monoid-aware callers
+/// (core/algorithm1.h, core/evaluator.h) pass ⊕ explicitly.
+template <typename K>
+AnnotatedDatabase<K> AnnotateForQuery(
+    const ConjunctiveQuery& query, const Database& facts,
+    const std::function<K(const Fact&)>& annotator) {
+  return AnnotateForQuery<K>(query, facts, annotator,
+                             [](const K&, const K& fresh) { return fresh; });
 }
 
 }  // namespace hierarq

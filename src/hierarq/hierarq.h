@@ -21,6 +21,7 @@
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/algorithm1.h"
 #include "hierarq/core/bagset.h"
+#include "hierarq/core/evaluator.h"
 #include "hierarq/core/expectation.h"
 #include "hierarq/core/pqe.h"
 #include "hierarq/core/provenance_pipeline.h"

@@ -56,6 +56,14 @@ Result<EliminationPlan> EliminationPlan::Build(const ConjunctiveQuery& query) {
         step.rule = EliminationRule::kProjectVariable;
         step.source_atom = live[idx].id;
         step.variable = var;
+        step.drop_pos = live[idx].vars.size();
+        for (size_t pos = 0; pos < live[idx].vars.size(); ++pos) {
+          if (live[idx].vars[pos] == var) {
+            step.drop_pos = pos;
+            break;
+          }
+        }
+        HIERARQ_CHECK_LT(step.drop_pos, live[idx].vars.size());
         VarSet result_vars = live[idx].vars;
         result_vars.Erase(var);
         step.result_atom = mint(result_vars, plan.names_[live[idx].id]);

@@ -42,6 +42,9 @@ struct EliminationStep {
   // Rule 1 fields.
   size_t source_atom = 0;  ///< Valid when rule == kProjectVariable.
   VarId variable = 0;      ///< The eliminated private variable.
+  /// Position of `variable` in the source atom's (sorted) schema, computed
+  /// once at plan build so Algorithm 1's inner loop never searches for it.
+  size_t drop_pos = 0;
 
   // Rule 2 fields.
   size_t left_atom = 0;   ///< Valid when rule == kMergeAtoms.

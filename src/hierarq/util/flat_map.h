@@ -1,0 +1,284 @@
+#ifndef HIERARQ_UTIL_FLAT_MAP_H_
+#define HIERARQ_UTIL_FLAT_MAP_H_
+
+/// \file flat_map.h
+/// \brief `FlatMap` — an open-addressing hash map with robin-hood probing,
+/// built for the Algorithm 1 hot path (data/annotated.h).
+///
+/// `std::unordered_map` pays one heap node per entry and chases a pointer
+/// per probe; Algorithm 1 touches every stored fact of every intermediate
+/// relation once per elimination step, so those cache misses dominate the
+/// O(|D|) monoid-operation bound in wall-clock terms. FlatMap stores
+/// entries contiguously in one slot array (keys — short inlined tuples —
+/// live next to their probe metadata), resolves collisions with robin-hood
+/// displacement to keep probe sequences short and variance low, and
+/// exposes a combined `FindOrInsert` so callers pay a single probe for the
+/// find-else-insert pattern of Rule 1 (⊕-merge) and Rule 2 (union of
+/// supports).
+///
+/// Deliberate restrictions, matching how annotated relations are used:
+///   * no per-entry erase — intermediate relations are dropped wholesale
+///     via `Clear()`, so the table needs no tombstones;
+///   * `Clear()` keeps the slot array allocated, so a table reused across
+///     evaluations (core/evaluator.h) reaches steady state with zero
+///     allocations;
+///   * pointers returned by `Find`/`FindOrInsert` are invalidated by the
+///     next mutating call, like iterators of any rehashing table.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+template <typename Key, typename Mapped, typename Hash>
+class FlatMap {
+ public:
+  /// One stored entry; named like std::pair so structured bindings and
+  /// `.first`/`.second` code work against both FlatMap and unordered_map.
+  struct Entry {
+    Key first;
+    Mapped second;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const FlatMap* map, size_t index)
+        : map_(map), index_(index) {
+      SkipEmpty();
+    }
+
+    const Entry& operator*() const { return map_->entries_[index_]; }
+    const Entry* operator->() const { return &map_->entries_[index_]; }
+
+    const_iterator& operator++() {
+      ++index_;
+      SkipEmpty();
+      return *this;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      return index_ == other.index_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    void SkipEmpty() {
+      while (index_ < map_->meta_.size() && map_->meta_[index_] == 0) {
+        ++index_;
+      }
+    }
+
+    const FlatMap* map_;
+    size_t index_;
+  };
+
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of slots currently allocated (power of two, or 0 before the
+  /// first insert).
+  size_t capacity() const { return meta_.size(); }
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, meta_.size()); }
+
+  /// Returns the mapped value of `key`, or nullptr when absent.
+  const Mapped* Find(const Key& key) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    const size_t mask = meta_.size() - 1;
+    size_t index = Hash{}(key) & mask;
+    uint8_t distance = 1;  // Stored metadata: 0 = empty, else probe dist + 1.
+    while (true) {
+      const uint8_t slot = meta_[index];
+      if (slot == 0 || slot < distance) {
+        // Robin-hood invariant: had `key` been present, it would have
+        // displaced this poorer (or empty) slot.
+        return nullptr;
+      }
+      if (slot == distance && entries_[index].first == key) {
+        return &entries_[index].second;
+      }
+      index = (index + 1) & mask;
+      ++distance;
+    }
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// The combined find-else-insert entry point: returns a pointer to the
+  /// mapped value of `key` and whether it was just inserted (in which case
+  /// it is value-initialized and the caller must assign it). One probe
+  /// sequence total — this is what Rule 1's ⊕-merge and Rule 2's
+  /// union-of-supports iteration call per fact.
+  std::pair<Mapped*, bool> FindOrInsert(const Key& key) {
+    if (NeedsGrowth()) {
+      Rehash(meta_.empty() ? kMinCapacity : meta_.size() * 2);
+    }
+    const size_t mask = meta_.size() - 1;
+    size_t index = Hash{}(key) & mask;
+    uint8_t distance = 1;
+    while (true) {
+      const uint8_t slot = meta_[index];
+      if (slot == 0) {
+        meta_[index] = distance;
+        entries_[index].first = key;
+        entries_[index].second = Mapped();
+        ++size_;
+        return {&entries_[index].second, true};
+      }
+      if (slot == distance && entries_[index].first == key) {
+        return {&entries_[index].second, false};
+      }
+      if (slot < distance) {
+        // Rich slot found: claim it for `key` and continue inserting the
+        // displaced entry further down the probe sequence.
+        Entry displaced = std::move(entries_[index]);
+        uint8_t displaced_distance = meta_[index];
+        entries_[index].first = key;
+        entries_[index].second = Mapped();
+        meta_[index] = distance;
+        ++size_;
+        if (InsertDisplaced(std::move(displaced), displaced_distance,
+                            (index + 1) & mask)) {
+          // The chain overflowed and rehashed; re-locate the fresh slot.
+          return {FindMutable(key), true};
+        }
+        return {&entries_[index].second, true};
+      }
+      if (distance == kMaxDistance) {
+        Rehash(meta_.size() * 2);
+        return FindOrInsert(key);
+      }
+      index = (index + 1) & mask;
+      ++distance;
+    }
+  }
+
+  /// Sets the mapped value of `key` (inserting or overwriting).
+  void Set(const Key& key, Mapped value) {
+    *FindOrInsert(key).first = std::move(value);
+  }
+
+  /// Inserts `value` at `key`, or combines it with the existing mapped
+  /// value via `combine(existing, value)`. Single probe sequence.
+  template <typename Combine>
+  void Merge(const Key& key, Mapped value, Combine combine) {
+    auto [slot, inserted] = FindOrInsert(key);
+    if (inserted) {
+      *slot = std::move(value);
+    } else {
+      *slot = combine(*slot, value);
+    }
+  }
+
+  /// Pre-sizes the table for `count` entries without exceeding the load
+  /// factor (Lemma 6.6 lets Algorithm 1 bound every intermediate relation
+  /// by the union of its input supports, so growth rehashes never fire).
+  void Reserve(size_t count) {
+    size_t needed = kMinCapacity;
+    while (needed * kMaxLoadDen < count * kMaxLoadNum) {
+      needed *= 2;  // Until count <= needed * (kMaxLoadDen/kMaxLoadNum).
+    }
+    if (needed > meta_.size()) {
+      Rehash(needed);
+    }
+  }
+
+  /// Removes all entries but keeps the slot array allocated, so a reused
+  /// table inserts without rehashing. Entry payloads are reset to release
+  /// any heap they own (provenance trees, #Sat vectors).
+  void Clear() {
+    if (size_ == 0) {
+      return;
+    }
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i] != 0) {
+        entries_[i] = Entry();
+      }
+    }
+    meta_.assign(meta_.size(), 0);
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinCapacity = 8;
+  // Grow past kMaxLoadDen/kMaxLoadNum (7/8) occupancy: robin-hood probing
+  // keeps the mean probe length short even at high load, and denser tables
+  // are cheaper to iterate.
+  static constexpr size_t kMaxLoadNum = 8;
+  static constexpr size_t kMaxLoadDen = 7;
+  static constexpr uint8_t kMaxDistance = 255;
+
+  bool NeedsGrowth() const {
+    return (size_ + 1) * kMaxLoadNum > meta_.size() * kMaxLoadDen;
+  }
+
+  Mapped* FindMutable(const Key& key) {
+    return const_cast<Mapped*>(Find(key));
+  }
+
+  /// Continues a robin-hood displacement chain: re-inserts `entry` (whose
+  /// stored metadata was `distance` one slot to the left) starting at
+  /// `index`, swapping with any richer entry it passes. Returns true when
+  /// the chain overflowed kMaxDistance and the table was rehashed (all
+  /// previously returned pointers are then invalid).
+  bool InsertDisplaced(Entry entry, uint8_t distance, size_t index) {
+    const size_t mask = meta_.size() - 1;
+    ++distance;
+    while (true) {
+      if (distance == kMaxDistance) {
+        // Extremely unlikely with Mix64-based hashing; grow and restart.
+        Entry local = std::move(entry);
+        Rehash(meta_.size() * 2);
+        auto [slot, inserted] = FindOrInsert(local.first);
+        HIERARQ_CHECK(inserted);
+        *slot = std::move(local.second);
+        return true;
+      }
+      const uint8_t slot = meta_[index];
+      if (slot == 0) {
+        meta_[index] = distance;
+        entries_[index] = std::move(entry);
+        return false;
+      }
+      if (slot < distance) {
+        std::swap(entries_[index], entry);
+        std::swap(meta_[index], distance);
+      }
+      index = (index + 1) & mask;
+      ++distance;
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<uint8_t> old_meta = std::move(meta_);
+    std::vector<Entry> old_entries = std::move(entries_);
+    meta_.assign(new_capacity, 0);
+    entries_.assign(new_capacity, Entry());
+    size_ = 0;
+    for (size_t i = 0; i < old_meta.size(); ++i) {
+      if (old_meta[i] != 0) {
+        auto [slot, inserted] = FindOrInsert(old_entries[i].first);
+        HIERARQ_CHECK(inserted);
+        *slot = std::move(old_entries[i].second);
+      }
+    }
+  }
+
+  std::vector<uint8_t> meta_;   // 0 = empty, else probe distance + 1.
+  std::vector<Entry> entries_;  // Parallel to meta_.
+  size_t size_ = 0;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_UTIL_FLAT_MAP_H_

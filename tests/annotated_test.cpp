@@ -98,6 +98,76 @@ TEST(AnnotateForQuery, ArityMismatchSkipped) {
   EXPECT_EQ(annotated.TotalSupport(), 0u);
 }
 
+TEST(AnnotateForQuery, DuplicateFactsInDatabaseDoNotAbort) {
+  // Regression: annotating used to hard-CHECK on duplicate annotated keys.
+  // A set database dedups AddFact, so the same fact added twice must
+  // annotate exactly once — and must not crash.
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, B)");
+  Database db;
+  EXPECT_TRUE(db.AddFactOrDie("R", MakeTuple({1, 2})));
+  EXPECT_FALSE(db.AddFactOrDie("R", MakeTuple({1, 2})));  // Duplicate.
+  size_t annotator_calls = 0;
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [&annotator_calls](const Fact&) -> uint64_t {
+        ++annotator_calls;
+        return 1;
+      });
+  EXPECT_EQ(annotator_calls, 1u);
+  EXPECT_EQ(annotated.relations[0].size(), 1u);
+  EXPECT_EQ(*annotated.relations[0].Find(MakeTuple({1, 2})), 1u);
+}
+
+TEST(AnnotateAtom, DuplicateKeysMergeWithCombiner) {
+  // Bag-like inputs (a tuple list with repeats) reach the duplicate-key
+  // path directly: the annotations must ⊕-combine, not abort.
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, B)");
+  Relation bag("R", 2);
+  // Relation dedups too, so simulate a bag by annotating the same relation
+  // twice into one output.
+  bag.Insert(MakeTuple({1, 2}));
+  bag.Insert(MakeTuple({3, 4}));
+  AnnotatedRelation<uint64_t> out(q.atoms()[0].vars());
+  const auto annotator =
+      std::function<uint64_t(const Fact&)>([](const Fact&) { return 3; });
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  AnnotateAtom<uint64_t>(q.atoms()[0], bag, annotator, plus, &out);
+  AnnotateAtom<uint64_t>(q.atoms()[0], bag, annotator, plus, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(*out.Find(MakeTuple({1, 2})), 6u);  // 3 ⊕ 3, merged not fatal.
+  EXPECT_EQ(*out.Find(MakeTuple({3, 4})), 6u);
+}
+
+TEST(AnnotateForQuery, ExplicitCombinerMergesDuplicateKeys) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A, B)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  auto annotated = AnnotateForQuery<uint64_t>(
+      q, db, [](const Fact&) -> uint64_t { return 5; },
+      [](uint64_t a, uint64_t b) { return a + b; });
+  EXPECT_EQ(*annotated.relations[0].Find(MakeTuple({1, 2})), 5u);
+}
+
+TEST(AnnotatedRelation, ResetKeepsRelationUsableUnderNewSchema) {
+  AnnotatedRelation<int> rel(VarSet{0, 1});
+  rel.Set(MakeTuple({1, 2}), 42);
+  rel.Reset(VarSet{3});
+  EXPECT_TRUE(rel.empty());
+  EXPECT_EQ(rel.schema(), (VarSet{3}));
+  rel.Set(MakeTuple({9}), 7);
+  EXPECT_EQ(*rel.Find(MakeTuple({9})), 7);
+}
+
+TEST(AnnotatedRelation, FindOrInsertSingleProbeSemantics) {
+  AnnotatedRelation<int> rel(VarSet{0});
+  auto [slot, inserted] = rel.FindOrInsert(MakeTuple({4}));
+  EXPECT_TRUE(inserted);
+  *slot = 11;
+  auto [again, inserted_again] = rel.FindOrInsert(MakeTuple({4}));
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*again, 11);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
 TEST(AnnotateForQuery, AnnotatorSeesOriginalFact) {
   const ConjunctiveQuery q = ParseQueryOrDie("R(A, 3)");
   Database db;

@@ -1,0 +1,191 @@
+// Tests for the Evaluator (core/evaluator.h): plan caching across repeated
+// evaluations, per-monoid scratch isolation, correctness against the
+// uncached path, and the amortized solver entry points.
+
+#include <gtest/gtest.h>
+
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/evaluator.h"
+#include "hierarq/core/pqe.h"
+#include "hierarq/core/resilience.h"
+#include "hierarq/core/shapley.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+namespace {
+
+std::function<uint64_t(const Fact&)> OneAnnotator() {
+  return [](const Fact&) -> uint64_t { return 1; };
+}
+
+TEST(Evaluator, SecondEvaluationSkipsPlanBuild) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  db.AddFactOrDie("S", MakeTuple({1}));
+  const CountMonoid monoid;
+
+  auto first = evaluator.Evaluate<CountMonoid>(q, monoid, db, OneAnnotator());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  EXPECT_EQ(evaluator.stats().plans_built, 1u);
+  EXPECT_EQ(evaluator.stats().plan_cache_hits, 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    auto again =
+        evaluator.Evaluate<CountMonoid>(q, monoid, db, OneAnnotator());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, 1u);
+  }
+  // EliminationPlan::Build ran exactly once; all later runs hit the cache.
+  EXPECT_EQ(evaluator.stats().plans_built, 1u);
+  EXPECT_EQ(evaluator.stats().plan_cache_hits, 5u);
+  EXPECT_EQ(evaluator.stats().evaluations, 6u);
+  EXPECT_EQ(evaluator.num_cached_plans(), 1u);
+}
+
+TEST(Evaluator, DistinctQueriesGetDistinctPlans) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q1 = ParseQueryOrDie("R(A)");
+  const ConjunctiveQuery q2 = ParseQueryOrDie("S(A,B)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1}));
+  db.AddFactOrDie("S", MakeTuple({1, 2}));
+  const CountMonoid monoid;
+
+  ASSERT_TRUE(
+      evaluator.Evaluate<CountMonoid>(q1, monoid, db, OneAnnotator()).ok());
+  ASSERT_TRUE(
+      evaluator.Evaluate<CountMonoid>(q2, monoid, db, OneAnnotator()).ok());
+  EXPECT_EQ(evaluator.stats().plans_built, 2u);
+  EXPECT_EQ(evaluator.num_cached_plans(), 2u);
+}
+
+TEST(Evaluator, GetPlanReturnsStablePointer) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A)");
+  auto plan = evaluator.GetPlan(q);
+  ASSERT_TRUE(plan.ok());
+  const EliminationPlan* first = *plan;
+  // Populate the cache with more plans to force rehashes.
+  for (int i = 0; i < 50; ++i) {
+    const std::string rel = "T" + std::to_string(i);
+    ASSERT_TRUE(
+        evaluator.GetPlan(ParseQueryOrDie(rel + "(A)")).ok());
+  }
+  auto again = evaluator.GetPlan(q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, first);
+}
+
+TEST(Evaluator, NonHierarchicalQueryFailsAndIsNotCached) {
+  Evaluator evaluator;
+  // The canonical non-hierarchical path query R(A), S(A,B), T(B).
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A), S(A,B), T(B)");
+  Database db;
+  const CountMonoid monoid;
+  auto result = evaluator.Evaluate<CountMonoid>(q, monoid, db, OneAnnotator());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotHierarchical);
+  EXPECT_EQ(evaluator.num_cached_plans(), 0u);
+  EXPECT_EQ(evaluator.stats().evaluations, 0u);
+}
+
+TEST(Evaluator, RepeatedEvaluationMatchesUncachedPath) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A,C), T(A,C,D)");
+  const CountMonoid monoid;
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    // A fresh random database per round: buffers are reused, results must
+    // still match the one-shot evaluation exactly.
+    Database db;
+    for (int i = 0; i < 30; ++i) {
+      db.AddFactOrDie("R", MakeTuple({rng.UniformInt(0, 5),
+                                      rng.UniformInt(0, 5)}));
+      db.AddFactOrDie("S", MakeTuple({rng.UniformInt(0, 5),
+                                      rng.UniformInt(0, 5)}));
+      db.AddFactOrDie("T", MakeTuple({rng.UniformInt(0, 5),
+                                      rng.UniformInt(0, 5),
+                                      rng.UniformInt(0, 5)}));
+    }
+    auto cached = evaluator.Evaluate<CountMonoid>(q, monoid, db,
+                                                  OneAnnotator());
+    auto uncached = RunAlgorithm1OnQuery<CountMonoid>(q, monoid, db,
+                                                      OneAnnotator());
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(uncached.ok());
+    EXPECT_EQ(*cached, *uncached) << "round " << round;
+  }
+  EXPECT_EQ(evaluator.stats().plans_built, 1u);
+  EXPECT_EQ(evaluator.stats().plan_cache_hits, 9u);
+}
+
+TEST(Evaluator, ScratchIsolatedAcrossMonoidDomains) {
+  // Evaluating the same query in different value domains must not corrupt
+  // either domain's scratch buffers.
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  db.AddFactOrDie("R", MakeTuple({1, 3}));
+  db.AddFactOrDie("S", MakeTuple({1}));
+
+  const CountMonoid count;
+  const BoolMonoid boolean;
+  for (int i = 0; i < 3; ++i) {
+    auto c = evaluator.Evaluate<CountMonoid>(q, count, db, OneAnnotator());
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(*c, 2u);
+    auto b = evaluator.Evaluate<BoolMonoid>(
+        q, boolean, db, [](const Fact&) { return true; });
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(*b);
+  }
+  EXPECT_EQ(evaluator.stats().plans_built, 1u);
+}
+
+TEST(Evaluator, ClearCacheForcesRebuild) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A)");
+  ASSERT_TRUE(evaluator.GetPlan(q).ok());
+  EXPECT_EQ(evaluator.num_cached_plans(), 1u);
+  evaluator.ClearCache();
+  EXPECT_EQ(evaluator.num_cached_plans(), 0u);
+  ASSERT_TRUE(evaluator.GetPlan(q).ok());
+  EXPECT_EQ(evaluator.stats().plans_built, 2u);
+}
+
+TEST(Evaluator, SharedAcrossSolverEntryPoints) {
+  Evaluator evaluator;
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A)");
+
+  TidDatabase tid;
+  tid.AddFactOrDie("R", MakeTuple({1, 2}), 0.5);
+  tid.AddFactOrDie("S", MakeTuple({1}), 0.5);
+  auto pqe = EvaluateProbability(evaluator, q, tid);
+  ASSERT_TRUE(pqe.ok());
+  EXPECT_NEAR(*pqe, 0.25, 1e-12);
+
+  Database endo;
+  endo.AddFactOrDie("R", MakeTuple({1, 2}));
+  endo.AddFactOrDie("S", MakeTuple({1}));
+  auto res = ComputeResilience(evaluator, q, Database(), endo);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(*res, 1u);
+
+  auto shapley = AllShapleyValues(evaluator, q, Database(), endo);
+  ASSERT_TRUE(shapley.ok());
+  EXPECT_EQ(shapley->size(), 2u);
+
+  // One plan for the one query text, shared by all three solvers.
+  EXPECT_EQ(evaluator.num_cached_plans(), 1u);
+  EXPECT_EQ(evaluator.stats().plans_built, 1u);
+  EXPECT_GT(evaluator.stats().plan_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,205 @@
+// Tests for the open-addressing FlatMap (util/flat_map.h): basic map
+// semantics, rehash survival, tombstone-free Clear, and a randomized
+// differential test against std::unordered_map under the Rule 1 / Rule 2
+// access pattern of Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/data/tuple.h"
+#include "hierarq/util/flat_map.h"
+#include "hierarq/util/random.h"
+
+namespace hierarq {
+namespace {
+
+using TupleMap = FlatMap<Tuple, uint64_t, TupleHash>;
+
+TEST(FlatMap, StartsEmpty) {
+  TupleMap map;
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(MakeTuple({1})), nullptr);
+  EXPECT_FALSE(map.Contains(MakeTuple({1})));
+  EXPECT_EQ(map.begin(), map.end());
+}
+
+TEST(FlatMap, SetFindOverwrite) {
+  TupleMap map;
+  map.Set(MakeTuple({1, 2}), 42);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(MakeTuple({1, 2})), nullptr);
+  EXPECT_EQ(*map.Find(MakeTuple({1, 2})), 42u);
+  EXPECT_EQ(map.Find(MakeTuple({2, 1})), nullptr);
+  map.Set(MakeTuple({1, 2}), 7);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.Find(MakeTuple({1, 2})), 7u);
+}
+
+TEST(FlatMap, FindOrInsertReportsInsertion) {
+  TupleMap map;
+  auto [first, inserted_first] = map.FindOrInsert(MakeTuple({3}));
+  EXPECT_TRUE(inserted_first);
+  EXPECT_EQ(*first, 0u);  // Value-initialized.
+  *first = 9;
+  auto [second, inserted_second] = map.FindOrInsert(MakeTuple({3}));
+  EXPECT_FALSE(inserted_second);
+  EXPECT_EQ(*second, 9u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, MergeCombines) {
+  TupleMap map;
+  auto add = [](uint64_t a, uint64_t b) { return a + b; };
+  map.Merge(MakeTuple({5}), 1, add);
+  map.Merge(MakeTuple({5}), 2, add);
+  map.Merge(MakeTuple({6}), 10, add);
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(*map.Find(MakeTuple({5})), 3u);
+  EXPECT_EQ(*map.Find(MakeTuple({6})), 10u);
+}
+
+TEST(FlatMap, SurvivesGrowthRehashes) {
+  TupleMap map;
+  constexpr uint64_t kCount = 10000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    map.Set(MakeTuple({static_cast<Value>(i), static_cast<Value>(i * 3)}),
+            i);
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    const uint64_t* found =
+        map.Find(MakeTuple({static_cast<Value>(i), static_cast<Value>(i * 3)}));
+    ASSERT_NE(found, nullptr) << "missing key " << i;
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_FALSE(map.Contains(MakeTuple({-1, -1})));
+}
+
+TEST(FlatMap, ReservePreventsGrowthRehash) {
+  TupleMap map;
+  map.Reserve(1000);
+  const size_t capacity = map.capacity();
+  EXPECT_GE(capacity, 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    map.Set(MakeTuple({i}), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(map.capacity(), capacity) << "Reserve(n) must cover n inserts";
+}
+
+TEST(FlatMap, ClearKeepsCapacityAndDropsEntries) {
+  TupleMap map;
+  for (int64_t i = 0; i < 500; ++i) {
+    map.Set(MakeTuple({i}), static_cast<uint64_t>(i));
+  }
+  const size_t capacity = map.capacity();
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.capacity(), capacity);
+  EXPECT_EQ(map.Find(MakeTuple({17})), nullptr);
+  EXPECT_EQ(map.begin(), map.end());
+  // The table is fully usable after Clear (no tombstone residue).
+  for (int64_t i = 0; i < 500; ++i) {
+    map.Set(MakeTuple({i + 250}), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(map.size(), 500u);
+  EXPECT_EQ(*map.Find(MakeTuple({250})), 0u);
+}
+
+TEST(FlatMap, ClearReleasesOwnedPayloads) {
+  // Payloads with heap state (here: strings) must be reset by Clear so a
+  // retained slot array does not pin stale data alive.
+  FlatMap<Tuple, std::string, TupleHash> map;
+  map.Set(MakeTuple({1}), std::string(1000, 'x'));
+  map.Clear();
+  auto [slot, inserted] = map.FindOrInsert(MakeTuple({1}));
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(slot->empty());
+}
+
+TEST(FlatMap, IterationVisitsEveryEntryOnce) {
+  TupleMap map;
+  constexpr int64_t kCount = 777;
+  for (int64_t i = 0; i < kCount; ++i) {
+    map.Set(MakeTuple({i}), static_cast<uint64_t>(i));
+  }
+  std::vector<bool> seen(kCount, false);
+  size_t visited = 0;
+  for (const auto& [key, value] : map) {
+    ASSERT_EQ(key.size(), 1u);
+    ASSERT_EQ(static_cast<uint64_t>(key[0]), value);
+    ASSERT_FALSE(seen[static_cast<size_t>(key[0])]);
+    seen[static_cast<size_t>(key[0])] = true;
+    ++visited;
+  }
+  EXPECT_EQ(visited, static_cast<size_t>(kCount));
+}
+
+// Differential test: drive FlatMap and std::unordered_map through the same
+// random schedule of the operations Algorithm 1 performs — Merge (Rule 1
+// ⊕-aggregation), Set + FindOrInsert (Rule 2 union-of-supports), Find, and
+// periodic Clear (intermediate relation teardown) — and require identical
+// contents throughout.
+TEST(FlatMap, DifferentialAgainstUnorderedMap) {
+  Rng rng(20260727);
+  TupleMap flat;
+  std::unordered_map<Tuple, uint64_t, TupleHash> reference;
+  const auto add = [](uint64_t a, uint64_t b) { return a + b; };
+
+  for (int round = 0; round < 20000; ++round) {
+    const int op = static_cast<int>(rng.UniformInt(0, 9));
+    // Small-ish keyspace so collisions between ops are common.
+    Tuple key = MakeTuple({rng.UniformInt(0, 499), rng.UniformInt(0, 7)});
+    if (op < 3) {  // Rule 1: merge.
+      const uint64_t value = static_cast<uint64_t>(rng.UniformInt(1, 100));
+      flat.Merge(key, value, add);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        reference.emplace(key, value);
+      } else {
+        it->second = add(it->second, value);
+      }
+    } else if (op < 5) {  // Overwrite.
+      const uint64_t value = static_cast<uint64_t>(rng.UniformInt(1, 100));
+      flat.Set(key, value);
+      reference[key] = value;
+    } else if (op < 7) {  // Rule 2: find-or-insert with default fill.
+      auto [slot, inserted] = flat.FindOrInsert(key);
+      auto [it, ref_inserted] = reference.try_emplace(key, 0);
+      ASSERT_EQ(inserted, ref_inserted);
+      if (inserted) {
+        *slot = 123;
+        it->second = 123;
+      }
+    } else if (op < 9) {  // Lookup.
+      const uint64_t* found = flat.Find(key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        ASSERT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(*found, it->second);
+      }
+    } else if (rng.UniformInt(0, 99) == 0) {  // Rare wholesale teardown.
+      flat.Clear();
+      reference.clear();
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+
+  // Final deep comparison, both directions.
+  size_t visited = 0;
+  for (const auto& [key, value] : flat) {
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    ASSERT_EQ(value, it->second);
+    ++visited;
+  }
+  EXPECT_EQ(visited, reference.size());
+}
+
+}  // namespace
+}  // namespace hierarq

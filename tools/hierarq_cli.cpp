@@ -74,6 +74,10 @@ int Run(int argc, char** argv) {
   }
   const ConjunctiveQuery query = std::move(parsed).ValueOrDie();
   Dictionary dict;
+  // One evaluator for the whole invocation: any command that runs
+  // Algorithm 1 more than once (shapley above all) shares its cached plan
+  // and relation buffers.
+  Evaluator evaluator;
 
   auto load = [&dict](const char* path) {
     return LoadDatabaseFromFile(path, &dict);
@@ -130,10 +134,10 @@ int Run(int argc, char** argv) {
     if (!db.ok()) {
       return Fail(db.status());
     }
-    auto value = command == "pqe" ? EvaluateProbability(query, *db)
+    auto value = command == "pqe" ? EvaluateProbability(evaluator, query, *db)
                 : command == "pqe-any"
                     ? EvaluateProbabilityExhaustive(query, *db)
-                    : ExpectedMultiplicity(query, *db);
+                    : ExpectedMultiplicity(evaluator, query, *db);
     if (!value.ok()) {
       return Fail(value.status());
     }
@@ -198,7 +202,7 @@ int Run(int argc, char** argv) {
     if (!endo.ok()) {
       return Fail(endo.status());
     }
-    auto values = AllShapleyValues(query, *exo, *endo);
+    auto values = AllShapleyValues(evaluator, query, *exo, *endo);
     if (!values.ok()) {
       return Fail(values.status());
     }
@@ -221,7 +225,7 @@ int Run(int argc, char** argv) {
     if (!endo.ok()) {
       return Fail(endo.status());
     }
-    auto value = ComputeResilience(query, *exo, *endo);
+    auto value = ComputeResilience(evaluator, query, *exo, *endo);
     if (!value.ok()) {
       return Fail(value.status());
     }
@@ -242,7 +246,7 @@ int Run(int argc, char** argv) {
     if (!db.ok()) {
       return Fail(db.status());
     }
-    auto prov = ComputeProvenance(query, *db);
+    auto prov = ComputeProvenance(evaluator, query, *db);
     if (!prov.ok()) {
       return Fail(prov.status());
     }
