@@ -90,18 +90,10 @@ void EmitThroughputJson() {
     const Database db = RandomDatabaseForQuery(q, rng, opts);
 
     Evaluator evaluator;
-    // Warm up: builds the plan, sizes the scratch tables.
-    benchmark::DoNotOptimize(
-        evaluator.Evaluate<CountMonoid>(q, monoid, db, annotate));
-    size_t evals = 0;
-    WallTimer timer;
-    do {
+    const double evals_per_sec = bench::MeasureRate([&] {
       benchmark::DoNotOptimize(
           evaluator.Evaluate<CountMonoid>(q, monoid, db, annotate));
-      ++evals;
-    } while (timer.ElapsedSeconds() < 0.5);
-    const double seconds = timer.ElapsedSeconds();
-    const double evals_per_sec = static_cast<double>(evals) / seconds;
+    });
     const double facts_per_sec =
         evals_per_sec * static_cast<double>(db.NumFacts());
     std::printf("    |D| = %-8zu %10.0f evals/sec  %12.3e facts/sec\n",

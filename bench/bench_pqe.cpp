@@ -27,6 +27,8 @@ TidDatabase MakeTid(const ConjunctiveQuery& q, size_t tuples_per_relation,
   return RandomTidForQuery(q, rng, opts);
 }
 
+void EmitThroughputJson();
+
 void Report() {
   using bench::PrintHeader;
   using bench::PrintNote;
@@ -45,6 +47,33 @@ void Report() {
   PrintNote("timing sweeps below; expect ~linear ns/op growth for the");
   PrintNote("unified algorithm and ~2^u growth for the brute force");
   PrintNote("(u = number of uncertain facts).");
+  EmitThroughputJson();
+}
+
+/// Steady-state PQE throughput (amortized through an Evaluator) recorded
+/// in BENCH_pqe.json so the perf trajectory spans the solver entry points,
+/// not just raw Algorithm 1 (BENCH_algorithm1.json).
+void EmitThroughputJson() {
+  bench::JsonReport report("pqe", "BENCH_pqe.json");
+  const ConjunctiveQuery q = MakePaperQuery();
+  std::printf("  steady-state PQE throughput (storage=%s):\n",
+              bench::JsonReport::StorageBackend());
+  Evaluator evaluator;
+  for (size_t tuples : {10000, 30000, 100000}) {
+    const TidDatabase db = MakeTid(q, tuples, 42);
+    const double evals_per_sec = bench::MeasureRate([&] {
+      benchmark::DoNotOptimize(EvaluateProbability(evaluator, q, db));
+    });
+    const double facts_per_sec =
+        evals_per_sec * static_cast<double>(db.NumFacts());
+    std::printf("    |D| = %-8zu %10.0f evals/sec  %12.3e facts/sec\n",
+                db.NumFacts(), evals_per_sec, facts_per_sec);
+    report.AddRow("paper_query/" + std::to_string(db.NumFacts()),
+                  {{"num_facts", static_cast<double>(db.NumFacts())},
+                   {"evals_per_sec", evals_per_sec},
+                   {"facts_per_sec", facts_per_sec}});
+  }
+  report.WriteToFile();
 }
 
 void BM_Pqe_PaperQuery(benchmark::State& state) {

@@ -55,6 +55,8 @@ void RunSatCountWith(const ConjunctiveQuery& q, const ShapleyInstance& inst,
   state.counters["endo"] = static_cast<double>(n);
 }
 
+void EmitThroughputJson();
+
 void Report() {
   using bench::PrintHeader;
   using bench::PrintNote;
@@ -87,6 +89,31 @@ void Report() {
              sum.ToString());
   }
   PrintNote("EndoSweep expects ~quadratic, ExoSweep ~linear growth.");
+  EmitThroughputJson();
+}
+
+/// Steady-state #Sat throughput (the Shapley inner loop, amortized through
+/// one Evaluator) recorded in BENCH_shapley.json for the perf trajectory.
+void EmitThroughputJson() {
+  bench::JsonReport report("shapley", "BENCH_shapley.json");
+  const ConjunctiveQuery q = MakePaperQuery();
+  std::printf("  steady-state #Sat throughput (storage=%s):\n",
+              bench::JsonReport::StorageBackend());
+  for (size_t endo : {16, 32, 64}) {
+    const ShapleyInstance inst =
+        MakeInstance(q, endo / 3 + 1, 1.0, 35 + endo);
+    Evaluator evaluator;
+    const double counts_per_sec = bench::MeasureRate([&] {
+      benchmark::DoNotOptimize(CountSat(evaluator, q, inst.exo, inst.endo));
+    });
+    std::printf("    |Dn| = %-6zu %10.1f #Sat vectors/sec\n",
+                inst.endo.NumFacts(), counts_per_sec);
+    report.AddRow("satcount/endo_" + std::to_string(inst.endo.NumFacts()),
+                  {{"endo_facts", static_cast<double>(inst.endo.NumFacts())},
+                   {"exo_facts", static_cast<double>(inst.exo.NumFacts())},
+                   {"satcounts_per_sec", counts_per_sec}});
+  }
+  report.WriteToFile();
 }
 
 void BM_SatCount_EndoSweep_BigUint(benchmark::State& state) {

@@ -13,7 +13,26 @@
 #include <utility>
 #include <vector>
 
+#include "hierarq/util/timer.h"
+
 namespace hierarq::bench {
+
+/// Runs `fn` once to warm up (plan builds, scratch sizing), then
+/// repeatedly for at least `seconds` of wall clock; returns invocations
+/// per second. The shared harness behind every BENCH_*.json throughput
+/// row — keep the warm-up/measure shape identical across emitters so
+/// cross-binary numbers stay comparable.
+template <typename Fn>
+double MeasureRate(Fn&& fn, double seconds = 0.4) {
+  fn();
+  size_t iterations = 0;
+  WallTimer timer;
+  do {
+    fn();
+    ++iterations;
+  } while (timer.ElapsedSeconds() < seconds);
+  return static_cast<double>(iterations) / timer.ElapsedSeconds();
+}
 
 inline void PrintHeader(const std::string& experiment,
                         const std::string& claim) {

@@ -4,8 +4,38 @@
 
 namespace hierarq {
 
+std::string AtomAnnotationSignature(const Atom& atom) {
+  const VarSet& vars = atom.vars();
+  std::string sig = atom.relation();
+  sig += '(';
+  for (size_t i = 0; i < atom.terms().size(); ++i) {
+    if (i > 0) {
+      sig += ',';
+    }
+    const Term& term = atom.terms()[i];
+    if (term.is_constant()) {
+      sig += '#';
+      sig += std::to_string(term.constant());
+    } else {
+      // Rank of the variable in the atom's sorted variable set — the
+      // position its binding occupies in the projected annotation key.
+      size_t rank = 0;
+      while (vars[rank] != term.var()) {
+        ++rank;
+      }
+      sig += 'v';
+      sig += std::to_string(rank);
+    }
+  }
+  sig += ')';
+  return sig;
+}
+
 Result<const EliminationPlan*> Evaluator::GetPlan(
     const ConjunctiveQuery& query) {
+  if (shared_plans_ != nullptr) {
+    return shared_plans_->GetPlan(query);
+  }
   const std::string key = query.ToString();
   auto it = plans_.find(key);
   if (it != plans_.end()) {

@@ -19,9 +19,13 @@
 ///     each table's slot array, so steady-state evaluation allocates
 ///     nothing but the tuples themselves.
 ///
-/// An Evaluator is single-threaded by design (one per worker); the cached
-/// plans are immutable once built, so sharing *plans* across threads is a
-/// future refactor, not a semantic change.
+/// The data phase splits once more for multi-query batching (the service
+/// layer, service/eval_service.h): `AnnotateForQuerySet` annotates the
+/// base relations once for a whole set of queries, and `ReplayPlan`
+/// replays one query's plan against those shared annotations. An Evaluator
+/// is single-threaded by design (one per worker); plans are immutable
+/// after build, so workers share a thread-safe `PlanProvider`
+/// (service/shared_plan_cache.h) while each keeps private scratch.
 
 #include <memory>
 #include <string>
@@ -39,16 +43,117 @@
 
 namespace hierarq {
 
-class Evaluator {
+/// Where an evaluator gets its compiled plans. `Evaluator` itself
+/// implements it with a private single-threaded cache; `SharedPlanCache`
+/// (service/shared_plan_cache.h) implements it thread-safely so N workers
+/// can stand behind one build-once cache.
+class PlanProvider {
+ public:
+  virtual ~PlanProvider() = default;
+
+  /// Returns the plan for `query`, building it on first sight. The pointer
+  /// stays valid for the provider's lifetime. Fails with kNotHierarchical
+  /// exactly as EliminationPlan::Build does.
+  virtual Result<const EliminationPlan*> GetPlan(
+      const ConjunctiveQuery& query) = 0;
+};
+
+/// Canonical annotation signature of an atom: the relation name with each
+/// term rendered as a constant or as its variable's rank in the atom's
+/// (VarId-ascending) variable set — e.g. "R(v0,#7,v1,v0)". Two atoms with
+/// equal signatures produce identical annotated relations over the same
+/// annotated database, up to schema labels: the constant selections, the
+/// repeated-variable positions, and the projection order (ascending VarId
+/// = ascending rank) all coincide. This is the sharing key of
+/// `AnnotateForQuerySet`.
+std::string AtomAnnotationSignature(const Atom& atom);
+
+/// A shared pool of base-relation annotations for a *set* of queries over
+/// one database: the annotate-once half of the batching split. Entries are
+/// keyed by `AtomAnnotationSignature`, so atoms that differ only in
+/// variable names — R(A,B) in one query, R(X,Y) in another — share one
+/// annotated relation; replay re-labels the schema per query
+/// (`AnnotatedRelation::AssignFrom`).
+template <typename K>
+struct AnnotationPool {
+  std::unordered_map<std::string, AnnotatedRelation<K>> by_signature;
+  size_t scans = 0;   ///< Base-relation annotation passes performed.
+  size_t reused = 0;  ///< Atom occurrences served by an existing pass.
+
+  const AnnotatedRelation<K>* Find(const std::string& signature) const {
+    auto it = by_signature.find(signature);
+    return it == by_signature.end() ? nullptr : &it->second;
+  }
+};
+
+/// Annotates the base relations needed by `queries` over `facts`, sharing
+/// work between atoms with equal signatures: one scan (and one annotator
+/// call per matching tuple) per distinct signature instead of one per
+/// atom. The batch entry point of the service layer; the per-query path
+/// (`Evaluator::Evaluate`) keeps its direct annotation loop.
+template <typename K, typename Combine>
+AnnotationPool<K> AnnotateForQuerySet(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const Database& facts, const std::function<K(const Fact&)>& annotator,
+    Combine combine) {
+  AnnotationPool<K> pool;
+  for (const ConjunctiveQuery* query : queries) {
+    for (const Atom& atom : query->atoms()) {
+      auto [it, inserted] =
+          pool.by_signature.try_emplace(AtomAnnotationSignature(atom));
+      if (!inserted) {
+        ++pool.reused;
+        continue;
+      }
+      ++pool.scans;
+      AnnotatedRelation<K>& out = it->second;
+      out.Reset(atom.vars());
+      const Relation* relation = facts.FindRelation(atom.relation());
+      if (relation != nullptr) {
+        out.Reserve(relation->size());
+        AnnotateAtom<K>(atom, *relation, annotator, combine, &out);
+      }
+    }
+  }
+  return pool;
+}
+
+/// Resolves one shared base relation per atom of `query` from `pool`, in
+/// atom order — the `bases` input of `Evaluator::ReplayPlan`. CHECKs that
+/// the pool covers every atom. Callers resolve once per (query, pool)
+/// pair so replays never rebuild signature strings.
+template <typename K>
+std::vector<const AnnotatedRelation<K>*> ResolveBases(
+    const ConjunctiveQuery& query, const AnnotationPool<K>& pool) {
+  std::vector<const AnnotatedRelation<K>*> bases;
+  bases.reserve(query.num_atoms());
+  for (const Atom& atom : query.atoms()) {
+    const AnnotatedRelation<K>* shared =
+        pool.Find(AtomAnnotationSignature(atom));
+    HIERARQ_CHECK(shared != nullptr)
+        << "annotation pool lacks " << AtomAnnotationSignature(atom);
+    bases.push_back(shared);
+  }
+  return bases;
+}
+
+class Evaluator : public PlanProvider {
  public:
   /// Cache observability, used by tests and ops counters.
   struct Stats {
     size_t plans_built = 0;      ///< EliminationPlan::Build invocations.
     size_t plan_cache_hits = 0;  ///< Evaluations that reused a cached plan.
-    size_t evaluations = 0;      ///< Successful Evaluate calls.
+    size_t evaluations = 0;      ///< Successful Evaluate/ReplayPlan calls.
   };
 
   Evaluator() = default;
+
+  /// An evaluator whose plans come from `plans` (non-owning; must outlive
+  /// this evaluator) instead of the private cache — the per-worker
+  /// configuration: N workers share one `SharedPlanCache` and keep private
+  /// scratch. In this mode stats().plans_built / plan_cache_hits stay
+  /// zero; the shared provider tracks them.
+  explicit Evaluator(PlanProvider* plans) : shared_plans_(plans) {}
 
   // The scratch tables and plan cache are identity, not value.
   Evaluator(const Evaluator&) = delete;
@@ -59,7 +164,8 @@ class Evaluator {
   /// Fails with kNotHierarchical exactly as EliminationPlan::Build does;
   /// failures are not cached (they are cheap to re-derive and callers
   /// usually stop at the first one).
-  Result<const EliminationPlan*> GetPlan(const ConjunctiveQuery& query);
+  Result<const EliminationPlan*> GetPlan(
+      const ConjunctiveQuery& query) override;
 
   /// Evaluates `query` over `facts` in the given 2-monoid: annotates each
   /// matching fact with `annotator(fact)` (duplicates ⊕-merge) and replays
@@ -72,10 +178,7 @@ class Evaluator {
     using K = typename M::value_type;
     HIERARQ_ASSIGN_OR_RETURN(const EliminationPlan* plan, GetPlan(query));
 
-    std::vector<AnnotatedRelation<K>>& relations = ScratchFor<K>();
-    if (relations.size() != plan->num_atoms()) {
-      relations.assign(plan->num_atoms(), AnnotatedRelation<K>());
-    }
+    std::vector<AnnotatedRelation<K>>& relations = ScratchForPlan<K>(*plan);
     const auto plus = [&monoid](const K& a, const K& b) {
       return monoid.Plus(a, b);
     };
@@ -93,12 +196,50 @@ class Evaluator {
     return RunAlgorithm1InPlace(*plan, monoid, relations);
   }
 
+  /// The replay-many half of the batching split: copies each base atom's
+  /// shared annotation (one pre-resolved pointer per base atom, in atom
+  /// order — e.g. looked up in an AnnotationPool once per group, on the
+  /// caller thread, so workers never build signature strings) into this
+  /// evaluator's scratch, re-labelled with this query's variables, and
+  /// replays `plan`. The shared relations are only read, so concurrent
+  /// replays against them are safe as long as each runs on its own
+  /// Evaluator. Precondition: `plan` is the plan of `query`.
+  template <TwoMonoid M>
+  typename M::value_type ReplayPlan(
+      const EliminationPlan& plan, const M& monoid,
+      const ConjunctiveQuery& query,
+      const std::vector<const AnnotatedRelation<typename M::value_type>*>&
+          bases) {
+    using K = typename M::value_type;
+    HIERARQ_CHECK_EQ(bases.size(), plan.num_base_atoms());
+    std::vector<AnnotatedRelation<K>>& relations = ScratchForPlan<K>(plan);
+    for (size_t i = 0; i < plan.num_base_atoms(); ++i) {
+      HIERARQ_CHECK(bases[i] != nullptr);
+      relations[i].AssignFrom(*bases[i], query.atoms()[i].vars());
+    }
+    ++stats_.evaluations;
+    return RunAlgorithm1InPlace(plan, monoid, relations);
+  }
+
+  /// Convenience overload resolving the base relations from `pool` by
+  /// atom signature. Precondition: `pool` covers all of `query`'s atoms
+  /// (CHECKed).
+  template <TwoMonoid M>
+  typename M::value_type ReplayPlan(
+      const EliminationPlan& plan, const M& monoid,
+      const ConjunctiveQuery& query,
+      const AnnotationPool<typename M::value_type>& pool) {
+    return ReplayPlan(plan, monoid, query, ResolveBases(query, pool));
+  }
+
   const Stats& stats() const { return stats_; }
 
-  /// Number of distinct queries with a cached plan.
+  /// Number of distinct queries with a cached plan (always 0 when plans
+  /// are delegated to a shared provider).
   size_t num_cached_plans() const { return plans_.size(); }
 
-  /// Drops all cached plans and scratch buffers.
+  /// Drops all locally cached plans and scratch buffers. A shared plan
+  /// provider, if any, is not touched.
   void ClearCache();
 
  private:
@@ -121,6 +262,23 @@ class Evaluator {
     return static_cast<Scratch<K>*>(slot.get())->relations;
   }
 
+  /// Scratch sized for `plan`, shrinking or growing while keeping the
+  /// common prefix: consecutive queries with different atom counts reuse
+  /// the prefix tables' slot arrays instead of reallocating every table
+  /// (the old `assign` dropped them all on any size change). Stale entries
+  /// in kept tables are harmless — every base slot is Reset by the caller
+  /// and every intermediate slot is Reset by its step before use.
+  template <typename K>
+  std::vector<AnnotatedRelation<K>>& ScratchForPlan(
+      const EliminationPlan& plan) {
+    std::vector<AnnotatedRelation<K>>& relations = ScratchFor<K>();
+    if (relations.size() != plan.num_atoms()) {
+      relations.resize(plan.num_atoms());
+    }
+    return relations;
+  }
+
+  PlanProvider* shared_plans_ = nullptr;  // Non-owning; nullptr = private.
   // unique_ptr values keep plan addresses stable across cache rehashes.
   std::unordered_map<std::string, std::unique_ptr<EliminationPlan>> plans_;
   std::unordered_map<std::type_index, std::unique_ptr<ScratchBase>> scratch_;

@@ -2,6 +2,18 @@
 
 namespace hierarq {
 
+std::function<uint64_t(const Fact&)> ResilienceCostAnnotator(
+    const Database& exogenous) {
+  return [&exogenous](const Fact& fact) -> uint64_t {
+    const ResilienceMonoid monoid;  // Stateless; costs are constants.
+    // Facts in both databases are exogenous: they cannot be removed.
+    if (exogenous.ContainsFact(fact)) {
+      return monoid.ExogenousCost();
+    }
+    return monoid.EndogenousCost();
+  };
+}
+
 Result<uint64_t> ComputeResilience(Evaluator& evaluator,
                                    const ConjunctiveQuery& query,
                                    const Database& exogenous,
@@ -9,14 +21,8 @@ Result<uint64_t> ComputeResilience(Evaluator& evaluator,
   const ResilienceMonoid monoid;
   HIERARQ_ASSIGN_OR_RETURN(Database combined,
                            exogenous.UnionWith(endogenous));
-  return evaluator.Evaluate<ResilienceMonoid>(
-      query, monoid, combined, [&](const Fact& fact) -> uint64_t {
-        // Facts in both databases are exogenous: they cannot be removed.
-        if (exogenous.ContainsFact(fact)) {
-          return monoid.ExogenousCost();
-        }
-        return monoid.EndogenousCost();
-      });
+  return evaluator.Evaluate<ResilienceMonoid>(query, monoid, combined,
+                                              ResilienceCostAnnotator(exogenous));
 }
 
 Result<uint64_t> ComputeResilience(const ConjunctiveQuery& query,

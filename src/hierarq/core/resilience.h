@@ -11,6 +11,9 @@
 /// 2-monoid (ℕ ∪ {∞}, +, min); see
 /// hierarq/algebra/resilience_monoid.h for the algebra and its φ-map.
 
+#include <cstdint>
+#include <functional>
+
 #include "hierarq/algebra/resilience_monoid.h"
 #include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
@@ -18,6 +21,13 @@
 #include "hierarq/util/result.h"
 
 namespace hierarq {
+
+/// The removal-cost annotator shared by the single-query and batch
+/// resilience paths: facts of `exogenous` cost ∞ (they cannot be
+/// removed — including facts present in both databases), all others 1.
+/// The returned function captures `exogenous` by reference.
+std::function<uint64_t(const Fact&)> ResilienceCostAnnotator(
+    const Database& exogenous);
 
 /// Minimum removals from `endogenous` falsifying Q over Dx ∪ Dn.
 /// Returns ResilienceMonoid::kInfinity when Q cannot be falsified.

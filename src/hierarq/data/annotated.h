@@ -145,6 +145,20 @@ class AnnotatedRelation {
     Clear();
   }
 
+  /// Replaces this relation's contents with a copy of `other`'s entries,
+  /// re-labelled with `schema` (same arity as `other`'s schema). This is
+  /// the replay side of shared annotation (service/eval_service.h): one
+  /// annotated base relation serves every query atom with the same
+  /// annotation signature, and each replay copies it out under its own
+  /// query's variable names. Copying the table is a flat memcpy-like
+  /// assignment — no per-entry rehash — where re-annotating would re-match
+  /// and re-hash every base tuple.
+  void AssignFrom(const AnnotatedRelation& other, const VarSet& schema) {
+    HIERARQ_CHECK_EQ(schema.size(), other.schema_.size());
+    schema_ = schema;
+    entries_ = other.entries_;
+  }
+
  private:
   VarSet schema_;
   Map entries_;

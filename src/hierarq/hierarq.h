@@ -42,6 +42,10 @@
 #include "hierarq/reductions/bagset_reduction.h"
 #include "hierarq/reductions/bcbs.h"
 #include "hierarq/reductions/graph.h"
+#include "hierarq/service/batch_solvers.h"
+#include "hierarq/service/eval_service.h"
+#include "hierarq/service/shared_plan_cache.h"
+#include "hierarq/service/worker_pool.h"
 #include "hierarq/util/bigint.h"
 #include "hierarq/util/fraction.h"
 #include "hierarq/util/result.h"

@@ -1,0 +1,100 @@
+#include "hierarq/service/batch_solvers.h"
+
+#include <optional>
+
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/expectation.h"
+#include "hierarq/core/resilience.h"
+#include "hierarq/core/shapley.h"
+
+namespace hierarq {
+
+namespace {
+
+/// Unwraps a vector of optional results filled by pool tasks (every slot
+/// is engaged once ParallelFor returns).
+template <typename T>
+std::vector<Result<T>> Collect(std::vector<std::optional<Result<T>>> slots) {
+  std::vector<Result<T>> out;
+  out.reserve(slots.size());
+  for (std::optional<Result<T>>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Result<uint64_t>> CountBatch(
+    EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
+    const Database& db) {
+  const CountMonoid monoid;
+  return service.EvaluateMany<CountMonoid>(
+      monoid, queries, db, [](const Fact&) -> uint64_t { return 1; });
+}
+
+std::vector<Result<double>> EvaluateProbabilityBatch(
+    EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
+    const TidDatabase& db) {
+  const ProbMonoid monoid;
+  return service.EvaluateMany<ProbMonoid>(
+      monoid, queries, db.facts(),
+      [&db](const Fact& fact) { return db.Probability(fact); });
+}
+
+std::vector<Result<double>> ExpectedMultiplicityBatch(
+    EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
+    const TidDatabase& db) {
+  const ExpectationMonoid monoid;
+  return service.EvaluateMany<ExpectationMonoid>(
+      monoid, queries, db.facts(),
+      [&db](const Fact& fact) { return db.Probability(fact); });
+}
+
+std::vector<Result<uint64_t>> ComputeResilienceBatch(
+    EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
+    const Database& exogenous, const Database& endogenous) {
+  Result<Database> combined = exogenous.UnionWith(endogenous);
+  if (!combined.ok()) {
+    return std::vector<Result<uint64_t>>(queries.size(), combined.status());
+  }
+  const ResilienceMonoid monoid;
+  return service.EvaluateMany<ResilienceMonoid>(
+      monoid, queries, *combined, ResilienceCostAnnotator(exogenous));
+}
+
+std::vector<Result<ProvenanceResult>> ComputeProvenanceBatch(
+    EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
+    const Database& db) {
+  std::vector<std::optional<Result<ProvenanceResult>>> slots(queries.size());
+  service.pool().ParallelFor(queries.size(), [&](size_t worker, size_t i) {
+    slots[i] =
+        ComputeProvenance(service.worker_evaluator(worker), *queries[i], db);
+  });
+  return Collect(std::move(slots));
+}
+
+Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
+    EvalService& service, const ConjunctiveQuery& query,
+    const Database& exogenous, const Database& endogenous) {
+  const std::vector<Fact> facts = endogenous.AllFacts();
+  std::vector<std::optional<Result<Fraction>>> slots(facts.size());
+  service.pool().ParallelFor(facts.size(), [&](size_t worker, size_t i) {
+    slots[i] = ShapleyValue(service.worker_evaluator(worker), query,
+                            exogenous, endogenous, facts[i]);
+  });
+
+  std::vector<std::pair<Fact, Fraction>> out;
+  out.reserve(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (!slots[i]->ok()) {
+      return slots[i]->status();
+    }
+    out.emplace_back(facts[i], std::move(**slots[i]));
+  }
+  return out;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,46 @@
+#include "hierarq/service/eval_service.h"
+
+#include <thread>
+
+namespace hierarq {
+
+namespace {
+
+size_t ResolveWorkers(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+EvalService::EvalService() : EvalService(Options()) {}
+
+EvalService::EvalService(Options options)
+    : pool_(ResolveWorkers(options.num_workers)) {
+  // Workers idle until the first Submit, so populating their evaluators
+  // after the pool starts is safe.
+  const size_t n = pool_.num_workers();
+  worker_evaluators_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    worker_evaluators_.push_back(std::make_unique<Evaluator>(&plan_cache_));
+  }
+}
+
+ServiceStats EvalService::stats() const {
+  ServiceStats out;
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.groups = groups_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.annotation_scans = annotation_scans_.load(std::memory_order_relaxed);
+  out.annotations_shared =
+      annotations_shared_.load(std::memory_order_relaxed);
+  const SharedPlanCache::Stats plans = plan_cache_.stats();
+  out.plans_built = plans.plans_built;
+  out.plan_cache_hits = plans.cache_hits;
+  return out;
+}
+
+}  // namespace hierarq

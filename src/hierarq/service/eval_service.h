@@ -1,0 +1,214 @@
+#ifndef HIERARQ_SERVICE_EVAL_SERVICE_H_
+#define HIERARQ_SERVICE_EVAL_SERVICE_H_
+
+/// \file eval_service.h
+/// \brief `EvalService` — the concurrent, batching evaluation service.
+///
+/// The server-shaped front door to Algorithm 1, built directly on the
+/// paper's phase split. The query-only phase (plan build) is shared
+/// process-wide through a `SharedPlanCache`; the data phase is shared per
+/// batch: requests are grouped by (database, monoid), each group's base
+/// relations are annotated **once** (`AnnotateForQuerySet` — the base
+/// scan dominates evaluation, so k queries over one database stop paying
+/// for k scans), and every query's plan then replays against the shared
+/// annotations on a fixed `WorkerPool`. Each worker owns an `Evaluator`
+/// whose plans delegate to the shared cache and whose scratch
+/// `AnnotatedRelation` buffers are private, so replays run lock-free.
+///
+/// Thread model: `EvaluateBatch` / `EvaluateMany` may be called
+/// concurrently from any number of client threads (each call blocks until
+/// its own results are ready); they must not be called from inside a pool
+/// task. Kara, Nikolic, Olteanu & Zhang ("Trade-offs in Static and
+/// Dynamic Evaluation of Hierarchical Queries") motivate exactly this
+/// preprocess-once/answer-many split at server scale.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/evaluator.h"
+#include "hierarq/data/database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/service/shared_plan_cache.h"
+#include "hierarq/service/worker_pool.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// One (database, annotator) group of queries evaluated together. Every
+/// query in the group replays against ONE shared annotation of
+/// `database`'s base relations, so the annotator (and the monoid, fixed
+/// by the EvaluateBatch call) must be meaningful for the whole group — a
+/// group models "the requests that arrived for this database".
+template <typename K>
+struct BatchRequest {
+  const Database* database = nullptr;
+  std::function<K(const Fact&)> annotator;
+  std::vector<const ConjunctiveQuery*> queries;
+};
+
+/// Per-group results, one per query in request order. Non-hierarchical
+/// queries fail individually (kNotHierarchical) without affecting the
+/// rest of the group.
+template <typename K>
+struct BatchResult {
+  std::vector<Result<K>> values;
+};
+
+/// Aggregated service counters. Monotonic; a snapshot is cheap and may be
+/// taken while requests are in flight.
+struct ServiceStats {
+  size_t batches = 0;             ///< EvaluateBatch/EvaluateMany calls.
+  size_t groups = 0;              ///< (database, monoid) groups processed.
+  size_t requests = 0;            ///< Individual query evaluations.
+  size_t annotation_scans = 0;    ///< Base-relation annotation passes run.
+  size_t annotations_shared = 0;  ///< Atom annotations served by a shared pass.
+  size_t plans_built = 0;         ///< From the shared plan cache.
+  size_t plan_cache_hits = 0;     ///< From the shared plan cache.
+};
+
+class EvalService {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    size_t num_workers = 0;
+  };
+
+  /// Default configuration: one worker per hardware thread.
+  EvalService();
+  explicit EvalService(Options options);
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  size_t num_workers() const { return pool_.num_workers(); }
+  SharedPlanCache& plan_cache() { return plan_cache_; }
+  WorkerPool& pool() { return pool_; }
+
+  /// The evaluator owned by worker `worker_index` (shared plans, private
+  /// scratch). Only that worker's current task may use it — batch solvers
+  /// (service/batch_solvers.h) reach it from inside pool tasks, keyed by
+  /// the worker index the task receives.
+  Evaluator& worker_evaluator(size_t worker_index) {
+    return *worker_evaluators_[worker_index];
+  }
+
+  ServiceStats stats() const;
+
+  /// Evaluates a batch of request groups in monoid `M`. Groups run in
+  /// order; within a group, per-query replays fan out across the workers.
+  /// Returns one BatchResult per request, query results in request order.
+  template <TwoMonoid M>
+  std::vector<BatchResult<typename M::value_type>> EvaluateBatch(
+      const M& monoid,
+      const std::vector<BatchRequest<typename M::value_type>>& requests) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<BatchResult<typename M::value_type>> out;
+    out.reserve(requests.size());
+    for (const BatchRequest<typename M::value_type>& request : requests) {
+      out.push_back(EvaluateGroup(monoid, request));
+    }
+    return out;
+  }
+
+  /// Single-group convenience: evaluates `queries` over `facts` with a
+  /// common annotator, returning one result per query in order.
+  template <TwoMonoid M>
+  std::vector<Result<typename M::value_type>> EvaluateMany(
+      const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
+      const Database& facts,
+      const std::function<typename M::value_type(const Fact&)>& annotator) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    BatchRequest<typename M::value_type> request;
+    request.database = &facts;
+    request.annotator = annotator;
+    request.queries = queries;
+    return EvaluateGroup(monoid, request).values;
+  }
+
+ private:
+  template <TwoMonoid M>
+  BatchResult<typename M::value_type> EvaluateGroup(
+      const M& monoid, const BatchRequest<typename M::value_type>& request) {
+    using K = typename M::value_type;
+    HIERARQ_CHECK(request.database != nullptr);
+    groups_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(request.queries.size(), std::memory_order_relaxed);
+    const size_t n = request.queries.size();
+
+    // Query phase: resolve every plan through the shared cache. Failures
+    // (non-hierarchical queries) are recorded per slot.
+    std::vector<Result<const EliminationPlan*>> plans;
+    plans.reserve(n);
+    std::vector<size_t> planned;  // Slots whose plan resolved.
+    for (size_t i = 0; i < n; ++i) {
+      plans.push_back(plan_cache_.GetPlan(*request.queries[i]));
+      if (plans.back().ok()) {
+        planned.push_back(i);
+      }
+    }
+
+    // Data phase, annotate once: one pass over the base relations serves
+    // every query in the group (the batching win).
+    std::vector<const ConjunctiveQuery*> planned_queries;
+    planned_queries.reserve(planned.size());
+    for (size_t i : planned) {
+      planned_queries.push_back(request.queries[i]);
+    }
+    const auto plus = [&monoid](const K& a, const K& b) {
+      return monoid.Plus(a, b);
+    };
+    const AnnotationPool<K> pool = AnnotateForQuerySet<K>(
+        planned_queries, *request.database, request.annotator, plus);
+    annotation_scans_.fetch_add(pool.scans, std::memory_order_relaxed);
+    annotations_shared_.fetch_add(pool.reused, std::memory_order_relaxed);
+
+    // Resolve each query's base relations here, on the caller thread, so
+    // the workers never build signature strings or probe the pool.
+    std::vector<std::vector<const AnnotatedRelation<K>*>> bases(n);
+    for (size_t i : planned) {
+      bases[i] = ResolveBases<K>(*request.queries[i], pool);
+    }
+
+    // Replay phase: fan the plans out across the workers. The pool is
+    // read-only from here on; each worker copies the base relations into
+    // its own scratch (Evaluator::ReplayPlan), so replays never contend.
+    std::vector<std::optional<K>> values(n);
+    pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
+      const size_t slot = planned[j];
+      values[slot] = worker_evaluator(worker).ReplayPlan(
+          **plans[slot], monoid, *request.queries[slot], bases[slot]);
+    });
+
+    BatchResult<K> out;
+    out.values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (plans[i].ok()) {
+        out.values.push_back(std::move(*values[i]));
+      } else {
+        out.values.push_back(plans[i].status());
+      }
+    }
+    return out;
+  }
+
+  SharedPlanCache plan_cache_;
+  std::vector<std::unique_ptr<Evaluator>> worker_evaluators_;
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> groups_{0};
+  std::atomic<size_t> requests_{0};
+  std::atomic<size_t> annotation_scans_{0};
+  std::atomic<size_t> annotations_shared_{0};
+  // Declared last: the pool joins (draining in-flight tasks) before any
+  // member a task could touch is destroyed.
+  WorkerPool pool_;
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_SERVICE_EVAL_SERVICE_H_

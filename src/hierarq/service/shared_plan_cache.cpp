@@ -1,0 +1,48 @@
+#include "hierarq/service/shared_plan_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace hierarq {
+
+Result<const EliminationPlan*> SharedPlanCache::GetPlan(
+    const ConjunctiveQuery& query) {
+  const std::string key = query.ToString();
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return const_cast<const EliminationPlan*>(it->second.get());
+    }
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Re-check: another thread may have built the plan between the locks.
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return const_cast<const EliminationPlan*>(it->second.get());
+  }
+  HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
+                           EliminationPlan::Build(query));
+  plans_built_.fetch_add(1, std::memory_order_relaxed);
+  auto owned = std::make_unique<EliminationPlan>(std::move(plan));
+  const EliminationPlan* raw = owned.get();
+  plans_.emplace(key, std::move(owned));
+  return raw;
+}
+
+size_t SharedPlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return plans_.size();
+}
+
+SharedPlanCache::Stats SharedPlanCache::stats() const {
+  Stats out;
+  out.plans_built = plans_built_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,69 @@
+#ifndef HIERARQ_SERVICE_SHARED_PLAN_CACHE_H_
+#define HIERARQ_SERVICE_SHARED_PLAN_CACHE_H_
+
+/// \file shared_plan_cache.h
+/// \brief Thread-safe, build-once `EliminationPlan` cache.
+///
+/// Plans are pure functions of the query text and immutable after
+/// `EliminationPlan::Build` (Proposition 5.1 runs on the query structure
+/// only), so a server needs exactly one plan per query *process-wide*, not
+/// per thread. `SharedPlanCache` guards the lookup table with a
+/// shared_mutex: readers take the shared lock for the lookup only and then
+/// use the plan with no lock at all — the `unique_ptr` values pin every
+/// plan's address across table rehashes. A miss upgrades to the exclusive
+/// lock, re-checks, and builds; building under the exclusive lock is what
+/// guarantees one `Build` per query text no matter how many threads race
+/// on a cold cache (plan builds are query-complexity only — microseconds —
+/// so holding the writer lock through one is cheaper than the thundering
+/// herd of duplicate builds it prevents).
+///
+/// Implements `PlanProvider` (core/evaluator.h): per-worker `Evaluator`s
+/// delegate their plan lookups here while keeping private scratch buffers.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "hierarq/core/evaluator.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+class SharedPlanCache : public PlanProvider {
+ public:
+  struct Stats {
+    size_t plans_built = 0;  ///< EliminationPlan::Build invocations.
+    size_t cache_hits = 0;   ///< Lookups served without building.
+  };
+
+  SharedPlanCache() = default;
+  SharedPlanCache(const SharedPlanCache&) = delete;
+  SharedPlanCache& operator=(const SharedPlanCache&) = delete;
+
+  /// Returns the cached plan for `query`, building it at most once per
+  /// query text across all threads. The pointer stays valid for the
+  /// cache's lifetime. Fails with kNotHierarchical exactly as
+  /// EliminationPlan::Build does; failures are not cached.
+  Result<const EliminationPlan*> GetPlan(
+      const ConjunctiveQuery& query) override;
+
+  /// Number of distinct queries with a cached plan.
+  size_t size() const;
+
+  Stats stats() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<EliminationPlan>> plans_;
+  std::atomic<size_t> plans_built_{0};
+  std::atomic<size_t> cache_hits_{0};
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_SERVICE_SHARED_PLAN_CACHE_H_

@@ -12,6 +12,7 @@
 #include "hierarq/data/tid_database.h"
 #include "hierarq/query/parser.h"
 #include "hierarq/util/random.h"
+#include "hierarq/workload/data_gen.h"
 
 namespace hierarq {
 namespace {
@@ -157,6 +158,130 @@ TEST(Evaluator, ClearCacheForcesRebuild) {
   EXPECT_EQ(evaluator.num_cached_plans(), 0u);
   ASSERT_TRUE(evaluator.GetPlan(q).ok());
   EXPECT_EQ(evaluator.stats().plans_built, 2u);
+}
+
+TEST(Evaluator, ScratchShrinksAndGrowsAcrossQueries) {
+  // Alternating queries with different atom counts must reuse the scratch
+  // prefix (shrink-or-grow) and still produce exact results every round.
+  Evaluator evaluator;
+  const ConjunctiveQuery big = ParseQueryOrDie("R(A,B), S(A,C), T(A,C,D)");
+  const ConjunctiveQuery small = ParseQueryOrDie("R(A,B)");
+  const ConjunctiveQuery chain =
+      ParseQueryOrDie("C1(X1), C2(X1,X2), C3(X1,X2,X3)");
+  const CountMonoid monoid;
+  Rng rng(13);
+  for (int round = 0; round < 6; ++round) {
+    Database db;
+    for (int i = 0; i < 20; ++i) {
+      db.AddFactOrDie("R", MakeTuple({rng.UniformInt(0, 4),
+                                      rng.UniformInt(0, 4)}));
+      db.AddFactOrDie("S", MakeTuple({rng.UniformInt(0, 4),
+                                      rng.UniformInt(0, 4)}));
+      db.AddFactOrDie("T", MakeTuple({rng.UniformInt(0, 4),
+                                      rng.UniformInt(0, 4),
+                                      rng.UniformInt(0, 4)}));
+      db.AddFactOrDie("C1", MakeTuple({rng.UniformInt(0, 4)}));
+      db.AddFactOrDie("C2", MakeTuple({rng.UniformInt(0, 4),
+                                       rng.UniformInt(0, 4)}));
+      db.AddFactOrDie("C3", MakeTuple({rng.UniformInt(0, 4),
+                                       rng.UniformInt(0, 4),
+                                       rng.UniformInt(0, 4)}));
+    }
+    // big (more plan atoms) -> small (fewer) -> chain (more again).
+    for (const ConjunctiveQuery* q : {&big, &small, &chain}) {
+      auto cached = evaluator.Evaluate<CountMonoid>(*q, monoid, db,
+                                                    OneAnnotator());
+      auto uncached = RunAlgorithm1OnQuery<CountMonoid>(*q, monoid, db,
+                                                        OneAnnotator());
+      ASSERT_TRUE(cached.ok());
+      ASSERT_TRUE(uncached.ok());
+      EXPECT_EQ(*cached, *uncached)
+          << "round " << round << " query " << q->ToString();
+    }
+  }
+  EXPECT_EQ(evaluator.stats().plans_built, 3u);
+}
+
+TEST(AtomAnnotationSignature, CapturesStructureNotVariableNames) {
+  auto atom_of = [](const char* text, size_t index = 0) {
+    return ParseQueryOrDie(text).atoms()[index];
+  };
+  // Variable renamings share a signature.
+  EXPECT_EQ(AtomAnnotationSignature(atom_of("R(A,B)")),
+            AtomAnnotationSignature(atom_of("R(X,Y)")));
+  // So do atoms embedded in different queries with different intern order:
+  // in "S(C,A)" C interns first, but ranks follow ascending VarId per atom.
+  EXPECT_EQ(AtomAnnotationSignature(atom_of("R(A,B), S(A,C)", 1)),
+            AtomAnnotationSignature(atom_of("S(C,A)")));
+  // Different relations differ.
+  EXPECT_NE(AtomAnnotationSignature(atom_of("R(A,B)")),
+            AtomAnnotationSignature(atom_of("S(A,B)")));
+  // Repeated-variable structure matters: R(X,X,Y) vs R(X,Y,Y).
+  EXPECT_EQ(AtomAnnotationSignature(atom_of("R(A,A,B)")),
+            AtomAnnotationSignature(atom_of("R(X,X,Y)")));
+  EXPECT_NE(AtomAnnotationSignature(atom_of("R(A,A,B)")),
+            AtomAnnotationSignature(atom_of("R(A,B,B)")));
+  // Constants are part of the signature.
+  EXPECT_EQ(AtomAnnotationSignature(atom_of("R(A,7)")),
+            AtomAnnotationSignature(atom_of("R(X,7)")));
+  EXPECT_NE(AtomAnnotationSignature(atom_of("R(A,7)")),
+            AtomAnnotationSignature(atom_of("R(A,8)")));
+  EXPECT_NE(AtomAnnotationSignature(atom_of("R(A,7)")),
+            AtomAnnotationSignature(atom_of("R(A,B)")));
+}
+
+TEST(AnnotateForQuerySet, SharesScansAcrossEqualSignatures) {
+  const ConjunctiveQuery q1 = ParseQueryOrDie("R(A,B), S(A,C)");
+  const ConjunctiveQuery q2 = ParseQueryOrDie("R(X,Y)");
+  const ConjunctiveQuery q3 = ParseQueryOrDie("S(A,B)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  db.AddFactOrDie("R", MakeTuple({2, 3}));
+  db.AddFactOrDie("S", MakeTuple({1, 7}));
+
+  const auto annotator = OneAnnotator();
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  AnnotationPool<uint64_t> pool =
+      AnnotateForQuerySet<uint64_t>({&q1, &q2, &q3}, db, annotator, plus);
+
+  // 4 atoms, 2 distinct signatures: R(v0,v1) and S(v0,v1).
+  EXPECT_EQ(pool.scans, 2u);
+  EXPECT_EQ(pool.reused, 2u);
+  EXPECT_EQ(pool.by_signature.size(), 2u);
+
+  const AnnotatedRelation<uint64_t>* r =
+      pool.Find(AtomAnnotationSignature(q2.atoms()[0]));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->size(), 2u);
+  const AnnotatedRelation<uint64_t>* s =
+      pool.Find(AtomAnnotationSignature(q3.atoms()[0]));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 1u);
+  EXPECT_NE(s->Find(MakeTuple({1, 7})), nullptr);
+}
+
+TEST(Evaluator, ReplayPlanMatchesEvaluate) {
+  const ConjunctiveQuery q = ParseQueryOrDie("R(A,B), S(A,C), T(A,C,D)");
+  Rng rng(17);
+  DataGenOptions opts;
+  opts.tuples_per_relation = 80;
+  opts.domain_size = 12;
+  const Database db = RandomDatabaseForQuery(q, rng, opts);
+  const CountMonoid monoid;
+
+  Evaluator evaluator;
+  auto direct = evaluator.Evaluate<CountMonoid>(q, monoid, db, OneAnnotator());
+  ASSERT_TRUE(direct.ok());
+
+  auto plan = evaluator.GetPlan(q);
+  ASSERT_TRUE(plan.ok());
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const AnnotationPool<uint64_t> pool =
+      AnnotateForQuerySet<uint64_t>({&q}, db, OneAnnotator(), plus);
+  // Replaying twice from the same pool must be stable: the pool is only
+  // read, the scratch is reset per replay.
+  EXPECT_EQ(evaluator.ReplayPlan(**plan, monoid, q, pool), *direct);
+  EXPECT_EQ(evaluator.ReplayPlan(**plan, monoid, q, pool), *direct);
 }
 
 TEST(Evaluator, SharedAcrossSolverEntryPoints) {

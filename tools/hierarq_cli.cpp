@@ -15,10 +15,21 @@
 //   hierarq_cli resilience <query> <exo-db> <endo-db>
 //   hierarq_cli provenance <query> <db>
 //
+// Batch mode reads one query per line from a file and answers them all
+// through the EvalService (one annotation pass per database, replays
+// fanned out across a worker pool):
+//
+//   hierarq_cli batch count      <queries-file> <db>            [workers]
+//   hierarq_cli batch pqe        <queries-file> <tid-db>        [workers]
+//   hierarq_cli batch expect     <queries-file> <tid-db>        [workers]
+//   hierarq_cli batch resilience <queries-file> <exo> <endo>    [workers]
+//   hierarq_cli batch provenance <queries-file> <db>            [workers]
+//
 // Example:
 //   hierarq_cli bagset "Q() :- R(A,B), S(A,C), T(A,C,D)" d.facts dr.facts 2
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -43,7 +54,13 @@ int Usage() {
                "  repair     <query> <db> <repair-db> <budget>\n"
                "  shapley    <query> <exo-db> <endo-db>\n"
                "  resilience <query> <exo-db> <endo-db>\n"
-               "  provenance <query> <db>\n");
+               "  provenance <query> <db>\n"
+               "batch mode (queries-file: one query per line, '#' comments):\n"
+               "  batch count      <queries-file> <db>         [workers]\n"
+               "  batch pqe        <queries-file> <tid-db>     [workers]\n"
+               "  batch expect     <queries-file> <tid-db>     [workers]\n"
+               "  batch resilience <queries-file> <exo> <endo> [workers]\n"
+               "  batch provenance <queries-file> <db>         [workers]\n");
   return 2;
 }
 
@@ -63,11 +80,181 @@ std::string RenderFact(const Fact& fact, const Dictionary& dict) {
   return out + ")";
 }
 
+/// Loads a queries file: one query per line, '#' starts a comment, blank
+/// lines are skipped.
+Result<std::vector<ConjunctiveQuery>> LoadQueriesFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument(std::string("cannot open queries file: ") +
+                                   path);
+  }
+  std::vector<ConjunctiveQuery> queries;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::string text = Trim(line);
+    if (text.empty()) {
+      continue;
+    }
+    auto query = ParseQuery(text);
+    if (!query.ok()) {
+      return Status::InvalidArgument(
+          std::string(path) + ":" + std::to_string(line_number) + ": " +
+          query.status().ToString());
+    }
+    queries.push_back(std::move(query).ValueOrDie());
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument(std::string(path) +
+                                   ": no queries in file");
+  }
+  return queries;
+}
+
+void PrintServiceStats(const EvalService& service, size_t num_workers) {
+  const ServiceStats stats = service.stats();
+  std::printf(
+      "-- service: %zu workers; %zu queries in %zu group(s); plans built=%zu "
+      "cache hits=%zu; annotation passes=%zu (%zu shared)\n",
+      num_workers, stats.requests, stats.groups, stats.plans_built,
+      stats.plan_cache_hits, stats.annotation_scans,
+      stats.annotations_shared);
+}
+
+/// `hierarq_cli batch <solver> <queries-file> <dbs...> [workers]`.
+int RunBatch(int argc, char** argv) {
+  if (argc < 5) {
+    return Usage();
+  }
+  const std::string solver = argv[2];
+  if (solver != "count" && solver != "pqe" && solver != "expect" &&
+      solver != "resilience" && solver != "provenance") {
+    return Usage();
+  }
+  const size_t num_dbs = solver == "resilience" ? 2 : 1;
+  // argv[3] = queries file, then num_dbs database files, then optionally a
+  // worker count.
+  if (static_cast<size_t>(argc) < 4 + num_dbs ||
+      static_cast<size_t>(argc) > 5 + num_dbs) {
+    return Usage();
+  }
+  size_t workers = 0;  // 0 = hardware concurrency.
+  if (static_cast<size_t>(argc) == 5 + num_dbs) {
+    auto parsed_workers = ParseInt64(argv[4 + num_dbs]);
+    if (!parsed_workers.ok() || *parsed_workers < 1) {
+      return Usage();
+    }
+    workers = static_cast<size_t>(*parsed_workers);
+  }
+
+  auto queries = LoadQueriesFile(argv[3]);
+  if (!queries.ok()) {
+    return Fail(queries.status());
+  }
+  std::vector<const ConjunctiveQuery*> query_ptrs;
+  query_ptrs.reserve(queries->size());
+  for (const ConjunctiveQuery& q : *queries) {
+    query_ptrs.push_back(&q);
+  }
+
+  Dictionary dict;
+  EvalService service(EvalService::Options{.num_workers = workers});
+
+  // Renders one result line per query; errors are reported inline so one
+  // non-hierarchical query does not sink the batch.
+  const auto print_row = [&queries](size_t i, const std::string& value) {
+    std::printf("%-50s %s\n", (*queries)[i].ToString().c_str(),
+                value.c_str());
+  };
+  const auto row_error = [&print_row](size_t i, const Status& status) {
+    print_row(i, "error: " + status.ToString());
+  };
+
+  if (solver == "count") {
+    auto db = LoadDatabaseFromFile(argv[4], &dict);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    auto results = CountBatch(service, query_ptrs, *db);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        print_row(i, "Q(D) = " + std::to_string(*results[i]));
+      } else {
+        row_error(i, results[i].status());
+      }
+    }
+  } else if (solver == "pqe" || solver == "expect") {
+    auto db = LoadTidDatabaseFromFile(argv[4], &dict);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    auto results = solver == "pqe"
+                       ? EvaluateProbabilityBatch(service, query_ptrs, *db)
+                       : ExpectedMultiplicityBatch(service, query_ptrs, *db);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        char value[64];
+        std::snprintf(value, sizeof(value),
+                      solver == "pqe" ? "Pr[Q] = %.12g" : "E[Q(D)] = %.12g",
+                      *results[i]);
+        print_row(i, value);
+      } else {
+        row_error(i, results[i].status());
+      }
+    }
+  } else if (solver == "resilience") {
+    auto exo = LoadDatabaseFromFile(argv[4], &dict);
+    if (!exo.ok()) {
+      return Fail(exo.status());
+    }
+    auto endo = LoadDatabaseFromFile(argv[5], &dict);
+    if (!endo.ok()) {
+      return Fail(endo.status());
+    }
+    auto results = ComputeResilienceBatch(service, query_ptrs, *exo, *endo);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        row_error(i, results[i].status());
+      } else if (*results[i] == ResilienceMonoid::kInfinity) {
+        print_row(i, "resilience = infinity");
+      } else {
+        print_row(i, "resilience = " + std::to_string(*results[i]));
+      }
+    }
+  } else {  // "provenance" — the solver name was validated above.
+    auto db = LoadDatabaseFromFile(argv[4], &dict);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    auto results = ComputeProvenanceBatch(service, query_ptrs, *db);
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (results[i].ok()) {
+        print_row(i, results[i]->tree->ToString() + "  (" +
+                         std::to_string(results[i]->facts.size()) +
+                         " facts)");
+      } else {
+        row_error(i, results[i].status());
+      }
+    }
+  }
+
+  PrintServiceStats(service, service.num_workers());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 3) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "batch") {
+    return RunBatch(argc, argv);
+  }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
     return Fail(parsed.status());
