@@ -19,6 +19,47 @@
 namespace hierarq {
 namespace {
 
+/// Perf-trajectory rows (BENCH_dichotomy.json): the polynomial side of the
+/// dichotomy — Bag-Set Maximization on the hierarchical Q_h — per storage
+/// backend per scale; the bag-max monoid's vector values stress the
+/// backends' annotation payload handling, unlike the scalar monoids of the
+/// other emitters.
+void EmitThroughputJson() {
+  bench::JsonReport report("dichotomy", "BENCH_dichotomy.json");
+  const ConjunctiveQuery q = MakeQh();
+  constexpr size_t kBudget = 8;
+
+  std::printf("  hierarchical BagSetMax throughput (default storage=%s):\n",
+              bench::JsonReport::StorageBackend());
+  for (size_t tuples : {1000, 4000, 16000}) {
+    Rng rng(75);
+    DataGenOptions opts;
+    opts.tuples_per_relation = tuples;
+    opts.domain_size = std::max<size_t>(4, tuples / 4);
+    const RepairInstance inst = RandomRepairInstance(q, rng, opts, 0.6);
+    const double num_facts =
+        static_cast<double>(inst.d.NumFacts() + inst.repair.NumFacts());
+
+    for (StorageKind kind : kAllStorageKinds) {
+      const double solves_per_sec = bench::MeasureRate([&] {
+        benchmark::DoNotOptimize(MaximizeBagSet(q, inst.d, inst.repair,
+                                                kBudget, /*costs=*/nullptr,
+                                                kind));
+      });
+      std::printf("    |D|+|Dr| = %-8.0f %-9s %9.0f solves/sec\n", num_facts,
+                  StorageKindName(kind), solves_per_sec);
+      report.AddRow(bench::JsonReport::StorageRow(
+                        "qh_budget8/" + std::to_string(
+                                            static_cast<size_t>(num_facts)),
+                        kind),
+                    {{"num_facts", num_facts},
+                     {"solves_per_sec", solves_per_sec},
+                     {"ops_per_sec", solves_per_sec * num_facts}});
+    }
+  }
+  report.WriteToFile();
+}
+
 void Report() {
   using bench::PrintHeader;
   using bench::PrintNote;
@@ -55,6 +96,7 @@ void Report() {
                                rejected.status().code())));
   PrintNote("Timing: hierarchical solve grows polynomially; the");
   PrintNote("brute-force decision for Q_nh doubles per repair candidate.");
+  EmitThroughputJson();
 }
 
 // Polynomial side: hierarchical query, unified algorithm.

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "hierarq/core/evaluator.h"
 #include "hierarq/core/resilience.h"
 #include "hierarq/engine/bruteforce.h"
 #include "hierarq/workload/data_gen.h"
@@ -13,6 +14,43 @@
 
 namespace hierarq {
 namespace {
+
+/// Perf-trajectory rows (BENCH_resilience.json): steady-state resilience
+/// solves per second through an Evaluator, one row per storage backend per
+/// scale, so the flat-vs-columnar A/B covers the (ℕ∪{∞}, +, min)
+/// instantiation too.
+void EmitThroughputJson() {
+  bench::JsonReport report("resilience", "BENCH_resilience.json");
+  const ConjunctiveQuery q = MakePaperQuery();
+
+  std::printf("  steady-state resilience throughput (default storage=%s):\n",
+              bench::JsonReport::StorageBackend());
+  for (size_t tuples : {10000, 30000, 100000}) {
+    Rng rng(18);
+    DataGenOptions opts;
+    opts.tuples_per_relation = tuples;
+    opts.domain_size = std::max<size_t>(8, tuples / 4);
+    const Database db = RandomDatabaseForQuery(q, rng, opts);
+    const auto [exo, endo] = SplitExoEndo(db, rng, 0.5);
+
+    for (StorageKind kind : kAllStorageKinds) {
+      Evaluator evaluator(kind);
+      const double solves_per_sec = bench::MeasureRate([&] {
+        benchmark::DoNotOptimize(ComputeResilience(evaluator, q, exo, endo));
+      });
+      std::printf("    |D| = %-8zu %-9s %9.0f solves/sec\n", db.NumFacts(),
+                  StorageKindName(kind), solves_per_sec);
+      report.AddRow(
+          bench::JsonReport::StorageRow(
+              "paper_query/" + std::to_string(db.NumFacts()), kind),
+          {{"num_facts", static_cast<double>(db.NumFacts())},
+           {"solves_per_sec", solves_per_sec},
+           {"ops_per_sec",
+            solves_per_sec * static_cast<double>(db.NumFacts())}});
+    }
+  }
+  report.WriteToFile();
+}
 
 void Report() {
   using bench::PrintHeader;
@@ -43,6 +81,7 @@ void Report() {
            "all agree",
            std::to_string(agree) + "/" + std::to_string(trials) + " agree");
   PrintNote("Timing sweep: expect ~linear in |D| (O(1) monoid ops).");
+  EmitThroughputJson();
 }
 
 void BM_Resilience_DataSweep(benchmark::State& state) {

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "hierarq/data/storage.h"
 #include "hierarq/util/timer.h"
 
 namespace hierarq::bench {
@@ -58,6 +59,10 @@ inline void PrintNote(const std::string& note) {
 /// backend). The format is flat on purpose:
 ///   {"benchmark": "...", "storage": "...", "rows": [
 ///     {"name": "...", "metric_a": 1.0, ...}, ...]}
+/// The top-level "storage" field is the build's *default* backend; rows
+/// measured under an explicit runtime backend append "/<backend>" to
+/// their name (see StorageRow) so flat-vs-columnar A/B pairs sit side by
+/// side in one document regardless of the build configuration.
 class JsonReport {
  public:
   JsonReport(std::string benchmark, std::string path)
@@ -94,14 +99,17 @@ class JsonReport {
     return true;
   }
 
-  /// The compile-time storage backend of AnnotatedRelation, recorded so
-  /// flat-vs-baseline comparison runs are self-describing.
+  /// The compile-time *default* storage backend of AnnotatedRelation,
+  /// recorded so runs under a non-standard build policy are
+  /// self-describing.
   static const char* StorageBackend() {
-#ifdef HIERARQ_ANNOTATED_STD_MAP
-    return "std_unordered_map";
-#else
-    return "flat";
-#endif
+    return StorageKindName(kDefaultStorageKind);
+  }
+
+  /// Row name for a measurement taken under an explicit runtime backend:
+  /// "base/<backend>".
+  static std::string StorageRow(const std::string& base, StorageKind kind) {
+    return base + "/" + StorageKindName(kind);
   }
 
  private:

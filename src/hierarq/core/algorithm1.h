@@ -23,10 +23,14 @@
 /// Hot-path mechanics: the position of a Rule 1 projection is precomputed
 /// in the plan (`EliminationStep::drop_pos`), every result relation is
 /// `Reserve`d to its Lemma 6.6 support bound before filling so growth
-/// rehashes never fire, and both rules use the storage layer's combined
-/// find-or-insert so no fact pays two probe sequences. The in-place
-/// overload runs over a caller-owned relations vector, which lets
-/// `Evaluator` (core/evaluator.h) reuse table buffers across runs.
+/// rehashes never fire, and both rules run as storage-layer bulk
+/// operations (`AnnotatedRelation::ProjectDropInto` / `JoinUnionInto`) so
+/// each backend applies its layout-aware fast path — the columnar backend
+/// reads only a projection's surviving columns and builds Rule 2 results
+/// with compare-free inserts. Intermediate relations inherit the base
+/// relations' storage backend, keeping every step on a native path. The
+/// in-place overload runs over a caller-owned relations vector, which
+/// lets `Evaluator` (core/evaluator.h) reuse table buffers across runs.
 ///
 /// The returned value is the annotation of the final nullary atom's empty
 /// tuple, or Zero() when its support is empty (an empty ⊕). Total work is
@@ -56,9 +60,20 @@ typename M::value_type RunAlgorithm1InPlace(
 
   HIERARQ_CHECK_EQ(relations.size(), plan.num_atoms());
 
+  // Intermediates adopt the base relations' backend so every step stays on
+  // a storage-native path (scratch slots may carry a stale kind from a
+  // previous run under a different engine option).
+  const StorageKind storage = relations.front().storage();
+  const auto plus = [&monoid](const K& a, const K& b) {
+    return monoid.Plus(a, b);
+  };
+  const auto times = [&monoid](const K& a, const K& b) {
+    return monoid.Times(a, b);
+  };
+
   for (const EliminationStep& step : plan.steps()) {
     AnnotatedRelation<K>& result = relations[step.result_atom];
-    result.Reset(plan.vars_of(step.result_atom));
+    result.Reset(plan.vars_of(step.result_atom), storage);
 
     if (step.rule == EliminationRule::kProjectVariable) {
       // Rule 1: ⊕-project `step.variable` out of `step.source_atom`.
@@ -66,47 +81,14 @@ typename M::value_type RunAlgorithm1InPlace(
       const size_t drop_pos = step.drop_pos;
       HIERARQ_CHECK_LT(drop_pos, source.schema().size());
       HIERARQ_CHECK_EQ(source.schema()[drop_pos], step.variable);
-
-      result.Reserve(source.size());
-      for (const auto& [key, value] : source) {
-        Tuple projected;
-        projected.reserve(key.size() - 1);
-        for (size_t i = 0; i < key.size(); ++i) {
-          if (i != drop_pos) {
-            projected.push_back(key[i]);
-          }
-        }
-        auto [slot, inserted] = result.FindOrInsert(projected);
-        if (inserted) {
-          *slot = value;
-        } else {
-          *slot = monoid.Plus(*slot, value);
-        }
-      }
+      source.ProjectDropInto(drop_pos, plus, &result);
       source.Clear();
     } else {
       // Rule 2: ⊗-join over the union of supports.
       AnnotatedRelation<K>& left = relations[step.left_atom];
       AnnotatedRelation<K>& right = relations[step.right_atom];
-      HIERARQ_CHECK(left.schema() == right.schema())
-          << "Rule 2 requires equal schemas";
-
-      result.Reserve(left.size() + right.size());  // Lemma 6.6 bound.
-      for (const auto& [key, value] : left) {
-        const K* other = right.Find(key);
-        result.Set(key,
-                   monoid.Times(value, other != nullptr ? *other
-                                                        : monoid.Zero()));
-      }
-      for (const auto& [key, value] : right) {
-        // Keys shared with the left leg are already final; the combined
-        // find-or-insert detects them in the same probe sequence an insert
-        // would need, replacing the old Contains-then-Set double lookup.
-        auto [slot, inserted] = result.FindOrInsert(key);
-        if (inserted) {
-          *slot = monoid.Times(monoid.Zero(), value);
-        }
-      }
+      AnnotatedRelation<K>::JoinUnionInto(left, right, times, monoid.Zero(),
+                                          &result);
       left.Clear();
       right.Clear();
     }
@@ -142,19 +124,22 @@ typename M::value_type RunAlgorithm1(
 }
 
 /// Convenience wrapper: plans the query, annotates `facts` via `annotator`
-/// and runs Algorithm 1. Fails with kNotHierarchical for non-hierarchical
-/// queries. Callers that evaluate repeatedly should hold an `Evaluator`
-/// (core/evaluator.h) instead, which caches the plan and reuses buffers.
+/// into the `storage` backend and runs Algorithm 1. Fails with
+/// kNotHierarchical for non-hierarchical queries. Callers that evaluate
+/// repeatedly should hold an `Evaluator` (core/evaluator.h) instead, which
+/// caches the plan and reuses buffers.
 template <TwoMonoid M>
 Result<typename M::value_type> RunAlgorithm1OnQuery(
     const ConjunctiveQuery& query, const M& monoid, const Database& facts,
-    const std::function<typename M::value_type(const Fact&)>& annotator) {
+    const std::function<typename M::value_type(const Fact&)>& annotator,
+    StorageKind storage = kDefaultStorageKind) {
   using K = typename M::value_type;
   HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
                            EliminationPlan::Build(query));
   auto annotated = AnnotateForQuery<K>(
       query, facts, annotator,
-      [&monoid](const K& a, const K& b) { return monoid.Plus(a, b); });
+      [&monoid](const K& a, const K& b) { return monoid.Plus(a, b); },
+      storage);
   return RunAlgorithm1(plan, monoid, std::move(annotated));
 }
 

@@ -24,6 +24,7 @@
 
 #include "hierarq/algebra/bagmax_monoid.h"
 #include "hierarq/data/database.h"
+#include "hierarq/data/storage.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
 
@@ -49,11 +50,14 @@ struct BagSetMaxResult {
 
 /// Solves Bag-Set Maximization. Fails with kNotHierarchical for
 /// non-hierarchical queries (where the problem is NP-complete,
-/// Theorem 4.4).
+/// Theorem 4.4). `storage` picks the relation backend the Algorithm 1 run
+/// stores its supports in (data/storage.h).
 Result<BagSetMaxResult> MaximizeBagSet(const ConjunctiveQuery& query,
                                        const Database& d,
                                        const Database& repair, size_t budget,
-                                       const RepairCosts* costs = nullptr);
+                                       const RepairCosts* costs = nullptr,
+                                       StorageKind storage =
+                                           kDefaultStorageKind);
 
 /// Returns an optimal repair: a set of at most `budget` facts from
 /// `repair` \ `d` whose addition achieves the maximum multiplicity.
@@ -67,7 +71,9 @@ Result<std::vector<Fact>> ExtractOptimalRepair(const ConjunctiveQuery& query,
 /// semiring — valid for hierarchical queries (cross-checked against the
 /// general join engine in tests).
 Result<uint64_t> BagSetCountHierarchical(const ConjunctiveQuery& query,
-                                         const Database& d);
+                                         const Database& d,
+                                         StorageKind storage =
+                                             kDefaultStorageKind);
 
 }  // namespace hierarq
 

@@ -37,6 +37,7 @@
 #include "hierarq/core/algorithm1.h"
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/database.h"
+#include "hierarq/data/storage.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -89,13 +90,15 @@ struct AnnotationPool {
 /// Annotates the base relations needed by `queries` over `facts`, sharing
 /// work between atoms with equal signatures: one scan (and one annotator
 /// call per matching tuple) per distinct signature instead of one per
-/// atom. The batch entry point of the service layer; the per-query path
-/// (`Evaluator::Evaluate`) keeps its direct annotation loop.
+/// atom. Pool relations live in the `storage` backend; replays adopt it
+/// via `AssignFrom`. The batch entry point of the service layer; the
+/// per-query path (`Evaluator::Evaluate`) keeps its direct annotation
+/// loop.
 template <typename K, typename Combine>
 AnnotationPool<K> AnnotateForQuerySet(
     const std::vector<const ConjunctiveQuery*>& queries,
     const Database& facts, const std::function<K(const Fact&)>& annotator,
-    Combine combine) {
+    Combine combine, StorageKind storage = kDefaultStorageKind) {
   AnnotationPool<K> pool;
   for (const ConjunctiveQuery* query : queries) {
     for (const Atom& atom : query->atoms()) {
@@ -107,7 +110,7 @@ AnnotationPool<K> AnnotateForQuerySet(
       }
       ++pool.scans;
       AnnotatedRelation<K>& out = it->second;
-      out.Reset(atom.vars());
+      out.Reset(atom.vars(), storage);
       const Relation* relation = facts.FindRelation(atom.relation());
       if (relation != nullptr) {
         out.Reserve(relation->size());
@@ -148,12 +151,19 @@ class Evaluator : public PlanProvider {
 
   Evaluator() = default;
 
+  /// An evaluator whose scratch relations live in the given storage
+  /// backend (data/storage.h) — the runtime half of the storage policy;
+  /// `hierarq_cli --storage=...` and the bench A/B emitters land here.
+  explicit Evaluator(StorageKind storage) : storage_(storage) {}
+
   /// An evaluator whose plans come from `plans` (non-owning; must outlive
   /// this evaluator) instead of the private cache — the per-worker
   /// configuration: N workers share one `SharedPlanCache` and keep private
   /// scratch. In this mode stats().plans_built / plan_cache_hits stay
   /// zero; the shared provider tracks them.
-  explicit Evaluator(PlanProvider* plans) : shared_plans_(plans) {}
+  explicit Evaluator(PlanProvider* plans,
+                     StorageKind storage = kDefaultStorageKind)
+      : shared_plans_(plans), storage_(storage) {}
 
   // The scratch tables and plan cache are identity, not value.
   Evaluator(const Evaluator&) = delete;
@@ -184,7 +194,7 @@ class Evaluator : public PlanProvider {
     };
     for (size_t i = 0; i < plan->num_base_atoms(); ++i) {
       const Atom& atom = query.atoms()[i];
-      relations[i].Reset(atom.vars());
+      relations[i].Reset(atom.vars(), storage_);
       const Relation* relation = facts.FindRelation(atom.relation());
       if (relation != nullptr) {
         relations[i].Reserve(relation->size());
@@ -234,6 +244,11 @@ class Evaluator : public PlanProvider {
 
   const Stats& stats() const { return stats_; }
 
+  /// The storage backend this evaluator's scratch relations use. Replays
+  /// (`ReplayPlan`) adopt the annotation pool's backend instead — the pool
+  /// owner picks the layout once for the whole batch.
+  StorageKind storage() const { return storage_; }
+
   /// Number of distinct queries with a cached plan (always 0 when plans
   /// are delegated to a shared provider).
   size_t num_cached_plans() const { return plans_.size(); }
@@ -279,6 +294,7 @@ class Evaluator : public PlanProvider {
   }
 
   PlanProvider* shared_plans_ = nullptr;  // Non-owning; nullptr = private.
+  StorageKind storage_ = kDefaultStorageKind;
   // unique_ptr values keep plan addresses stable across cache rehashes.
   std::unordered_map<std::string, std::unique_ptr<EliminationPlan>> plans_;
   std::unordered_map<std::type_index, std::unique_ptr<ScratchBase>> scratch_;

@@ -12,19 +12,25 @@
 /// order (atom term order, duplicate variables, and constants are resolved
 /// once, when the base database is annotated).
 ///
-/// Storage is the open-addressing `FlatMap` (util/flat_map.h); define
-/// HIERARQ_ANNOTATED_STD_MAP (CMake option HIERARQ_STORAGE_BASELINE) to
-/// fall back to the std::unordered_map baseline for A/B comparison runs.
+/// `AnnotatedRelation` is a facade over three interchangeable storage
+/// backends (data/storage.h), selected **at runtime** per relation:
+/// the std::unordered_map baseline, the tuple-keyed open-addressing
+/// `FlatMap` (util/flat_map.h), and the column-major `ColumnarStore`
+/// (data/columnar.h). All backends implement the same narrow interface —
+/// `Find` / `FindOrInsert` / `Merge` / `Reset` / `AssignFrom` plus the
+/// Algorithm 1 bulk operations `ProjectDropInto` (Rule 1) and
+/// `JoinUnionInto` (Rule 2) — and are proven interchangeable by the
+/// cross-backend differential suite (tests/storage_differential_test.cpp).
 
 #include <functional>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
-#ifdef HIERARQ_ANNOTATED_STD_MAP
-#include <unordered_map>
-#endif
-
+#include "hierarq/data/columnar.h"
 #include "hierarq/data/database.h"
+#include "hierarq/data/storage.h"
 #include "hierarq/data/tuple.h"
 #include "hierarq/query/query.h"
 #include "hierarq/query/var_set.h"
@@ -34,9 +40,8 @@
 
 namespace hierarq {
 
-#ifdef HIERARQ_ANNOTATED_STD_MAP
-/// Gives std::unordered_map the FlatMap surface, so the baseline swap is a
-/// single type alias rather than per-method dispatch in AnnotatedRelation.
+/// Gives std::unordered_map the FlatMap surface, so the baseline backend
+/// plugs into AnnotatedRelation's dispatch like the other two layouts.
 template <typename Key, typename Mapped, typename Hash>
 class StdMapAdapter {
  public:
@@ -74,94 +79,273 @@ class StdMapAdapter {
   void Reserve(size_t count) { map_.reserve(count); }
   void Clear() { map_.clear(); }
 
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& [key, value] : map_) {
+      fn(key, value);
+    }
+  }
+
  private:
   Map map_;
 };
-#endif
 
-/// A relation annotated with values from K, keyed by tuples over `schema`.
+/// A relation annotated with values from K, keyed by tuples over `schema`,
+/// stored in the backend named by `storage()`.
 template <typename K>
 class AnnotatedRelation {
  public:
-#ifdef HIERARQ_ANNOTATED_STD_MAP
-  using Map = StdMapAdapter<Tuple, K, TupleHash>;
-#else
-  using Map = FlatMap<Tuple, K, TupleHash>;
-#endif
-  using const_iterator = typename Map::const_iterator;
-
-  AnnotatedRelation() = default;
-  explicit AnnotatedRelation(VarSet schema) : schema_(std::move(schema)) {}
+  AnnotatedRelation() : AnnotatedRelation(VarSet{}) {}
+  explicit AnnotatedRelation(VarSet schema,
+                             StorageKind storage = kDefaultStorageKind)
+      : schema_(std::move(schema)), storage_(storage) {
+    if (storage_ == StorageKind::kColumnar) {
+      columnar_.Reset(schema_.size());
+    }
+  }
 
   const VarSet& schema() const { return schema_; }
-  /// |supp(R)| — the number of stored (non-zero) facts.
-  size_t size() const { return entries_.size(); }
-  bool empty() const { return entries_.empty(); }
+  StorageKind storage() const { return storage_; }
 
-  const_iterator begin() const { return entries_.begin(); }
-  const_iterator end() const { return entries_.end(); }
+  /// |supp(R)| — the number of stored (non-zero) facts.
+  size_t size() const {
+    return Visit([](const auto& store) { return store.size(); });
+  }
+  bool empty() const { return size() == 0; }
 
   /// Sets the annotation of `key` (inserting or overwriting).
   void Set(const Tuple& key, K value) {
     HIERARQ_CHECK_EQ(key.size(), schema_.size());
-    entries_.Set(key, std::move(value));
+    Visit([&](auto& store) { store.Set(key, std::move(value)); });
   }
 
   /// Returns the annotation of `key`, or nullptr when `key` is not in the
   /// support (i.e. its annotation is the monoid zero).
-  const K* Find(const Tuple& key) const { return entries_.Find(key); }
+  const K* Find(const Tuple& key) const {
+    return Visit([&](const auto& store) { return store.Find(key); });
+  }
 
   bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
 
   /// Finds the annotation of `key`, inserting a value-initialized slot when
   /// absent; the bool is true iff the slot was just inserted (the caller
-  /// must then assign a real annotation). One probe sequence total — the
-  /// entry point Algorithm 1 uses for Rule 1's ⊕-merge and for the
-  /// right-minus-left leg of Rule 2's union-of-supports iteration.
+  /// must then assign a real annotation). One probe sequence total on every
+  /// backend.
   std::pair<K*, bool> FindOrInsert(const Tuple& key) {
-    return entries_.FindOrInsert(key);
+    return Visit([&](auto& store) { return store.FindOrInsert(key); });
   }
 
   /// Inserts `value` at `key`, or combines it with the existing annotation
-  /// via `combine(existing, value)`. Used by Algorithm 1's Rule 1
-  /// (⊕-aggregation).
+  /// via `combine(existing, value)`. Used by annotation (⊕-merging
+  /// duplicate keys) and by Algorithm 1's Rule 1.
   template <typename Combine>
   void Merge(const Tuple& key, K value, Combine combine) {
-    entries_.Merge(key, std::move(value), combine);
+    Visit([&](auto& store) { store.Merge(key, std::move(value), combine); });
   }
 
-  /// Pre-sizes the table so `count` insertions proceed without rehashing.
-  void Reserve(size_t count) { entries_.Reserve(count); }
+  /// Pre-sizes the backend so `count` insertions proceed without
+  /// rehashing.
+  void Reserve(size_t count) {
+    Visit([&](auto& store) { store.Reserve(count); });
+  }
 
   /// Releases all entries (frees intermediate relations eagerly). The
-  /// underlying table keeps its slot array, so a relation reused across
-  /// evaluations (core/evaluator.h) reaches steady state allocation-free.
-  void Clear() { entries_.Clear(); }
+  /// backend keeps its buffers, so a relation reused across evaluations
+  /// (core/evaluator.h) reaches steady state allocation-free.
+  void Clear() {
+    Visit([](auto& store) { store.Clear(); });
+  }
 
-  /// Re-targets this relation at `schema`, dropping all entries but keeping
-  /// the table's capacity — the buffer-reuse entry point.
+  /// Switches the storage backend, dropping all entries when the kind
+  /// actually changes (entries never migrate implicitly — callers switch
+  /// before filling).
+  void SetStorage(StorageKind storage) {
+    if (storage_ == storage) {
+      return;
+    }
+    Clear();
+    storage_ = storage;
+    if (storage_ == StorageKind::kColumnar) {
+      columnar_.Reset(schema_.size());
+    }
+  }
+
+  /// Re-targets this relation at `schema`, dropping all entries but
+  /// keeping the backend's buffers — the buffer-reuse entry point.
   void Reset(const VarSet& schema) {
     schema_ = schema;
-    Clear();
+    if (storage_ == StorageKind::kColumnar) {
+      columnar_.Reset(schema_.size());
+    } else {
+      Clear();
+    }
+  }
+
+  /// Reset with an explicit backend choice — how `Evaluator` applies its
+  /// engine-level storage option to scratch relations.
+  void Reset(const VarSet& schema, StorageKind storage) {
+    SetStorage(storage);
+    Reset(schema);
   }
 
   /// Replaces this relation's contents with a copy of `other`'s entries,
-  /// re-labelled with `schema` (same arity as `other`'s schema). This is
-  /// the replay side of shared annotation (service/eval_service.h): one
-  /// annotated base relation serves every query atom with the same
-  /// annotation signature, and each replay copies it out under its own
-  /// query's variable names. Copying the table is a flat memcpy-like
-  /// assignment — no per-entry rehash — where re-annotating would re-match
-  /// and re-hash every base tuple.
+  /// re-labelled with `schema` (same arity as `other`'s schema), adopting
+  /// `other`'s storage backend. This is the replay side of shared
+  /// annotation (service/eval_service.h): one annotated base relation
+  /// serves every query atom with the same annotation signature, and each
+  /// replay copies it out under its own query's variable names. Copying
+  /// the backend wholesale is a flat memcpy-like assignment — no per-entry
+  /// rehash — where re-annotating would re-match and re-hash every base
+  /// tuple.
   void AssignFrom(const AnnotatedRelation& other, const VarSet& schema) {
     HIERARQ_CHECK_EQ(schema.size(), other.schema_.size());
     schema_ = schema;
-    entries_ = other.entries_;
+    if (storage_ != other.storage_) {
+      Clear();  // Drop the outgoing backend's entries before switching.
+      storage_ = other.storage_;
+    }
+    other.Visit([&](const auto& store) {
+      StoreOf<std::remove_cvref_t<decltype(store)>>() = store;
+    });
+  }
+
+  /// Visits every stored fact as (key, annotation). Visit order is
+  /// backend-defined (hash-layout order for the map backends, insertion
+  /// order for columnar) — callers must not rely on it beyond "each fact
+  /// exactly once".
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    Visit([&](const auto& store) { store.ForEach(fn); });
+  }
+
+  /// Algorithm 1 Rule 1: ⊕-projects schema position `drop_pos` out of
+  /// this relation into `out` (already Reset to the surviving schema).
+  /// Columnar-to-columnar runs the layout-aware native (only surviving
+  /// columns are read); any other backend pairing takes the generic
+  /// iterate-and-merge path.
+  template <typename Plus>
+  void ProjectDropInto(size_t drop_pos, Plus plus,
+                       AnnotatedRelation* out) const {
+    HIERARQ_CHECK_LT(drop_pos, schema_.size());
+    HIERARQ_CHECK_EQ(out->schema_.size() + 1, schema_.size());
+    if (storage_ == StorageKind::kColumnar &&
+        out->storage_ == StorageKind::kColumnar) {
+      columnar_.ProjectDropInto(drop_pos, plus, &out->columnar_);
+      return;
+    }
+    out->Reserve(size());
+    Tuple projected;
+    ForEach([&](const Tuple& key, const K& value) {
+      projected.clear();
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (i != drop_pos) {
+          projected.push_back(key[i]);
+        }
+      }
+      auto [slot, inserted] = out->FindOrInsert(projected);
+      if (inserted) {
+        *slot = value;
+      } else {
+        *slot = plus(*slot, value);
+      }
+    });
+  }
+
+  /// Algorithm 1 Rule 2: out(x) = left(x) ⊗ right(x) over the *union* of
+  /// supports. A 2-monoid guarantees only 0 ⊗ 0 = 0 (Definition 5.6), not
+  /// annihilation, so one-sided facts contribute `times(value, zero)` /
+  /// `times(zero, value)`; only absent-absent pairs are skipped
+  /// (Lemma 6.6). All-columnar operands run the native with compare-free
+  /// result indexing; otherwise the generic union loop runs.
+  template <typename Times>
+  static void JoinUnionInto(const AnnotatedRelation& left,
+                            const AnnotatedRelation& right, Times times,
+                            const K& zero, AnnotatedRelation* out) {
+    HIERARQ_CHECK(left.schema_ == right.schema_)
+        << "Rule 2 requires equal schemas";
+    HIERARQ_CHECK(out->schema_ == left.schema_);
+    if (left.storage_ == StorageKind::kColumnar &&
+        right.storage_ == StorageKind::kColumnar &&
+        out->storage_ == StorageKind::kColumnar) {
+      ColumnarStore<K>::JoinUnionInto(left.columnar_, right.columnar_, times,
+                                      zero, &out->columnar_);
+      return;
+    }
+    out->Reserve(left.size() + right.size());  // Lemma 6.6 bound.
+    left.ForEach([&](const Tuple& key, const K& value) {
+      const K* other = right.Find(key);
+      out->Set(key, times(value, other != nullptr ? *other : zero));
+    });
+    right.ForEach([&](const Tuple& key, const K& value) {
+      // Keys shared with the left leg are already final; the combined
+      // find-or-insert detects them in the same probe sequence an insert
+      // would need.
+      auto [slot, inserted] = out->FindOrInsert(key);
+      if (inserted) {
+        *slot = times(zero, value);
+      }
+    });
   }
 
  private:
+  using BaselineStore = StdMapAdapter<Tuple, K, TupleHash>;
+  using FlatStore = FlatMap<Tuple, K, TupleHash>;
+
+  /// Applies `fn` to the active backend. The single dispatch point: a new
+  /// StorageKind that misses a case here dies loudly on first use instead
+  /// of silently returning empty results.
+  template <typename Fn>
+  decltype(auto) Visit(Fn fn) {
+    switch (storage_) {
+      case StorageKind::kBaseline:
+        return fn(baseline_);
+      case StorageKind::kFlat:
+        return fn(flat_);
+      case StorageKind::kColumnar:
+        return fn(columnar_);
+    }
+    HIERARQ_CHECK(false) << "unhandled StorageKind "
+                         << static_cast<int>(storage_);
+    return fn(flat_);  // Unreachable; satisfies the return type.
+  }
+  template <typename Fn>
+  decltype(auto) Visit(Fn fn) const {
+    switch (storage_) {
+      case StorageKind::kBaseline:
+        return fn(baseline_);
+      case StorageKind::kFlat:
+        return fn(flat_);
+      case StorageKind::kColumnar:
+        return fn(columnar_);
+    }
+    HIERARQ_CHECK(false) << "unhandled StorageKind "
+                         << static_cast<int>(storage_);
+    return fn(flat_);  // Unreachable; satisfies the return type.
+  }
+
+  /// The member of the given backend type — lets AssignFrom copy the
+  /// source's active store into the matching slot generically.
+  template <typename Store>
+  Store& StoreOf() {
+    if constexpr (std::is_same_v<Store, BaselineStore>) {
+      return baseline_;
+    } else if constexpr (std::is_same_v<Store, FlatStore>) {
+      return flat_;
+    } else {
+      static_assert(std::is_same_v<Store, ColumnarStore<K>>);
+      return columnar_;
+    }
+  }
+
   VarSet schema_;
-  Map entries_;
+  StorageKind storage_ = kDefaultStorageKind;
+  // Exactly one backend is active (named by storage_); the other two stay
+  // empty. Keeping all three as members makes backend switches and
+  // AssignFrom adoption trivial at the cost of two empty shells per
+  // relation — relations are few (2x query atoms), so this is noise.
+  BaselineStore baseline_;
+  FlatStore flat_;
+  ColumnarStore<K> columnar_;
 };
 
 /// A K-annotated database instance for a query: one annotated relation per
@@ -244,18 +428,19 @@ void AnnotateAtom(const Atom& atom, const Relation& relation,
 
 /// Builds the K-annotated database for `query` from the facts of `facts`,
 /// annotating each fact f with `annotator(f)` and ⊕-combining duplicate
-/// keys with `combine`.
+/// keys with `combine`. Relations are stored in the `storage` backend.
 ///
 /// Atoms whose relation is absent from `facts` produce empty (all-zero)
 /// annotated relations, which is the correct semantics.
 template <typename K, typename Combine>
 AnnotatedDatabase<K> AnnotateForQuery(
     const ConjunctiveQuery& query, const Database& facts,
-    const std::function<K(const Fact&)>& annotator, Combine combine) {
+    const std::function<K(const Fact&)>& annotator, Combine combine,
+    StorageKind storage = kDefaultStorageKind) {
   AnnotatedDatabase<K> out;
   out.relations.reserve(query.num_atoms());
   for (const Atom& atom : query.atoms()) {
-    AnnotatedRelation<K> annotated(atom.vars());
+    AnnotatedRelation<K> annotated(atom.vars(), storage);
     const Relation* relation = facts.FindRelation(atom.relation());
     if (relation != nullptr) {
       annotated.Reserve(relation->size());
@@ -274,9 +459,11 @@ AnnotatedDatabase<K> AnnotateForQuery(
 template <typename K>
 AnnotatedDatabase<K> AnnotateForQuery(
     const ConjunctiveQuery& query, const Database& facts,
-    const std::function<K(const Fact&)>& annotator) {
-  return AnnotateForQuery<K>(query, facts, annotator,
-                             [](const K&, const K& fresh) { return fresh; });
+    const std::function<K(const Fact&)>& annotator,
+    StorageKind storage = kDefaultStorageKind) {
+  return AnnotateForQuery<K>(
+      query, facts, annotator,
+      [](const K&, const K& fresh) { return fresh; }, storage);
 }
 
 }  // namespace hierarq

@@ -1,0 +1,30 @@
+#include "hierarq/data/storage.h"
+
+namespace hierarq {
+
+const char* StorageKindName(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kBaseline:
+      return "baseline";
+    case StorageKind::kFlat:
+      return "flat";
+    case StorageKind::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+std::optional<StorageKind> ParseStorageKind(std::string_view name) {
+  if (name == "baseline" || name == "std" || name == "map") {
+    return StorageKind::kBaseline;
+  }
+  if (name == "flat") {
+    return StorageKind::kFlat;
+  }
+  if (name == "columnar" || name == "column") {
+    return StorageKind::kColumnar;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hierarq

@@ -1,0 +1,61 @@
+#ifndef HIERARQ_DATA_STORAGE_H_
+#define HIERARQ_DATA_STORAGE_H_
+
+/// \file storage.h
+/// \brief The storage-backend selector for `AnnotatedRelation`.
+///
+/// Three layouts implement the relation interface
+/// (`Find`/`FindOrInsert`/`Merge`/`Reset`/`AssignFrom`):
+///
+///   * `kBaseline` — `std::unordered_map<Tuple, K>`: the reference
+///     implementation; one heap node per fact, pointer-chasing probes.
+///   * `kFlat`     — `FlatMap` (util/flat_map.h): open-addressing
+///     robin-hood table keyed by whole tuples stored inline.
+///   * `kColumnar` — `ColumnarStore` (data/columnar.h): one value vector
+///     per schema position plus a row-id hash index, so Rule 1
+///     projections touch only the surviving columns.
+///
+/// All three are always compiled in; the backend is selected *at runtime*
+/// per relation (threaded as an engine option through `Evaluator`,
+/// `EvalService` and `hierarq_cli --storage=...`), so A/B comparison runs
+/// need no rebuild. The compile-time policy — CMake options
+/// `HIERARQ_STORAGE_BASELINE` / (default flat) / `HIERARQ_STORAGE_COLUMNAR`
+/// — only picks which backend newly created relations default to.
+
+#include <optional>
+#include <string_view>
+
+namespace hierarq {
+
+/// Which layout an `AnnotatedRelation` stores its support in.
+enum class StorageKind : unsigned char {
+  kBaseline = 0,  ///< std::unordered_map reference backend.
+  kFlat = 1,      ///< Tuple-keyed open-addressing FlatMap.
+  kColumnar = 2,  ///< Column vectors + row-id hash index.
+};
+
+/// The backend relations default to, fixed by the compile-time policy.
+inline constexpr StorageKind kDefaultStorageKind =
+#if defined(HIERARQ_STORAGE_DEFAULT_BASELINE)
+    StorageKind::kBaseline;
+#elif defined(HIERARQ_STORAGE_DEFAULT_COLUMNAR)
+    StorageKind::kColumnar;
+#else
+    StorageKind::kFlat;
+#endif
+
+/// "baseline" / "flat" / "columnar" — the spelling of the CLI flag and of
+/// the per-row storage tags in BENCH_*.json.
+const char* StorageKindName(StorageKind kind);
+
+/// Inverse of `StorageKindName`; nullopt for unknown spellings.
+std::optional<StorageKind> ParseStorageKind(std::string_view name);
+
+/// All backends, in enum order — the iteration axis of the cross-backend
+/// differential tests and the per-backend bench emitters.
+inline constexpr StorageKind kAllStorageKinds[] = {
+    StorageKind::kBaseline, StorageKind::kFlat, StorageKind::kColumnar};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_DATA_STORAGE_H_

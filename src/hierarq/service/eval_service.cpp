@@ -19,13 +19,14 @@ size_t ResolveWorkers(size_t requested) {
 EvalService::EvalService() : EvalService(Options()) {}
 
 EvalService::EvalService(Options options)
-    : pool_(ResolveWorkers(options.num_workers)) {
+    : storage_(options.storage), pool_(ResolveWorkers(options.num_workers)) {
   // Workers idle until the first Submit, so populating their evaluators
   // after the pool starts is safe.
   const size_t n = pool_.num_workers();
   worker_evaluators_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    worker_evaluators_.push_back(std::make_unique<Evaluator>(&plan_cache_));
+    worker_evaluators_.push_back(
+        std::make_unique<Evaluator>(&plan_cache_, options.storage));
   }
 }
 

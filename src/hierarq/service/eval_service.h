@@ -33,6 +33,7 @@
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
+#include "hierarq/data/storage.h"
 #include "hierarq/query/query.h"
 #include "hierarq/service/shared_plan_cache.h"
 #include "hierarq/service/worker_pool.h"
@@ -77,6 +78,10 @@ class EvalService {
   struct Options {
     /// Worker threads; 0 means std::thread::hardware_concurrency().
     size_t num_workers = 0;
+    /// Storage backend for the shared annotation pools and every worker's
+    /// scratch relations (data/storage.h) — the service-level engine
+    /// option behind `hierarq_cli batch ... --storage=...`.
+    StorageKind storage = kDefaultStorageKind;
   };
 
   /// Default configuration: one worker per hardware thread.
@@ -87,6 +92,7 @@ class EvalService {
   EvalService& operator=(const EvalService&) = delete;
 
   size_t num_workers() const { return pool_.num_workers(); }
+  StorageKind storage() const { return storage_; }
   SharedPlanCache& plan_cache() { return plan_cache_; }
   WorkerPool& pool() { return pool_; }
 
@@ -164,7 +170,8 @@ class EvalService {
       return monoid.Plus(a, b);
     };
     const AnnotationPool<K> pool = AnnotateForQuerySet<K>(
-        planned_queries, *request.database, request.annotator, plus);
+        planned_queries, *request.database, request.annotator, plus,
+        storage_);
     annotation_scans_.fetch_add(pool.scans, std::memory_order_relaxed);
     annotations_shared_.fetch_add(pool.reused, std::memory_order_relaxed);
 
@@ -198,6 +205,7 @@ class EvalService {
   }
 
   SharedPlanCache plan_cache_;
+  StorageKind storage_ = kDefaultStorageKind;
   std::vector<std::unique_ptr<Evaluator>> worker_evaluators_;
   std::atomic<size_t> batches_{0};
   std::atomic<size_t> groups_{0};

@@ -127,6 +127,13 @@ class FlatMap {
     size_t index = Hash{}(key) & mask;
     uint8_t distance = 1;
     while (true) {
+      // Overflow check first, before any branch can store `distance`:
+      // stored metadata must stay <= kMaxDistance - 1 or probe counters
+      // in Find could wrap past the sentinel.
+      if (distance == kMaxDistance) {
+        Rehash(meta_.size() * 2);
+        return FindOrInsert(key);
+      }
       const uint8_t slot = meta_[index];
       if (slot == 0) {
         meta_[index] = distance;
@@ -154,10 +161,6 @@ class FlatMap {
         }
         return {&entries_[index].second, true};
       }
-      if (distance == kMaxDistance) {
-        Rehash(meta_.size() * 2);
-        return FindOrInsert(key);
-      }
       index = (index + 1) & mask;
       ++distance;
     }
@@ -177,6 +180,17 @@ class FlatMap {
       *slot = std::move(value);
     } else {
       *slot = combine(*slot, value);
+    }
+  }
+
+  /// Visits every entry as (key, mapped value), in slot order — the
+  /// uniform iteration surface shared with the other relation backends.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      if (meta_[i] != 0) {
+        fn(entries_[i].first, entries_[i].second);
+      }
     }
   }
 

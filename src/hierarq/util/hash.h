@@ -29,10 +29,16 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
                  (seed >> 2));
 }
 
+/// Seed of `HashRange`. Exposed so column-major stores (data/columnar.h)
+/// can fold per-row hashes one column at a time and still land on exactly
+/// the hash a row-major `HashRange` over the same values produces — the
+/// row-id index and tuple-keyed probes must agree on every key's hash.
+constexpr uint64_t kHashRangeSeed = 0x51ed2701a9a1e6f5ULL;
+
 /// Hashes a contiguous range of integral values.
 template <typename It>
 uint64_t HashRange(It first, It last) {
-  uint64_t seed = 0x51ed2701a9a1e6f5ULL;
+  uint64_t seed = kHashRangeSeed;
   for (; first != last; ++first) {
     seed = HashCombine(seed, static_cast<uint64_t>(*first));
   }

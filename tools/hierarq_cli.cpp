@@ -3,6 +3,11 @@
 // Solves any of the library's problems from a query string and database
 // files in the text format of hierarq/data/loader.h.
 //
+// A global `--storage=flat|columnar|baseline` flag (anywhere on the
+// command line) selects the relation storage backend every Algorithm 1
+// run stores its supports in; the default is the build's compile-time
+// policy (flat unless configured otherwise).
+//
 //   hierarq_cli classify   <query>
 //   hierarq_cli plan       <query>
 //   hierarq_cli count      <query> <db>
@@ -31,6 +36,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hierarq/hierarq.h"
@@ -42,7 +48,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hierarq_cli <command> <query> [files...]\n"
+               "usage: hierarq_cli [--storage=flat|columnar|baseline] "
+               "<command> <query> [files...]\n"
                "commands:\n"
                "  classify   <query>\n"
                "  plan       <query>\n"
@@ -60,7 +67,11 @@ int Usage() {
                "  batch pqe        <queries-file> <tid-db>     [workers]\n"
                "  batch expect     <queries-file> <tid-db>     [workers]\n"
                "  batch resilience <queries-file> <exo> <endo> [workers]\n"
-               "  batch provenance <queries-file> <db>         [workers]\n");
+               "  batch provenance <queries-file> <db>         [workers]\n"
+               "options:\n"
+               "  --storage=flat|columnar|baseline   relation storage "
+               "backend (default: %s)\n",
+               StorageKindName(kDefaultStorageKind));
   return 2;
 }
 
@@ -127,7 +138,7 @@ void PrintServiceStats(const EvalService& service, size_t num_workers) {
 }
 
 /// `hierarq_cli batch <solver> <queries-file> <dbs...> [workers]`.
-int RunBatch(int argc, char** argv) {
+int RunBatch(int argc, char** argv, StorageKind storage) {
   if (argc < 5) {
     return Usage();
   }
@@ -163,7 +174,8 @@ int RunBatch(int argc, char** argv) {
   }
 
   Dictionary dict;
-  EvalService service(EvalService::Options{.num_workers = workers});
+  EvalService service(
+      EvalService::Options{.num_workers = workers, .storage = storage});
 
   // Renders one result line per query; errors are reported inline so one
   // non-hierarchical query does not sink the batch.
@@ -248,12 +260,34 @@ int RunBatch(int argc, char** argv) {
 }
 
 int Run(int argc, char** argv) {
+  // Peel the global --storage flag off wherever it appears, leaving the
+  // positional arguments in place.
+  StorageKind storage = kDefaultStorageKind;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--storage=", 0) == 0) {
+      const auto parsed_kind = ParseStorageKind(arg.substr(10));
+      if (!parsed_kind.has_value()) {
+        std::fprintf(stderr, "error: unknown storage backend in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      storage = *parsed_kind;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) {
     return Usage();
   }
   const std::string command = argv[1];
   if (command == "batch") {
-    return RunBatch(argc, argv);
+    return RunBatch(argc, argv, storage);
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
@@ -264,7 +298,7 @@ int Run(int argc, char** argv) {
   // One evaluator for the whole invocation: any command that runs
   // Algorithm 1 more than once (shapley above all) shares its cached plan
   // and relation buffers.
-  Evaluator evaluator;
+  Evaluator evaluator(storage);
 
   auto load = [&dict](const char* path) {
     return LoadDatabaseFromFile(path, &dict);
@@ -305,7 +339,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("Q(D) = %llu  (join engine)\n",
                 static_cast<unsigned long long>(BagSetCount(query, *db)));
-    auto fast = BagSetCountHierarchical(query, *db);
+    auto fast = BagSetCountHierarchical(query, *db, storage);
     if (fast.ok()) {
       std::printf("Q(D) = %llu  (Algorithm 1, counting semiring)\n",
                   static_cast<unsigned long long>(*fast));
@@ -350,8 +384,9 @@ int Run(int argc, char** argv) {
     if (!budget.ok() || *budget < 0) {
       return Usage();
     }
-    auto result =
-        MaximizeBagSet(query, *d, *dr, static_cast<size_t>(*budget));
+    auto result = MaximizeBagSet(query, *d, *dr,
+                                 static_cast<size_t>(*budget),
+                                 /*costs=*/nullptr, storage);
     if (!result.ok()) {
       return Fail(result.status());
     }
