@@ -87,28 +87,28 @@ struct AnnotationPool {
   }
 };
 
-/// Annotates the base relations needed by `queries` over `facts`, sharing
-/// work between atoms with equal signatures: one scan (and one annotator
-/// call per matching tuple) per distinct signature instead of one per
-/// atom. Pool relations live in the `storage` backend; replays adopt it
-/// via `AssignFrom`. The batch entry point of the service layer; the
-/// per-query path (`Evaluator::Evaluate`) keeps its direct annotation
-/// loop.
+/// Extends `pool` with the annotations `queries` need over `facts` that it
+/// does not already hold, sharing work between atoms with equal
+/// signatures: one scan (and one annotator call per matching tuple) per
+/// distinct *missing* signature. Signatures already pooled — by an earlier
+/// call against the same database snapshot, e.g. through the service
+/// layer's generation-keyed annotation cache — are counted in
+/// `pool->reused` and not re-scanned. Pool relations live in the `storage`
+/// backend; replays adopt it via `AssignFrom`.
 template <typename K, typename Combine>
-AnnotationPool<K> AnnotateForQuerySet(
+void AnnotateForQuerySetInto(
     const std::vector<const ConjunctiveQuery*>& queries,
     const Database& facts, const std::function<K(const Fact&)>& annotator,
-    Combine combine, StorageKind storage = kDefaultStorageKind) {
-  AnnotationPool<K> pool;
+    Combine combine, StorageKind storage, AnnotationPool<K>* pool) {
   for (const ConjunctiveQuery* query : queries) {
     for (const Atom& atom : query->atoms()) {
       auto [it, inserted] =
-          pool.by_signature.try_emplace(AtomAnnotationSignature(atom));
+          pool->by_signature.try_emplace(AtomAnnotationSignature(atom));
       if (!inserted) {
-        ++pool.reused;
+        ++pool->reused;
         continue;
       }
-      ++pool.scans;
+      ++pool->scans;
       AnnotatedRelation<K>& out = it->second;
       out.Reset(atom.vars(), storage);
       const Relation* relation = facts.FindRelation(atom.relation());
@@ -118,6 +118,19 @@ AnnotationPool<K> AnnotateForQuerySet(
       }
     }
   }
+}
+
+/// Annotates the base relations needed by `queries` over `facts` into a
+/// fresh pool (see AnnotateForQuerySetInto). The batch entry point of the
+/// service layer; the per-query path (`Evaluator::Evaluate`) keeps its
+/// direct annotation loop.
+template <typename K, typename Combine>
+AnnotationPool<K> AnnotateForQuerySet(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    const Database& facts, const std::function<K(const Fact&)>& annotator,
+    Combine combine, StorageKind storage = kDefaultStorageKind) {
+  AnnotationPool<K> pool;
+  AnnotateForQuerySetInto(queries, facts, annotator, combine, storage, &pool);
   return pool;
 }
 
@@ -138,6 +151,66 @@ std::vector<const AnnotatedRelation<K>*> ResolveBases(
     bases.push_back(shared);
   }
   return bases;
+}
+
+/// One base-relation input of a plan replay: the shared annotation to
+/// read, plus — when the pool entry serves exactly one atom of one query
+/// in the batch group — a mutable alias the replay may *move* from
+/// instead of copying (`AnnotatedRelation::AdoptFrom`). The copy is the
+/// service's main single-query overhead versus a bare `Evaluator`, and a
+/// singleton entry has no other reader, so moving it is free sharing.
+template <typename K>
+struct ReplaySource {
+  const AnnotatedRelation<K>* shared = nullptr;  ///< Always set.
+  AnnotatedRelation<K>* movable = nullptr;  ///< Non-null iff exclusive.
+};
+
+/// The per-query replay inputs of a whole batch group, plus how many pool
+/// entries were marked movable.
+template <typename K>
+struct ReplaySourceSet {
+  std::vector<std::vector<ReplaySource<K>>> per_query;  ///< Query order.
+  size_t movable = 0;  ///< Slots eligible for zero-copy adoption.
+};
+
+/// Resolves every query's replay sources from `pool` in one pass, marking
+/// pool entries used by exactly one (query, atom) pair as movable when
+/// `allow_moves` (the caller must guarantee the pool dies with the group
+/// and is not shared beyond it — cached pools pass false). Workers then
+/// adopt movable entries instead of copying; distinct map values are
+/// touched by distinct workers, so the shared map needs no lock.
+template <typename K>
+ReplaySourceSet<K> ResolveReplaySources(
+    const std::vector<const ConjunctiveQuery*>& queries,
+    AnnotationPool<K>* pool, bool allow_moves) {
+  ReplaySourceSet<K> out;
+  out.per_query.resize(queries.size());
+  std::unordered_map<AnnotatedRelation<K>*, size_t> uses;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::vector<ReplaySource<K>>& sources = out.per_query[i];
+    sources.reserve(queries[i]->num_atoms());
+    for (const Atom& atom : queries[i]->atoms()) {
+      const std::string signature = AtomAnnotationSignature(atom);
+      auto it = pool->by_signature.find(signature);
+      HIERARQ_CHECK(it != pool->by_signature.end())
+          << "annotation pool lacks " << signature;
+      ++uses[&it->second];
+      sources.push_back(ReplaySource<K>{&it->second, nullptr});
+    }
+  }
+  if (allow_moves) {
+    for (std::vector<ReplaySource<K>>& sources : out.per_query) {
+      for (ReplaySource<K>& source : sources) {
+        AnnotatedRelation<K>* entry =
+            const_cast<AnnotatedRelation<K>*>(source.shared);
+        if (uses[entry] == 1) {
+          source.movable = entry;
+          ++out.movable;
+        }
+      }
+    }
+  }
+  return out;
 }
 
 class Evaluator : public PlanProvider {
@@ -226,6 +299,33 @@ class Evaluator : public PlanProvider {
     for (size_t i = 0; i < plan.num_base_atoms(); ++i) {
       HIERARQ_CHECK(bases[i] != nullptr);
       relations[i].AssignFrom(*bases[i], query.atoms()[i].vars());
+    }
+    ++stats_.evaluations;
+    return RunAlgorithm1InPlace(plan, monoid, relations);
+  }
+
+  /// ReplayPlan over `ReplaySource`s: base relations marked movable are
+  /// *adopted* into scratch (wholesale buffer steal, leaving the pool
+  /// entry empty) instead of copied — the zero-copy path for annotation
+  /// pool entries that serve exactly one query in their group. Shared
+  /// (non-movable) entries are copied exactly as the pointer overload
+  /// does.
+  template <TwoMonoid M>
+  typename M::value_type ReplayPlan(
+      const EliminationPlan& plan, const M& monoid,
+      const ConjunctiveQuery& query,
+      const std::vector<ReplaySource<typename M::value_type>>& bases) {
+    using K = typename M::value_type;
+    HIERARQ_CHECK_EQ(bases.size(), plan.num_base_atoms());
+    std::vector<AnnotatedRelation<K>>& relations = ScratchForPlan<K>(plan);
+    for (size_t i = 0; i < plan.num_base_atoms(); ++i) {
+      HIERARQ_CHECK(bases[i].shared != nullptr);
+      if (bases[i].movable != nullptr) {
+        relations[i].AdoptFrom(std::move(*bases[i].movable),
+                               query.atoms()[i].vars());
+      } else {
+        relations[i].AssignFrom(*bases[i].shared, query.atoms()[i].vars());
+      }
     }
     ++stats_.evaluations;
     return RunAlgorithm1InPlace(plan, monoid, relations);

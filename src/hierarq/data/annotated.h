@@ -17,8 +17,8 @@
 /// the std::unordered_map baseline, the tuple-keyed open-addressing
 /// `FlatMap` (util/flat_map.h), and the column-major `ColumnarStore`
 /// (data/columnar.h). All backends implement the same narrow interface —
-/// `Find` / `FindOrInsert` / `Merge` / `Reset` / `AssignFrom` plus the
-/// Algorithm 1 bulk operations `ProjectDropInto` (Rule 1) and
+/// `Find` / `FindOrInsert` / `Merge` / `Erase` / `Reset` / `AssignFrom`
+/// plus the Algorithm 1 bulk operations `ProjectDropInto` (Rule 1) and
 /// `JoinUnionInto` (Rule 2) — and are proven interchangeable by the
 /// cross-backend differential suite (tests/storage_differential_test.cpp).
 
@@ -65,6 +65,8 @@ class StdMapAdapter {
   }
 
   void Set(const Key& key, Mapped value) { map_[key] = std::move(value); }
+
+  bool Erase(const Key& key) { return map_.erase(key) > 0; }
 
   template <typename Combine>
   void Merge(const Key& key, Mapped value, Combine combine) {
@@ -143,6 +145,15 @@ class AnnotatedRelation {
     Visit([&](auto& store) { store.Merge(key, std::move(value), combine); });
   }
 
+  /// Removes `key` from the support if present; true iff removed. The
+  /// single-fact mutation of the incremental subsystem
+  /// (incremental/incremental_view.h) — batch evaluation still drops
+  /// whole relations via `Clear`.
+  bool Erase(const Tuple& key) {
+    HIERARQ_CHECK_EQ(key.size(), schema_.size());
+    return Visit([&](auto& store) { return store.Erase(key); });
+  }
+
   /// Pre-sizes the backend so `count` insertions proceed without
   /// rehashing.
   void Reserve(size_t count) {
@@ -207,6 +218,17 @@ class AnnotatedRelation {
     other.Visit([&](const auto& store) {
       StoreOf<std::remove_cvref_t<decltype(store)>>() = store;
     });
+  }
+
+  /// Move flavour of `AssignFrom`: steals `other`'s backend wholesale
+  /// (leaving it empty) instead of copying every entry. The zero-copy
+  /// replay path of the service layer — when a shared annotation-pool
+  /// entry serves exactly one query in a batch group, the worker adopts it
+  /// instead of duplicating it (see EvalService).
+  void AdoptFrom(AnnotatedRelation&& other, const VarSet& schema) {
+    HIERARQ_CHECK_EQ(schema.size(), other.schema_.size());
+    *this = std::move(other);
+    schema_ = schema;
   }
 
   /// Visits every stored fact as (key, annotation). Visit order is

@@ -18,8 +18,11 @@
 ///     columns. Key compares walk `columns_[c][row]` — column-strided
 ///     loops over contiguous arrays, the layout SIMD key compares want.
 ///
-/// Because rows are only ever appended (supports never shrink — relations
-/// are dropped wholesale via `Clear`), row ids are stable and the index
+/// Rows are appended by inserts and removed one at a time only by `Erase`
+/// (the incremental subsystem deletes single facts from materialized
+/// relations): the erased row swaps with the last row so the columns stay
+/// dense, and the index entry of the swapped row is re-pointed while the
+/// erased row's slot is removed by robin-hood backward-shift — the index
 /// never needs tombstones. The per-row hash is folded column-by-column
 /// with the same `HashCombine` sequence `HashRange` applies to a whole
 /// tuple, so tuple-keyed probes (`Find(const Tuple&)`) and batch
@@ -154,6 +157,70 @@ class ColumnarStore {
     } else {
       *slot = combine(*slot, value);
     }
+  }
+
+  /// Removes `key` if present; true iff removed. The erased row swaps with
+  /// the last row (columns stay dense, row ids stay < size()); the index
+  /// removes the erased slot by backward-shift and re-points the swapped
+  /// row's slot at its new id. O(arity + probe chain).
+  bool Erase(const Tuple& key) {
+    HIERARQ_CHECK_EQ(key.size(), arity());
+    if (values_.empty() || meta_.empty()) {
+      return false;
+    }
+    // Locate the slot (not just the row): the backward-shift needs it.
+    const size_t mask = meta_.size() - 1;
+    size_t index = HashRange(key.begin(), key.end()) & mask;
+    uint8_t distance = 1;
+    while (true) {
+      const uint8_t slot = meta_[index];
+      if (slot == 0 || slot < distance) {
+        return false;  // Robin-hood invariant: key would sit here.
+      }
+      if (slot == distance && RowEquals(rows_[index], key)) {
+        break;
+      }
+      index = (index + 1) & mask;
+      ++distance;
+    }
+    const uint32_t row = rows_[index];
+
+    // Backward-shift the erased slot out of the index.
+    size_t hole = index;
+    while (true) {
+      const size_t next = (hole + 1) & mask;
+      if (meta_[next] <= 1) {
+        break;
+      }
+      rows_[hole] = rows_[next];
+      meta_[hole] = meta_[next] - 1;
+      hole = next;
+    }
+    meta_[hole] = 0;
+
+    // Swap-remove the row; re-point the moved row's index entry.
+    const uint32_t last = static_cast<uint32_t>(values_.size()) - 1;
+    if (row != last) {
+      uint64_t moved_hash = kHashRangeSeed;
+      for (std::vector<Value>& column : columns_) {
+        column[row] = column[last];
+        moved_hash =
+            HashCombine(moved_hash, static_cast<uint64_t>(column[row]));
+      }
+      values_[row] = std::move(values_[last]);
+      // Row ids are unique, so scanning the moved row's probe chain for id
+      // `last` finds exactly its slot.
+      size_t probe = moved_hash & mask;
+      while (meta_[probe] == 0 || rows_[probe] != last) {
+        probe = (probe + 1) & mask;
+      }
+      rows_[probe] = row;
+    }
+    for (std::vector<Value>& column : columns_) {
+      column.pop_back();
+    }
+    values_.pop_back();
+    return true;
   }
 
   /// Visits every row as (key, annotation), materializing keys into one

@@ -7,15 +7,6 @@
 
 namespace hierarq {
 
-namespace {
-
-struct ParsedFact {
-  std::string relation;
-  Tuple tuple;
-  double probability = 1.0;
-  bool has_probability = false;
-};
-
 Result<Value> ParseValue(const std::string& token, Dictionary* dict) {
   Result<int64_t> as_int = ParseInt64(token);
   if (as_int.ok()) {
@@ -34,6 +25,15 @@ Result<Value> ParseValue(const std::string& token, Dictionary* dict) {
   }
   return dict->Intern(token);
 }
+
+namespace {
+
+struct ParsedFact {
+  std::string relation;
+  Tuple tuple;
+  double probability = 1.0;
+  bool has_probability = false;
+};
 
 Result<ParsedFact> ParseFactLine(std::string_view line, Dictionary* dict) {
   ParsedFact out;

@@ -23,6 +23,12 @@
 
 namespace hierarq {
 
+/// Parses one value token under the loader's conventions: integers map to
+/// themselves (guarded against the symbolic range), identifiers intern
+/// via `dict`. Shared by the file loader and the CLI's update-command
+/// parser so value syntax can never drift between the two.
+Result<Value> ParseValue(const std::string& token, Dictionary* dict);
+
 /// Parses a set database. `dict` may be null when the text is all-numeric.
 Result<Database> LoadDatabase(std::string_view text, Dictionary* dict);
 

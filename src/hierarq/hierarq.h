@@ -34,6 +34,11 @@
 #include "hierarq/engine/bruteforce.h"
 #include "hierarq/engine/join.h"
 #include "hierarq/engine/lineage.h"
+#include "hierarq/incremental/delta.h"
+#include "hierarq/incremental/incremental_evaluator.h"
+#include "hierarq/incremental/incremental_view.h"
+#include "hierarq/incremental/monoid_traits.h"
+#include "hierarq/incremental/versioned_database.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/gyo.h"
 #include "hierarq/query/hierarchical.h"

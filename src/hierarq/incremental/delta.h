@@ -1,0 +1,80 @@
+#ifndef HIERARQ_INCREMENTAL_DELTA_H_
+#define HIERARQ_INCREMENTAL_DELTA_H_
+
+/// \file delta.h
+/// \brief Single-fact updates and update batches — the input language of
+/// the incremental subsystem.
+///
+/// A `DeltaOp` changes one fact of a `VersionedDatabase`: it appears
+/// (`kInsert`), disappears (`kDelete`), or keeps its membership but
+/// changes its weight (`kSetAnnotation` — the weight is the input of the
+/// view's annotator, e.g. a tuple probability for PQE or a multiplicity
+/// for expected counts). A `DeltaBatch` is an ordered sequence of ops
+/// applied atomically: the database generation advances once per batch,
+/// and attached views (incremental/incremental_view.h) re-aggregate each
+/// affected key once per batch no matter how many ops touch it.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/tuple.h"
+
+namespace hierarq {
+
+enum class DeltaKind : unsigned char {
+  kInsert = 0,         ///< Add a fact (with a weight; 1.0 when unweighted).
+  kDelete = 1,         ///< Remove a fact.
+  kSetAnnotation = 2,  ///< Re-weight a present fact; absent facts: no-op.
+};
+
+/// The display spelling of a kind: "+", "-", "!" — the `hierarq_cli
+/// update` command prefixes.
+const char* DeltaKindSigil(DeltaKind kind);
+
+struct DeltaOp {
+  DeltaKind kind = DeltaKind::kInsert;
+  Fact fact;
+  /// Annotator input for kInsert / kSetAnnotation; ignored by kDelete.
+  double weight = 1.0;
+
+  std::string ToString() const {
+    std::string out = DeltaKindSigil(kind) + fact.ToString();
+    if (kind != DeltaKind::kDelete && weight != 1.0) {
+      out += "@" + std::to_string(weight);
+    }
+    return out;
+  }
+};
+
+/// An ordered batch of ops, applied atomically (one generation step).
+struct DeltaBatch {
+  std::vector<DeltaOp> ops;
+
+  DeltaBatch& Insert(std::string relation, Tuple tuple, double weight = 1.0) {
+    ops.push_back(DeltaOp{DeltaKind::kInsert,
+                          Fact{std::move(relation), std::move(tuple)},
+                          weight});
+    return *this;
+  }
+  DeltaBatch& Delete(std::string relation, Tuple tuple) {
+    ops.push_back(DeltaOp{DeltaKind::kDelete,
+                          Fact{std::move(relation), std::move(tuple)}, 1.0});
+    return *this;
+  }
+  DeltaBatch& SetAnnotation(std::string relation, Tuple tuple, double weight) {
+    ops.push_back(DeltaOp{DeltaKind::kSetAnnotation,
+                          Fact{std::move(relation), std::move(tuple)},
+                          weight});
+    return *this;
+  }
+
+  size_t size() const { return ops.size(); }
+  bool empty() const { return ops.empty(); }
+  void clear() { ops.clear(); }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_INCREMENTAL_DELTA_H_

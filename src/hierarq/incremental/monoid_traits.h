@@ -1,0 +1,65 @@
+#ifndef HIERARQ_INCREMENTAL_MONOID_TRAITS_H_
+#define HIERARQ_INCREMENTAL_MONOID_TRAITS_H_
+
+/// \file monoid_traits.h
+/// \brief Which 2-monoids admit ⊕-inverses — the fork in the incremental
+/// Rule 1 strategy.
+///
+/// Rule 1 maintains group aggregates out(x') = ⊕_y R(x', y). When (K, ⊕)
+/// embeds in a group, a changed contribution updates the aggregate in O(1):
+///   out' = out ⊕ new ⊖ old.
+/// When it does not — min/max (Tropical, resilience ⊗ is fine but its ⊕
+/// saturates at ∞), the PQE ⊕ (numerically non-invertible at p = 1), bag
+/// truncations — deleting the extremal contributor destroys information
+/// the aggregate no longer carries, and the view falls back to re-folding
+/// the affected group from the materialized source relation (O(group)
+/// instead of O(1); see incremental/incremental_view.h).
+///
+/// A specialization declares `kPlusInvertible = true` and provides
+/// `SubtractPlus(monoid, a, b)` with the contract
+///   Plus(SubtractPlus(m, a, b), b) == a   whenever a was produced by a
+///   ⊕-fold that included b.
+/// The two shipped instances are exact ⊕-group embeddings with one caveat
+/// each:
+///   * CountMonoid ⊕ is saturating addition; subtraction is exact modulo
+///     2^64, so maintenance is bit-identical to recomputation as long as
+///     no aggregate ever saturates (|supports| and annotations in any
+///     realistic stream are far below 2^64).
+///   * ExpectationMonoid ⊕ is IEEE double addition; subtraction reorders
+///     roundings, so maintained aggregates drift from recomputed ones at
+///     unit-roundoff scale per update (the differential suite pins this at
+///     1e-11 relative).
+
+#include <cstdint>
+
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/expectation.h"
+
+namespace hierarq {
+
+/// Primary template: no ⊕-inverse; incremental Rule 1 re-folds groups.
+template <typename M>
+struct IncrementalMonoidTraits {
+  static constexpr bool kPlusInvertible = false;
+};
+
+template <>
+struct IncrementalMonoidTraits<CountMonoid> {
+  static constexpr bool kPlusInvertible = true;
+  /// Exact inverse of + modulo 2^64 (see the saturation caveat above).
+  static uint64_t SubtractPlus(const CountMonoid&, uint64_t a, uint64_t b) {
+    return a - b;
+  }
+};
+
+template <>
+struct IncrementalMonoidTraits<ExpectationMonoid> {
+  static constexpr bool kPlusInvertible = true;
+  static double SubtractPlus(const ExpectationMonoid&, double a, double b) {
+    return a - b;
+  }
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_INCREMENTAL_MONOID_TRAITS_H_

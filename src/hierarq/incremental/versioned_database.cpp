@@ -1,0 +1,105 @@
+#include "hierarq/incremental/versioned_database.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq {
+
+uint64_t VersionedDatabase::NextUid() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void VersionedDatabase::TruncateLog(uint64_t keep_from) {
+  if (keep_from <= log_start_generation_) {
+    return;
+  }
+  const uint64_t drop = std::min<uint64_t>(keep_from - log_start_generation_,
+                                           log_.size());
+  log_.erase(log_.begin(), log_.begin() + static_cast<ptrdiff_t>(drop));
+  log_start_generation_ += drop;
+}
+
+const char* DeltaKindSigil(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::kInsert:
+      return "+";
+    case DeltaKind::kDelete:
+      return "-";
+    case DeltaKind::kSetAnnotation:
+      return "!";
+  }
+  return "?";
+}
+
+VersionedDatabase::VersionedDatabase(Database base)
+    : facts_(std::move(base)) {}
+
+VersionedDatabase::VersionedDatabase(const TidDatabase& tid)
+    : facts_(tid.facts()) {
+  for (const auto& [fact, probability] : tid.AllFacts()) {
+    weights_.emplace(fact, probability);
+  }
+}
+
+double VersionedDatabase::WeightOf(const Fact& fact) const {
+  auto it = weights_.find(fact);
+  if (it != weights_.end()) {
+    return it->second;
+  }
+  return facts_.ContainsFact(fact) ? 1.0 : 0.0;
+}
+
+VersionedDatabase::ApplyStats VersionedDatabase::Apply(
+    const DeltaBatch& batch) {
+  ApplyStats stats;
+  for (const DeltaOp& op : batch.ops) {
+    switch (op.kind) {
+      case DeltaKind::kInsert: {
+        const bool fresh = facts_.AddFactOrDie(op.fact.relation, op.fact.tuple);
+        const double old_weight = fresh ? 0.0 : WeightOf(op.fact);
+        weights_[op.fact] = op.weight;
+        if (fresh) {
+          ++stats.inserted;
+        } else if (old_weight != op.weight) {
+          ++stats.reweighted;  // Normalized: insert-of-present = re-weight.
+        } else {
+          ++stats.noops;
+        }
+        break;
+      }
+      case DeltaKind::kDelete: {
+        if (facts_.EraseFact(op.fact)) {
+          weights_.erase(op.fact);
+          ++stats.deleted;
+        } else {
+          ++stats.noops;
+        }
+        break;
+      }
+      case DeltaKind::kSetAnnotation: {
+        if (!facts_.ContainsFact(op.fact)) {
+          ++stats.noops;  // Absent facts have no annotation to set.
+          break;
+        }
+        const double old_weight = WeightOf(op.fact);
+        weights_[op.fact] = op.weight;
+        if (old_weight != op.weight) {
+          ++stats.reweighted;
+        } else {
+          ++stats.noops;
+        }
+        break;
+      }
+    }
+  }
+  ++generation_;
+  log_.push_back(batch);
+  return stats;
+}
+
+}  // namespace hierarq

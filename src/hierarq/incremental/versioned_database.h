@@ -1,0 +1,121 @@
+#ifndef HIERARQ_INCREMENTAL_VERSIONED_DATABASE_H_
+#define HIERARQ_INCREMENTAL_VERSIONED_DATABASE_H_
+
+/// \file versioned_database.h
+/// \brief `VersionedDatabase` — a `Database` with a monotone generation
+/// counter, per-fact weights, and a delta log.
+///
+/// Everything downstream of a database snapshot — annotation pools in the
+/// service layer, materialized view trees in the incremental layer — is a
+/// pure function of (facts, weights). The versioned wrapper makes that
+/// dependency checkable: every applied `DeltaBatch` advances `generation()`
+/// by exactly one, so a cache keyed by (database identity, generation) can
+/// prove its entries fresh without comparing contents (the annotation
+/// cache of `EvalService` does exactly this), and a detached reader can
+/// catch up by replaying the suffix of `log()` it has not seen.
+///
+/// Weights are the annotator input: a view over the count monoid ignores
+/// them, PQE reads them as tuple probabilities, expected multiplicity as
+/// multiplicities. Facts without an explicit weight weigh 1.0, so a plain
+/// set database round-trips unchanged.
+///
+/// `Apply` normalizes ops against the current state — inserting a present
+/// fact degrades to a re-weight, deleting or re-weighting an absent fact
+/// is a no-op — so views consuming the same batch see exactly the state
+/// transition the database performed.
+///
+/// Thread model: single-writer, externally serialized. `Apply` mutates
+/// the underlying containers in place, so it must not run concurrently
+/// with *any* reader — including `EvalService::EvaluateMany` scans over
+/// `facts()`. The generation counter proves a finished scan fresh or
+/// stale; it cannot protect a scan in flight. Callers that serve reads
+/// and writes concurrently put one lock (or one queue) in front of both.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/tid_database.h"
+#include "hierarq/incremental/delta.h"
+
+namespace hierarq {
+
+class VersionedDatabase {
+ public:
+  /// Per-Apply effect summary (after normalization).
+  struct ApplyStats {
+    size_t inserted = 0;    ///< Facts that became present.
+    size_t deleted = 0;     ///< Facts that became absent.
+    size_t reweighted = 0;  ///< Present facts whose weight changed.
+    size_t noops = 0;       ///< Ops with no effect on the state.
+  };
+
+  VersionedDatabase() = default;
+
+  /// Wraps an existing snapshot at generation 0; all weights are 1.0.
+  explicit VersionedDatabase(Database base);
+
+  /// Wraps a TID database: facts plus their probabilities as weights.
+  explicit VersionedDatabase(const TidDatabase& tid);
+
+  const Database& facts() const { return facts_; }
+
+  /// The version: 0 at construction, +1 per applied batch.
+  uint64_t generation() const { return generation_; }
+
+  /// Process-unique identity of this versioned database (never reused,
+  /// unlike addresses). Caches key on (uid, generation) so an entry can
+  /// never alias a *different* database that happens to reuse freed
+  /// memory at generation 0 — see EvalService's annotation cache.
+  uint64_t uid() const { return uid_; }
+
+  /// The weight of `fact`: its explicit weight if set, 1.0 for present
+  /// facts without one, 0.0 for absent facts (an absent fact annotates to
+  /// the monoid zero whatever the annotator does with the weight).
+  double WeightOf(const Fact& fact) const;
+
+  bool Contains(const Fact& fact) const {
+    return facts_.ContainsFact(fact);
+  }
+
+  /// Applies `batch` atomically: facts and weights move to the new state,
+  /// the generation advances by one (even for empty or all-no-op batches —
+  /// callers observe exactly one generation step per Apply), and the batch
+  /// is appended to the log. Arity mismatches with existing relations
+  /// CHECK-fail: a delta stream that disagrees with the schema is a caller
+  /// bug, not a data condition.
+  ApplyStats Apply(const DeltaBatch& batch);
+
+  /// The retained tail of the batch log, in order:
+  /// log()[g - log_start_generation()] moved generation g to g+1. The
+  /// catch-up protocol for detached readers.
+  const std::vector<DeltaBatch>& log() const { return log_; }
+
+  /// Generation of the oldest retained log entry (0 until the first
+  /// TruncateLog).
+  uint64_t log_start_generation() const { return log_start_generation_; }
+
+  /// Drops log entries for generations before `keep_from` — the memory
+  /// valve for endless update streams (the log otherwise grows by one
+  /// batch per Apply forever). Callers with no detached readers pass
+  /// generation(); a reader synced to generation g needs entries from g
+  /// on. No-op when the log already starts at or after `keep_from`.
+  void TruncateLog(uint64_t keep_from);
+
+  size_t NumFacts() const { return facts_.NumFacts(); }
+
+ private:
+  Database facts_;
+  std::unordered_map<Fact, double, FactHash> weights_;
+  uint64_t generation_ = 0;
+  uint64_t uid_ = NextUid();
+  std::vector<DeltaBatch> log_;
+  uint64_t log_start_generation_ = 0;
+
+  static uint64_t NextUid();
+};
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_INCREMENTAL_VERSIONED_DATABASE_H_

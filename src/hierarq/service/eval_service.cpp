@@ -38,6 +38,11 @@ ServiceStats EvalService::stats() const {
   out.annotation_scans = annotation_scans_.load(std::memory_order_relaxed);
   out.annotations_shared =
       annotations_shared_.load(std::memory_order_relaxed);
+  out.singleton_moves = singleton_moves_.load(std::memory_order_relaxed);
+  out.annotation_cache_hits =
+      annotation_cache_hits_.load(std::memory_order_relaxed);
+  out.annotation_cache_invalidations =
+      annotation_cache_invalidations_.load(std::memory_order_relaxed);
   const SharedPlanCache::Stats plans = plan_cache_.stats();
   out.plans_built = plans.plans_built;
   out.plan_cache_hits = plans.cache_hits;

@@ -15,6 +15,22 @@
 /// whose plans delegate to the shared cache and whose scratch
 /// `AnnotatedRelation` buffers are private, so replays run lock-free.
 ///
+/// Two cross-batch amortizations sit on top of the per-batch sharing:
+///
+///   * **Generation-keyed annotation cache.** A group that names its
+///     annotator (`BatchRequest::annotator_id`) gets its annotation pool
+///     cached under (database identity, generation, annotator id, K) and
+///     lazily *extended* by later groups that need new signatures — two
+///     batches over the same `VersionedDatabase` snapshot stop paying for
+///     the base scan twice. A generation bump (one `DeltaBatch` applied)
+///     invalidates exactly the stale entry. Anonymous groups (empty id)
+///     keep the per-group pool.
+///   * **Zero-copy singleton replay.** Within a group, a pool entry used
+///     by exactly one query is *moved* into that worker's scratch
+///     (`AnnotatedRelation::AdoptFrom`) instead of copied — the copy is
+///     the service's main single-query overhead versus a bare Evaluator.
+///     Cached pools are never moved from (they outlive the group).
+///
 /// Thread model: `EvaluateBatch` / `EvaluateMany` may be called
 /// concurrently from any number of client threads (each call blocks until
 /// its own results are ready); they must not be called from inside a pool
@@ -26,7 +42,11 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +54,7 @@
 #include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/data/storage.h"
+#include "hierarq/incremental/versioned_database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/service/shared_plan_cache.h"
 #include "hierarq/service/worker_pool.h"
@@ -51,6 +72,23 @@ struct BatchRequest {
   const Database* database = nullptr;
   std::function<K(const Fact&)> annotator;
   std::vector<const ConjunctiveQuery*> queries;
+
+  /// Cache identity of `annotator` (std::function is not comparable, so
+  /// the caller names it). Non-empty ⇒ the group's annotation pool is
+  /// cached under (database identity, generation, annotator_id, K) and
+  /// reused by later groups with the same key; empty ⇒ per-group pool,
+  /// no caching.
+  std::string annotator_id;
+  /// The database version the caller is evaluating against — pair it with
+  /// `VersionedDatabase::generation()` (a mutated-in-place plain Database
+  /// with a stale generation would be served stale cached annotations).
+  uint64_t generation = 0;
+  /// Stable database identity for the cache key —
+  /// `VersionedDatabase::uid()`, never reused across objects. 0 (plain
+  /// Databases) falls back to keying on the `database` pointer, which can
+  /// alias a *new* database allocated at a freed address; versioned
+  /// callers are immune.
+  uint64_t database_uid = 0;
 };
 
 /// Per-group results, one per query in request order. Non-hierarchical
@@ -71,6 +109,9 @@ struct ServiceStats {
   size_t annotations_shared = 0;  ///< Atom annotations served by a shared pass.
   size_t plans_built = 0;         ///< From the shared plan cache.
   size_t plan_cache_hits = 0;     ///< From the shared plan cache.
+  size_t singleton_moves = 0;     ///< Pool entries adopted (not copied).
+  size_t annotation_cache_hits = 0;  ///< Groups served by a cached pool.
+  size_t annotation_cache_invalidations = 0;  ///< Stale pools replaced.
 };
 
 class EvalService {
@@ -137,6 +178,46 @@ class EvalService {
     return EvaluateGroup(monoid, request).values;
   }
 
+  /// EvaluateMany against a `VersionedDatabase` snapshot with a *named*
+  /// annotator: the annotation pool is cached under the database's
+  /// (uid, current generation), so repeated calls between updates
+  /// annotate nothing, and one applied `DeltaBatch` invalidates exactly
+  /// this entry. The cross-batch face of the incremental subsystem.
+  /// Caller contract: the database must not have a `DeltaBatch` applied
+  /// *while this call runs* — the generation proves a finished scan
+  /// fresh, not a scan in flight (see VersionedDatabase's thread model).
+  template <TwoMonoid M>
+  std::vector<Result<typename M::value_type>> EvaluateMany(
+      const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
+      const VersionedDatabase& database,
+      const std::function<typename M::value_type(const Fact&)>& annotator,
+      std::string annotator_id) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    BatchRequest<typename M::value_type> request;
+    request.database = &database.facts();
+    request.annotator = annotator;
+    request.queries = queries;
+    request.annotator_id = std::move(annotator_id);
+    request.generation = database.generation();
+    request.database_uid = database.uid();
+    return EvaluateGroup(monoid, request).values;
+  }
+
+  /// Number of live annotation-cache entries (distinct (database,
+  /// annotator, K) keys; each holds one generation).
+  size_t annotation_cache_size() const {
+    std::lock_guard<std::mutex> lock(annotation_cache_mutex_);
+    return annotation_cache_.size();
+  }
+
+  /// Drops every cached annotation pool (in-flight groups keep theirs
+  /// alive until they finish). There is no eviction policy yet — see
+  /// ROADMAP — so long-lived servers over many databases call this.
+  void ClearAnnotationCache() {
+    std::lock_guard<std::mutex> lock(annotation_cache_mutex_);
+    annotation_cache_.clear();
+  }
+
  private:
   template <TwoMonoid M>
   BatchResult<typename M::value_type> EvaluateGroup(
@@ -160,7 +241,9 @@ class EvalService {
     }
 
     // Data phase, annotate once: one pass over the base relations serves
-    // every query in the group (the batching win).
+    // every query in the group (the batching win). Named annotators go
+    // through the generation-keyed cache; anonymous groups build a local
+    // pool whose singleton entries the replays may move from.
     std::vector<const ConjunctiveQuery*> planned_queries;
     planned_queries.reserve(planned.size());
     for (size_t i : planned) {
@@ -169,27 +252,77 @@ class EvalService {
     const auto plus = [&monoid](const K& a, const K& b) {
       return monoid.Plus(a, b);
     };
-    const AnnotationPool<K> pool = AnnotateForQuerySet<K>(
-        planned_queries, *request.database, request.annotator, plus,
-        storage_);
-    annotation_scans_.fetch_add(pool.scans, std::memory_order_relaxed);
-    annotations_shared_.fetch_add(pool.reused, std::memory_order_relaxed);
-
-    // Resolve each query's base relations here, on the caller thread, so
-    // the workers never build signature strings or probe the pool.
-    std::vector<std::vector<const AnnotatedRelation<K>*>> bases(n);
-    for (size_t i : planned) {
-      bases[i] = ResolveBases<K>(*request.queries[i], pool);
+    std::shared_ptr<AnnotationPool<K>> cached;  // Pins a cached pool.
+    AnnotationPool<K> local_pool;
+    ReplaySourceSet<K> sources;
+    size_t scans = 0;
+    size_t shared = 0;
+    if (!request.annotator_id.empty()) {
+      std::shared_ptr<std::mutex> fill_mutex;
+      bool hit = false;
+      {
+        std::lock_guard<std::mutex> lock(annotation_cache_mutex_);
+        AnnotationCacheEntry& entry = annotation_cache_[AnnotationCacheKey{
+            request.database, request.database_uid,
+            std::type_index(typeid(K)), request.annotator_id}];
+        if (entry.pool == nullptr ||
+            entry.generation != request.generation) {
+          if (entry.pool != nullptr) {
+            annotation_cache_invalidations_.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          entry.generation = request.generation;
+          entry.pool = std::make_shared<AnnotationPool<K>>();
+          entry.fill_mutex = std::make_shared<std::mutex>();
+        } else {
+          hit = true;
+        }
+        cached = std::static_pointer_cast<AnnotationPool<K>>(entry.pool);
+        fill_mutex = entry.fill_mutex;
+      }
+      if (hit) {
+        annotation_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      {
+        // Extend with missing signatures and resolve under the entry's
+        // fill lock (concurrent groups may extend the same pool). Replays
+        // run after release: entries are immutable once annotated and
+        // unordered_map growth never moves values. Cached entries are
+        // never movable — the pool outlives the group.
+        std::lock_guard<std::mutex> fill(*fill_mutex);
+        const size_t pre_scans = cached->scans;
+        const size_t pre_reused = cached->reused;
+        AnnotateForQuerySetInto<K>(planned_queries, *request.database,
+                                   request.annotator, plus, storage_,
+                                   cached.get());
+        scans = cached->scans - pre_scans;
+        shared = cached->reused - pre_reused;
+        sources = ResolveReplaySources<K>(planned_queries, cached.get(),
+                                          /*allow_moves=*/false);
+      }
+    } else {
+      AnnotateForQuerySetInto<K>(planned_queries, *request.database,
+                                 request.annotator, plus, storage_,
+                                 &local_pool);
+      scans = local_pool.scans;
+      shared = local_pool.reused;
+      sources = ResolveReplaySources<K>(planned_queries, &local_pool,
+                                        /*allow_moves=*/true);
+      singleton_moves_.fetch_add(sources.movable, std::memory_order_relaxed);
     }
+    annotation_scans_.fetch_add(scans, std::memory_order_relaxed);
+    annotations_shared_.fetch_add(shared, std::memory_order_relaxed);
 
-    // Replay phase: fan the plans out across the workers. The pool is
-    // read-only from here on; each worker copies the base relations into
-    // its own scratch (Evaluator::ReplayPlan), so replays never contend.
+    // Replay phase: fan the plans out across the workers. Shared entries
+    // are read-only from here on; each worker copies them into its own
+    // scratch (or adopts its exclusive singletons), so replays never
+    // contend.
     std::vector<std::optional<K>> values(n);
     pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
       const size_t slot = planned[j];
       values[slot] = worker_evaluator(worker).ReplayPlan(
-          **plans[slot], monoid, *request.queries[slot], bases[slot]);
+          **plans[slot], monoid, *request.queries[slot],
+          sources.per_query[j]);
     });
 
     BatchResult<K> out;
@@ -204,14 +337,51 @@ class EvalService {
     return out;
   }
 
+  /// One cached annotation pool per (database identity, K, annotator id);
+  /// `generation` stamps the snapshot it was built from. The pool is held
+  /// by shared_ptr so invalidation can replace the entry while in-flight
+  /// groups finish against the old pool; `fill_mutex` serializes lazy
+  /// extension (and source resolution) per entry, type-erased behind
+  /// shared_ptr<void> because the service is monoid-generic.
+  struct AnnotationCacheKey {
+    const Database* database;
+    /// VersionedDatabase::uid(), or 0 for plain (pointer-keyed) requests
+    /// — a nonzero uid is never reused, so entries cannot alias a new
+    /// database allocated at a freed address.
+    uint64_t database_uid;
+    std::type_index value_type;
+    std::string annotator_id;
+    bool operator==(const AnnotationCacheKey&) const = default;
+  };
+  struct AnnotationCacheKeyHash {
+    size_t operator()(const AnnotationCacheKey& key) const {
+      size_t h = std::hash<const Database*>{}(key.database);
+      h = h * 1099511628211ULL ^ static_cast<size_t>(key.database_uid);
+      h = h * 1099511628211ULL ^ key.value_type.hash_code();
+      return h * 1099511628211ULL ^ std::hash<std::string>{}(key.annotator_id);
+    }
+  };
+  struct AnnotationCacheEntry {
+    uint64_t generation = 0;
+    std::shared_ptr<void> pool;  // shared_ptr<AnnotationPool<K>>.
+    std::shared_ptr<std::mutex> fill_mutex;
+  };
+
   SharedPlanCache plan_cache_;
   StorageKind storage_ = kDefaultStorageKind;
   std::vector<std::unique_ptr<Evaluator>> worker_evaluators_;
+  mutable std::mutex annotation_cache_mutex_;
+  std::unordered_map<AnnotationCacheKey, AnnotationCacheEntry,
+                     AnnotationCacheKeyHash>
+      annotation_cache_;
   std::atomic<size_t> batches_{0};
   std::atomic<size_t> groups_{0};
   std::atomic<size_t> requests_{0};
   std::atomic<size_t> annotation_scans_{0};
   std::atomic<size_t> annotations_shared_{0};
+  std::atomic<size_t> singleton_moves_{0};
+  std::atomic<size_t> annotation_cache_hits_{0};
+  std::atomic<size_t> annotation_cache_invalidations_{0};
   // Declared last: the pool joins (draining in-flight tasks) before any
   // member a task could touch is destroyed.
   WorkerPool pool_;

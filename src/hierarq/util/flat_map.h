@@ -17,8 +17,12 @@
 /// supports).
 ///
 /// Deliberate restrictions, matching how annotated relations are used:
-///   * no per-entry erase — intermediate relations are dropped wholesale
-///     via `Clear()`, so the table needs no tombstones;
+///   * per-entry `Erase` uses robin-hood backward-shift deletion, so the
+///     table never carries tombstones and probe sequences stay as short as
+///     if the key had never been inserted (the incremental subsystem,
+///     incremental/incremental_view.h, deletes single facts from
+///     materialized relations; batch evaluation still drops intermediates
+///     wholesale via `Clear()`);
 ///   * `Clear()` keeps the slot array allocated, so a table reused across
 ///     evaluations (core/evaluator.h) reaches steady state with zero
 ///     allocations;
@@ -181,6 +185,45 @@ class FlatMap {
     } else {
       *slot = combine(*slot, value);
     }
+  }
+
+  /// Removes `key` if present; true iff removed. Backward-shift deletion:
+  /// every entry in the probe chain after `key` moves one slot closer to
+  /// its home, restoring the exact table the insertion sequence without
+  /// `key` would have produced — no tombstones, no load-factor creep.
+  bool Erase(const Key& key) {
+    if (size_ == 0) {
+      return false;
+    }
+    const size_t mask = meta_.size() - 1;
+    size_t index = Hash{}(key) & mask;
+    uint8_t distance = 1;
+    while (true) {
+      const uint8_t slot = meta_[index];
+      if (slot == 0 || slot < distance) {
+        return false;  // Robin-hood invariant: key would sit here.
+      }
+      if (slot == distance && entries_[index].first == key) {
+        break;
+      }
+      index = (index + 1) & mask;
+      ++distance;
+    }
+    // Shift successors back until a hole or an at-home entry (distance 1).
+    size_t hole = index;
+    while (true) {
+      const size_t next = (hole + 1) & mask;
+      if (meta_[next] <= 1) {
+        break;
+      }
+      entries_[hole] = std::move(entries_[next]);
+      meta_[hole] = meta_[next] - 1;
+      hole = next;
+    }
+    entries_[hole] = Entry();  // Release any heap the payload owns.
+    meta_[hole] = 0;
+    --size_;
+    return true;
   }
 
   /// Visits every entry as (key, mapped value), in slot order — the

@@ -274,6 +274,125 @@ TEST(EvalService, NonHierarchicalQueriesFailIndividually) {
   EXPECT_EQ(*results[2], 1u);
 }
 
+TEST(EvalService, AnnotationCacheServesRepeatBatchesWithoutRescanning) {
+  const std::vector<ConjunctiveQuery> queries = QueryFamily();
+  Database base;
+  base.AddFactOrDie("R", MakeTuple({1, 2}));
+  base.AddFactOrDie("S", MakeTuple({1, 3}));
+  base.AddFactOrDie("T", MakeTuple({1, 3, 4}));
+  VersionedDatabase db(std::move(base));
+  const CountMonoid monoid;
+
+  EvalService service(EvalService::Options{.num_workers = 2});
+  auto first = service.EvaluateMany<CountMonoid>(monoid, Pointers(queries),
+                                                 db, OneAnnotator(), "ones");
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.annotation_scans, 3u);  // R, S, T — one pass each.
+  EXPECT_EQ(stats.annotation_cache_hits, 0u);
+  EXPECT_EQ(service.annotation_cache_size(), 1u);
+
+  // Same database generation, same annotator id: zero new scans.
+  auto second = service.EvaluateMany<CountMonoid>(monoid, Pointers(queries),
+                                                  db, OneAnnotator(), "ones");
+  stats = service.stats();
+  EXPECT_EQ(stats.annotation_scans, 3u);
+  EXPECT_EQ(stats.annotation_cache_hits, 1u);
+  EXPECT_EQ(stats.annotation_cache_invalidations, 0u);
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_TRUE(first[i].ok() && second[i].ok());
+    EXPECT_EQ(*first[i], *second[i]);
+  }
+
+  // A cached pool must also serve *new* queries by annotating only the
+  // missing signatures.
+  const ConjunctiveQuery extra = ParseQueryOrDie("U(A), R(A,B)");
+  auto third = service.EvaluateMany<CountMonoid>(monoid, {&extra}, db,
+                                                 OneAnnotator(), "ones");
+  stats = service.stats();
+  EXPECT_EQ(stats.annotation_scans, 4u);  // Only U was missing.
+  EXPECT_EQ(stats.annotation_cache_hits, 2u);
+
+  // Cached pools are shared; their entries must never be moved from.
+  EXPECT_EQ(stats.singleton_moves, 0u);
+}
+
+TEST(EvalService, AnnotationCacheInvalidatesOnGenerationBump) {
+  const std::vector<ConjunctiveQuery> queries = QueryFamily();
+  Database base;
+  base.AddFactOrDie("R", MakeTuple({1, 2}));
+  base.AddFactOrDie("S", MakeTuple({1, 3}));
+  base.AddFactOrDie("T", MakeTuple({1, 3, 4}));
+  VersionedDatabase db(std::move(base));
+  const CountMonoid monoid;
+
+  EvalService service(EvalService::Options{.num_workers = 2});
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), db,
+                                    OneAnnotator(), "ones");
+  ASSERT_EQ(service.stats().annotation_scans, 3u);
+
+  // One applied DeltaBatch bumps the generation; the next batch must
+  // rebuild the pool and see the new fact.
+  DeltaBatch batch;
+  batch.Insert("R", MakeTuple({1, 9}));
+  db.Apply(batch);
+  auto updated = service.EvaluateMany<CountMonoid>(monoid, Pointers(queries),
+                                                   db, OneAnnotator(), "ones");
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.annotation_scans, 6u);
+  EXPECT_EQ(stats.annotation_cache_invalidations, 1u);
+  EXPECT_EQ(service.annotation_cache_size(), 1u);
+
+  Evaluator reference;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto expected = reference.Evaluate<CountMonoid>(queries[i], monoid,
+                                                    db.facts(),
+                                                    OneAnnotator());
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(updated[i].ok());
+    EXPECT_EQ(*updated[i], *expected) << queries[i].ToString();
+  }
+
+  // Distinct annotator ids never share pools.
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), db,
+                                    OneAnnotator(), "other");
+  EXPECT_EQ(service.annotation_cache_size(), 2u);
+  service.ClearAnnotationCache();
+  EXPECT_EQ(service.annotation_cache_size(), 0u);
+}
+
+TEST(EvalService, SingletonPoolEntriesMoveIntoWorkerScratch) {
+  // Two queries over disjoint relations: every pool entry serves exactly
+  // one query, so an anonymous (uncached) group adopts all of them.
+  const ConjunctiveQuery q1 = ParseQueryOrDie("R(A,B), S(A)");
+  const ConjunctiveQuery q2 = ParseQueryOrDie("U(A,B), V(A)");
+  Database db;
+  db.AddFactOrDie("R", MakeTuple({1, 2}));
+  db.AddFactOrDie("R", MakeTuple({1, 3}));
+  db.AddFactOrDie("S", MakeTuple({1}));
+  db.AddFactOrDie("U", MakeTuple({4, 5}));
+  db.AddFactOrDie("V", MakeTuple({4}));
+  const CountMonoid monoid;
+
+  EvalService service(EvalService::Options{.num_workers = 2});
+  auto results = service.EvaluateMany<CountMonoid>(monoid, {&q1, &q2}, db,
+                                                   OneAnnotator());
+  ASSERT_TRUE(results[0].ok() && results[1].ok());
+  EXPECT_EQ(*results[0], 2u);
+  EXPECT_EQ(*results[1], 1u);
+  EXPECT_EQ(service.stats().singleton_moves, 4u);
+
+  // A shared signature (R(A,B) appears in both queries) must be copied,
+  // not moved; the singletons still move.
+  const ConjunctiveQuery q3 = ParseQueryOrDie("R(A,B)");
+  results = service.EvaluateMany<CountMonoid>(monoid, {&q1, &q3}, db,
+                                              OneAnnotator());
+  ASSERT_TRUE(results[0].ok() && results[1].ok());
+  EXPECT_EQ(*results[0], 2u);
+  EXPECT_EQ(*results[1], 2u);
+  EXPECT_EQ(service.stats().singleton_moves, 5u);  // +1: only S(A).
+}
+
 TEST(EvalService, StressManyClientThreadsQueriesAndDatabases) {
   // N client threads × M queries × K databases, all against one service;
   // every result must equal the single-threaded Evaluator's.

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diffs two BENCH_*.json snapshots row by row.
+
+The bench binaries emit flat JSON documents ({"benchmark", "storage",
+"rows": [{"name", <metric>: <number>, ...}, ...]}) precisely so successive
+PRs can be compared machine-to-machine. This tool joins two snapshots on
+row name and prints, per shared metric, old -> new and the speedup factor
+(new/old, or old/new for latency-like metrics named *_ms / *_seconds,
+so that > 1.00x always reads as "better").
+
+Usage:
+  tools/bench_compare.py OLD.json NEW.json [--metric METRIC] [--threshold X]
+
+Exit status: 0 normally; 2 with --threshold when any compared metric
+regressed by more than the given factor (e.g. --threshold 1.10 fails on a
+>10% regression) — usable as a CI tripwire.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics where *smaller* is better; their ratio column is inverted so
+# "speedup > 1" uniformly means improvement.
+LATENCY_SUFFIXES = ("_ms", "_millis", "_seconds", "_ns")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        sys.exit(f"error: {path}: not a BENCH_*.json document (no rows)")
+    rows = {}
+    for row in doc["rows"]:
+        rows[row["name"]] = {
+            k: v for k, v in row.items()
+            if k != "name" and isinstance(v, (int, float))
+        }
+    return doc, rows
+
+
+def is_latency(metric):
+    return metric.endswith(LATENCY_SUFFIXES)
+
+
+def speedup(metric, old, new):
+    """new/old oriented so > 1 is an improvement; None when undefined."""
+    if old == 0 or new == 0:
+        return None
+    return old / new if is_latency(metric) else new / old
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json snapshots")
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument("--metric", action="append", default=None,
+                        help="only compare this metric (repeatable)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="exit 2 if any metric regresses by more than "
+                             "this factor (e.g. 1.10 = 10%%)")
+    args = parser.parse_args()
+
+    old_doc, old_rows = load(args.old)
+    new_doc, new_rows = load(args.new)
+    print(f"benchmark: {old_doc.get('benchmark', '?')}  "
+          f"storage: {old_doc.get('storage', '?')} -> "
+          f"{new_doc.get('storage', '?')}")
+
+    shared = [name for name in old_rows if name in new_rows]
+    only_old = sorted(set(old_rows) - set(new_rows))
+    only_new = sorted(set(new_rows) - set(old_rows))
+    if not shared:
+        sys.exit("error: the snapshots share no row names")
+
+    width = max(len(name) for name in shared)
+    regressions = []
+    for name in shared:
+        metrics = [m for m in old_rows[name]
+                   if m in new_rows[name]
+                   and (args.metric is None or m in args.metric)]
+        for metric in metrics:
+            old_value = old_rows[name][metric]
+            new_value = new_rows[name][metric]
+            factor = speedup(metric, old_value, new_value)
+            if factor is None:
+                rendered = "   n/a"
+            else:
+                rendered = f"{factor:5.2f}x"
+                if args.threshold is not None and factor * args.threshold < 1:
+                    regressions.append((name, metric, factor))
+            print(f"  {name:<{width}}  {metric:<28} "
+                  f"{old_value:>12.6g} -> {new_value:>12.6g}  {rendered}")
+
+    for name in only_old:
+        print(f"  {name:<{width}}  (removed)")
+    for name in only_new:
+        print(f"  {name:<{width}}  (new)")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed past "
+              f"{args.threshold:.2f}x:", file=sys.stderr)
+        for name, metric, factor in regressions:
+            print(f"  {name} {metric}: {factor:.2f}x", file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

@@ -30,11 +30,29 @@
 //   hierarq_cli batch resilience <queries-file> <exo> <endo>    [workers]
 //   hierarq_cli batch provenance <queries-file> <db>            [workers]
 //
+// Update mode attaches an incremental view to the database and streams
+// single-fact updates from stdin, printing the delta-maintained result
+// after every batch (one batch per line; ops separated by ';'):
+//
+//   hierarq_cli update count  <query> <db>
+//   hierarq_cli update pqe    <query> <tid-db>
+//   hierarq_cli update expect <query> <tid-db>
+//
+//   > +R(1,2)            insert a fact (weight 1)
+//   > +R(1,3)@0.5        insert with a weight / probability
+//   > -R(1,2)            delete a fact
+//   > !R(1,3)@0.9        re-weight a present fact
+//   > +S(7,8); -R(1,3)   one atomic batch of two ops
+//
+// Malformed commands terminate the stream with an error and exit code 1.
+//
 // Example:
 //   hierarq_cli bagset "Q() :- R(A,B), S(A,C), T(A,C,D)" d.facts dr.facts 2
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -68,6 +86,12 @@ int Usage() {
                "  batch expect     <queries-file> <tid-db>     [workers]\n"
                "  batch resilience <queries-file> <exo> <endo> [workers]\n"
                "  batch provenance <queries-file> <db>         [workers]\n"
+               "update mode (stdin: one delta batch per line, ops split on "
+               "';'; '+R(1,2)[@w]' insert, '-R(1,2)' delete, '!R(1,2)@w' "
+               "re-weight):\n"
+               "  update count  <query> <db>\n"
+               "  update pqe    <query> <tid-db>\n"
+               "  update expect <query> <tid-db>\n"
                "options:\n"
                "  --storage=flat|columnar|baseline   relation storage "
                "backend (default: %s)\n",
@@ -259,9 +283,220 @@ int RunBatch(int argc, char** argv, StorageKind storage) {
   return 0;
 }
 
+/// Parses one update-mode op: `+R(1,2)`, `+R(x,y)@0.5`, `-R(1,2)`,
+/// `!R(1,2)@0.9`. Values follow the loader's conventions: integers map to
+/// themselves (below the symbolic range), identifiers are interned.
+Result<DeltaOp> ParseDeltaOp(std::string_view text, Dictionary* dict) {
+  text = TrimView(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty update command");
+  }
+  DeltaOp op;
+  switch (text.front()) {
+    case '+':
+      op.kind = DeltaKind::kInsert;
+      break;
+    case '-':
+      op.kind = DeltaKind::kDelete;
+      break;
+    case '!':
+      op.kind = DeltaKind::kSetAnnotation;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "update command must start with '+', '-' or '!': '" +
+          std::string(text) + "'");
+  }
+  text.remove_prefix(1);
+
+  // Optional trailing "@weight".
+  const size_t at = text.rfind('@');
+  if (at != std::string_view::npos && at > text.rfind(')')) {
+    if (op.kind == DeltaKind::kDelete) {
+      return Status::InvalidArgument("'-' (delete) takes no '@weight': '" +
+                                     std::string(text) + "'");
+    }
+    auto weight = ParseDouble(TrimView(text.substr(at + 1)));
+    if (!weight.ok()) {
+      return Status::InvalidArgument("bad '@weight' in '" +
+                                     std::string(text) + "'");
+    }
+    op.weight = *weight;
+    text = TrimView(text.substr(0, at));
+  } else if (op.kind == DeltaKind::kSetAnnotation) {
+    return Status::InvalidArgument(
+        "'!' (re-weight) requires an '@weight': '" + std::string(text) +
+        "'");
+  }
+
+  // The fact: Name(v1, v2, ...).
+  const size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return Status::InvalidArgument("expected 'Relation(v1,...)' in '" +
+                                   std::string(text) + "'");
+  }
+  op.fact.relation = Trim(text.substr(0, open));
+  if (!IsIdentifier(op.fact.relation)) {
+    return Status::InvalidArgument("bad relation name '" +
+                                   op.fact.relation + "'");
+  }
+  const std::string_view body =
+      text.substr(open + 1, text.size() - open - 2);
+  if (!TrimView(body).empty()) {
+    for (const std::string& piece : Split(body, ',')) {
+      // The loader's value parser: int-vs-identifier dispatch, symbolic
+      // range guard, interning — one grammar for files and streams.
+      HIERARQ_ASSIGN_OR_RETURN(Value value, ParseValue(piece, dict));
+      op.fact.tuple.push_back(value);
+    }
+  }
+  return op;
+}
+
+/// Parses one stdin line into an atomic batch (ops split on ';'),
+/// validating each op's arity against the database schema and the query.
+Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
+                                  const ConjunctiveQuery& query,
+                                  const VersionedDatabase& db) {
+  DeltaBatch batch;
+  for (const std::string& piece : Split(line, ';')) {
+    if (piece.empty()) {
+      continue;
+    }
+    HIERARQ_ASSIGN_OR_RETURN(DeltaOp op, ParseDeltaOp(piece, dict));
+    size_t expected_arity = op.fact.tuple.size();
+    if (const Relation* relation = db.facts().FindRelation(op.fact.relation)) {
+      expected_arity = relation->arity();
+    } else if (auto atom_index = query.AtomIndexOf(op.fact.relation)) {
+      expected_arity = query.atoms()[*atom_index].arity();
+    }
+    if (op.fact.tuple.size() != expected_arity) {
+      return Status::InvalidArgument(
+          "arity mismatch: " + op.fact.relation + " takes " +
+          std::to_string(expected_arity) + " value(s), got " +
+          std::to_string(op.fact.tuple.size()));
+    }
+    batch.ops.push_back(std::move(op));
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("no ops in update line");
+  }
+  return batch;
+}
+
+/// Streams update batches from stdin through an incremental view of
+/// `query`, printing the maintained result after each batch. `render`
+/// formats the monoid value. Returns 1 on the first malformed command.
+template <TwoMonoid M, typename Render>
+int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
+                  M monoid, typename IncrementalView<M>::Annotator annotator,
+                  StorageKind storage, Dictionary* dict, Render render) {
+  IncrementalEvaluator<M> evaluator(std::move(monoid), &db,
+                                    std::move(annotator), {storage});
+  auto handle = evaluator.Attach(query);
+  if (!handle.ok()) {
+    return Fail(handle.status());
+  }
+  const auto print_state = [&] {
+    std::printf("gen=%llu |D|=%zu %s\n",
+                static_cast<unsigned long long>(evaluator.generation()),
+                db.NumFacts(), render(evaluator.ResultOf(*handle)).c_str());
+    std::fflush(stdout);
+  };
+  print_state();
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (Trim(line).empty()) {
+      continue;
+    }
+    auto batch = ParseDeltaLine(line, dict, query, db);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "error: stdin:%zu: %s\n", line_number,
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    evaluator.ApplyDelta(*batch);
+    // This process is the only reader; an endless stream must not retain
+    // an endless batch log.
+    db.TruncateLog(db.generation());
+    print_state();
+  }
+  const auto& stats = evaluator.view(*handle).stats();
+  std::fprintf(stderr,
+               "-- update: %zu batch(es), %zu op(s), %zu key(s) touched, "
+               "%zu group refold(s); view support=%zu\n",
+               stats.batches, stats.ops_seen, stats.keys_touched,
+               stats.group_refolds, evaluator.view(*handle).TotalSupport());
+  return 0;
+}
+
+/// `hierarq_cli update <solver> <query> <db>`.
+int RunUpdate(int argc, char** argv, StorageKind storage) {
+  if (argc != 5) {
+    return Usage();
+  }
+  const std::string solver = argv[2];
+  if (solver != "count" && solver != "pqe" && solver != "expect") {
+    std::fprintf(stderr,
+                 "error: unknown update solver '%s' (expected count, pqe "
+                 "or expect)\n",
+                 solver.c_str());
+    return 2;
+  }
+  auto parsed = ParseQuery(argv[3]);
+  if (!parsed.ok()) {
+    return Fail(parsed.status());
+  }
+  const ConjunctiveQuery query = std::move(parsed).ValueOrDie();
+  Dictionary dict;
+
+  if (solver == "count") {
+    auto db = LoadDatabaseFromFile(argv[4], &dict);
+    if (!db.ok()) {
+      return Fail(db.status());
+    }
+    return RunUpdateLoop(
+        query, VersionedDatabase(*std::move(db)), CountMonoid{},
+        [](const Fact&, double) -> uint64_t { return 1; }, storage, &dict,
+        [](uint64_t value) {
+          return "Q(D) = " + std::to_string(value);
+        });
+  }
+  auto db = LoadTidDatabaseFromFile(argv[4], &dict);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  // Weights are probabilities for both TID solvers; clamp to [0,1]
+  // exactly as TidDatabase::AddFact clamps file-loaded facts, so a fact
+  // is annotated the same whether it arrived by file or by stream.
+  const auto weight_annotator = [](const Fact&, double weight) {
+    return std::clamp(weight, 0.0, 1.0);
+  };
+  const auto render_double = [&solver](double value) {
+    char out[64];
+    std::snprintf(out, sizeof(out),
+                  solver == "pqe" ? "Pr[Q] = %.12g" : "E[Q(D)] = %.12g",
+                  value);
+    return std::string(out);
+  };
+  if (solver == "pqe") {
+    return RunUpdateLoop(query, VersionedDatabase(*db), ProbMonoid{},
+                         weight_annotator, storage, &dict, render_double);
+  }
+  return RunUpdateLoop(query, VersionedDatabase(*db), ExpectationMonoid{},
+                       weight_annotator, storage, &dict, render_double);
+}
+
 int Run(int argc, char** argv) {
   // Peel the global --storage flag off wherever it appears, leaving the
-  // positional arguments in place.
+  // positional arguments in place. Unknown backends and unknown --flags
+  // are errors, not silent fallbacks to defaults.
   StorageKind storage = kDefaultStorageKind;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
@@ -270,12 +505,18 @@ int Run(int argc, char** argv) {
     if (arg.rfind("--storage=", 0) == 0) {
       const auto parsed_kind = ParseStorageKind(arg.substr(10));
       if (!parsed_kind.has_value()) {
-        std::fprintf(stderr, "error: unknown storage backend in '%s'\n",
+        std::fprintf(stderr,
+                     "error: unknown storage backend in '%s' (expected "
+                     "flat, columnar or baseline)\n",
                      argv[i]);
         return Usage();
       }
       storage = *parsed_kind;
       continue;
+    }
+    if (i > 0 && arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return Usage();
     }
     args.push_back(argv[i]);
   }
@@ -288,6 +529,9 @@ int Run(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "batch") {
     return RunBatch(argc, argv, storage);
+  }
+  if (command == "update") {
+    return RunUpdate(argc, argv, storage);
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
