@@ -7,11 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_util.h"
 #include "hierarq/algebra/semirings.h"
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/algorithm1.h"
 #include "hierarq/core/evaluator.h"
+#include "hierarq/util/hash.h"
+#include "hierarq/util/simd.h"
 #include "hierarq/util/timer.h"
 #include "hierarq/workload/data_gen.h"
 #include "hierarq/workload/query_gen.h"
@@ -30,6 +34,21 @@ size_t MeasureOps(const ConjunctiveQuery& q, const Database& db) {
 }
 
 void EmitThroughputJson();
+void EmitThreadScalingRows(bench::JsonReport* report,
+                           const ConjunctiveQuery& q, const Database& db);
+void EmitSimdKernelRows(bench::JsonReport* report,
+                        const ConjunctiveQuery& q, const Database& db);
+
+/// The shared random instance of the paper query at `tuples` facts per
+/// relation — seeded identically everywhere so every emitter section
+/// (and every PR's snapshot) measures the same database.
+Database PaperQueryDatabase(const ConjunctiveQuery& q, size_t tuples) {
+  Rng rng(83);
+  DataGenOptions opts;
+  opts.tuples_per_relation = tuples;
+  opts.domain_size = std::max<size_t>(8, tuples / 4);
+  return RandomDatabaseForQuery(q, rng, opts);
+}
 
 void Report() {
   using bench::PrintHeader;
@@ -91,14 +110,10 @@ void EmitThroughputJson() {
               bench::JsonReport::StorageBackend());
   // Scales target |D| ≈ 30k / 100k / 300k total facts (the paper query
   // has three relations); below that the run is annotation-bound and
-  // storage choice barely registers.
-  for (size_t tuples : {10000, 33334, 100000}) {
-    Rng rng(83);
-    DataGenOptions opts;
-    opts.tuples_per_relation = tuples;
-    opts.domain_size = std::max<size_t>(8, tuples / 4);
-    const Database db = RandomDatabaseForQuery(q, rng, opts);
-
+  // storage choice barely registers. The biggest instance is built once
+  // and shared with the thread-scaling and SIMD sections below.
+  const Database big_db = PaperQueryDatabase(q, 100000);
+  const auto measure_size = [&](const Database& db) {
     for (StorageKind kind : kAllStorageKinds) {
       Evaluator evaluator(kind);
       const double evals_per_sec = bench::MeasureRate([&] {
@@ -128,12 +143,133 @@ void EmitThroughputJson() {
           bench::JsonReport::StorageRow(
               "paper_query/" + std::to_string(db.NumFacts()), kind),
           {{"num_facts", static_cast<double>(db.NumFacts())},
+           {"threads", 1.0},
            {"evals_per_sec", evals_per_sec},
            {"replays_per_sec", replays_per_sec},
            {"ops_per_sec", facts_per_sec}});
     }
+  };
+  for (size_t tuples : {10000, 33334}) {
+    measure_size(PaperQueryDatabase(q, tuples));
   }
+  measure_size(big_db);
+  EmitThreadScalingRows(&report, q, big_db);
+  EmitSimdKernelRows(&report, q, big_db);
   report.WriteToFile();
+}
+
+/// Intra-query thread scaling: replay-only throughput of the single
+/// biggest instance (|D| ≈ 300k) per backend × thread count — the
+/// threads×backend rows the parallel Rule 1/Rule 2 fan-out
+/// (core/parallel.h) targets. threads=1 is the bit-identical serial
+/// engine; shard-parallel runs are deterministic for any thread count.
+/// Note: scaling only shows on hosts with that many physical cores
+/// (hardware_concurrency is recorded on every row).
+void EmitThreadScalingRows(bench::JsonReport* report,
+                           const ConjunctiveQuery& q, const Database& db) {
+  const CountMonoid monoid;
+  const auto annotate = std::function<uint64_t(const Fact&)>(
+      [](const Fact&) -> uint64_t { return 1; });
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const double hw =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  std::printf("  intra-query thread scaling (|D| = %zu, hw threads=%.0f):\n",
+              db.NumFacts(), hw);
+  for (StorageKind kind : {StorageKind::kFlat, StorageKind::kColumnar}) {
+    const AnnotationPool<uint64_t> pool =
+        AnnotateForQuerySet<uint64_t>({&q}, db, annotate, plus, kind);
+    const auto bases = ResolveBases<uint64_t>(q, pool);
+    for (size_t threads : {1, 2, 4, 8}) {
+      Evaluator::Options options;
+      options.storage = kind;
+      options.intra_query_threads = threads;
+      Evaluator evaluator(options);
+      auto plan = evaluator.GetPlan(q);
+      const double replays_per_sec = bench::MeasureRate([&] {
+        benchmark::DoNotOptimize(
+            evaluator.ReplayPlan(**plan, monoid, q, bases));
+      });
+      std::printf("    %-9s threads=%zu  %9.0f replays/sec\n",
+                  StorageKindName(kind), threads, replays_per_sec);
+      report->AddRow(
+          bench::JsonReport::ThreadedRow(
+              "paper_query/" + std::to_string(db.NumFacts()) + "/replay",
+              kind, threads),
+          {{"num_facts", static_cast<double>(db.NumFacts())},
+           {"threads", static_cast<double>(threads)},
+           {"hardware_threads", hw},
+           {"replays_per_sec", replays_per_sec}});
+    }
+  }
+}
+
+/// SIMD A/B on identical rows: the batched Mix64 hash-fold kernel (the
+/// columnar backend's hottest loop) per available tier, plus the
+/// end-to-end columnar replay under forced-scalar vs best dispatch.
+/// Kernel rows isolate the vectorization win from the probe- and
+/// copy-bound remainder of a replay.
+void EmitSimdKernelRows(bench::JsonReport* report,
+                        const ConjunctiveQuery& q, const Database& db) {
+  const simd::Level best = simd::DetectedLevel() == simd::Level::kAvx2
+                               ? simd::Level::kAvx2
+                               : simd::Level::kScalar;
+  constexpr size_t kRows = 300000;
+  constexpr size_t kColumns = 3;
+  std::vector<int64_t> column(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    column[i] = static_cast<int64_t>(Mix64(i));
+  }
+  std::vector<uint64_t> hashes(kRows, kHashRangeSeed);
+
+  std::printf("  simd hash-fold kernel (%zu rows x %zu columns):\n", kRows,
+              kColumns);
+  for (simd::Level level : {simd::Level::kScalar, best}) {
+    simd::SetLevelForTesting(level);
+    const double folds_per_sec = bench::MeasureRate([&] {
+      for (size_t c = 0; c < kColumns; ++c) {
+        simd::HashCombineRows(hashes.data(), column.data(), kRows);
+      }
+      benchmark::DoNotOptimize(hashes.data());
+    });
+    std::printf("    %-7s %9.1f folds/sec\n", simd::LevelName(level),
+                folds_per_sec);
+    report->AddRow(std::string("simd_hash_fold/") + simd::LevelName(level),
+                   {{"rows", static_cast<double>(kRows)},
+                    {"columns", static_cast<double>(kColumns)},
+                    {"folds_per_sec", folds_per_sec}});
+    if (best == simd::Level::kScalar) {
+      break;  // No vector tier on this host; one row is the whole story.
+    }
+  }
+
+  // End-to-end columnar replay, forced scalar vs best dispatch.
+  const CountMonoid monoid;
+  const auto annotate = std::function<uint64_t(const Fact&)>(
+      [](const Fact&) -> uint64_t { return 1; });
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const AnnotationPool<uint64_t> pool = AnnotateForQuerySet<uint64_t>(
+      {&q}, db, annotate, plus, StorageKind::kColumnar);
+  const auto bases = ResolveBases<uint64_t>(q, pool);
+  Evaluator evaluator(StorageKind::kColumnar);
+  auto plan = evaluator.GetPlan(q);
+  for (simd::Level level : {simd::Level::kScalar, best}) {
+    simd::SetLevelForTesting(level);
+    const double replays_per_sec = bench::MeasureRate([&] {
+      benchmark::DoNotOptimize(
+          evaluator.ReplayPlan(**plan, monoid, q, bases));
+    });
+    std::printf("    columnar replay %-7s %9.1f replays/sec\n",
+                simd::LevelName(level), replays_per_sec);
+    report->AddRow(std::string("simd_columnar_replay/") +
+                       simd::LevelName(level),
+                   {{"num_facts", static_cast<double>(db.NumFacts())},
+                    {"replays_per_sec", replays_per_sec}});
+    if (best == simd::Level::kScalar) {
+      break;
+    }
+  }
+  simd::SetLevelForTesting(best);  // Restore dispatch for later benches.
 }
 
 void BM_Algorithm1_OpCountOverhead(benchmark::State& state) {

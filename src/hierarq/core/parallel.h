@@ -1,0 +1,544 @@
+#ifndef HIERARQ_CORE_PARALLEL_H_
+#define HIERARQ_CORE_PARALLEL_H_
+
+/// \file parallel.h
+/// \brief Intra-query parallel Algorithm 1: hash-sharded Rule 1/Rule 2
+/// steps fanned out across a `WorkerPool`.
+///
+/// Algorithm 1's per-step work partitions perfectly by key hash: the key
+/// of every Rule 1 output group and every Rule 2 output fact determines a
+/// single shard (`ShardedStore::ShardOfHash`, the hash's top bits), so a
+/// step splits into `kNumShards` sub-steps that share nothing but
+/// read-only inputs. Each step runs in two phases:
+///
+///   1. **Hash.** Per-row output-key hashes are computed once, in
+///      parallel over contiguous row/slot ranges (columnar inputs use the
+///      SIMD batch folds of util/simd.h; map inputs fold per occupied
+///      slot). Rule 1 hashes only the surviving positions — the hash *is*
+///      the output partition key.
+///   2. **Scatter/accumulate.** One task per output shard scans the
+///      input(s), keeps the rows whose hash routes to its shard, and
+///      accumulates them into that shard's private robin-hood table —
+///      lock-free, since no other task ever touches the shard. Rule 2
+///      tasks additionally probe the *whole* other side read-only with
+///      the precomputed hashes.
+///
+/// The final ⊕-fold to the nullary atom (where every row lands on one
+/// key, so output sharding cannot help) instead folds fixed per-segment
+/// partials in parallel and ⊕-merges them in segment order.
+///
+/// Determinism: shard ownership depends only on key hashes and the fixed
+/// shard count, and every task scans its input in a fixed order — so
+/// results are *identical for any thread count* (including one), and
+/// bit-identical to the serial runner for exact monoids, whose ⊕ is fully
+/// associative/commutative. Floating-point monoids see one fixed
+/// shard-induced ⊕ order, within the same tolerance the storage backends
+/// already imply (the differential suite checks 1e-11 relative).
+///
+/// Scheduling: every entry point takes an `IntraQueryParallel` handle
+/// (pool + thread budget) and falls back to the bit-identical serial path
+/// when disabled, when a relation is under `min_rows` (fan-out overhead
+/// would dominate), or when an input lives in the `kBaseline` reference
+/// backend (which exposes no range-scannable layout). `ParallelFor` must
+/// be driven from outside the pool — `Evaluator` calls these on the
+/// client thread, exactly like `EvalService`'s across-query fan-out.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/algorithm1.h"
+#include "hierarq/data/annotated.h"
+#include "hierarq/data/columnar.h"
+#include "hierarq/data/sharded.h"
+#include "hierarq/data/storage.h"
+#include "hierarq/data/tuple.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/util/hash.h"
+#include "hierarq/util/logging.h"
+#include "hierarq/util/simd.h"
+#include "hierarq/util/worker_pool.h"
+
+namespace hierarq {
+
+/// How (and whether) one evaluation may parallelize inside a single
+/// query. Plain aggregate, cheap to pass by value; the pool is borrowed.
+struct IntraQueryParallel {
+  /// Executes the per-shard tasks; nullptr disables parallelism. Must be
+  /// driven from outside the pool (no task of `pool` may re-enter).
+  WorkerPool* pool = nullptr;
+  /// Advisory parallelism: <= 1 disables. Per-step fan-out is capped by
+  /// `ShardedStore::kNumShards` regardless.
+  size_t threads = 1;
+  /// Steps whose input support is below this run serially — the fan-out
+  /// latch and task overhead cost more than they save on small tables.
+  size_t min_rows = 4096;
+
+  bool enabled() const { return pool != nullptr && threads > 1; }
+};
+
+namespace parallel_internal {
+
+/// Deterministic [begin, end) slice `i` of `n` elements cut into `parts`.
+inline std::pair<size_t, size_t> Slice(size_t n, size_t parts, size_t i) {
+  return {n * i / parts, n * (i + 1) / parts};
+}
+
+/// True when the parallel path can scan this relation's layout (the
+/// baseline unordered_map exposes no slot ranges).
+template <typename K>
+bool RangeScannable(const AnnotatedRelation<K>& rel) {
+  return rel.storage() != StorageKind::kBaseline;
+}
+
+/// Probes `rel` for `key` with its hash precomputed (`hash` ==
+/// `HashRange` over `key`'s values). Works on every backend; the
+/// baseline ignores the hash.
+template <typename K>
+const K* FindWithHash(const AnnotatedRelation<K>& rel, uint64_t hash,
+                      const Tuple& key) {
+  switch (rel.storage()) {
+    case StorageKind::kFlat:
+      return rel.flat_store().FindHashed(hash, key);
+    case StorageKind::kColumnar:
+      return rel.columnar_store().FindWithHash(hash, key);
+    case StorageKind::kSharded: {
+      const auto& store = rel.sharded_store();
+      return store.shard(store.ShardOfHash(hash)).FindHashed(hash, key);
+    }
+    case StorageKind::kBaseline:
+      return rel.Find(key);
+  }
+  HIERARQ_CHECK(false) << "unhandled StorageKind";
+  return nullptr;
+}
+
+/// Visits every fact of `rel` as (hash, key, value) where `hash` is
+/// looked up in the side arrays `PrecomputeHashes` filled — the shard
+/// tasks' filtered rescan. Enumeration order is fixed per backend
+/// (columnar rows ascending; flat slots ascending; sharded shards then
+/// slots ascending), which is what makes shard contents deterministic.
+/// `key_scratch` is reused across rows for the columnar layout.
+template <typename K, typename Fn>
+void ScanWithHashes(const AnnotatedRelation<K>& rel,
+                    const std::vector<std::vector<uint64_t>>& hashes,
+                    Tuple* key_scratch, Fn fn) {
+  switch (rel.storage()) {
+    case StorageKind::kColumnar: {
+      const ColumnarStore<K>& store = rel.columnar_store();
+      const size_t arity = store.arity();
+      const size_t n = store.size();
+      key_scratch->resize(arity);
+      const std::vector<uint64_t>& row_hashes = hashes.front();
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < arity; ++c) {
+          (*key_scratch)[c] = store.column(c)[r];
+        }
+        fn(row_hashes[r], static_cast<const Tuple&>(*key_scratch),
+           store.row_value(static_cast<uint32_t>(r)));
+      }
+      return;
+    }
+    case StorageKind::kFlat: {
+      const auto& store = rel.flat_store();
+      const std::vector<uint64_t>& slot_hashes = hashes.front();
+      store.ForEachSlotInRange(
+          0, store.capacity(), [&](size_t slot, const Tuple& key,
+                                   const K& value) {
+            fn(slot_hashes[slot], key, value);
+          });
+      return;
+    }
+    case StorageKind::kSharded: {
+      const ShardedStore<K>& store = rel.sharded_store();
+      for (size_t s = 0; s < ShardedStore<K>::kNumShards; ++s) {
+        const auto& shard = store.shard(s);
+        const std::vector<uint64_t>& slot_hashes = hashes[s];
+        shard.ForEachSlotInRange(
+            0, shard.capacity(), [&](size_t slot, const Tuple& key,
+                                     const K& value) {
+              fn(slot_hashes[slot], key, value);
+            });
+      }
+      return;
+    }
+    case StorageKind::kBaseline:
+      break;
+  }
+  HIERARQ_CHECK(false) << "baseline relations take the serial path";
+}
+
+/// Fills `*hashes` with one per-row/per-slot hash array per enumeration
+/// segment of `rel` (one array for columnar/flat, one per shard for
+/// sharded), hashing only the positions `keep(position)` admits, in
+/// ascending position order — Rule 1 passes the survivor filter, Rule 2
+/// keeps everything. Parallel over contiguous ranges on `par.pool`.
+template <typename K, typename Keep>
+void PrecomputeHashes(const AnnotatedRelation<K>& rel, Keep keep,
+                      const IntraQueryParallel& par,
+                      std::vector<std::vector<uint64_t>>* hashes) {
+  const size_t tasks = par.threads;
+  switch (rel.storage()) {
+    case StorageKind::kColumnar: {
+      const ColumnarStore<K>& store = rel.columnar_store();
+      std::vector<size_t> cols;
+      cols.reserve(store.arity());
+      for (size_t c = 0; c < store.arity(); ++c) {
+        if (keep(c)) {
+          cols.push_back(c);
+        }
+      }
+      hashes->resize(1);
+      std::vector<uint64_t>& row_hashes = (*hashes)[0];
+      const size_t n = store.size();
+      row_hashes.assign(n, kHashRangeSeed);
+      par.pool->ParallelFor(tasks, [&](size_t, size_t i) {
+        const auto [lo, hi] = Slice(n, tasks, i);
+        for (size_t c : cols) {
+          simd::HashCombineRows(row_hashes.data() + lo,
+                                store.column(c).data() + lo, hi - lo);
+        }
+      });
+      return;
+    }
+    case StorageKind::kFlat: {
+      const auto& store = rel.flat_store();
+      hashes->resize(1);
+      std::vector<uint64_t>& slot_hashes = (*hashes)[0];
+      slot_hashes.resize(store.capacity());
+      par.pool->ParallelFor(tasks, [&](size_t, size_t i) {
+        const auto [lo, hi] = Slice(store.capacity(), tasks, i);
+        store.ForEachSlotInRange(
+            lo, hi, [&](size_t slot, const Tuple& key, const K&) {
+              uint64_t h = kHashRangeSeed;
+              for (size_t c = 0; c < key.size(); ++c) {
+                if (keep(c)) {
+                  h = HashCombine(h, static_cast<uint64_t>(key[c]));
+                }
+              }
+              slot_hashes[slot] = h;
+            });
+      });
+      return;
+    }
+    case StorageKind::kSharded: {
+      const ShardedStore<K>& store = rel.sharded_store();
+      hashes->resize(ShardedStore<K>::kNumShards);
+      par.pool->ParallelFor(
+          ShardedStore<K>::kNumShards, [&](size_t, size_t s) {
+            const auto& shard = store.shard(s);
+            std::vector<uint64_t>& slot_hashes = (*hashes)[s];
+            slot_hashes.resize(shard.capacity());
+            shard.ForEachSlotInRange(
+                0, shard.capacity(),
+                [&](size_t slot, const Tuple& key, const K&) {
+                  uint64_t h = kHashRangeSeed;
+                  for (size_t c = 0; c < key.size(); ++c) {
+                    if (keep(c)) {
+                      h = HashCombine(h, static_cast<uint64_t>(key[c]));
+                    }
+                  }
+                  slot_hashes[slot] = h;
+                });
+          });
+      return;
+    }
+    case StorageKind::kBaseline:
+      break;
+  }
+  HIERARQ_CHECK(false) << "baseline relations take the serial path";
+}
+
+}  // namespace parallel_internal
+
+/// Rule 1, hash-sharded: ⊕-projects schema position `drop_pos` out of
+/// `src` into `out`, which the caller has Reset to the surviving schema
+/// in `StorageKind::kSharded`. One task per output shard accumulates the
+/// rows whose surviving-key hash it owns. Preconditions: `par.enabled()`,
+/// `src` not baseline, `out` sharded.
+template <typename K, typename Plus>
+void ParallelProjectDropInto(const AnnotatedRelation<K>& src,
+                             size_t drop_pos, Plus plus,
+                             const IntraQueryParallel& par,
+                             AnnotatedRelation<K>* out) {
+  using Sharded = ShardedStore<K>;
+  HIERARQ_CHECK(par.enabled());
+  HIERARQ_CHECK(out->storage() == StorageKind::kSharded);
+  HIERARQ_CHECK_LT(drop_pos, src.schema().size());
+  HIERARQ_CHECK_EQ(out->schema().size() + 1, src.schema().size());
+
+  std::vector<std::vector<uint64_t>> hashes;
+  parallel_internal::PrecomputeHashes(
+      src, [&](size_t c) { return c != drop_pos; }, par, &hashes);
+
+  out->Reserve(src.size());
+  Sharded& sharded = out->mutable_sharded_store();
+  par.pool->ParallelFor(Sharded::kNumShards, [&](size_t, size_t j) {
+    typename Sharded::Shard& mine = sharded.shard(j);
+    Tuple scan_scratch;
+    Tuple projected;
+    parallel_internal::ScanWithHashes(
+        src, hashes, &scan_scratch,
+        [&](uint64_t hash, const Tuple& key, const K& value) {
+          if (Sharded::ShardOfHash(hash) != j) {
+            return;
+          }
+          projected.clear();
+          for (size_t c = 0; c < key.size(); ++c) {
+            if (c != drop_pos) {
+              projected.push_back(key[c]);
+            }
+          }
+          mine.MergeHashed(hash, projected, value, plus);
+        });
+  });
+}
+
+/// Rule 2, hash-sharded: out(x) = left(x) ⊗ right(x) over the union of
+/// supports. Each output-shard task scans both sides filtered to its
+/// hash range and probes the opposite side read-only with the
+/// precomputed hash (one-sided facts multiply with `zero`, exactly like
+/// the serial native; only absent-absent pairs are skipped — Lemma 6.6).
+/// Preconditions: `par.enabled()`, neither input baseline, `out` Reset
+/// to the common schema in `StorageKind::kSharded`.
+template <typename K, typename Times>
+void ParallelJoinUnionInto(const AnnotatedRelation<K>& left,
+                           const AnnotatedRelation<K>& right, Times times,
+                           const K& zero, const IntraQueryParallel& par,
+                           AnnotatedRelation<K>* out) {
+  using Sharded = ShardedStore<K>;
+  HIERARQ_CHECK(par.enabled());
+  HIERARQ_CHECK(out->storage() == StorageKind::kSharded);
+  HIERARQ_CHECK(left.schema() == right.schema())
+      << "Rule 2 requires equal schemas";
+  HIERARQ_CHECK(out->schema() == left.schema());
+
+  const auto keep_all = [](size_t) { return true; };
+  std::vector<std::vector<uint64_t>> left_hashes;
+  std::vector<std::vector<uint64_t>> right_hashes;
+  parallel_internal::PrecomputeHashes(left, keep_all, par, &left_hashes);
+  parallel_internal::PrecomputeHashes(right, keep_all, par, &right_hashes);
+
+  out->Reserve(left.size() + right.size());  // Lemma 6.6 bound.
+  Sharded& sharded = out->mutable_sharded_store();
+  par.pool->ParallelFor(Sharded::kNumShards, [&](size_t, size_t j) {
+    typename Sharded::Shard& mine = sharded.shard(j);
+    Tuple scan_scratch;
+    // Left pass: every left key lands in the result, joined against the
+    // right annotation or zero.
+    parallel_internal::ScanWithHashes(
+        left, left_hashes, &scan_scratch,
+        [&](uint64_t hash, const Tuple& key, const K& value) {
+          if (Sharded::ShardOfHash(hash) != j) {
+            return;
+          }
+          const K* other = parallel_internal::FindWithHash(right, hash, key);
+          auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
+          HIERARQ_CHECK(inserted);  // Left keys are unique.
+          *slot = times(value, other != nullptr ? *other : zero);
+        });
+    // Right pass: only keys absent from the left still need a result
+    // entry; shared keys were finalized above.
+    parallel_internal::ScanWithHashes(
+        right, right_hashes, &scan_scratch,
+        [&](uint64_t hash, const Tuple& key, const K& value) {
+          if (Sharded::ShardOfHash(hash) != j) {
+            return;
+          }
+          auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
+          if (inserted) {
+            *slot = times(zero, value);
+          }
+        });
+  });
+}
+
+/// The terminal Rule 1 shape: every row of `src` folds into the single
+/// nullary key, so output sharding cannot split the work — instead each
+/// task ⊕-folds one fixed input segment and the partials ⊕-merge in
+/// segment order (the "cheap ⊕-merge of shard results"). Returns nullopt
+/// for an empty support (the empty ⊕). Deterministic for any thread
+/// count: segments are fixed fractions of the enumeration, not
+/// work-stealing chunks.
+template <typename K, typename Plus>
+std::optional<K> ParallelFoldSupport(const AnnotatedRelation<K>& src,
+                                     Plus plus,
+                                     const IntraQueryParallel& par) {
+  using Sharded = ShardedStore<K>;
+  HIERARQ_CHECK(par.enabled());
+  constexpr size_t kSegments = Sharded::kNumShards;
+  std::vector<std::optional<K>> partial(kSegments);
+
+  const auto fold_into = [&plus](std::optional<K>& acc, const K& value) {
+    if (!acc.has_value()) {
+      acc = value;
+    } else {
+      acc = plus(*acc, value);
+    }
+  };
+
+  switch (src.storage()) {
+    case StorageKind::kColumnar: {
+      const ColumnarStore<K>& store = src.columnar_store();
+      const size_t n = store.size();
+      par.pool->ParallelFor(kSegments, [&](size_t, size_t s) {
+        const auto [lo, hi] = parallel_internal::Slice(n, kSegments, s);
+        for (size_t r = lo; r < hi; ++r) {
+          fold_into(partial[s], store.row_value(static_cast<uint32_t>(r)));
+        }
+      });
+      break;
+    }
+    case StorageKind::kFlat: {
+      const auto& store = src.flat_store();
+      par.pool->ParallelFor(kSegments, [&](size_t, size_t s) {
+        const auto [lo, hi] =
+            parallel_internal::Slice(store.capacity(), kSegments, s);
+        store.ForEachInSlotRange(lo, hi,
+                                 [&](const Tuple&, const K& value) {
+                                   fold_into(partial[s], value);
+                                 });
+      });
+      break;
+    }
+    case StorageKind::kSharded: {
+      const ShardedStore<K>& store = src.sharded_store();
+      par.pool->ParallelFor(kSegments, [&](size_t, size_t s) {
+        store.shard(s).ForEach([&](const Tuple&, const K& value) {
+          fold_into(partial[s], value);
+        });
+      });
+      break;
+    }
+    case StorageKind::kBaseline: {
+      // No range-scannable layout; fold serially (callers normally route
+      // baseline inputs to the serial runner before getting here).
+      std::optional<K> acc;
+      src.ForEach(
+          [&](const Tuple&, const K& value) { fold_into(acc, value); });
+      return acc;
+    }
+  }
+
+  std::optional<K> acc;
+  for (std::optional<K>& part : partial) {
+    if (part.has_value()) {
+      fold_into(acc, *part);
+    }
+  }
+  return acc;
+}
+
+/// One Rule 1 step with the parallel-vs-serial decision made in one
+/// place (shared by the batch runner below and the incremental view's
+/// Materialize, so the two engines can never drift in coverage): the
+/// terminal nullary projection takes the segment fold, other big
+/// range-scannable sources take the sharded scatter, everything else
+/// runs the bit-identical serial native into `serial_storage`. Resets
+/// `*result`; never Clears `source`.
+template <typename K, typename Plus>
+void ProjectDropStep(const AnnotatedRelation<K>& source, size_t drop_pos,
+                     const VarSet& result_vars, Plus plus,
+                     const IntraQueryParallel& par,
+                     StorageKind serial_storage,
+                     AnnotatedRelation<K>* result) {
+  const bool big = par.enabled() && source.size() >= par.min_rows &&
+                   parallel_internal::RangeScannable(source);
+  if (big && result_vars.empty()) {
+    // Terminal fold: all rows land on the empty key, so output sharding
+    // cannot split the work; the single-key result is cheapest flat.
+    result->Reset(result_vars, StorageKind::kFlat);
+    std::optional<K> folded = ParallelFoldSupport(source, plus, par);
+    if (folded.has_value()) {
+      result->Set(Tuple{}, *std::move(folded));
+    }
+  } else if (big) {
+    result->Reset(result_vars, StorageKind::kSharded);
+    ParallelProjectDropInto(source, drop_pos, plus, par, result);
+  } else {
+    result->Reset(result_vars, serial_storage);
+    source.ProjectDropInto(drop_pos, plus, result);
+  }
+}
+
+/// One Rule 2 step, parallel-vs-serial decided exactly like
+/// ProjectDropStep (nullary results always run serial — they hold at
+/// most one key). Resets `*result`; never Clears the operands.
+template <typename K, typename Times>
+void JoinUnionStep(const AnnotatedRelation<K>& left,
+                   const AnnotatedRelation<K>& right,
+                   const VarSet& result_vars, Times times, const K& zero,
+                   const IntraQueryParallel& par, StorageKind serial_storage,
+                   AnnotatedRelation<K>* result) {
+  const bool big = par.enabled() && !result_vars.empty() &&
+                   left.size() + right.size() >= par.min_rows &&
+                   parallel_internal::RangeScannable(left) &&
+                   parallel_internal::RangeScannable(right);
+  if (big) {
+    result->Reset(result_vars, StorageKind::kSharded);
+    ParallelJoinUnionInto(left, right, times, zero, par, result);
+  } else {
+    result->Reset(result_vars, serial_storage);
+    AnnotatedRelation<K>::JoinUnionInto(left, right, times, zero, result);
+  }
+}
+
+/// `RunAlgorithm1InPlace` with intra-query parallelism: per-step fan-out
+/// over hash shards when the step's input is large enough, bit-identical
+/// serial execution otherwise (and entirely serial when `par` is
+/// disabled). Intermediates produced by parallel steps live in
+/// `StorageKind::kSharded`; small steps keep their source's backend so
+/// the serial natives still apply. See RunAlgorithm1InPlace for the
+/// relations-vector contract.
+template <TwoMonoid M>
+typename M::value_type RunAlgorithm1InPlaceParallel(
+    const EliminationPlan& plan, const M& monoid,
+    std::vector<AnnotatedRelation<typename M::value_type>>& relations,
+    const IntraQueryParallel& par) {
+  using K = typename M::value_type;
+  if (!par.enabled()) {
+    return RunAlgorithm1InPlace(plan, monoid, relations);
+  }
+  HIERARQ_CHECK_EQ(relations.size(), plan.num_atoms());
+
+  const auto plus = [&monoid](const K& a, const K& b) {
+    return monoid.Plus(a, b);
+  };
+  const auto times = [&monoid](const K& a, const K& b) {
+    return monoid.Times(a, b);
+  };
+
+  for (const EliminationStep& step : plan.steps()) {
+    AnnotatedRelation<K>& result = relations[step.result_atom];
+    const VarSet& result_vars = plan.vars_of(step.result_atom);
+
+    if (step.rule == EliminationRule::kProjectVariable) {
+      AnnotatedRelation<K>& source = relations[step.source_atom];
+      HIERARQ_CHECK_LT(step.drop_pos, source.schema().size());
+      HIERARQ_CHECK_EQ(source.schema()[step.drop_pos], step.variable);
+      ProjectDropStep(source, step.drop_pos, result_vars, plus, par,
+                      source.storage(), &result);
+      source.Clear();
+    } else {
+      AnnotatedRelation<K>& left = relations[step.left_atom];
+      AnnotatedRelation<K>& right = relations[step.right_atom];
+      JoinUnionStep(left, right, result_vars, times, monoid.Zero(), par,
+                    left.storage(), &result);
+      left.Clear();
+      right.Clear();
+    }
+  }
+
+  AnnotatedRelation<K>& final_rel = relations[plan.final_atom()];
+  auto [slot, inserted] = final_rel.FindOrInsert(Tuple{});
+  K result = inserted ? monoid.Zero() : std::move(*slot);
+  final_rel.Clear();
+  return result;
+}
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_CORE_PARALLEL_H_

@@ -12,11 +12,13 @@
 /// order (atom term order, duplicate variables, and constants are resolved
 /// once, when the base database is annotated).
 ///
-/// `AnnotatedRelation` is a facade over three interchangeable storage
+/// `AnnotatedRelation` is a facade over four interchangeable storage
 /// backends (data/storage.h), selected **at runtime** per relation:
 /// the std::unordered_map baseline, the tuple-keyed open-addressing
-/// `FlatMap` (util/flat_map.h), and the column-major `ColumnarStore`
-/// (data/columnar.h). All backends implement the same narrow interface —
+/// `FlatMap` (util/flat_map.h), the column-major `ColumnarStore`
+/// (data/columnar.h), and the hash-sharded `ShardedStore`
+/// (data/sharded.h, the substrate of intra-query parallel steps —
+/// core/parallel.h). All backends implement the same narrow interface —
 /// `Find` / `FindOrInsert` / `Merge` / `Erase` / `Reset` / `AssignFrom`
 /// plus the Algorithm 1 bulk operations `ProjectDropInto` (Rule 1) and
 /// `JoinUnionInto` (Rule 2) — and are proven interchangeable by the
@@ -30,6 +32,7 @@
 
 #include "hierarq/data/columnar.h"
 #include "hierarq/data/database.h"
+#include "hierarq/data/sharded.h"
 #include "hierarq/data/storage.h"
 #include "hierarq/data/tuple.h"
 #include "hierarq/query/query.h"
@@ -309,6 +312,27 @@ class AnnotatedRelation {
     });
   }
 
+  /// Direct access to the active backend for layout-aware callers (the
+  /// intra-query parallel runner, core/parallel.h, scans rows and owns
+  /// shards through these). CHECKs that the named backend is the active
+  /// one.
+  const FlatMap<Tuple, K, TupleHash>& flat_store() const {
+    HIERARQ_CHECK(storage_ == StorageKind::kFlat);
+    return flat_;
+  }
+  const ColumnarStore<K>& columnar_store() const {
+    HIERARQ_CHECK(storage_ == StorageKind::kColumnar);
+    return columnar_;
+  }
+  const ShardedStore<K>& sharded_store() const {
+    HIERARQ_CHECK(storage_ == StorageKind::kSharded);
+    return sharded_;
+  }
+  ShardedStore<K>& mutable_sharded_store() {
+    HIERARQ_CHECK(storage_ == StorageKind::kSharded);
+    return sharded_;
+  }
+
  private:
   using BaselineStore = StdMapAdapter<Tuple, K, TupleHash>;
   using FlatStore = FlatMap<Tuple, K, TupleHash>;
@@ -325,6 +349,8 @@ class AnnotatedRelation {
         return fn(flat_);
       case StorageKind::kColumnar:
         return fn(columnar_);
+      case StorageKind::kSharded:
+        return fn(sharded_);
     }
     HIERARQ_CHECK(false) << "unhandled StorageKind "
                          << static_cast<int>(storage_);
@@ -339,6 +365,8 @@ class AnnotatedRelation {
         return fn(flat_);
       case StorageKind::kColumnar:
         return fn(columnar_);
+      case StorageKind::kSharded:
+        return fn(sharded_);
     }
     HIERARQ_CHECK(false) << "unhandled StorageKind "
                          << static_cast<int>(storage_);
@@ -353,6 +381,8 @@ class AnnotatedRelation {
       return baseline_;
     } else if constexpr (std::is_same_v<Store, FlatStore>) {
       return flat_;
+    } else if constexpr (std::is_same_v<Store, ShardedStore<K>>) {
+      return sharded_;
     } else {
       static_assert(std::is_same_v<Store, ColumnarStore<K>>);
       return columnar_;
@@ -361,13 +391,14 @@ class AnnotatedRelation {
 
   VarSet schema_;
   StorageKind storage_ = kDefaultStorageKind;
-  // Exactly one backend is active (named by storage_); the other two stay
-  // empty. Keeping all three as members makes backend switches and
-  // AssignFrom adoption trivial at the cost of two empty shells per
+  // Exactly one backend is active (named by storage_); the others stay
+  // empty. Keeping all four as members makes backend switches and
+  // AssignFrom adoption trivial at the cost of a few empty shells per
   // relation — relations are few (2x query atoms), so this is noise.
   BaselineStore baseline_;
   FlatStore flat_;
   ColumnarStore<K> columnar_;
+  ShardedStore<K> sharded_;
 };
 
 /// A K-annotated database instance for a query: one annotated relation per

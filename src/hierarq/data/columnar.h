@@ -18,6 +18,14 @@
 ///     columns. Key compares walk `columns_[c][row]` — column-strided
 ///     loops over contiguous arrays, the layout SIMD key compares want.
 ///
+/// The column loops run on the vector kernels of util/simd.h (batched
+/// Mix64 hash folds over 2/4 rows per instruction, probe-key compares
+/// against gathered column lanes; scalar fallback, runtime-dispatched),
+/// and the batch probe loops of the Rule 2 native prefetch the index
+/// slots a few rows ahead so the random-access meta/row loads overlap.
+/// All tiers produce bit-identical hashes — the kernels are pure integer
+/// math — so results do not depend on the host's vector width.
+///
 /// Rows are appended by inserts and removed one at a time only by `Erase`
 /// (the incremental subsystem deletes single facts from materialized
 /// relations): the erased row swaps with the last row so the columns stay
@@ -49,6 +57,7 @@
 #include "hierarq/data/tuple.h"
 #include "hierarq/util/hash.h"
 #include "hierarq/util/logging.h"
+#include "hierarq/util/simd.h"
 
 namespace hierarq {
 
@@ -259,6 +268,9 @@ class ColumnarStore {
 
     const size_t n = size();
     for (size_t r = 0; r < n; ++r) {
+      if (r + kProbeAhead < n) {
+        out->PrefetchProbe(hash_scratch_[r + kProbeAhead]);
+      }
       auto [row, inserted] = out->FindOrInsertRow(
           hash_scratch_[r],
           [&](uint32_t q) {
@@ -295,9 +307,16 @@ class ColumnarStore {
     out->Reserve(left.size() + right.size());  // Lemma 6.6 bound.
     const size_t arity = left.arity();
 
+    // Both probe loops walk rows in order with fully precomputed hashes,
+    // so the index lines each probe will touch are known kProbeAhead rows
+    // early — prefetching them overlaps the random meta/row loads that
+    // dominate large joins.
     left.ComputeAllRowHashes(&left.hash_scratch_);
     const size_t nl = left.size();
     for (size_t r = 0; r < nl; ++r) {
+      if (r + kProbeAhead < nl) {
+        right.PrefetchProbe(left.hash_scratch_[r + kProbeAhead]);
+      }
       const uint32_t other =
           right.FindRow(left.hash_scratch_[r], [&](uint32_t q) {
             return RowsEqual(left, r, right, q, arity);
@@ -311,6 +330,9 @@ class ColumnarStore {
     right.ComputeAllRowHashes(&right.hash_scratch_);
     const size_t nr = right.size();
     for (size_t r = 0; r < nr; ++r) {
+      if (r + kProbeAhead < nr) {
+        left.PrefetchProbe(right.hash_scratch_[r + kProbeAhead]);
+      }
       const uint32_t shared =
           left.FindRow(right.hash_scratch_[r], [&](uint32_t q) {
             return RowsEqual(right, r, left, q, arity);
@@ -322,8 +344,98 @@ class ColumnarStore {
     }
   }
 
+  /// Hints the cache that a probe for `hash` is imminent: touches the
+  /// index line the probe sequence starts at. Purely advisory.
+  void PrefetchProbe(uint64_t hash) const {
+    if (meta_.empty()) {
+      return;
+    }
+    const size_t index = hash & (meta_.size() - 1);
+    simd::PrefetchRead(meta_.data() + index);
+    simd::PrefetchRead(rows_.data() + index);
+  }
+
+  /// Read-only access to one column's dense value vector, and to one
+  /// row's annotation — the surface the intra-query parallel runner
+  /// (core/parallel.h) scans rows through without materializing tuples.
+  const std::vector<Value>& column(size_t c) const { return columns_[c]; }
+  const K& row_value(uint32_t row) const { return values_[row].value; }
+
+  /// Public probe with a caller-supplied hash and equality: returns the
+  /// matching row id or `kNoRowId`. The parallel Rule 2 probes one side's
+  /// rows against the other store this way, with batch-precomputed
+  /// hashes.
+  template <typename Eq>
+  uint32_t FindRowHashed(uint64_t hash, Eq eq) const {
+    return FindRow(hash, eq);
+  }
+  static constexpr uint32_t kNoRowId = ~uint32_t{0};
+
+  /// `Find` with the key's hash precomputed (`hash` must equal
+  /// `HashRange` over `key`): the cross-backend probe the parallel Rule 2
+  /// uses when the probed side is columnar.
+  const K* FindWithHash(uint64_t hash, const Tuple& key) const {
+    HIERARQ_CHECK_EQ(key.size(), arity());
+    const uint32_t row =
+        FindRow(hash, [&](uint32_t r) { return RowEquals(r, key); });
+    return row == kNoRow ? nullptr : &values_[row].value;
+  }
+
+  /// Batch per-row hashes over selected columns (`HashRange` over those
+  /// positions, vector kernels) into `*hashes` — the public face of the
+  /// internal fold, reused by the parallel Rule 1 partitioner.
+  void HashRowsInto(const std::vector<size_t>& cols,
+                    std::vector<uint64_t>* hashes) const {
+    ComputeRowHashes(cols, hashes);
+  }
+  void HashAllRowsInto(std::vector<uint64_t>* hashes) const {
+    ComputeAllRowHashes(hashes);
+  }
+
+  /// Optional row reorder for cache-linear probing: sorts rows by the
+  /// index slot their hash homes to (hash & index mask — the probe
+  /// address prefix), so a row-order scan that probes an equally-sized
+  /// index walks it monotonically instead of randomly, then rebuilds this
+  /// store's own index over the new row ids. Content-neutral: the same
+  /// keys map to the same annotations; only row ids and ForEach order
+  /// change (callers must already not rely on those). Worth its O(n log n)
+  /// only before repeated large probe sweeps.
+  void SortRowsByHashPrefix() {
+    const size_t n = size();
+    if (n <= 1) {
+      return;
+    }
+    ComputeAllRowHashes(&hash_scratch_);
+    const size_t mask = meta_.empty() ? ~size_t{0} : meta_.size() - 1;
+    std::vector<uint32_t> order(n);
+    for (size_t r = 0; r < n; ++r) {
+      order[r] = static_cast<uint32_t>(r);
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const uint64_t slot_a = hash_scratch_[a] & mask;
+      const uint64_t slot_b = hash_scratch_[b] & mask;
+      return slot_a != slot_b ? slot_a < slot_b : a < b;
+    });
+    std::vector<Value> column_scratch(n);
+    for (std::vector<Value>& column : columns_) {
+      for (size_t r = 0; r < n; ++r) {
+        column_scratch[r] = column[order[r]];
+      }
+      column.swap(column_scratch);
+    }
+    std::vector<Slot> value_scratch(n);
+    for (size_t r = 0; r < n; ++r) {
+      value_scratch[r] = std::move(values_[order[r]]);
+    }
+    values_.swap(value_scratch);
+    RebuildIndex(std::max(meta_.size(), kMinCapacity));
+  }
+
  private:
   static constexpr uint32_t kNoRow = ~uint32_t{0};
+  /// How many rows ahead the batch loops prefetch their next probes; deep
+  /// enough to cover a memory load, shallow enough to stay in flight.
+  static constexpr size_t kProbeAhead = 16;
   static constexpr size_t kMinCapacity = 8;
   // Same 7/8 load policy as FlatMap; denser tables iterate cheaper and
   // robin-hood keeps probe variance low at high load.
@@ -332,12 +444,7 @@ class ColumnarStore {
   static constexpr uint8_t kMaxDistance = 255;
 
   bool RowEquals(uint32_t row, const Tuple& key) const {
-    for (size_t c = 0; c < columns_.size(); ++c) {
-      if (columns_[c][row] != key[c]) {
-        return false;
-      }
-    }
-    return true;
+    return simd::RowEqualsKey(columns_, row, key.data(), columns_.size());
   }
 
   static bool RowsEqual(const ColumnarStore& a, size_t ra,
@@ -351,30 +458,23 @@ class ColumnarStore {
   }
 
   /// Folds per-row hashes over `cols` (in the given order) into
-  /// `*hashes`, one column-strided pass per column. Matches
-  /// HashRange(values in that column order) exactly.
+  /// `*hashes`, one column-strided vector-kernel pass per column
+  /// (util/simd.h). Matches HashRange(values in that column order)
+  /// exactly on every tier.
   void ComputeRowHashes(const std::vector<size_t>& cols,
                         std::vector<uint64_t>* hashes) const {
     hashes->assign(size(), kHashRangeSeed);
-    uint64_t* h = hashes->data();
     const size_t n = size();
     for (size_t c : cols) {
-      const Value* column = columns_[c].data();
-      for (size_t r = 0; r < n; ++r) {
-        h[r] = HashCombine(h[r], static_cast<uint64_t>(column[r]));
-      }
+      simd::HashCombineRows(hashes->data(), columns_[c].data(), n);
     }
   }
 
   void ComputeAllRowHashes(std::vector<uint64_t>* hashes) const {
     hashes->assign(size(), kHashRangeSeed);
-    uint64_t* h = hashes->data();
     const size_t n = size();
     for (const std::vector<Value>& col : columns_) {
-      const Value* column = col.data();
-      for (size_t r = 0; r < n; ++r) {
-        h[r] = HashCombine(h[r], static_cast<uint64_t>(column[r]));
-      }
+      simd::HashCombineRows(hashes->data(), col.data(), n);
     }
   }
 

@@ -10,6 +10,8 @@ const char* StorageKindName(StorageKind kind) {
       return "flat";
     case StorageKind::kColumnar:
       return "columnar";
+    case StorageKind::kSharded:
+      return "sharded";
   }
   return "unknown";
 }
@@ -23,6 +25,9 @@ std::optional<StorageKind> ParseStorageKind(std::string_view name) {
   }
   if (name == "columnar" || name == "column") {
     return StorageKind::kColumnar;
+  }
+  if (name == "sharded" || name == "shard") {
+    return StorageKind::kSharded;
   }
   return std::nullopt;
 }

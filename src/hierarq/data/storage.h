@@ -4,7 +4,7 @@
 /// \file storage.h
 /// \brief The storage-backend selector for `AnnotatedRelation`.
 ///
-/// Three layouts implement the relation interface
+/// Four layouts implement the relation interface
 /// (`Find`/`FindOrInsert`/`Merge`/`Reset`/`AssignFrom`):
 ///
 ///   * `kBaseline` — `std::unordered_map<Tuple, K>`: the reference
@@ -14,8 +14,12 @@
 ///   * `kColumnar` — `ColumnarStore` (data/columnar.h): one value vector
 ///     per schema position plus a row-id hash index, so Rule 1
 ///     projections touch only the surviving columns.
+///   * `kSharded`  — `ShardedStore` (data/sharded.h): a power-of-two set
+///     of independent FlatMap shards routed by the top bits of the key
+///     hash, so intra-query parallel Rule 1/Rule 2 steps
+///     (core/parallel.h) accumulate lock-free, one worker per shard.
 ///
-/// All three are always compiled in; the backend is selected *at runtime*
+/// All four are always compiled in; the backend is selected *at runtime*
 /// per relation (threaded as an engine option through `Evaluator`,
 /// `EvalService` and `hierarq_cli --storage=...`), so A/B comparison runs
 /// need no rebuild. The compile-time policy — CMake options
@@ -32,6 +36,7 @@ enum class StorageKind : unsigned char {
   kBaseline = 0,  ///< std::unordered_map reference backend.
   kFlat = 1,      ///< Tuple-keyed open-addressing FlatMap.
   kColumnar = 2,  ///< Column vectors + row-id hash index.
+  kSharded = 3,   ///< Hash-sharded FlatMap shards (intra-query parallel).
 };
 
 /// The backend relations default to, fixed by the compile-time policy.
@@ -44,8 +49,8 @@ inline constexpr StorageKind kDefaultStorageKind =
     StorageKind::kFlat;
 #endif
 
-/// "baseline" / "flat" / "columnar" — the spelling of the CLI flag and of
-/// the per-row storage tags in BENCH_*.json.
+/// "baseline" / "flat" / "columnar" / "sharded" — the spelling of the CLI
+/// flag and of the per-row storage tags in BENCH_*.json.
 const char* StorageKindName(StorageKind kind);
 
 /// Inverse of `StorageKindName`; nullopt for unknown spellings.
@@ -54,7 +59,8 @@ std::optional<StorageKind> ParseStorageKind(std::string_view name);
 /// All backends, in enum order — the iteration axis of the cross-backend
 /// differential tests and the per-backend bench emitters.
 inline constexpr StorageKind kAllStorageKinds[] = {
-    StorageKind::kBaseline, StorageKind::kFlat, StorageKind::kColumnar};
+    StorageKind::kBaseline, StorageKind::kFlat, StorageKind::kColumnar,
+    StorageKind::kSharded};
 
 }  // namespace hierarq
 

@@ -23,13 +23,17 @@
 #include "hierarq/core/bagset.h"
 #include "hierarq/core/evaluator.h"
 #include "hierarq/core/expectation.h"
+#include "hierarq/core/parallel.h"
 #include "hierarq/core/pqe.h"
 #include "hierarq/core/provenance_pipeline.h"
 #include "hierarq/core/resilience.h"
 #include "hierarq/core/shapley.h"
 #include "hierarq/data/annotated.h"
+#include "hierarq/data/columnar.h"
 #include "hierarq/data/database.h"
 #include "hierarq/data/loader.h"
+#include "hierarq/data/sharded.h"
+#include "hierarq/data/storage.h"
 #include "hierarq/data/tid_database.h"
 #include "hierarq/engine/bruteforce.h"
 #include "hierarq/engine/join.h"
@@ -50,11 +54,12 @@
 #include "hierarq/service/batch_solvers.h"
 #include "hierarq/service/eval_service.h"
 #include "hierarq/service/shared_plan_cache.h"
-#include "hierarq/service/worker_pool.h"
 #include "hierarq/util/bigint.h"
 #include "hierarq/util/fraction.h"
 #include "hierarq/util/result.h"
+#include "hierarq/util/simd.h"
 #include "hierarq/util/status.h"
+#include "hierarq/util/worker_pool.h"
 #include "hierarq/workload/data_gen.h"
 #include "hierarq/workload/query_gen.h"
 

@@ -40,12 +40,14 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/parallel.h"
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/storage.h"
 #include "hierarq/incremental/delta.h"
@@ -72,13 +74,19 @@ class IncrementalView {
     size_t group_refolds = 0;  ///< Rule 1 fallback re-aggregations.
   };
 
+  /// `par` (optional) lets Materialize run its big Rule 1/Rule 2 steps —
+  /// the same ⊕-folds the batch engine shards — in parallel
+  /// (core/parallel.h); the pool must outlive the view. Delta application
+  /// stays serial: per-key updates have nothing to fan out.
   IncrementalView(ConjunctiveQuery query, EliminationPlan plan, M monoid,
-                  Annotator annotator, StorageKind storage)
+                  Annotator annotator, StorageKind storage,
+                  IntraQueryParallel par = {})
       : query_(std::move(query)),
         plan_(std::move(plan)),
         monoid_(std::move(monoid)),
         annotator_(std::move(annotator)),
-        storage_(storage) {
+        storage_(storage),
+        par_(par) {
     relations_.resize(plan_.num_atoms());
     deltas_.resize(plan_.num_atoms());
     if constexpr (Traits::kPlusInvertible) {
@@ -144,15 +152,22 @@ class IncrementalView {
     for (size_t si = 0; si < plan_.steps().size(); ++si) {
       const EliminationStep& step = plan_.steps()[si];
       AnnotatedRelation<K>& result = relations_[step.result_atom];
-      result.Reset(plan_.vars_of(step.result_atom), storage_);
+      const VarSet& result_vars = plan_.vars_of(step.result_atom);
       if (step.rule == EliminationRule::kProjectVariable) {
         const AnnotatedRelation<K>& source = relations_[step.source_atom];
-        source.ProjectDropInto(step.drop_pos, plus, &result);
+        // The batch engine's shared step dispatch (core/parallel.h)
+        // decides parallel-vs-serial, so the two engines cannot drift in
+        // coverage. A step sharded here then lives (and is delta-
+        // maintained) in the sharded backend, which supports the same
+        // per-key ops as the others; serial steps keep the view's
+        // configured backend.
+        ProjectDropStep(source, step.drop_pos, result_vars, plus, par_,
+                        storage_, &result);
         RebuildRule1Bookkeeping(si, step, source);
       } else {
-        AnnotatedRelation<K>::JoinUnionInto(relations_[step.left_atom],
-                                            relations_[step.right_atom],
-                                            times, monoid_.Zero(), &result);
+        JoinUnionStep(relations_[step.left_atom],
+                      relations_[step.right_atom], result_vars, times,
+                      monoid_.Zero(), par_, storage_, &result);
       }
     }
     RefreshResult();
@@ -445,6 +460,9 @@ class IncrementalView {
   M monoid_;
   Annotator annotator_;
   StorageKind storage_;
+  /// Parallel materialization config; disabled by default. The pool is
+  /// borrowed from the owning IncrementalEvaluator.
+  IntraQueryParallel par_;
 
   /// The view tree: one materialized relation per plan atom (base atoms
   /// in query order, then one per step result), never cleared.

@@ -19,7 +19,10 @@ size_t ResolveWorkers(size_t requested) {
 EvalService::EvalService() : EvalService(Options()) {}
 
 EvalService::EvalService(Options options)
-    : storage_(options.storage), pool_(ResolveWorkers(options.num_workers)) {
+    : storage_(options.storage),
+      intra_query_min_support_(options.intra_query_min_support),
+      annotation_cache_max_entries_(options.annotation_cache_max_entries),
+      pool_(ResolveWorkers(options.num_workers)) {
   // Workers idle until the first Submit, so populating their evaluators
   // after the pool starts is safe.
   const size_t n = pool_.num_workers();
@@ -27,6 +30,18 @@ EvalService::EvalService(Options options)
   for (size_t i = 0; i < n; ++i) {
     worker_evaluators_.push_back(
         std::make_unique<Evaluator>(&plan_cache_, options.storage));
+  }
+  if (options.intra_query_threads > 1) {
+    // The intra evaluator borrows the service pool: one huge replay's
+    // shard tasks interleave with batch fan-out tasks instead of
+    // stalling behind them. It is only ever driven from client threads
+    // (EvaluateGroup), satisfying ParallelFor's outside-the-pool rule.
+    Evaluator::Options intra;
+    intra.storage = options.storage;
+    intra.intra_query_threads = options.intra_query_threads;
+    intra.parallel_min_rows = options.parallel_min_rows;
+    intra.intra_pool = &pool_;
+    intra_evaluator_ = std::make_unique<Evaluator>(intra, &plan_cache_);
   }
 }
 
@@ -43,6 +58,10 @@ ServiceStats EvalService::stats() const {
       annotation_cache_hits_.load(std::memory_order_relaxed);
   out.annotation_cache_invalidations =
       annotation_cache_invalidations_.load(std::memory_order_relaxed);
+  out.annotation_cache_evictions =
+      annotation_cache_evictions_.load(std::memory_order_relaxed);
+  out.intra_parallel_replays =
+      intra_parallel_replays_.load(std::memory_order_relaxed);
   const SharedPlanCache::Stats plans = plan_cache_.stats();
   out.plans_built = plans.plans_built;
   out.plan_cache_hits = plans.cache_hits;

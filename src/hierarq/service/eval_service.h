@@ -24,12 +24,21 @@
 ///     batches over the same `VersionedDatabase` snapshot stop paying for
 ///     the base scan twice. A generation bump (one `DeltaBatch` applied)
 ///     invalidates exactly the stale entry. Anonymous groups (empty id)
-///     keep the per-group pool.
+///     keep the per-group pool. The cache is LRU-bounded
+///     (`Options.annotation_cache_max_entries`), so long-running services
+///     over many databases hold a working set, not a history.
 ///   * **Zero-copy singleton replay.** Within a group, a pool entry used
 ///     by exactly one query is *moved* into that worker's scratch
 ///     (`AnnotatedRelation::AdoptFrom`) instead of copied — the copy is
 ///     the service's main single-query overhead versus a bare Evaluator.
 ///     Cached pools are never moved from (they outlive the group).
+///   * **Intra-query parallelism for single huge replays.** A group with
+///     one plannable query over a database past
+///     `Options.intra_query_min_support` cannot benefit from across-query
+///     fan-out; with `Options.intra_query_threads > 1` its replay instead
+///     runs hash-shard-parallel (core/parallel.h) on the same worker
+///     pool, so one big request scales with cores instead of occupying
+///     one worker while the rest idle.
 ///
 /// Thread model: `EvaluateBatch` / `EvaluateMany` may be called
 /// concurrently from any number of client threads (each call blocks until
@@ -41,6 +50,7 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,7 +67,7 @@
 #include "hierarq/incremental/versioned_database.h"
 #include "hierarq/query/query.h"
 #include "hierarq/service/shared_plan_cache.h"
-#include "hierarq/service/worker_pool.h"
+#include "hierarq/util/worker_pool.h"
 #include "hierarq/util/result.h"
 
 namespace hierarq {
@@ -112,6 +122,8 @@ struct ServiceStats {
   size_t singleton_moves = 0;     ///< Pool entries adopted (not copied).
   size_t annotation_cache_hits = 0;  ///< Groups served by a cached pool.
   size_t annotation_cache_invalidations = 0;  ///< Stale pools replaced.
+  size_t annotation_cache_evictions = 0;  ///< Pools LRU-evicted at capacity.
+  size_t intra_parallel_replays = 0;  ///< Replays run shard-parallel.
 };
 
 class EvalService {
@@ -123,6 +135,25 @@ class EvalService {
     /// scratch relations (data/storage.h) — the service-level engine
     /// option behind `hierarq_cli batch ... --storage=...`.
     StorageKind storage = kDefaultStorageKind;
+    /// > 1 routes a group that holds exactly ONE plannable query over a
+    /// big database through intra-query shard parallelism
+    /// (core/parallel.h) on the service's own pool, instead of queueing
+    /// the single replay behind the batch fan-out as one indivisible
+    /// task. 0 or 1 disables the route (the legacy behavior).
+    size_t intra_query_threads = 0;
+    /// Databases below this many facts never take the intra-query route —
+    /// per-step fan-out only pays for itself on large replays.
+    size_t intra_query_min_support = 65536;
+    /// Per-step serial cutoff forwarded to the intra evaluator
+    /// (Evaluator::Options::parallel_min_rows).
+    size_t parallel_min_rows = 4096;
+    /// Upper bound on cached annotation pools (the generation-keyed
+    /// cache); the least-recently-used entry is evicted past it, so
+    /// long-running services over many databases stop growing without a
+    /// manual ClearAnnotationCache. 0 means unbounded. In-flight groups
+    /// pin their pool via shared_ptr, so eviction never invalidates a
+    /// running batch.
+    size_t annotation_cache_max_entries = 64;
   };
 
   /// Default configuration: one worker per hardware thread.
@@ -211,11 +242,13 @@ class EvalService {
   }
 
   /// Drops every cached annotation pool (in-flight groups keep theirs
-  /// alive until they finish). There is no eviction policy yet — see
-  /// ROADMAP — so long-lived servers over many databases call this.
+  /// alive until they finish). Routine growth is already bounded by
+  /// `Options.annotation_cache_max_entries` LRU eviction; this is the
+  /// drop-everything override (tests, explicit memory pressure).
   void ClearAnnotationCache() {
     std::lock_guard<std::mutex> lock(annotation_cache_mutex_);
     annotation_cache_.clear();
+    lru_.clear();
   }
 
  private:
@@ -262,9 +295,19 @@ class EvalService {
       bool hit = false;
       {
         std::lock_guard<std::mutex> lock(annotation_cache_mutex_);
-        AnnotationCacheEntry& entry = annotation_cache_[AnnotationCacheKey{
-            request.database, request.database_uid,
-            std::type_index(typeid(K)), request.annotator_id}];
+        auto [it, inserted] =
+            annotation_cache_.try_emplace(AnnotationCacheKey{
+                request.database, request.database_uid,
+                std::type_index(typeid(K)), request.annotator_id});
+        AnnotationCacheEntry& entry = it->second;
+        // LRU maintenance: every touch moves the entry to the front, so
+        // the back is always the stalest key.
+        if (inserted) {
+          lru_.push_front(it->first);
+          entry.lru_position = lru_.begin();
+        } else {
+          lru_.splice(lru_.begin(), lru_, entry.lru_position);
+        }
         if (entry.pool == nullptr ||
             entry.generation != request.generation) {
           if (entry.pool != nullptr) {
@@ -279,6 +322,17 @@ class EvalService {
         }
         cached = std::static_pointer_cast<AnnotationPool<K>>(entry.pool);
         fill_mutex = entry.fill_mutex;
+        // Evict past capacity — never the entry just touched (it sits at
+        // the LRU front). In-flight groups hold their pool's shared_ptr,
+        // so a victim's memory lives until its last reader finishes.
+        if (annotation_cache_max_entries_ > 0 &&
+            annotation_cache_.size() > annotation_cache_max_entries_) {
+          const AnnotationCacheKey victim = lru_.back();
+          lru_.pop_back();
+          annotation_cache_.erase(victim);
+          annotation_cache_evictions_.fetch_add(1,
+                                                std::memory_order_relaxed);
+        }
       }
       if (hit) {
         annotation_cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -313,17 +367,36 @@ class EvalService {
     annotation_scans_.fetch_add(scans, std::memory_order_relaxed);
     annotations_shared_.fetch_add(shared, std::memory_order_relaxed);
 
-    // Replay phase: fan the plans out across the workers. Shared entries
-    // are read-only from here on; each worker copies them into its own
-    // scratch (or adopts its exclusive singletons), so replays never
-    // contend.
+    // Replay phase. A group with exactly one plannable query over a big
+    // database has nothing to fan out across queries — route it through
+    // intra-query shard parallelism on the same pool (core/parallel.h)
+    // instead of running it as one indivisible task behind the batch
+    // queue. Everything else fans out across the workers as before.
+    // Shared pool entries are read-only from here on; each worker copies
+    // them into its own scratch (or adopts its exclusive singletons), so
+    // replays never contend.
     std::vector<std::optional<K>> values(n);
-    pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
-      const size_t slot = planned[j];
-      values[slot] = worker_evaluator(worker).ReplayPlan(
+    if (intra_evaluator_ != nullptr && planned.size() == 1 &&
+        request.database->NumFacts() >= intra_query_min_support_) {
+      const size_t slot = planned.front();
+      // One intra evaluator (its scratch is identity); concurrent
+      // singleton groups serialize here while their shard tasks still
+      // interleave with other batches on the shared pool. This runs on
+      // the client's thread — never inside a pool task — so ParallelFor
+      // fan-out from it is safe.
+      std::lock_guard<std::mutex> lock(intra_mutex_);
+      values[slot] = intra_evaluator_->ReplayPlan(
           **plans[slot], monoid, *request.queries[slot],
-          sources.per_query[j]);
-    });
+          sources.per_query.front());
+      intra_parallel_replays_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
+        const size_t slot = planned[j];
+        values[slot] = worker_evaluator(worker).ReplayPlan(
+            **plans[slot], monoid, *request.queries[slot],
+            sources.per_query[j]);
+      });
+    }
 
     BatchResult<K> out;
     out.values.reserve(n);
@@ -365,15 +438,27 @@ class EvalService {
     uint64_t generation = 0;
     std::shared_ptr<void> pool;  // shared_ptr<AnnotationPool<K>>.
     std::shared_ptr<std::mutex> fill_mutex;
+    /// This entry's node in `lru_` (front = most recently touched).
+    std::list<AnnotationCacheKey>::iterator lru_position;
   };
 
   SharedPlanCache plan_cache_;
   StorageKind storage_ = kDefaultStorageKind;
   std::vector<std::unique_ptr<Evaluator>> worker_evaluators_;
+  /// The single-huge-replay evaluator: shard-parallel on `pool_`, used
+  /// under `intra_mutex_` from client threads only. Null when
+  /// Options.intra_query_threads <= 1.
+  std::unique_ptr<Evaluator> intra_evaluator_;
+  std::mutex intra_mutex_;
+  size_t intra_query_min_support_ = 0;
+  size_t annotation_cache_max_entries_ = 0;
   mutable std::mutex annotation_cache_mutex_;
   std::unordered_map<AnnotationCacheKey, AnnotationCacheEntry,
                      AnnotationCacheKeyHash>
       annotation_cache_;
+  /// Recency order of `annotation_cache_` keys, most recent first; guarded
+  /// by `annotation_cache_mutex_`.
+  std::list<AnnotationCacheKey> lru_;
   std::atomic<size_t> batches_{0};
   std::atomic<size_t> groups_{0};
   std::atomic<size_t> requests_{0};
@@ -382,6 +467,8 @@ class EvalService {
   std::atomic<size_t> singleton_moves_{0};
   std::atomic<size_t> annotation_cache_hits_{0};
   std::atomic<size_t> annotation_cache_invalidations_{0};
+  std::atomic<size_t> annotation_cache_evictions_{0};
+  std::atomic<size_t> intra_parallel_replays_{0};
   // Declared last: the pool joins (draining in-flight tasks) before any
   // member a task could touch is destroyed.
   WorkerPool pool_;

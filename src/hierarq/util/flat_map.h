@@ -98,8 +98,19 @@ class FlatMap {
     if (size_ == 0) {
       return nullptr;
     }
+    return FindHashed(Hash{}(key), key);
+  }
+
+  /// `Find` with the key's hash precomputed by the caller — the sharded
+  /// store (data/sharded.h) and the intra-query parallel runner
+  /// (core/parallel.h) hash once to pick a shard and reuse the same hash
+  /// for the in-shard probe. `hash` must equal `Hash{}(key)`.
+  const Mapped* FindHashed(uint64_t hash, const Key& key) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
     const size_t mask = meta_.size() - 1;
-    size_t index = Hash{}(key) & mask;
+    size_t index = hash & mask;
     uint8_t distance = 1;  // Stored metadata: 0 = empty, else probe dist + 1.
     while (true) {
       const uint8_t slot = meta_[index];
@@ -124,11 +135,19 @@ class FlatMap {
   /// sequence total — this is what Rule 1's ⊕-merge and Rule 2's
   /// union-of-supports iteration call per fact.
   std::pair<Mapped*, bool> FindOrInsert(const Key& key) {
+    return FindOrInsertHashed(Hash{}(key), key);
+  }
+
+  /// `FindOrInsert` with the key's hash precomputed by the caller
+  /// (`hash` must equal `Hash{}(key)`); probe sequences are identical to
+  /// the hash-it-yourself path.
+  std::pair<Mapped*, bool> FindOrInsertHashed(uint64_t hash,
+                                              const Key& key) {
     if (NeedsGrowth()) {
       Rehash(meta_.empty() ? kMinCapacity : meta_.size() * 2);
     }
     const size_t mask = meta_.size() - 1;
-    size_t index = Hash{}(key) & mask;
+    size_t index = hash & mask;
     uint8_t distance = 1;
     while (true) {
       // Overflow check first, before any branch can store `distance`:
@@ -136,7 +155,7 @@ class FlatMap {
       // in Find could wrap past the sentinel.
       if (distance == kMaxDistance) {
         Rehash(meta_.size() * 2);
-        return FindOrInsert(key);
+        return FindOrInsertHashed(hash, key);
       }
       const uint8_t slot = meta_[index];
       if (slot == 0) {
@@ -179,7 +198,14 @@ class FlatMap {
   /// value via `combine(existing, value)`. Single probe sequence.
   template <typename Combine>
   void Merge(const Key& key, Mapped value, Combine combine) {
-    auto [slot, inserted] = FindOrInsert(key);
+    MergeHashed(Hash{}(key), key, std::move(value), combine);
+  }
+
+  /// `Merge` with a precomputed hash (`hash` must equal `Hash{}(key)`).
+  template <typename Combine>
+  void MergeHashed(uint64_t hash, const Key& key, Mapped value,
+                   Combine combine) {
+    auto [slot, inserted] = FindOrInsertHashed(hash, key);
     if (inserted) {
       *slot = std::move(value);
     } else {
@@ -195,8 +221,16 @@ class FlatMap {
     if (size_ == 0) {
       return false;
     }
+    return EraseHashed(Hash{}(key), key);
+  }
+
+  /// `Erase` with a precomputed hash (`hash` must equal `Hash{}(key)`).
+  bool EraseHashed(uint64_t hash, const Key& key) {
+    if (size_ == 0) {
+      return false;
+    }
     const size_t mask = meta_.size() - 1;
-    size_t index = Hash{}(key) & mask;
+    size_t index = hash & mask;
     uint8_t distance = 1;
     while (true) {
       const uint8_t slot = meta_[index];
@@ -230,9 +264,30 @@ class FlatMap {
   /// uniform iteration surface shared with the other relation backends.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (size_t i = 0; i < meta_.size(); ++i) {
+    ForEachInSlotRange(0, meta_.size(), fn);
+  }
+
+  /// Visits the occupied entries whose slot index lies in [first, last) —
+  /// `ForEach` restricted to a slot range, so the intra-query parallel
+  /// runner (core/parallel.h) can split one table's scan across tasks.
+  /// Visit order within the range is slot order, like ForEach.
+  template <typename Fn>
+  void ForEachInSlotRange(size_t first, size_t last, Fn fn) const {
+    for (size_t i = first; i < last; ++i) {
       if (meta_[i] != 0) {
         fn(entries_[i].first, entries_[i].second);
+      }
+    }
+  }
+
+  /// Like ForEachInSlotRange but also hands `fn` the slot index — the
+  /// parallel runner keys per-slot side arrays (precomputed hashes) off
+  /// it when one scan phase writes what a later phase filters on.
+  template <typename Fn>
+  void ForEachSlotInRange(size_t first, size_t last, Fn fn) const {
+    for (size_t i = first; i < last; ++i) {
+      if (meta_[i] != 0) {
+        fn(i, entries_[i].first, entries_[i].second);
       }
     }
   }

@@ -1,0 +1,250 @@
+#include "hierarq/util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "hierarq/util/hash.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define HIERARQ_SIMD_X86_64 1
+#include <immintrin.h>
+#else
+#define HIERARQ_SIMD_X86_64 0
+#endif
+
+namespace hierarq::simd {
+namespace {
+
+// The Mix64 / HashCombine constants (util/hash.h), restated here so the
+// vector lanes run the exact integer sequence the scalar helpers run.
+constexpr uint64_t kMixMul1 = 0xff51afd7ed558ccdULL;
+constexpr uint64_t kMixMul2 = 0xc4ceb9fe1a85ec53ULL;
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+void HashCombineRowsScalar(uint64_t* h, const int64_t* column, size_t n) {
+  for (size_t r = 0; r < n; ++r) {
+    h[r] = HashCombine(h[r], static_cast<uint64_t>(column[r]));
+  }
+}
+
+#if HIERARQ_SIMD_X86_64
+
+// ----------------------------------------------------------------- SSE2 --
+// SSE2 is part of the x86-64 baseline; these compile with no extra flags.
+
+// 64x64 -> low 64 multiply per lane. SSE2/AVX2 have no 64-bit mullo, so
+// decompose: lo(a)*lo(b) + ((hi(a)*lo(b) + lo(a)*hi(b)) << 32).
+inline __m128i MulLo64Sse2(__m128i a, __m128i b) {
+  const __m128i lolo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                    _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lolo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i Mix64Sse2(__m128i x) {
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = MulLo64Sse2(x, _mm_set1_epi64x(static_cast<int64_t>(kMixMul1)));
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = MulLo64Sse2(x, _mm_set1_epi64x(static_cast<int64_t>(kMixMul2)));
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+}
+
+void HashCombineRowsSse2(uint64_t* h, const int64_t* column, size_t n) {
+  const __m128i golden = _mm_set1_epi64x(static_cast<int64_t>(kGolden));
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    const __m128i seed =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + r));
+    const __m128i mixed = Mix64Sse2(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(column + r)));
+    // seed ^ (Mix64(v) + golden + (seed << 6) + (seed >> 2)).
+    const __m128i sum = _mm_add_epi64(
+        _mm_add_epi64(mixed, golden),
+        _mm_add_epi64(_mm_slli_epi64(seed, 6), _mm_srli_epi64(seed, 2)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(h + r),
+                     _mm_xor_si128(seed, sum));
+  }
+  HashCombineRowsScalar(h + r, column + r, n - r);
+}
+
+// ----------------------------------------------------------------- AVX2 --
+// Compiled behind function-level target attributes so the TU builds
+// without -mavx2; only ever called when __builtin_cpu_supports("avx2").
+
+__attribute__((target("avx2"))) inline __m256i MulLo64Avx2(__m256i a,
+                                                           __m256i b) {
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i Mix64Avx2(__m256i x) {
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = MulLo64Avx2(x, _mm256_set1_epi64x(static_cast<int64_t>(kMixMul1)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = MulLo64Avx2(x, _mm256_set1_epi64x(static_cast<int64_t>(kMixMul2)));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+__attribute__((target("avx2"))) void HashCombineRowsAvx2(uint64_t* h,
+                                                         const int64_t* column,
+                                                         size_t n) {
+  const __m256i golden = _mm256_set1_epi64x(static_cast<int64_t>(kGolden));
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    const __m256i seed =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + r));
+    const __m256i mixed = Mix64Avx2(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(column + r)));
+    const __m256i sum = _mm256_add_epi64(
+        _mm256_add_epi64(mixed, golden),
+        _mm256_add_epi64(_mm256_slli_epi64(seed, 6),
+                         _mm256_srli_epi64(seed, 2)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(h + r),
+                        _mm256_xor_si256(seed, sum));
+  }
+  HashCombineRowsScalar(h + r, column + r, n - r);
+}
+
+/// Packs candidate row `row`'s first four column lanes next to the probe
+/// key and compares all lanes at once; lanes past `arity` are padded
+/// equal on both sides. Only called with 3 <= arity <= 4 (below that the
+/// scalar early-exit loop wins; above it the caller finishes scalar).
+__attribute__((target("avx2"))) bool RowEqualsKeyAvx2(
+    const std::vector<std::vector<int64_t>>& columns, uint32_t row,
+    const int64_t* key, size_t arity) {
+  const __m256i lanes =
+      _mm256_set_epi64x(arity > 3 ? columns[3][row] : 0, columns[2][row],
+                        columns[1][row], columns[0][row]);
+  const __m256i probe =
+      _mm256_set_epi64x(arity > 3 ? key[3] : 0, key[2], key[1], key[0]);
+  return _mm256_movemask_epi8(_mm256_cmpeq_epi64(lanes, probe)) == -1;
+}
+
+#endif  // HIERARQ_SIMD_X86_64
+
+Level Detect() {
+#if HIERARQ_SIMD_X86_64
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+/// The tier dispatch *defaults* to. Distinct from Detect(): the SSE2 fold
+/// emulates each 64-bit multiply with three 32-bit ones across only two
+/// lanes, which measures *slower* than the pipelined scalar `imul` loop —
+/// so SSE2 stays reachable for A/B runs (env/SetLevelForTesting) but is
+/// never picked by default.
+Level DefaultLevel() {
+  const Level detected = Detect();
+  return detected == Level::kAvx2 ? Level::kAvx2 : Level::kScalar;
+}
+
+Level ClampToDetected(Level level) {
+  const Level detected = DetectedLevel();
+  return static_cast<unsigned char>(level) <
+                 static_cast<unsigned char>(detected)
+             ? level
+             : detected;
+}
+
+/// Resolved once on first use: hardware capability, optionally lowered by
+/// the HIERARQ_SIMD environment variable.
+Level InitialLevel() {
+  Level level = DefaultLevel();
+  if (const char* env = std::getenv("HIERARQ_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      level = Level::kScalar;
+    } else if (std::strcmp(env, "sse2") == 0) {
+      level = ClampToDetected(Level::kSse2);
+    } else if (std::strcmp(env, "avx2") == 0) {
+      level = ClampToDetected(Level::kAvx2);
+    }
+  }
+  return level;
+}
+
+/// Atomic so TSAN-clean concurrent kernel calls can read it while a test
+/// harness (single-threaded setup) overrides it.
+std::atomic<Level>& ActiveLevelSlot() {
+  static std::atomic<Level> level{InitialLevel()};
+  return level;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+  static const Level detected = Detect();
+  return detected;
+}
+
+Level ActiveLevel() {
+  return ActiveLevelSlot().load(std::memory_order_relaxed);
+}
+
+void SetLevelForTesting(Level level) {
+  ActiveLevelSlot().store(ClampToDetected(level), std::memory_order_relaxed);
+}
+
+void HashCombineRows(uint64_t* h, const int64_t* column, size_t n) {
+#if HIERARQ_SIMD_X86_64
+  switch (ActiveLevel()) {
+    case Level::kAvx2:
+      HashCombineRowsAvx2(h, column, n);
+      return;
+    case Level::kSse2:
+      HashCombineRowsSse2(h, column, n);
+      return;
+    case Level::kScalar:
+      break;
+  }
+#endif
+  HashCombineRowsScalar(h, column, n);
+}
+
+bool RowEqualsKey(const std::vector<std::vector<int64_t>>& columns,
+                  uint32_t row, const int64_t* key, size_t arity) {
+#if HIERARQ_SIMD_X86_64
+  if (arity >= 3 && ActiveLevel() == Level::kAvx2) {
+    if (!RowEqualsKeyAvx2(columns, row, key, arity)) {
+      return false;
+    }
+    for (size_t c = 4; c < arity; ++c) {
+      if (columns[c][row] != key[c]) {
+        return false;
+      }
+    }
+    return true;
+  }
+#endif
+  for (size_t c = 0; c < arity; ++c) {
+    if (columns[c][row] != key[c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hierarq::simd

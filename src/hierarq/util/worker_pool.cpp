@@ -1,4 +1,4 @@
-#include "hierarq/service/worker_pool.h"
+#include "hierarq/util/worker_pool.h"
 
 #include <algorithm>
 #include <latch>

@@ -1,16 +1,18 @@
-#ifndef HIERARQ_SERVICE_WORKER_POOL_H_
-#define HIERARQ_SERVICE_WORKER_POOL_H_
+#ifndef HIERARQ_UTIL_WORKER_POOL_H_
+#define HIERARQ_UTIL_WORKER_POOL_H_
 
 /// \file worker_pool.h
 /// \brief A fixed-size worker pool over an MPMC task queue.
 ///
-/// The service layer's execution substrate: a fixed set of `std::jthread`
-/// workers drains one multi-producer/multi-consumer queue (any client
-/// thread submits; any worker picks up). Tasks receive the index of the
-/// worker running them — that index is how the service hands each task a
-/// *worker-owned* `Evaluator` (shared plan cache, private scratch tables)
-/// without any per-task locking: a worker runs one task at a time, so its
-/// index is an exclusive token for its scratch.
+/// The engine's execution substrate, shared by the service layer's
+/// across-query fan-out (service/eval_service.h) and the execution core's
+/// intra-query shard parallelism (core/parallel.h): a fixed set of
+/// `std::jthread` workers drains one multi-producer/multi-consumer queue
+/// (any client thread submits; any worker picks up). Tasks receive the
+/// index of the worker running them — that index is how the service hands
+/// each task a *worker-owned* `Evaluator` (shared plan cache, private
+/// scratch tables) without any per-task locking: a worker runs one task
+/// at a time, so its index is an exclusive token for its scratch.
 ///
 /// The pool is deliberately minimal — no priorities, no stealing, no
 /// futures. Completion is the caller's concern (`ParallelFor` bundles the
@@ -70,4 +72,4 @@ class WorkerPool {
 
 }  // namespace hierarq
 
-#endif  // HIERARQ_SERVICE_WORKER_POOL_H_
+#endif  // HIERARQ_UTIL_WORKER_POOL_H_

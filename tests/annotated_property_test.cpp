@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <vector>
 
@@ -190,8 +191,8 @@ TEST(AnnotatedPropertyTest, ResetAcrossBackendSwitchesStartsClean) {
   Rng rng(0x90edULL);
   AnnotatedRelation<uint64_t> rel(SchemaOfArity(2, 0));
   for (int round = 0; round < 60; ++round) {
-    const StorageKind kind =
-        kAllStorageKinds[static_cast<size_t>(rng.UniformInt(0, 2))];
+    const StorageKind kind = kAllStorageKinds[static_cast<size_t>(
+        rng.UniformInt(0, std::size(kAllStorageKinds) - 1))];
     const size_t arity = 1 + static_cast<size_t>(rng.UniformInt(0, 2));
     rel.Reset(SchemaOfArity(arity, 0), kind);
     EXPECT_EQ(rel.storage(), kind);

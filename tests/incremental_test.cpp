@@ -393,7 +393,7 @@ void RunDifferentialSweep(const M& monoid,
       }
     }
   }
-  EXPECT_EQ(sequences, 36u);
+  EXPECT_EQ(sequences, 12u * std::size(kAllStorageKinds));
 }
 
 constexpr double kFloatTolerance = 1e-11;

@@ -22,7 +22,7 @@
 #include "hierarq/service/batch_solvers.h"
 #include "hierarq/service/eval_service.h"
 #include "hierarq/service/shared_plan_cache.h"
-#include "hierarq/service/worker_pool.h"
+#include "hierarq/util/worker_pool.h"
 #include "hierarq/util/random.h"
 #include "hierarq/workload/data_gen.h"
 #include "hierarq/workload/query_gen.h"
@@ -359,6 +359,88 @@ TEST(EvalService, AnnotationCacheInvalidatesOnGenerationBump) {
   EXPECT_EQ(service.annotation_cache_size(), 2u);
   service.ClearAnnotationCache();
   EXPECT_EQ(service.annotation_cache_size(), 0u);
+}
+
+TEST(EvalService, AnnotationCacheEvictsLeastRecentlyUsedPastCapacity) {
+  const std::vector<ConjunctiveQuery> queries = QueryFamily();
+  const CountMonoid monoid;
+  // Three distinct versioned databases, capacity two: the first-touched
+  // entry must fall out when the third arrives.
+  std::vector<std::unique_ptr<VersionedDatabase>> dbs;
+  for (int d = 0; d < 3; ++d) {
+    Database base;
+    base.AddFactOrDie("R", MakeTuple({1, 2 + d}));
+    base.AddFactOrDie("S", MakeTuple({1, 3}));
+    base.AddFactOrDie("T", MakeTuple({1, 3, 4}));
+    dbs.push_back(std::make_unique<VersionedDatabase>(std::move(base)));
+  }
+
+  EvalService::Options options;
+  options.num_workers = 2;
+  options.annotation_cache_max_entries = 2;
+  EvalService service(options);
+
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[0],
+                                    OneAnnotator(), "ones");
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[1],
+                                    OneAnnotator(), "ones");
+  EXPECT_EQ(service.annotation_cache_size(), 2u);
+  EXPECT_EQ(service.stats().annotation_cache_evictions, 0u);
+
+  // Touch db0 so db1 becomes the LRU victim, then insert db2.
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[0],
+                                    OneAnnotator(), "ones");
+  EXPECT_EQ(service.stats().annotation_cache_hits, 1u);
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[2],
+                                    OneAnnotator(), "ones");
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(service.annotation_cache_size(), 2u);
+  EXPECT_EQ(stats.annotation_cache_evictions, 1u);
+
+  // db0 survived (recently touched): serving it again is a hit with no
+  // new scans. db1 was evicted: serving it re-scans its three relations.
+  const size_t scans_before = stats.annotation_scans;
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[0],
+                                    OneAnnotator(), "ones");
+  EXPECT_EQ(service.stats().annotation_scans, scans_before);
+  service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *dbs[1],
+                                    OneAnnotator(), "ones");
+  stats = service.stats();
+  EXPECT_EQ(stats.annotation_scans, scans_before + 3);
+  EXPECT_EQ(stats.annotation_cache_evictions, 2u);  // db2 fell out.
+  EXPECT_EQ(service.annotation_cache_size(), 2u);
+
+  // Results served through the bounded cache stay correct.
+  Evaluator reference;
+  auto results = service.EvaluateMany<CountMonoid>(
+      monoid, Pointers(queries), *dbs[1], OneAnnotator(), "ones");
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto expected = reference.Evaluate<CountMonoid>(
+        queries[i], monoid, dbs[1]->facts(), OneAnnotator());
+    ASSERT_TRUE(expected.ok() && results[i].ok());
+    EXPECT_EQ(*results[i], *expected);
+  }
+}
+
+TEST(EvalService, AnnotationCacheUnboundedWhenMaxEntriesZero) {
+  const std::vector<ConjunctiveQuery> queries = QueryFamily();
+  const CountMonoid monoid;
+  std::vector<std::unique_ptr<VersionedDatabase>> dbs;
+  for (int d = 0; d < 5; ++d) {
+    Database base;
+    base.AddFactOrDie("R", MakeTuple({1, 2 + d}));
+    dbs.push_back(std::make_unique<VersionedDatabase>(std::move(base)));
+  }
+  EvalService::Options options;
+  options.num_workers = 2;
+  options.annotation_cache_max_entries = 0;  // Unbounded.
+  EvalService service(options);
+  for (const auto& db : dbs) {
+    service.EvaluateMany<CountMonoid>(monoid, Pointers(queries), *db,
+                                      OneAnnotator(), "ones");
+  }
+  EXPECT_EQ(service.annotation_cache_size(), 5u);
+  EXPECT_EQ(service.stats().annotation_cache_evictions, 0u);
 }
 
 TEST(EvalService, SingletonPoolEntriesMoveIntoWorkerScratch) {

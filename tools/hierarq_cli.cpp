@@ -3,10 +3,18 @@
 // Solves any of the library's problems from a query string and database
 // files in the text format of hierarq/data/loader.h.
 //
-// A global `--storage=flat|columnar|baseline` flag (anywhere on the
-// command line) selects the relation storage backend every Algorithm 1
-// run stores its supports in; the default is the build's compile-time
-// policy (flat unless configured otherwise).
+// A global `--storage=flat|columnar|baseline|sharded` flag (anywhere on
+// the command line) selects the relation storage backend every
+// Algorithm 1 run stores its supports in; the default is the build's
+// compile-time policy (flat unless configured otherwise).
+//
+// A global `--threads=N` flag (N >= 1) sets intra-query parallelism:
+// single-query commands and update-mode view materialization fan each
+// big Rule 1/Rule 2 step out over N threads (core/parallel.h), and batch
+// mode additionally routes single-huge-replay groups through the same
+// machinery. `--threads=1` (the default) is the bit-identical serial
+// path. Batch mode's trailing [workers] argument still sizes the
+// across-query worker pool independently.
 //
 //   hierarq_cli classify   <query>
 //   hierarq_cli plan       <query>
@@ -66,8 +74,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: hierarq_cli [--storage=flat|columnar|baseline] "
-               "<command> <query> [files...]\n"
+               "usage: hierarq_cli [--storage=flat|columnar|baseline|"
+               "sharded] [--threads=N] <command> <query> [files...]\n"
                "commands:\n"
                "  classify   <query>\n"
                "  plan       <query>\n"
@@ -93,8 +101,10 @@ int Usage() {
                "  update pqe    <query> <tid-db>\n"
                "  update expect <query> <tid-db>\n"
                "options:\n"
-               "  --storage=flat|columnar|baseline   relation storage "
-               "backend (default: %s)\n",
+               "  --storage=flat|columnar|baseline|sharded   relation "
+               "storage backend (default: %s)\n"
+               "  --threads=N   intra-query parallelism (default 1 = "
+               "serial; N>1 shards big Rule 1/2 steps across N threads)\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -162,7 +172,7 @@ void PrintServiceStats(const EvalService& service, size_t num_workers) {
 }
 
 /// `hierarq_cli batch <solver> <queries-file> <dbs...> [workers]`.
-int RunBatch(int argc, char** argv, StorageKind storage) {
+int RunBatch(int argc, char** argv, StorageKind storage, size_t threads) {
   if (argc < 5) {
     return Usage();
   }
@@ -198,8 +208,11 @@ int RunBatch(int argc, char** argv, StorageKind storage) {
   }
 
   Dictionary dict;
-  EvalService service(
-      EvalService::Options{.num_workers = workers, .storage = storage});
+  EvalService::Options service_options;
+  service_options.num_workers = workers;
+  service_options.storage = storage;
+  service_options.intra_query_threads = threads;
+  EvalService service(service_options);
 
   // Renders one result line per query; errors are reported inline so one
   // non-hierarchical query does not sink the batch.
@@ -390,9 +403,11 @@ Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
 template <TwoMonoid M, typename Render>
 int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
                   M monoid, typename IncrementalView<M>::Annotator annotator,
-                  StorageKind storage, Dictionary* dict, Render render) {
+                  StorageKind storage, size_t threads, Dictionary* dict,
+                  Render render) {
   IncrementalEvaluator<M> evaluator(std::move(monoid), &db,
-                                    std::move(annotator), {storage});
+                                    std::move(annotator),
+                                    {storage, threads});
   auto handle = evaluator.Attach(query);
   if (!handle.ok()) {
     return Fail(handle.status());
@@ -422,10 +437,12 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
       return 1;
     }
     evaluator.ApplyDelta(*batch);
-    // This process is the only reader; an endless stream must not retain
-    // an endless batch log.
-    db.TruncateLog(db.generation());
     print_state();
+    // Auto-truncate once the batch is applied AND acknowledged (the
+    // state line above is the ack): this process is the only reader, so
+    // an endless stream must not retain an endless batch log. TruncateLog
+    // stays public for readers that manage retention themselves.
+    db.TruncateLog(db.generation());
   }
   const auto& stats = evaluator.view(*handle).stats();
   std::fprintf(stderr,
@@ -437,7 +454,8 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
 }
 
 /// `hierarq_cli update <solver> <query> <db>`.
-int RunUpdate(int argc, char** argv, StorageKind storage) {
+int RunUpdate(int argc, char** argv, StorageKind storage,
+              size_t threads) {
   if (argc != 5) {
     return Usage();
   }
@@ -463,8 +481,8 @@ int RunUpdate(int argc, char** argv, StorageKind storage) {
     }
     return RunUpdateLoop(
         query, VersionedDatabase(*std::move(db)), CountMonoid{},
-        [](const Fact&, double) -> uint64_t { return 1; }, storage, &dict,
-        [](uint64_t value) {
+        [](const Fact&, double) -> uint64_t { return 1; }, storage,
+        threads, &dict, [](uint64_t value) {
           return "Q(D) = " + std::to_string(value);
         });
   }
@@ -487,17 +505,21 @@ int RunUpdate(int argc, char** argv, StorageKind storage) {
   };
   if (solver == "pqe") {
     return RunUpdateLoop(query, VersionedDatabase(*db), ProbMonoid{},
-                         weight_annotator, storage, &dict, render_double);
+                         weight_annotator, storage, threads, &dict,
+                         render_double);
   }
   return RunUpdateLoop(query, VersionedDatabase(*db), ExpectationMonoid{},
-                       weight_annotator, storage, &dict, render_double);
+                       weight_annotator, storage, threads, &dict,
+                       render_double);
 }
 
 int Run(int argc, char** argv) {
-  // Peel the global --storage flag off wherever it appears, leaving the
-  // positional arguments in place. Unknown backends and unknown --flags
-  // are errors, not silent fallbacks to defaults.
+  // Peel the global --storage / --threads flags off wherever they
+  // appear, leaving the positional arguments in place. Unknown backends,
+  // bad thread counts, and unknown --flags are errors, not silent
+  // fallbacks to defaults.
   StorageKind storage = kDefaultStorageKind;
+  size_t threads = 1;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -507,11 +529,23 @@ int Run(int argc, char** argv) {
       if (!parsed_kind.has_value()) {
         std::fprintf(stderr,
                      "error: unknown storage backend in '%s' (expected "
-                     "flat, columnar or baseline)\n",
+                     "flat, columnar, baseline or sharded)\n",
                      argv[i]);
         return Usage();
       }
       storage = *parsed_kind;
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      const auto parsed_threads = ParseInt64(arg.substr(10));
+      if (!parsed_threads.ok() || *parsed_threads < 1) {
+        std::fprintf(stderr,
+                     "error: bad thread count in '%s' (expected an "
+                     "integer >= 1)\n",
+                     argv[i]);
+        return Usage();
+      }
+      threads = static_cast<size_t>(*parsed_threads);
       continue;
     }
     if (i > 0 && arg.rfind("--", 0) == 0) {
@@ -528,10 +562,10 @@ int Run(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "batch") {
-    return RunBatch(argc, argv, storage);
+    return RunBatch(argc, argv, storage, threads);
   }
   if (command == "update") {
-    return RunUpdate(argc, argv, storage);
+    return RunUpdate(argc, argv, storage, threads);
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
@@ -541,8 +575,12 @@ int Run(int argc, char** argv) {
   Dictionary dict;
   // One evaluator for the whole invocation: any command that runs
   // Algorithm 1 more than once (shapley above all) shares its cached plan
-  // and relation buffers.
-  Evaluator evaluator(storage);
+  // and relation buffers. --threads applies to every Algorithm 1 run it
+  // performs.
+  Evaluator::Options evaluator_options;
+  evaluator_options.storage = storage;
+  evaluator_options.intra_query_threads = threads;
+  Evaluator evaluator(evaluator_options);
 
   auto load = [&dict](const char* path) {
     return LoadDatabaseFromFile(path, &dict);
