@@ -36,6 +36,8 @@ size_t MeasureOps(const ConjunctiveQuery& q, const Database& db) {
 void EmitThroughputJson();
 void EmitThreadScalingRows(bench::JsonReport* report,
                            const ConjunctiveQuery& q, const Database& db);
+void EmitAdaptiveRows(bench::JsonReport* report, const ConjunctiveQuery& q,
+                      const Database& db);
 void EmitSimdKernelRows(bench::JsonReport* report,
                         const ConjunctiveQuery& q, const Database& db);
 
@@ -154,6 +156,7 @@ void EmitThroughputJson() {
   }
   measure_size(big_db);
   EmitThreadScalingRows(&report, q, big_db);
+  EmitAdaptiveRows(&report, q, big_db);
   EmitSimdKernelRows(&report, q, big_db);
   report.WriteToFile();
 }
@@ -204,6 +207,78 @@ void EmitThreadScalingRows(bench::JsonReport* report,
   }
 }
 
+/// Adaptive-mode replay (Evaluator::Options::adaptive) against a small
+/// freshly measured grid of hand-tuned fixed configurations on the same
+/// instance. The "vs_best_fixed" metric is adaptive/best throughput —
+/// the acceptance band is >= ~0.9 (within 10% of the best fixed point)
+/// and never below 0.5 (never worse than 2x). Measured side by side in
+/// one process so the comparison is not polluted by machine drift
+/// between snapshot runs.
+void EmitAdaptiveRows(bench::JsonReport* report, const ConjunctiveQuery& q,
+                      const Database& db) {
+  const CountMonoid monoid;
+  const auto annotate = std::function<uint64_t(const Fact&)>(
+      [](const Fact&) -> uint64_t { return 1; });
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const size_t hw = std::max(1u, std::thread::hardware_concurrency());
+
+  struct Fixed {
+    StorageKind kind;
+    size_t threads;
+  };
+  std::vector<Fixed> grid = {{StorageKind::kColumnar, 1},
+                             {StorageKind::kFlat, 1}};
+  if (hw > 1) {
+    grid.push_back({StorageKind::kColumnar, std::min<size_t>(hw, 8)});
+    grid.push_back({StorageKind::kSharded, std::min<size_t>(hw, 8)});
+  }
+
+  const auto measure = [&](const Evaluator::Options& options) {
+    // The annotation pool adopts the evaluator's backend so the fixed
+    // configs are measured at their own best, not through a foreign
+    // base layout.
+    const AnnotationPool<uint64_t> pool = AnnotateForQuerySet<uint64_t>(
+        {&q}, db, annotate, plus, options.storage);
+    const auto bases = ResolveBases<uint64_t>(q, pool);
+    Evaluator evaluator(options);
+    auto plan = evaluator.GetPlan(q);
+    return bench::MeasureRate([&] {
+      benchmark::DoNotOptimize(
+          evaluator.ReplayPlan(**plan, monoid, q, bases));
+    });
+  };
+
+  std::printf("  adaptive vs hand-tuned fixed configs (|D| = %zu):\n",
+              db.NumFacts());
+  double best_fixed = 0.0;
+  for (const Fixed& fixed : grid) {
+    Evaluator::Options options;
+    options.storage = fixed.kind;
+    options.intra_query_threads = fixed.threads;
+    const double rate = measure(options);
+    std::printf("    fixed %-9s t%zu %9.1f replays/sec\n",
+                StorageKindName(fixed.kind), fixed.threads, rate);
+    best_fixed = std::max(best_fixed, rate);
+  }
+
+  Evaluator::Options adaptive_options;
+  adaptive_options.storage = StorageKind::kColumnar;
+  adaptive_options.adaptive = true;
+  const double adaptive_rate = measure(adaptive_options);
+  const double vs_best =
+      best_fixed > 0.0 ? adaptive_rate / best_fixed : 0.0;
+  std::printf("    adaptive          %9.1f replays/sec  (%.2fx of best "
+              "fixed)\n",
+              adaptive_rate, vs_best);
+  report->AddRow(
+      "paper_query/" + std::to_string(db.NumFacts()) + "/replay/adaptive",
+      {{"num_facts", static_cast<double>(db.NumFacts())},
+       {"hardware_threads", static_cast<double>(hw)},
+       {"replays_per_sec", adaptive_rate},
+       {"best_fixed_replays_per_sec", best_fixed},
+       {"vs_best_fixed", vs_best}});
+}
+
 /// SIMD A/B on identical rows: the batched Mix64 hash-fold kernel (the
 /// columnar backend's hottest loop) per available tier, plus the
 /// end-to-end columnar replay under forced-scalar vs best dispatch.
@@ -211,8 +286,8 @@ void EmitThreadScalingRows(bench::JsonReport* report,
 /// copy-bound remainder of a replay.
 void EmitSimdKernelRows(bench::JsonReport* report,
                         const ConjunctiveQuery& q, const Database& db) {
-  const simd::Level best = simd::DetectedLevel() == simd::Level::kAvx2
-                               ? simd::Level::kAvx2
+  const simd::Level best = simd::DetectedLevel() >= simd::Level::kAvx2
+                               ? simd::DetectedLevel()
                                : simd::Level::kScalar;
   constexpr size_t kRows = 300000;
   constexpr size_t kColumns = 3;

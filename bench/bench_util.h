@@ -10,10 +10,12 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "hierarq/data/storage.h"
+#include "hierarq/util/simd.h"
 #include "hierarq/util/timer.h"
 
 namespace hierarq::bench {
@@ -57,21 +59,32 @@ inline void PrintNote(const std::string& note) {
 /// document, so successive PRs can diff measured throughput machine-to-
 /// machine (e.g. BENCH_algorithm1.json records ops/sec per storage
 /// backend). The format is flat on purpose:
-///   {"benchmark": "...", "storage": "...", "rows": [
-///     {"name": "...", "metric_a": 1.0, ...}, ...]}
+///   {"benchmark": "...", "storage": "...", "hardware_threads": N,
+///    "rows": [{"name": "...", "simd": "...", "metric_a": 1.0, ...}, ...]}
 /// The top-level "storage" field is the build's *default* backend; rows
 /// measured under an explicit runtime backend append "/<backend>" to
 /// their name (see StorageRow) so flat-vs-columnar A/B pairs sit side by
-/// side in one document regardless of the build configuration.
+/// side in one document regardless of the build configuration. The
+/// top-level "hardware_threads" is std::thread::hardware_concurrency()
+/// — the first thing to check before comparing thread-scaling or
+/// adaptive rows across machines (a 1-core CI container cannot show a
+/// parallel speedup). Each row's "simd" string is the SIMD tier that was
+/// *actually dispatched* while the row was measured (simd::ActiveLevel
+/// at AddRow time), not the build-time or A/B-requested tier, so
+/// adaptive-mode rows are interpretable after the fact; bench_compare
+/// joins rows by name and only diffs numeric fields, so the tag never
+/// trips the regression tripwire.
 class JsonReport {
  public:
   JsonReport(std::string benchmark, std::string path)
       : benchmark_(std::move(benchmark)), path_(std::move(path)) {}
 
-  /// Adds one row; metrics render in insertion order.
+  /// Adds one row, stamping it with the currently dispatched SIMD tier;
+  /// metrics render in insertion order.
   void AddRow(const std::string& name,
               std::vector<std::pair<std::string, double>> metrics) {
-    rows_.push_back(Row{name, std::move(metrics)});
+    rows_.push_back(
+        Row{name, simd::LevelName(simd::ActiveLevel()), std::move(metrics)});
   }
 
   /// Writes the document; returns false (with a note on stderr) on I/O
@@ -84,10 +97,13 @@ class JsonReport {
     }
     std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n", benchmark_.c_str());
     std::fprintf(f, "  \"storage\": \"%s\",\n", StorageBackend());
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"rows\": [");
     for (size_t i = 0; i < rows_.size(); ++i) {
-      std::fprintf(f, "%s\n    {\"name\": \"%s\"", i == 0 ? "" : ",",
-                   rows_[i].name.c_str());
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"simd\": \"%s\"",
+                   i == 0 ? "" : ",", rows_[i].name.c_str(),
+                   rows_[i].simd.c_str());
       for (const auto& [key, value] : rows_[i].metrics) {
         std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
       }
@@ -124,6 +140,8 @@ class JsonReport {
  private:
   struct Row {
     std::string name;
+    /// Dispatched SIMD tier at measurement time (simd::LevelName).
+    std::string simd;
     std::vector<std::pair<std::string, double>> metrics;
   };
 

@@ -34,6 +34,7 @@
 /// deterministic for any thread count and bit-identical to serial for
 /// exact monoids.
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <typeindex>
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/adaptive.h"
 #include "hierarq/core/algorithm1.h"
 #include "hierarq/core/parallel.h"
 #include "hierarq/data/annotated.h"
@@ -248,6 +250,13 @@ class Evaluator : public PlanProvider {
     /// replay and batch fan-out share workers. Evaluate/ReplayPlan must
     /// then be called from *outside* that pool's tasks.
     WorkerPool* intra_pool = nullptr;
+    /// Adaptive per-step execution (core/adaptive.h): stats + a cost
+    /// model — refined by measured feedback keyed through the plan
+    /// cache — choose each elimination step's backend, thread count,
+    /// and serial/parallel cutoff. `storage` still governs base-atom
+    /// annotation; `intra_query_threads` (or, when it is 1, the detected
+    /// hardware concurrency) caps the per-step fan-out.
+    bool adaptive = false;
   };
 
   Evaluator() = default;
@@ -261,14 +270,27 @@ class Evaluator : public PlanProvider {
   /// the same role as in the PlanProvider constructor below.
   explicit Evaluator(const Options& options, PlanProvider* plans = nullptr)
       : shared_plans_(plans), storage_(options.storage) {
-    if (options.intra_query_threads > 1) {
+    size_t threads = options.intra_query_threads;
+    if (options.adaptive) {
+      AdaptiveController::Options ctl;
+      // An explicit thread count is both the pool size and the budget
+      // the controller plans against; with the default (1) the
+      // controller detects the hardware concurrency and the pool is
+      // sized to match, so --adaptive alone uses the whole machine.
+      if (threads > 1) {
+        ctl.hardware_threads = threads;
+      }
+      ctl.min_parallel_rows = options.parallel_min_rows;
+      adaptive_ = std::make_unique<AdaptiveController>(ctl);
+      threads = std::max(threads, adaptive_->hardware_threads());
+    }
+    if (threads > 1) {
       if (options.intra_pool == nullptr) {
-        owned_pool_ = std::make_unique<WorkerPool>(
-            options.intra_query_threads);
+        owned_pool_ = std::make_unique<WorkerPool>(threads);
       }
       par_.pool = options.intra_pool != nullptr ? options.intra_pool
                                                 : owned_pool_.get();
-      par_.threads = options.intra_query_threads;
+      par_.threads = threads;
       par_.min_rows = options.parallel_min_rows;
     }
   }
@@ -320,7 +342,7 @@ class Evaluator : public PlanProvider {
     }
 
     ++stats_.evaluations;
-    return RunAlgorithm1InPlaceParallel(*plan, monoid, relations, par_);
+    return Run(*plan, monoid, relations);
   }
 
   /// The replay-many half of the batching split: copies each base atom's
@@ -355,7 +377,7 @@ class Evaluator : public PlanProvider {
       }
     }
     ++stats_.evaluations;
-    return RunAlgorithm1InPlaceParallel(plan, monoid, relations, par_);
+    return Run(plan, monoid, relations);
   }
 
   /// ReplayPlan over `ReplaySource`s: base relations marked movable are
@@ -392,7 +414,7 @@ class Evaluator : public PlanProvider {
       }
     }
     ++stats_.evaluations;
-    return RunAlgorithm1InPlaceParallel(plan, monoid, relations, par_);
+    return Run(plan, monoid, relations);
   }
 
   /// Convenience overload resolving the base relations from `pool` by
@@ -417,6 +439,13 @@ class Evaluator : public PlanProvider {
   /// constructor enabled it).
   const IntraQueryParallel& intra_query_parallel() const { return par_; }
 
+  /// The adaptive controller when Options.adaptive enabled one, nullptr
+  /// otherwise — test/introspection surface (per-step feedback, serial
+  /// vs parallel step counts).
+  const AdaptiveController* adaptive_controller() const {
+    return adaptive_.get();
+  }
+
   /// Number of distinct queries with a cached plan (always 0 when plans
   /// are delegated to a shared provider).
   size_t num_cached_plans() const { return plans_.size(); }
@@ -426,6 +455,20 @@ class Evaluator : public PlanProvider {
   void ClearCache();
 
  private:
+  /// The single exit of Evaluate and every ReplayPlan overload: adaptive
+  /// per-step execution when the controller exists, the fixed
+  /// configuration otherwise.
+  template <TwoMonoid M>
+  typename M::value_type Run(
+      const EliminationPlan& plan, const M& monoid,
+      std::vector<AnnotatedRelation<typename M::value_type>>& relations) {
+    if (adaptive_ != nullptr) {
+      return RunAlgorithm1InPlaceAdaptive(plan, monoid, relations, par_,
+                                          adaptive_.get());
+    }
+    return RunAlgorithm1InPlaceParallel(plan, monoid, relations, par_);
+  }
+
   struct ScratchBase {
     virtual ~ScratchBase() = default;
   };
@@ -467,6 +510,9 @@ class Evaluator : public PlanProvider {
   // owned (Options with no intra_pool) or borrowed; par_.pool aliases it.
   std::unique_ptr<WorkerPool> owned_pool_;
   IntraQueryParallel par_;
+  // Per-evaluator adaptive controller (Options.adaptive); single-threaded
+  // like the scratch tables it sits beside.
+  std::unique_ptr<AdaptiveController> adaptive_;
   // unique_ptr values keep plan addresses stable across cache rehashes.
   std::unordered_map<std::string, std::unique_ptr<EliminationPlan>> plans_;
   std::unordered_map<std::type_index, std::unique_ptr<ScratchBase>> scratch_;

@@ -18,10 +18,27 @@
 ///      the output partition key.
 ///   2. **Scatter/accumulate.** One task per output shard scans the
 ///      input(s), keeps the rows whose hash routes to its shard, and
-///      accumulates them into that shard's private robin-hood table —
-///      lock-free, since no other task ever touches the shard. Rule 2
-///      tasks additionally probe the *whole* other side read-only with
-///      the precomputed hashes.
+///      accumulates them into that shard's private table — lock-free,
+///      since no other task ever touches the shard. Rule 2 tasks
+///      additionally probe the *whole* other side read-only with the
+///      precomputed hashes. The output shards are FlatMaps
+///      (`StorageKind::kSharded`) or ColumnarStores
+///      (`StorageKind::kShardedColumnar`, which keeps the SIMD kernels in
+///      play for downstream steps) — `IntraQueryParallel::parallel_storage`
+///      picks the flavor.
+///
+/// Both phases run inside **one** `WorkerPool::ParallelFor` per step: the
+/// hash work is cut into chunk closures, every shard task claims and runs
+/// chunks off a shared atomic counter, then spin-waits until all chunks
+/// are done and scatters into its own shard. This fuses what used to be
+/// two or three pool latches per step (hash left, hash right, scatter)
+/// into exactly one — measurable via `WorkerPool::parallel_for_calls()`.
+/// The wait cannot deadlock even when the pool has fewer workers than
+/// tasks: a task only starts waiting after the claim counter is
+/// exhausted, so every chunk is already being executed by some *running*
+/// task, which finishes it without needing another scheduling slot. Hash
+/// writes land at fixed addresses regardless of which task runs a chunk,
+/// so fusion changes no results.
 ///
 /// The final ⊕-fold to the nullary atom (where every row lands on one
 /// key, so output sharding cannot help) instead folds fixed per-segment
@@ -43,9 +60,13 @@
 /// be driven from outside the pool — `Evaluator` calls these on the
 /// client thread, exactly like `EvalService`'s across-query fan-out.
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -76,6 +97,9 @@ struct IntraQueryParallel {
   /// Steps whose input support is below this run serially — the fan-out
   /// latch and task overhead cost more than they save on small tables.
   size_t min_rows = 4096;
+  /// Which sharded flavor parallel steps scatter into: kSharded (FlatMap
+  /// shards) or kShardedColumnar (ColumnarStore shards, SIMD kernels).
+  StorageKind parallel_storage = StorageKind::kSharded;
 
   bool enabled() const { return pool != nullptr && threads > 1; }
 };
@@ -108,6 +132,10 @@ const K* FindWithHash(const AnnotatedRelation<K>& rel, uint64_t hash,
     case StorageKind::kSharded: {
       const auto& store = rel.sharded_store();
       return store.shard(store.ShardOfHash(hash)).FindHashed(hash, key);
+    }
+    case StorageKind::kShardedColumnar: {
+      const auto& store = rel.sharded_columnar_store();
+      return store.shard(store.ShardOfHash(hash)).FindWithHash(hash, key);
     }
     case StorageKind::kBaseline:
       return rel.Find(key);
@@ -165,22 +193,45 @@ void ScanWithHashes(const AnnotatedRelation<K>& rel,
       }
       return;
     }
+    case StorageKind::kShardedColumnar: {
+      const ShardedColumnarStore<K>& store = rel.sharded_columnar_store();
+      for (size_t s = 0; s < ShardedColumnarStore<K>::kNumShards; ++s) {
+        const ColumnarStore<K>& shard = store.shard(s);
+        const std::vector<uint64_t>& row_hashes = hashes[s];
+        const size_t arity = shard.arity();
+        const size_t n = shard.size();
+        key_scratch->resize(arity);
+        for (size_t r = 0; r < n; ++r) {
+          for (size_t c = 0; c < arity; ++c) {
+            (*key_scratch)[c] = shard.column(c)[r];
+          }
+          fn(row_hashes[r], static_cast<const Tuple&>(*key_scratch),
+             shard.row_value(static_cast<uint32_t>(r)));
+        }
+      }
+      return;
+    }
     case StorageKind::kBaseline:
       break;
   }
   HIERARQ_CHECK(false) << "baseline relations take the serial path";
 }
 
-/// Fills `*hashes` with one per-row/per-slot hash array per enumeration
-/// segment of `rel` (one array for columnar/flat, one per shard for
-/// sharded), hashing only the positions `keep(position)` admits, in
-/// ascending position order — Rule 1 passes the survivor filter, Rule 2
-/// keeps everything. Parallel over contiguous ranges on `par.pool`.
+/// Pre-sizes `*hashes` (one per-row/per-slot array per enumeration
+/// segment of `rel`: one for columnar/flat, one per shard for the sharded
+/// flavors) and appends closures to `*chunks`, each of which fills one
+/// contiguous piece, hashing only the positions `keep(position)` admits
+/// in ascending position order — Rule 1 passes the survivor filter,
+/// Rule 2 keeps everything. The closures are independent and write
+/// disjoint fixed locations, so any task may run any chunk; they are
+/// executed inside the step's single fused ParallelFor (see
+/// RunChunksThenShards). `tasks` controls the chunk granularity of the
+/// contiguous layouts.
 template <typename K, typename Keep>
-void PrecomputeHashes(const AnnotatedRelation<K>& rel, Keep keep,
-                      const IntraQueryParallel& par,
-                      std::vector<std::vector<uint64_t>>* hashes) {
-  const size_t tasks = par.threads;
+void AppendHashChunks(const AnnotatedRelation<K>& rel, Keep keep,
+                      size_t tasks,
+                      std::vector<std::vector<uint64_t>>* hashes,
+                      std::vector<std::function<void()>>* chunks) {
   switch (rel.storage()) {
     case StorageKind::kColumnar: {
       const ColumnarStore<K>& store = rel.columnar_store();
@@ -194,14 +245,18 @@ void PrecomputeHashes(const AnnotatedRelation<K>& rel, Keep keep,
       hashes->resize(1);
       std::vector<uint64_t>& row_hashes = (*hashes)[0];
       const size_t n = store.size();
-      row_hashes.assign(n, kHashRangeSeed);
-      par.pool->ParallelFor(tasks, [&](size_t, size_t i) {
-        const auto [lo, hi] = Slice(n, tasks, i);
-        for (size_t c : cols) {
-          simd::HashCombineRows(row_hashes.data() + lo,
-                                store.column(c).data() + lo, hi - lo);
-        }
-      });
+      row_hashes.resize(n);
+      for (size_t i = 0; i < tasks; ++i) {
+        chunks->push_back([&store, &row_hashes, cols, n, tasks, i] {
+          const auto [lo, hi] = Slice(n, tasks, i);
+          std::fill(row_hashes.begin() + lo, row_hashes.begin() + hi,
+                    kHashRangeSeed);
+          for (size_t c : cols) {
+            simd::HashCombineRows(row_hashes.data() + lo,
+                                  store.column(c).data() + lo, hi - lo);
+          }
+        });
+      }
       return;
     }
     case StorageKind::kFlat: {
@@ -209,41 +264,70 @@ void PrecomputeHashes(const AnnotatedRelation<K>& rel, Keep keep,
       hashes->resize(1);
       std::vector<uint64_t>& slot_hashes = (*hashes)[0];
       slot_hashes.resize(store.capacity());
-      par.pool->ParallelFor(tasks, [&](size_t, size_t i) {
-        const auto [lo, hi] = Slice(store.capacity(), tasks, i);
-        store.ForEachSlotInRange(
-            lo, hi, [&](size_t slot, const Tuple& key, const K&) {
-              uint64_t h = kHashRangeSeed;
-              for (size_t c = 0; c < key.size(); ++c) {
-                if (keep(c)) {
-                  h = HashCombine(h, static_cast<uint64_t>(key[c]));
+      for (size_t i = 0; i < tasks; ++i) {
+        chunks->push_back([&store, &slot_hashes, keep, tasks, i] {
+          const auto [lo, hi] = Slice(store.capacity(), tasks, i);
+          store.ForEachSlotInRange(
+              lo, hi, [&](size_t slot, const Tuple& key, const K&) {
+                uint64_t h = kHashRangeSeed;
+                for (size_t c = 0; c < key.size(); ++c) {
+                  if (keep(c)) {
+                    h = HashCombine(h, static_cast<uint64_t>(key[c]));
+                  }
                 }
-              }
-              slot_hashes[slot] = h;
-            });
-      });
+                slot_hashes[slot] = h;
+              });
+        });
+      }
       return;
     }
     case StorageKind::kSharded: {
       const ShardedStore<K>& store = rel.sharded_store();
       hashes->resize(ShardedStore<K>::kNumShards);
-      par.pool->ParallelFor(
-          ShardedStore<K>::kNumShards, [&](size_t, size_t s) {
-            const auto& shard = store.shard(s);
-            std::vector<uint64_t>& slot_hashes = (*hashes)[s];
-            slot_hashes.resize(shard.capacity());
-            shard.ForEachSlotInRange(
-                0, shard.capacity(),
-                [&](size_t slot, const Tuple& key, const K&) {
-                  uint64_t h = kHashRangeSeed;
-                  for (size_t c = 0; c < key.size(); ++c) {
-                    if (keep(c)) {
-                      h = HashCombine(h, static_cast<uint64_t>(key[c]));
-                    }
+      for (size_t s = 0; s < ShardedStore<K>::kNumShards; ++s) {
+        // One chunk per input shard; the closure owns its whole array, so
+        // it sizes the array itself.
+        std::vector<uint64_t>& slot_hashes = (*hashes)[s];
+        chunks->push_back([&store, &slot_hashes, keep, s] {
+          const auto& shard = store.shard(s);
+          slot_hashes.resize(shard.capacity());
+          shard.ForEachSlotInRange(
+              0, shard.capacity(),
+              [&](size_t slot, const Tuple& key, const K&) {
+                uint64_t h = kHashRangeSeed;
+                for (size_t c = 0; c < key.size(); ++c) {
+                  if (keep(c)) {
+                    h = HashCombine(h, static_cast<uint64_t>(key[c]));
                   }
-                  slot_hashes[slot] = h;
-                });
-          });
+                }
+                slot_hashes[slot] = h;
+              });
+        });
+      }
+      return;
+    }
+    case StorageKind::kShardedColumnar: {
+      const ShardedColumnarStore<K>& store = rel.sharded_columnar_store();
+      std::vector<size_t> cols;
+      cols.reserve(store.arity());
+      for (size_t c = 0; c < store.arity(); ++c) {
+        if (keep(c)) {
+          cols.push_back(c);
+        }
+      }
+      hashes->resize(ShardedColumnarStore<K>::kNumShards);
+      for (size_t s = 0; s < ShardedColumnarStore<K>::kNumShards; ++s) {
+        std::vector<uint64_t>& row_hashes = (*hashes)[s];
+        chunks->push_back([&store, &row_hashes, cols, s] {
+          const ColumnarStore<K>& shard = store.shard(s);
+          const size_t n = shard.size();
+          row_hashes.assign(n, kHashRangeSeed);
+          for (size_t c : cols) {
+            simd::HashCombineRows(row_hashes.data(), shard.column(c).data(),
+                                  n);
+          }
+        });
+      }
       return;
     }
     case StorageKind::kBaseline:
@@ -252,66 +336,167 @@ void PrecomputeHashes(const AnnotatedRelation<K>& rel, Keep keep,
   HIERARQ_CHECK(false) << "baseline relations take the serial path";
 }
 
+/// The fused-step driver: ONE ParallelFor of `num_shards` tasks runs the
+/// hash chunks *and* the per-shard scatter. Each task drains chunks off a
+/// shared claim counter, then waits (cooperatively — see the deadlock
+/// argument in the file comment) until every chunk is done before
+/// scattering into its own shard. The release-increment/acquire-load pair
+/// on `chunks_done` orders all chunk writes before every shard task's
+/// reads.
+inline void RunChunksThenShards(
+    WorkerPool* pool, size_t num_shards,
+    const std::vector<std::function<void()>>& chunks,
+    const std::function<void(size_t shard)>& shard_task) {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> chunks_done{0};
+  const size_t total = chunks.size();
+  pool->ParallelFor(num_shards, [&](size_t, size_t j) {
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) {
+        break;
+      }
+      chunks[c]();
+      chunks_done.fetch_add(1, std::memory_order_release);
+    }
+    while (chunks_done.load(std::memory_order_acquire) < total) {
+      std::this_thread::yield();
+    }
+    shard_task(j);
+  });
+}
+
+}  // namespace parallel_internal
+
+namespace parallel_internal {
+
+/// The scatter phase of the fused Rule 1, generic over the output sharded
+/// flavor (`Sharded` is ShardedStore<K> or ShardedColumnarStore<K> —
+/// both expose shard(j) stores with MergeHashed and the identical
+/// ShardOfHash routing).
+template <typename Sharded, typename K, typename Plus>
+void FusedProjectScatter(const AnnotatedRelation<K>& src, size_t drop_pos,
+                         Plus plus, const IntraQueryParallel& par,
+                         const std::vector<std::vector<uint64_t>>& hashes,
+                         const std::vector<std::function<void()>>& chunks,
+                         Sharded* sharded) {
+  RunChunksThenShards(par.pool, Sharded::kNumShards, chunks, [&](size_t j) {
+    typename Sharded::Shard& mine = sharded->shard(j);
+    Tuple scan_scratch;
+    Tuple projected;
+    ScanWithHashes(src, hashes, &scan_scratch,
+                   [&](uint64_t hash, const Tuple& key, const K& value) {
+                     if (Sharded::ShardOfHash(hash) != j) {
+                       return;
+                     }
+                     projected.clear();
+                     for (size_t c = 0; c < key.size(); ++c) {
+                       if (c != drop_pos) {
+                         projected.push_back(key[c]);
+                       }
+                     }
+                     mine.MergeHashed(hash, projected, value, plus);
+                   });
+  });
+}
+
 }  // namespace parallel_internal
 
 /// Rule 1, hash-sharded: ⊕-projects schema position `drop_pos` out of
 /// `src` into `out`, which the caller has Reset to the surviving schema
-/// in `StorageKind::kSharded`. One task per output shard accumulates the
-/// rows whose surviving-key hash it owns. Preconditions: `par.enabled()`,
-/// `src` not baseline, `out` sharded.
+/// in a sharded flavor (kSharded or kShardedColumnar). One fused
+/// ParallelFor computes the surviving-key hashes and scatters — each
+/// output shard task accumulates the rows whose hash it owns.
+/// Preconditions: `par.enabled()`, `src` not baseline, `out` sharded.
 template <typename K, typename Plus>
 void ParallelProjectDropInto(const AnnotatedRelation<K>& src,
                              size_t drop_pos, Plus plus,
                              const IntraQueryParallel& par,
                              AnnotatedRelation<K>* out) {
-  using Sharded = ShardedStore<K>;
   HIERARQ_CHECK(par.enabled());
-  HIERARQ_CHECK(out->storage() == StorageKind::kSharded);
+  HIERARQ_CHECK(out->storage() == StorageKind::kSharded ||
+                out->storage() == StorageKind::kShardedColumnar);
   HIERARQ_CHECK_LT(drop_pos, src.schema().size());
   HIERARQ_CHECK_EQ(out->schema().size() + 1, src.schema().size());
 
   std::vector<std::vector<uint64_t>> hashes;
-  parallel_internal::PrecomputeHashes(
-      src, [&](size_t c) { return c != drop_pos; }, par, &hashes);
+  std::vector<std::function<void()>> chunks;
+  parallel_internal::AppendHashChunks(
+      src, [drop_pos](size_t c) { return c != drop_pos; }, par.threads,
+      &hashes, &chunks);
 
   out->Reserve(src.size());
-  Sharded& sharded = out->mutable_sharded_store();
-  par.pool->ParallelFor(Sharded::kNumShards, [&](size_t, size_t j) {
-    typename Sharded::Shard& mine = sharded.shard(j);
+  if (out->storage() == StorageKind::kSharded) {
+    parallel_internal::FusedProjectScatter(src, drop_pos, plus, par, hashes,
+                                           chunks,
+                                           &out->mutable_sharded_store());
+  } else {
+    parallel_internal::FusedProjectScatter(
+        src, drop_pos, plus, par, hashes, chunks,
+        &out->mutable_sharded_columnar_store());
+  }
+}
+
+namespace parallel_internal {
+
+/// The scatter phase of the fused Rule 2, generic over the output sharded
+/// flavor like FusedProjectScatter.
+template <typename Sharded, typename K, typename Times>
+void FusedJoinScatter(const AnnotatedRelation<K>& left,
+                      const AnnotatedRelation<K>& right, Times times,
+                      const K& zero, const IntraQueryParallel& par,
+                      const std::vector<std::vector<uint64_t>>& left_hashes,
+                      const std::vector<std::vector<uint64_t>>& right_hashes,
+                      const std::vector<std::function<void()>>& chunks,
+                      Sharded* sharded) {
+  RunChunksThenShards(par.pool, Sharded::kNumShards, chunks, [&](size_t j) {
+    typename Sharded::Shard& mine = sharded->shard(j);
     Tuple scan_scratch;
-    Tuple projected;
-    parallel_internal::ScanWithHashes(
-        src, hashes, &scan_scratch,
-        [&](uint64_t hash, const Tuple& key, const K& value) {
-          if (Sharded::ShardOfHash(hash) != j) {
-            return;
-          }
-          projected.clear();
-          for (size_t c = 0; c < key.size(); ++c) {
-            if (c != drop_pos) {
-              projected.push_back(key[c]);
-            }
-          }
-          mine.MergeHashed(hash, projected, value, plus);
-        });
+    // Left pass: every left key lands in the result, joined against the
+    // right annotation or zero.
+    ScanWithHashes(left, left_hashes, &scan_scratch,
+                   [&](uint64_t hash, const Tuple& key, const K& value) {
+                     if (Sharded::ShardOfHash(hash) != j) {
+                       return;
+                     }
+                     const K* other = FindWithHash(right, hash, key);
+                     auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
+                     HIERARQ_CHECK(inserted);  // Left keys are unique.
+                     *slot = times(value, other != nullptr ? *other : zero);
+                   });
+    // Right pass: only keys absent from the left still need a result
+    // entry; shared keys were finalized above.
+    ScanWithHashes(right, right_hashes, &scan_scratch,
+                   [&](uint64_t hash, const Tuple& key, const K& value) {
+                     if (Sharded::ShardOfHash(hash) != j) {
+                       return;
+                     }
+                     auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
+                     if (inserted) {
+                       *slot = times(zero, value);
+                     }
+                   });
   });
 }
 
+}  // namespace parallel_internal
+
 /// Rule 2, hash-sharded: out(x) = left(x) ⊗ right(x) over the union of
-/// supports. Each output-shard task scans both sides filtered to its
-/// hash range and probes the opposite side read-only with the
-/// precomputed hash (one-sided facts multiply with `zero`, exactly like
-/// the serial native; only absent-absent pairs are skipped — Lemma 6.6).
-/// Preconditions: `par.enabled()`, neither input baseline, `out` Reset
-/// to the common schema in `StorageKind::kSharded`.
+/// supports. One fused ParallelFor hashes both sides and scatters: each
+/// output-shard task scans both sides filtered to its hash range and
+/// probes the opposite side read-only with the precomputed hash
+/// (one-sided facts multiply with `zero`, exactly like the serial native;
+/// only absent-absent pairs are skipped — Lemma 6.6). Preconditions:
+/// `par.enabled()`, neither input baseline, `out` Reset to the common
+/// schema in a sharded flavor (kSharded or kShardedColumnar).
 template <typename K, typename Times>
 void ParallelJoinUnionInto(const AnnotatedRelation<K>& left,
                            const AnnotatedRelation<K>& right, Times times,
                            const K& zero, const IntraQueryParallel& par,
                            AnnotatedRelation<K>* out) {
-  using Sharded = ShardedStore<K>;
   HIERARQ_CHECK(par.enabled());
-  HIERARQ_CHECK(out->storage() == StorageKind::kSharded);
+  HIERARQ_CHECK(out->storage() == StorageKind::kSharded ||
+                out->storage() == StorageKind::kShardedColumnar);
   HIERARQ_CHECK(left.schema() == right.schema())
       << "Rule 2 requires equal schemas";
   HIERARQ_CHECK(out->schema() == left.schema());
@@ -319,41 +504,22 @@ void ParallelJoinUnionInto(const AnnotatedRelation<K>& left,
   const auto keep_all = [](size_t) { return true; };
   std::vector<std::vector<uint64_t>> left_hashes;
   std::vector<std::vector<uint64_t>> right_hashes;
-  parallel_internal::PrecomputeHashes(left, keep_all, par, &left_hashes);
-  parallel_internal::PrecomputeHashes(right, keep_all, par, &right_hashes);
+  std::vector<std::function<void()>> chunks;
+  parallel_internal::AppendHashChunks(left, keep_all, par.threads,
+                                      &left_hashes, &chunks);
+  parallel_internal::AppendHashChunks(right, keep_all, par.threads,
+                                      &right_hashes, &chunks);
 
   out->Reserve(left.size() + right.size());  // Lemma 6.6 bound.
-  Sharded& sharded = out->mutable_sharded_store();
-  par.pool->ParallelFor(Sharded::kNumShards, [&](size_t, size_t j) {
-    typename Sharded::Shard& mine = sharded.shard(j);
-    Tuple scan_scratch;
-    // Left pass: every left key lands in the result, joined against the
-    // right annotation or zero.
-    parallel_internal::ScanWithHashes(
-        left, left_hashes, &scan_scratch,
-        [&](uint64_t hash, const Tuple& key, const K& value) {
-          if (Sharded::ShardOfHash(hash) != j) {
-            return;
-          }
-          const K* other = parallel_internal::FindWithHash(right, hash, key);
-          auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
-          HIERARQ_CHECK(inserted);  // Left keys are unique.
-          *slot = times(value, other != nullptr ? *other : zero);
-        });
-    // Right pass: only keys absent from the left still need a result
-    // entry; shared keys were finalized above.
-    parallel_internal::ScanWithHashes(
-        right, right_hashes, &scan_scratch,
-        [&](uint64_t hash, const Tuple& key, const K& value) {
-          if (Sharded::ShardOfHash(hash) != j) {
-            return;
-          }
-          auto [slot, inserted] = mine.FindOrInsertHashed(hash, key);
-          if (inserted) {
-            *slot = times(zero, value);
-          }
-        });
-  });
+  if (out->storage() == StorageKind::kSharded) {
+    parallel_internal::FusedJoinScatter(left, right, times, zero, par,
+                                        left_hashes, right_hashes, chunks,
+                                        &out->mutable_sharded_store());
+  } else {
+    parallel_internal::FusedJoinScatter(
+        left, right, times, zero, par, left_hashes, right_hashes, chunks,
+        &out->mutable_sharded_columnar_store());
+  }
 }
 
 /// The terminal Rule 1 shape: every row of `src` folds into the single
@@ -413,6 +579,17 @@ std::optional<K> ParallelFoldSupport(const AnnotatedRelation<K>& src,
       });
       break;
     }
+    case StorageKind::kShardedColumnar: {
+      const ShardedColumnarStore<K>& store = src.sharded_columnar_store();
+      par.pool->ParallelFor(kSegments, [&](size_t, size_t s) {
+        const ColumnarStore<K>& shard = store.shard(s);
+        const size_t n = shard.size();
+        for (size_t r = 0; r < n; ++r) {
+          fold_into(partial[s], shard.row_value(static_cast<uint32_t>(r)));
+        }
+      });
+      break;
+    }
     case StorageKind::kBaseline: {
       // No range-scannable layout; fold serially (callers normally route
       // baseline inputs to the serial runner before getting here).
@@ -456,7 +633,7 @@ void ProjectDropStep(const AnnotatedRelation<K>& source, size_t drop_pos,
       result->Set(Tuple{}, *std::move(folded));
     }
   } else if (big) {
-    result->Reset(result_vars, StorageKind::kSharded);
+    result->Reset(result_vars, par.parallel_storage);
     ParallelProjectDropInto(source, drop_pos, plus, par, result);
   } else {
     result->Reset(result_vars, serial_storage);
@@ -478,7 +655,7 @@ void JoinUnionStep(const AnnotatedRelation<K>& left,
                    parallel_internal::RangeScannable(left) &&
                    parallel_internal::RangeScannable(right);
   if (big) {
-    result->Reset(result_vars, StorageKind::kSharded);
+    result->Reset(result_vars, par.parallel_storage);
     ParallelJoinUnionInto(left, right, times, zero, par, result);
   } else {
     result->Reset(result_vars, serial_storage);
@@ -489,10 +666,10 @@ void JoinUnionStep(const AnnotatedRelation<K>& left,
 /// `RunAlgorithm1InPlace` with intra-query parallelism: per-step fan-out
 /// over hash shards when the step's input is large enough, bit-identical
 /// serial execution otherwise (and entirely serial when `par` is
-/// disabled). Intermediates produced by parallel steps live in
-/// `StorageKind::kSharded`; small steps keep their source's backend so
-/// the serial natives still apply. See RunAlgorithm1InPlace for the
-/// relations-vector contract.
+/// disabled). Intermediates produced by parallel steps live in the
+/// sharded flavor `par.parallel_storage` names; small steps keep their
+/// source's backend so the serial natives still apply. See
+/// RunAlgorithm1InPlace for the relations-vector contract.
 template <TwoMonoid M>
 typename M::value_type RunAlgorithm1InPlaceParallel(
     const EliminationPlan& plan, const M& monoid,

@@ -12,13 +12,14 @@
 /// order (atom term order, duplicate variables, and constants are resolved
 /// once, when the base database is annotated).
 ///
-/// `AnnotatedRelation` is a facade over four interchangeable storage
+/// `AnnotatedRelation` is a facade over five interchangeable storage
 /// backends (data/storage.h), selected **at runtime** per relation:
 /// the std::unordered_map baseline, the tuple-keyed open-addressing
 /// `FlatMap` (util/flat_map.h), the column-major `ColumnarStore`
-/// (data/columnar.h), and the hash-sharded `ShardedStore`
-/// (data/sharded.h, the substrate of intra-query parallel steps —
-/// core/parallel.h). All backends implement the same narrow interface —
+/// (data/columnar.h), and the hash-sharded `ShardedStore` /
+/// `ShardedColumnarStore` pair (data/sharded.h, the substrates of
+/// intra-query parallel steps — core/parallel.h). All backends implement
+/// the same narrow interface —
 /// `Find` / `FindOrInsert` / `Merge` / `Erase` / `Reset` / `AssignFrom`
 /// plus the Algorithm 1 bulk operations `ProjectDropInto` (Rule 1) and
 /// `JoinUnionInto` (Rule 2) — and are proven interchangeable by the
@@ -104,9 +105,7 @@ class AnnotatedRelation {
   explicit AnnotatedRelation(VarSet schema,
                              StorageKind storage = kDefaultStorageKind)
       : schema_(std::move(schema)), storage_(storage) {
-    if (storage_ == StorageKind::kColumnar) {
-      columnar_.Reset(schema_.size());
-    }
+    ResetColumnarArity();
   }
 
   const VarSet& schema() const { return schema_; }
@@ -179,17 +178,16 @@ class AnnotatedRelation {
     }
     Clear();
     storage_ = storage;
-    if (storage_ == StorageKind::kColumnar) {
-      columnar_.Reset(schema_.size());
-    }
+    ResetColumnarArity();
   }
 
   /// Re-targets this relation at `schema`, dropping all entries but
   /// keeping the backend's buffers — the buffer-reuse entry point.
   void Reset(const VarSet& schema) {
     schema_ = schema;
-    if (storage_ == StorageKind::kColumnar) {
-      columnar_.Reset(schema_.size());
+    if (storage_ == StorageKind::kColumnar ||
+        storage_ == StorageKind::kShardedColumnar) {
+      ResetColumnarArity();
     } else {
       Clear();
     }
@@ -332,6 +330,14 @@ class AnnotatedRelation {
     HIERARQ_CHECK(storage_ == StorageKind::kSharded);
     return sharded_;
   }
+  const ShardedColumnarStore<K>& sharded_columnar_store() const {
+    HIERARQ_CHECK(storage_ == StorageKind::kShardedColumnar);
+    return sharded_columnar_;
+  }
+  ShardedColumnarStore<K>& mutable_sharded_columnar_store() {
+    HIERARQ_CHECK(storage_ == StorageKind::kShardedColumnar);
+    return sharded_columnar_;
+  }
 
  private:
   using BaselineStore = StdMapAdapter<Tuple, K, TupleHash>;
@@ -351,6 +357,8 @@ class AnnotatedRelation {
         return fn(columnar_);
       case StorageKind::kSharded:
         return fn(sharded_);
+      case StorageKind::kShardedColumnar:
+        return fn(sharded_columnar_);
     }
     HIERARQ_CHECK(false) << "unhandled StorageKind "
                          << static_cast<int>(storage_);
@@ -367,6 +375,8 @@ class AnnotatedRelation {
         return fn(columnar_);
       case StorageKind::kSharded:
         return fn(sharded_);
+      case StorageKind::kShardedColumnar:
+        return fn(sharded_columnar_);
     }
     HIERARQ_CHECK(false) << "unhandled StorageKind "
                          << static_cast<int>(storage_);
@@ -383,22 +393,35 @@ class AnnotatedRelation {
       return flat_;
     } else if constexpr (std::is_same_v<Store, ShardedStore<K>>) {
       return sharded_;
+    } else if constexpr (std::is_same_v<Store, ShardedColumnarStore<K>>) {
+      return sharded_columnar_;
     } else {
       static_assert(std::is_same_v<Store, ColumnarStore<K>>);
       return columnar_;
     }
   }
 
+  /// The columnar layouts are arity-typed: (re)target them at the current
+  /// schema width whenever one becomes (or stays) the active backend.
+  void ResetColumnarArity() {
+    if (storage_ == StorageKind::kColumnar) {
+      columnar_.Reset(schema_.size());
+    } else if (storage_ == StorageKind::kShardedColumnar) {
+      sharded_columnar_.Reset(schema_.size());
+    }
+  }
+
   VarSet schema_;
   StorageKind storage_ = kDefaultStorageKind;
   // Exactly one backend is active (named by storage_); the others stay
-  // empty. Keeping all four as members makes backend switches and
+  // empty. Keeping all five as members makes backend switches and
   // AssignFrom adoption trivial at the cost of a few empty shells per
   // relation — relations are few (2x query atoms), so this is noise.
   BaselineStore baseline_;
   FlatStore flat_;
   ColumnarStore<K> columnar_;
   ShardedStore<K> sharded_;
+  ShardedColumnarStore<K> sharded_columnar_;
 };
 
 /// A K-annotated database instance for a query: one annotated relation per

@@ -381,6 +381,35 @@ class ColumnarStore {
     return row == kNoRow ? nullptr : &values_[row].value;
   }
 
+  /// `FindOrInsert` with the key's hash precomputed (`hash` must equal
+  /// `HashRange` over `key`) — the per-shard insert path of
+  /// `ShardedColumnarStore`, whose callers route by an already-computed
+  /// hash and must not fold it a second time.
+  std::pair<K*, bool> FindOrInsertHashed(uint64_t hash, const Tuple& key) {
+    HIERARQ_CHECK_EQ(key.size(), arity());
+    auto [row, inserted] = FindOrInsertRow(
+        hash, [&](uint32_t r) { return RowEquals(r, key); },
+        [&] {
+          for (size_t c = 0; c < columns_.size(); ++c) {
+            columns_[c].push_back(key[c]);
+          }
+          values_.emplace_back();
+        });
+    return {&values_[row].value, inserted};
+  }
+
+  /// `Merge` with the key's hash precomputed (same contract as
+  /// `FindOrInsertHashed`).
+  template <typename Combine>
+  void MergeHashed(uint64_t hash, const Tuple& key, K value, Combine combine) {
+    auto [slot, inserted] = FindOrInsertHashed(hash, key);
+    if (inserted) {
+      *slot = std::move(value);
+    } else {
+      *slot = combine(*slot, value);
+    }
+  }
+
   /// Batch per-row hashes over selected columns (`HashRange` over those
   /// positions, vector kernels) into `*hashes` — the public face of the
   /// internal fold, reused by the parallel Rule 1 partitioner.

@@ -29,11 +29,18 @@
 /// `Find`/`FindOrInsert` are invalidated by the next mutating call on the
 /// *same shard* (mutations elsewhere never move another shard's entries —
 /// that isolation is what the parallel runner builds on).
+///
+/// `ShardedColumnarStore` applies the identical partition with a
+/// `ColumnarStore` per shard: the same top-bits routing and the same
+/// one-worker-per-shard ownership, but each shard keeps its rows
+/// column-major — so parallel scatter phases run the SIMD batch-hash and
+/// gathered-lane compare kernels (util/simd.h) the flat shards cannot.
 
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 
+#include "hierarq/data/columnar.h"
 #include "hierarq/data/tuple.h"
 #include "hierarq/util/flat_map.h"
 #include "hierarq/util/logging.h"
@@ -128,6 +135,112 @@ class ShardedStore {
   /// Visits every entry, shards in index order, slot order within a shard
   /// — deterministic for a fixed shard count, independent of how many
   /// threads filled the store.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Shard& shard : shards_) {
+      shard.ForEach(fn);
+    }
+  }
+
+ private:
+  Shard shards_[kNumShards];
+};
+
+/// `ShardedStore`'s partition over columnar shards: identical routing
+/// (`ShardOfHash` = top kShardBits bits), identical determinism argument,
+/// but each shard is a `ColumnarStore` — per-shard batch hashing and key
+/// compares run the vector kernels. Unlike the flat shards, columnar
+/// shards are arity-typed, so the store carries `Reset(arity)` like
+/// `ColumnarStore` does; `AnnotatedRelation::Reset` forwards the schema
+/// size the same way it does for the unsharded columnar backend.
+template <typename K>
+class ShardedColumnarStore {
+ public:
+  static constexpr size_t kShardBits = ShardedStore<K>::kShardBits;
+  static constexpr size_t kNumShards = ShardedStore<K>::kNumShards;
+
+  using Shard = ColumnarStore<K>;
+
+  static constexpr size_t ShardOfHash(uint64_t hash) {
+    return ShardedStore<K>::ShardOfHash(hash);
+  }
+
+  size_t arity() const { return shards_[0].arity(); }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.size();
+    }
+    return total;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Direct shard access — the parallel runner's ownership handle: task j
+  /// mutates shard(j) and nothing else.
+  Shard& shard(size_t s) {
+    HIERARQ_CHECK_LT(s, kNumShards);
+    return shards_[s];
+  }
+  const Shard& shard(size_t s) const {
+    HIERARQ_CHECK_LT(s, kNumShards);
+    return shards_[s];
+  }
+
+  /// Drops all rows and re-targets every shard at `arity` positions.
+  void Reset(size_t arity) {
+    for (Shard& shard : shards_) {
+      shard.Reset(arity);
+    }
+  }
+
+  const K* Find(const Tuple& key) const {
+    const uint64_t hash = TupleHash{}(key);
+    return shards_[ShardOfHash(hash)].FindWithHash(hash, key);
+  }
+  bool Contains(const Tuple& key) const { return Find(key) != nullptr; }
+
+  std::pair<K*, bool> FindOrInsert(const Tuple& key) {
+    const uint64_t hash = TupleHash{}(key);
+    return shards_[ShardOfHash(hash)].FindOrInsertHashed(hash, key);
+  }
+
+  void Set(const Tuple& key, K value) {
+    *FindOrInsert(key).first = std::move(value);
+  }
+
+  template <typename Combine>
+  void Merge(const Tuple& key, K value, Combine combine) {
+    const uint64_t hash = TupleHash{}(key);
+    shards_[ShardOfHash(hash)].MergeHashed(hash, key, std::move(value),
+                                           combine);
+  }
+
+  bool Erase(const Tuple& key) {
+    const uint64_t hash = TupleHash{}(key);
+    return shards_[ShardOfHash(hash)].Erase(key);
+  }
+
+  /// Pre-sizes every shard for its expected slice of `count` keys (same
+  /// +1/8 slack policy as ShardedStore).
+  void Reserve(size_t count) {
+    const size_t per_shard = count / kNumShards;
+    const size_t sized = per_shard + per_shard / 8 + 1;
+    for (Shard& shard : shards_) {
+      shard.Reserve(sized);
+    }
+  }
+
+  /// Removes all rows; every shard keeps its column/index allocations.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      shard.Clear();
+    }
+  }
+
+  /// Visits every entry, shards in index order, rows in insertion order
+  /// within a shard — deterministic for a fixed shard count, independent
+  /// of how many threads filled the store.
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (const Shard& shard : shards_) {

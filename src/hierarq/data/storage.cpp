@@ -12,6 +12,8 @@ const char* StorageKindName(StorageKind kind) {
       return "columnar";
     case StorageKind::kSharded:
       return "sharded";
+    case StorageKind::kShardedColumnar:
+      return "sharded_columnar";
   }
   return "unknown";
 }
@@ -28,6 +30,10 @@ std::optional<StorageKind> ParseStorageKind(std::string_view name) {
   }
   if (name == "sharded" || name == "shard") {
     return StorageKind::kSharded;
+  }
+  if (name == "sharded_columnar" || name == "sharded-columnar" ||
+      name == "shardcol") {
+    return StorageKind::kShardedColumnar;
   }
   return std::nullopt;
 }

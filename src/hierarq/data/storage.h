@@ -4,7 +4,7 @@
 /// \file storage.h
 /// \brief The storage-backend selector for `AnnotatedRelation`.
 ///
-/// Four layouts implement the relation interface
+/// Five layouts implement the relation interface
 /// (`Find`/`FindOrInsert`/`Merge`/`Reset`/`AssignFrom`):
 ///
 ///   * `kBaseline` — `std::unordered_map<Tuple, K>`: the reference
@@ -18,8 +18,12 @@
 ///     of independent FlatMap shards routed by the top bits of the key
 ///     hash, so intra-query parallel Rule 1/Rule 2 steps
 ///     (core/parallel.h) accumulate lock-free, one worker per shard.
+///   * `kShardedColumnar` — `ShardedColumnarStore` (data/sharded.h): the
+///     same hash-sharded partition with a `ColumnarStore` per shard, so
+///     parallel steps keep the lock-free shard ownership *and* the SIMD
+///     batch-hash/compare kernels columnar execution gets.
 ///
-/// All four are always compiled in; the backend is selected *at runtime*
+/// All five are always compiled in; the backend is selected *at runtime*
 /// per relation (threaded as an engine option through `Evaluator`,
 /// `EvalService` and `hierarq_cli --storage=...`), so A/B comparison runs
 /// need no rebuild. The compile-time policy — CMake options
@@ -37,6 +41,7 @@ enum class StorageKind : unsigned char {
   kFlat = 1,      ///< Tuple-keyed open-addressing FlatMap.
   kColumnar = 2,  ///< Column vectors + row-id hash index.
   kSharded = 3,   ///< Hash-sharded FlatMap shards (intra-query parallel).
+  kShardedColumnar = 4,  ///< Hash-sharded ColumnarStore shards.
 };
 
 /// The backend relations default to, fixed by the compile-time policy.
@@ -49,8 +54,9 @@ inline constexpr StorageKind kDefaultStorageKind =
     StorageKind::kFlat;
 #endif
 
-/// "baseline" / "flat" / "columnar" / "sharded" — the spelling of the CLI
-/// flag and of the per-row storage tags in BENCH_*.json.
+/// "baseline" / "flat" / "columnar" / "sharded" / "sharded_columnar" —
+/// the spelling of the CLI flag and of the per-row storage tags in
+/// BENCH_*.json.
 const char* StorageKindName(StorageKind kind);
 
 /// Inverse of `StorageKindName`; nullopt for unknown spellings.
@@ -60,7 +66,7 @@ std::optional<StorageKind> ParseStorageKind(std::string_view name);
 /// differential tests and the per-backend bench emitters.
 inline constexpr StorageKind kAllStorageKinds[] = {
     StorageKind::kBaseline, StorageKind::kFlat, StorageKind::kColumnar,
-    StorageKind::kSharded};
+    StorageKind::kSharded, StorageKind::kShardedColumnar};
 
 }  // namespace hierarq
 

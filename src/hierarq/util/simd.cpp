@@ -125,11 +125,65 @@ __attribute__((target("avx2"))) bool RowEqualsKeyAvx2(
   return _mm256_movemask_epi8(_mm256_cmpeq_epi64(lanes, probe)) == -1;
 }
 
+// --------------------------------------------------------------- AVX-512 --
+// Needs both F (512-bit registers) and DQ (native 64-bit vpmullq — no
+// 32-bit decomposition like the SSE2/AVX2 tiers). Same pattern: compiled
+// behind function-level target attributes, dispatched at runtime.
+
+__attribute__((target("avx512f,avx512dq"))) inline __m512i Mix64Avx512(
+    __m512i x) {
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, _mm512_set1_epi64(static_cast<int64_t>(kMixMul1)));
+  x = _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+  x = _mm512_mullo_epi64(x, _mm512_set1_epi64(static_cast<int64_t>(kMixMul2)));
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 33));
+}
+
+__attribute__((target("avx512f,avx512dq"))) void HashCombineRowsAvx512(
+    uint64_t* h, const int64_t* column, size_t n) {
+  const __m512i golden = _mm512_set1_epi64(static_cast<int64_t>(kGolden));
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    const __m512i seed = _mm512_loadu_si512(h + r);
+    const __m512i mixed = Mix64Avx512(_mm512_loadu_si512(column + r));
+    const __m512i sum = _mm512_add_epi64(
+        _mm512_add_epi64(mixed, golden),
+        _mm512_add_epi64(_mm512_slli_epi64(seed, 6),
+                         _mm512_srli_epi64(seed, 2)));
+    _mm512_storeu_si512(h + r, _mm512_xor_si512(seed, sum));
+  }
+  HashCombineRowsScalar(h + r, column + r, n - r);
+}
+
+/// Gathers up to 8 of the candidate row's column lanes into one register
+/// and mask-compares against the probe key; lanes past `arity` are masked
+/// out. Only called with arity >= 3 (below that the scalar early-exit
+/// loop wins); rows wider than 8 finish in the caller's scalar tail.
+__attribute__((target("avx512f,avx512dq"))) bool RowEqualsKeyAvx512(
+    const std::vector<std::vector<int64_t>>& columns, uint32_t row,
+    const int64_t* key, size_t arity) {
+  const size_t lanes = arity < 8 ? arity : 8;
+  alignas(64) int64_t row_lanes[8] = {0};
+  alignas(64) int64_t key_lanes[8] = {0};
+  for (size_t c = 0; c < lanes; ++c) {
+    row_lanes[c] = columns[c][row];
+    key_lanes[c] = key[c];
+  }
+  const __mmask8 live = static_cast<__mmask8>((1u << lanes) - 1u);
+  const __mmask8 eq = _mm512_mask_cmpeq_epi64_mask(
+      live, _mm512_load_si512(row_lanes), _mm512_load_si512(key_lanes));
+  return eq == live;
+}
+
 #endif  // HIERARQ_SIMD_X86_64
 
 Level Detect() {
 #if HIERARQ_SIMD_X86_64
 #if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return Level::kAvx512;
+  }
   if (__builtin_cpu_supports("avx2")) {
     return Level::kAvx2;
   }
@@ -147,7 +201,7 @@ Level Detect() {
 /// never picked by default.
 Level DefaultLevel() {
   const Level detected = Detect();
-  return detected == Level::kAvx2 ? Level::kAvx2 : Level::kScalar;
+  return detected >= Level::kAvx2 ? detected : Level::kScalar;
 }
 
 Level ClampToDetected(Level level) {
@@ -169,6 +223,8 @@ Level InitialLevel() {
       level = ClampToDetected(Level::kSse2);
     } else if (std::strcmp(env, "avx2") == 0) {
       level = ClampToDetected(Level::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      level = ClampToDetected(Level::kAvx512);
     }
   }
   return level;
@@ -191,6 +247,8 @@ const char* LevelName(Level level) {
       return "sse2";
     case Level::kAvx2:
       return "avx2";
+    case Level::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -211,6 +269,9 @@ void SetLevelForTesting(Level level) {
 void HashCombineRows(uint64_t* h, const int64_t* column, size_t n) {
 #if HIERARQ_SIMD_X86_64
   switch (ActiveLevel()) {
+    case Level::kAvx512:
+      HashCombineRowsAvx512(h, column, n);
+      return;
     case Level::kAvx2:
       HashCombineRowsAvx2(h, column, n);
       return;
@@ -227,7 +288,19 @@ void HashCombineRows(uint64_t* h, const int64_t* column, size_t n) {
 bool RowEqualsKey(const std::vector<std::vector<int64_t>>& columns,
                   uint32_t row, const int64_t* key, size_t arity) {
 #if HIERARQ_SIMD_X86_64
-  if (arity >= 3 && ActiveLevel() == Level::kAvx2) {
+  const Level level = ActiveLevel();
+  if (arity >= 3 && level == Level::kAvx512) {
+    if (!RowEqualsKeyAvx512(columns, row, key, arity)) {
+      return false;
+    }
+    for (size_t c = 8; c < arity; ++c) {
+      if (columns[c][row] != key[c]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (arity >= 3 && level == Level::kAvx2) {
     if (!RowEqualsKeyAvx2(columns, row, key, arity)) {
       return false;
     }

@@ -13,7 +13,7 @@
 /// non-x86 host), so nothing here requires compiling the whole tree with
 /// `-mavx2`.
 ///
-/// The shim therefore provides exactly three tiers:
+/// The shim therefore provides exactly four tiers:
 ///
 ///   * `kScalar` — portable C++, always available, and the reference
 ///     the vector tiers must match bit-for-bit (the hash kernels are pure
@@ -24,10 +24,14 @@
 ///   * `kAvx2`   — 4 lanes; compiled behind a function-level
 ///     `__attribute__((target("avx2")))` so the translation unit builds
 ///     without `-mavx2`, and *dispatched at runtime* via
-///     `__builtin_cpu_supports`.
+///     `__builtin_cpu_supports`;
+///   * `kAvx512` — 8 lanes; needs AVX-512F + AVX-512DQ (the DQ extension
+///     carries the native 64-bit `vpmullq`, so this tier skips the 32-bit
+///     multiply decomposition the narrower tiers emulate). Same
+///     function-level target attributes + runtime detection.
 ///
 /// The active tier is resolved once (overridable by the `HIERARQ_SIMD`
-/// environment variable — `scalar` / `sse2` / `avx2` — and by
+/// environment variable — `scalar` / `sse2` / `avx2` / `avx512` — and by
 /// `SetLevelForTesting`, both clamped to what the CPU actually supports),
 /// so benches can A/B the scalar and vector kernels on identical rows in
 /// one binary.
@@ -43,20 +47,22 @@ enum class Level : unsigned char {
   kScalar = 0,  ///< Portable C++ reference loops.
   kSse2 = 1,    ///< 2x64-bit lanes (x86-64 baseline).
   kAvx2 = 2,    ///< 4x64-bit lanes (runtime-detected).
+  kAvx512 = 3,  ///< 8x64-bit lanes (runtime-detected, needs F + DQ).
 };
 
-/// "scalar" / "sse2" / "avx2" — the spelling used by the HIERARQ_SIMD
-/// environment override and the bench row tags.
+/// "scalar" / "sse2" / "avx2" / "avx512" — the spelling used by the
+/// HIERARQ_SIMD environment override and the bench row tags.
 const char* LevelName(Level level);
 
 /// The most capable tier this CPU supports (independent of overrides).
 Level DetectedLevel();
 
-/// The tier the kernels currently dispatch to. Defaults to kAvx2 when the
-/// CPU has it and kScalar otherwise — the 2-lane SSE2 hash fold emulates
-/// 64-bit multiplies and measures slower than scalar `imul`, so it is
-/// never picked implicitly — then adjusted by the HIERARQ_SIMD environment
-/// variable and SetLevelForTesting (both clamped to DetectedLevel()).
+/// The tier the kernels currently dispatch to. Defaults to the widest of
+/// kAvx512/kAvx2 the CPU has and kScalar otherwise — the 2-lane SSE2 hash
+/// fold emulates 64-bit multiplies and measures slower than scalar
+/// `imul`, so it is never picked implicitly — then adjusted by the
+/// HIERARQ_SIMD environment variable and SetLevelForTesting (both clamped
+/// to DetectedLevel()).
 Level ActiveLevel();
 
 /// Forces dispatch to `level` (clamped to DetectedLevel()); the bench

@@ -55,6 +55,7 @@ void WorkerPool::ParallelFor(
   if (n == 0) {
     return;
   }
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   // The latch synchronizes the workers' writes (results stored by `fn`)
   // with the caller's reads after wait() returns.
   std::latch done(static_cast<std::ptrdiff_t>(n));

@@ -20,6 +20,7 @@
 /// must not throw: the codebase reports errors through Status/Result, and
 /// an exception escaping a task would terminate via the jthread.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -60,12 +61,21 @@ class WorkerPool {
                    const std::function<void(size_t worker_index,
                                             size_t index)>& fn);
 
+  /// How many ParallelFor barriers this pool has run so far. Each call is
+  /// one submit-all-then-latch round trip, so the counter measures the
+  /// per-step synchronization cost the fused Rule 1/Rule 2 phases exist
+  /// to shrink (tests assert a fused parallel step takes exactly one).
+  size_t parallel_for_calls() const {
+    return parallel_for_calls_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop(size_t index);
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
+  std::atomic<size_t> parallel_for_calls_{0};
   bool stopping_ = false;
   std::vector<std::jthread> workers_;  // Last member: destroyed (joined) first.
 };

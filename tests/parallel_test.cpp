@@ -292,6 +292,113 @@ TEST(ParallelService, ConcurrentBatchesAndIntraReplaysAgree) {
   EXPECT_GT(service.stats().intra_parallel_replays, 0u);
 }
 
+// ------------------------------------------------------------ fused steps --
+
+// Builds a range-scannable relation of `rows` pseudo-random tuples (with
+// duplicates ⊕-merged, exercising the Merge path) over `vars`.
+AnnotatedRelation<uint64_t> FilledRelation(const VarSet& vars,
+                                           StorageKind kind, size_t rows,
+                                           uint64_t seed) {
+  AnnotatedRelation<uint64_t> rel;
+  rel.Reset(vars, kind);
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    Tuple key;
+    for (size_t c = 0; c < vars.size(); ++c) {
+      key.push_back(rng.UniformInt(0, 40));
+    }
+    rel.Merge(key, 1 + static_cast<uint64_t>(rng.UniformInt(0, 5)), plus);
+  }
+  return rel;
+}
+
+template <typename K>
+void ExpectSameRelation(const AnnotatedRelation<K>& expected,
+                        const AnnotatedRelation<K>& actual) {
+  EXPECT_EQ(expected.size(), actual.size());
+  expected.ForEach([&](const Tuple& key, const K& value) {
+    const K* other = actual.Find(key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(*other, value);
+  });
+}
+
+// The fused Rule 1/Rule 2 phases exist to shrink per-step pool
+// synchronization: hash chunks and shard scatters now share one
+// ParallelFor (work-stealing barrier inside), where Rule 1 used to take
+// 2 latches (hash pass, scatter) and Rule 2 took 3 (two hash passes,
+// scatter). parallel_for_calls() counts latches directly.
+TEST(FusedSteps, Rule1AndRule2TakeOneLatchEach) {
+  WorkerPool pool(4);
+  IntraQueryParallel par{&pool, 4, /*min_rows=*/1};
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const auto times = [](uint64_t a, uint64_t b) { return a * b; };
+
+  const AnnotatedRelation<uint64_t> source =
+      FilledRelation(VarSet{0, 1}, StorageKind::kFlat, 300, 0xfab1);
+  AnnotatedRelation<uint64_t> projected;
+  const size_t before_rule1 = pool.parallel_for_calls();
+  ProjectDropStep(source, /*drop_pos=*/0, VarSet{1}, plus, par,
+                  StorageKind::kFlat, &projected);
+  EXPECT_EQ(pool.parallel_for_calls() - before_rule1, 1u);
+  EXPECT_FALSE(projected.empty());
+
+  const AnnotatedRelation<uint64_t> left =
+      FilledRelation(VarSet{0, 1}, StorageKind::kFlat, 300, 0xfab2);
+  const AnnotatedRelation<uint64_t> right =
+      FilledRelation(VarSet{0, 1}, StorageKind::kFlat, 300, 0xfab3);
+  AnnotatedRelation<uint64_t> joined;
+  const size_t before_rule2 = pool.parallel_for_calls();
+  JoinUnionStep(left, right, VarSet{0, 1}, times, uint64_t{0}, par,
+                StorageKind::kFlat, &joined);
+  EXPECT_EQ(pool.parallel_for_calls() - before_rule2, 1u);
+  EXPECT_FALSE(joined.empty());
+}
+
+// Both sharded scatter flavors (FlatMap shards and the SIMD-widened
+// columnar shards) must produce the serial natives' exact contents, from
+// every range-scannable input layout.
+TEST(FusedSteps, ScatterFlavorsMatchSerialResults) {
+  WorkerPool pool(4);
+  const auto plus = [](uint64_t a, uint64_t b) { return a + b; };
+  const auto times = [](uint64_t a, uint64_t b) { return a * b; };
+
+  for (StorageKind input : {StorageKind::kFlat, StorageKind::kColumnar,
+                            StorageKind::kSharded,
+                            StorageKind::kShardedColumnar}) {
+    for (StorageKind scatter :
+         {StorageKind::kSharded, StorageKind::kShardedColumnar}) {
+      SCOPED_TRACE(std::string(StorageKindName(input)) + " -> " +
+                   StorageKindName(scatter));
+      IntraQueryParallel par{&pool, 4, /*min_rows=*/1, scatter};
+      const AnnotatedRelation<uint64_t> source =
+          FilledRelation(VarSet{0, 1}, input, 400, 0x5ca7);
+      const AnnotatedRelation<uint64_t> other =
+          FilledRelation(VarSet{0, 1}, input, 400, 0x5ca8);
+
+      AnnotatedRelation<uint64_t> serial_projected;
+      ProjectDropStep(source, 0, VarSet{1}, plus, IntraQueryParallel{},
+                      StorageKind::kFlat, &serial_projected);
+      AnnotatedRelation<uint64_t> parallel_projected;
+      ProjectDropStep(source, 0, VarSet{1}, plus, par, StorageKind::kFlat,
+                      &parallel_projected);
+      EXPECT_EQ(parallel_projected.storage(), scatter);
+      ExpectSameRelation(serial_projected, parallel_projected);
+
+      AnnotatedRelation<uint64_t> serial_joined;
+      JoinUnionStep(source, other, VarSet{0, 1}, times, uint64_t{0},
+                    IntraQueryParallel{}, StorageKind::kFlat,
+                    &serial_joined);
+      AnnotatedRelation<uint64_t> parallel_joined;
+      JoinUnionStep(source, other, VarSet{0, 1}, times, uint64_t{0}, par,
+                    StorageKind::kFlat, &parallel_joined);
+      EXPECT_EQ(parallel_joined.storage(), scatter);
+      ExpectSameRelation(serial_joined, parallel_joined);
+    }
+  }
+}
+
 // --------------------------------------------- incremental materialization --
 
 TEST(ParallelIncremental, ParallelMaterializeFeedsSerialDeltasCorrectly) {

@@ -27,6 +27,9 @@ std::vector<simd::Level> AvailableLevels() {
   if (simd::DetectedLevel() >= simd::Level::kAvx2) {
     levels.push_back(simd::Level::kAvx2);
   }
+  if (simd::DetectedLevel() >= simd::Level::kAvx512) {
+    levels.push_back(simd::Level::kAvx512);
+  }
   return levels;
 }
 
@@ -35,8 +38,8 @@ std::vector<simd::Level> AvailableLevels() {
 class SimdTest : public ::testing::Test {
  protected:
   ~SimdTest() override {
-    simd::SetLevelForTesting(simd::DetectedLevel() == simd::Level::kAvx2
-                                 ? simd::Level::kAvx2
+    simd::SetLevelForTesting(simd::DetectedLevel() >= simd::Level::kAvx2
+                                 ? simd::DetectedLevel()
                                  : simd::Level::kScalar);
   }
 };
@@ -112,8 +115,10 @@ TEST_F(SimdTest, LevelNamesRoundTrip) {
   EXPECT_STREQ(simd::LevelName(simd::Level::kScalar), "scalar");
   EXPECT_STREQ(simd::LevelName(simd::Level::kSse2), "sse2");
   EXPECT_STREQ(simd::LevelName(simd::Level::kAvx2), "avx2");
-  // SetLevelForTesting clamps to what the host supports.
-  simd::SetLevelForTesting(simd::Level::kAvx2);
+  EXPECT_STREQ(simd::LevelName(simd::Level::kAvx512), "avx512");
+  // SetLevelForTesting clamps to what the host supports — an AVX-512
+  // request on a narrower host falls back instead of faulting.
+  simd::SetLevelForTesting(simd::Level::kAvx512);
   EXPECT_LE(static_cast<int>(simd::ActiveLevel()),
             static_cast<int>(simd::DetectedLevel()));
 }

@@ -3,10 +3,10 @@
 // Solves any of the library's problems from a query string and database
 // files in the text format of hierarq/data/loader.h.
 //
-// A global `--storage=flat|columnar|baseline|sharded` flag (anywhere on
-// the command line) selects the relation storage backend every
-// Algorithm 1 run stores its supports in; the default is the build's
-// compile-time policy (flat unless configured otherwise).
+// A global `--storage=flat|columnar|baseline|sharded|sharded_columnar`
+// flag (anywhere on the command line) selects the relation storage
+// backend every Algorithm 1 run stores its supports in; the default is
+// the build's compile-time policy (flat unless configured otherwise).
 //
 // A global `--threads=N` flag (N >= 1) sets intra-query parallelism:
 // single-query commands and update-mode view materialization fan each
@@ -15,6 +15,15 @@
 // machinery. `--threads=1` (the default) is the bit-identical serial
 // path. Batch mode's trailing [workers] argument still sizes the
 // across-query worker pool independently.
+//
+// A global `--adaptive` flag replaces hand-picked knobs with per-step
+// decisions (core/adaptive.h): cheap stats plus a calibrated cost model
+// — refined by measured feedback on replays — choose each elimination
+// step's backend, thread count, and serial/parallel cutoff.
+// `--threads=N` then caps the fan-out (default: detected hardware
+// concurrency); `--storage` still governs base-relation annotation.
+// Results are identical to every fixed configuration (bit-identical for
+// exact monoids).
 //
 //   hierarq_cli classify   <query>
 //   hierarq_cli plan       <query>
@@ -75,7 +84,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: hierarq_cli [--storage=flat|columnar|baseline|"
-               "sharded] [--threads=N] <command> <query> [files...]\n"
+               "sharded|sharded_columnar] [--threads=N] [--adaptive] "
+               "<command> <query> [files...]\n"
                "commands:\n"
                "  classify   <query>\n"
                "  plan       <query>\n"
@@ -101,10 +111,13 @@ int Usage() {
                "  update pqe    <query> <tid-db>\n"
                "  update expect <query> <tid-db>\n"
                "options:\n"
-               "  --storage=flat|columnar|baseline|sharded   relation "
-               "storage backend (default: %s)\n"
+               "  --storage=flat|columnar|baseline|sharded|"
+               "sharded_columnar   relation storage backend (default: %s)\n"
                "  --threads=N   intra-query parallelism (default 1 = "
-               "serial; N>1 shards big Rule 1/2 steps across N threads)\n",
+               "serial; N>1 shards big Rule 1/2 steps across N threads)\n"
+               "  --adaptive    per-step adaptive execution: stats + cost "
+               "model pick backend/threads/cutoff per elimination step "
+               "(--threads then caps the fan-out)\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -172,7 +185,8 @@ void PrintServiceStats(const EvalService& service, size_t num_workers) {
 }
 
 /// `hierarq_cli batch <solver> <queries-file> <dbs...> [workers]`.
-int RunBatch(int argc, char** argv, StorageKind storage, size_t threads) {
+int RunBatch(int argc, char** argv, StorageKind storage, size_t threads,
+             bool adaptive) {
   if (argc < 5) {
     return Usage();
   }
@@ -212,6 +226,7 @@ int RunBatch(int argc, char** argv, StorageKind storage, size_t threads) {
   service_options.num_workers = workers;
   service_options.storage = storage;
   service_options.intra_query_threads = threads;
+  service_options.adaptive = adaptive;
   EvalService service(service_options);
 
   // Renders one result line per query; errors are reported inline so one
@@ -403,11 +418,11 @@ Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
 template <TwoMonoid M, typename Render>
 int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
                   M monoid, typename IncrementalView<M>::Annotator annotator,
-                  StorageKind storage, size_t threads, Dictionary* dict,
-                  Render render) {
+                  StorageKind storage, size_t threads, bool adaptive,
+                  Dictionary* dict, Render render) {
   IncrementalEvaluator<M> evaluator(std::move(monoid), &db,
                                     std::move(annotator),
-                                    {storage, threads});
+                                    {storage, threads, adaptive});
   auto handle = evaluator.Attach(query);
   if (!handle.ok()) {
     return Fail(handle.status());
@@ -454,8 +469,8 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
 }
 
 /// `hierarq_cli update <solver> <query> <db>`.
-int RunUpdate(int argc, char** argv, StorageKind storage,
-              size_t threads) {
+int RunUpdate(int argc, char** argv, StorageKind storage, size_t threads,
+              bool adaptive) {
   if (argc != 5) {
     return Usage();
   }
@@ -482,7 +497,7 @@ int RunUpdate(int argc, char** argv, StorageKind storage,
     return RunUpdateLoop(
         query, VersionedDatabase(*std::move(db)), CountMonoid{},
         [](const Fact&, double) -> uint64_t { return 1; }, storage,
-        threads, &dict, [](uint64_t value) {
+        threads, adaptive, &dict, [](uint64_t value) {
           return "Q(D) = " + std::to_string(value);
         });
   }
@@ -505,11 +520,11 @@ int RunUpdate(int argc, char** argv, StorageKind storage,
   };
   if (solver == "pqe") {
     return RunUpdateLoop(query, VersionedDatabase(*db), ProbMonoid{},
-                         weight_annotator, storage, threads, &dict,
-                         render_double);
+                         weight_annotator, storage, threads, adaptive,
+                         &dict, render_double);
   }
   return RunUpdateLoop(query, VersionedDatabase(*db), ExpectationMonoid{},
-                       weight_annotator, storage, threads, &dict,
+                       weight_annotator, storage, threads, adaptive, &dict,
                        render_double);
 }
 
@@ -520,6 +535,7 @@ int Run(int argc, char** argv) {
   // fallbacks to defaults.
   StorageKind storage = kDefaultStorageKind;
   size_t threads = 1;
+  bool adaptive = false;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -529,7 +545,8 @@ int Run(int argc, char** argv) {
       if (!parsed_kind.has_value()) {
         std::fprintf(stderr,
                      "error: unknown storage backend in '%s' (expected "
-                     "flat, columnar, baseline or sharded)\n",
+                     "flat, columnar, baseline, sharded or "
+                     "sharded_columnar)\n",
                      argv[i]);
         return Usage();
       }
@@ -548,6 +565,10 @@ int Run(int argc, char** argv) {
       threads = static_cast<size_t>(*parsed_threads);
       continue;
     }
+    if (arg == "--adaptive") {
+      adaptive = true;
+      continue;
+    }
     if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -562,10 +583,10 @@ int Run(int argc, char** argv) {
   }
   const std::string command = argv[1];
   if (command == "batch") {
-    return RunBatch(argc, argv, storage, threads);
+    return RunBatch(argc, argv, storage, threads, adaptive);
   }
   if (command == "update") {
-    return RunUpdate(argc, argv, storage, threads);
+    return RunUpdate(argc, argv, storage, threads, adaptive);
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
@@ -580,6 +601,7 @@ int Run(int argc, char** argv) {
   Evaluator::Options evaluator_options;
   evaluator_options.storage = storage;
   evaluator_options.intra_query_threads = threads;
+  evaluator_options.adaptive = adaptive;
   Evaluator evaluator(evaluator_options);
 
   auto load = [&dict](const char* path) {
