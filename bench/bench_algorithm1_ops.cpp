@@ -158,6 +158,21 @@ void EmitThroughputJson() {
   EmitThreadScalingRows(&report, q, big_db);
   EmitAdaptiveRows(&report, q, big_db);
   EmitSimdKernelRows(&report, q, big_db);
+
+  // Instrumentation overhead (obs/): the same paper-query replay with
+  // the tracer uninstalled (the production default — must be free) and
+  // installed (records one step event per elimination step per replay).
+  {
+    Evaluator evaluator(kDefaultStorageKind);
+    auto plan = evaluator.GetPlan(q);
+    const AnnotationPool<uint64_t> pool = AnnotateForQuerySet<uint64_t>(
+        {&q}, big_db, annotate, plus, kDefaultStorageKind);
+    const auto bases = ResolveBases<uint64_t>(q, pool);
+    bench::AddInstrumentationOverheadRows(&report, [&] {
+      benchmark::DoNotOptimize(
+          evaluator.ReplayPlan(**plan, monoid, q, bases));
+    });
+  }
   report.WriteToFile();
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hierarq/data/storage.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/util/simd.h"
 #include "hierarq/util/timer.h"
 
@@ -149,6 +150,31 @@ class JsonReport {
   std::string path_;
   std::vector<Row> rows_;
 };
+
+/// Measures `fn` (a full replay of some workload) untraced and then with
+/// a `Tracer` installed, and records both as rows in `report`:
+///   "instrumentation/untraced"  replays_per_sec
+///   "instrumentation/traced"    replays_per_sec, overhead_ratio
+/// `overhead_ratio` is untraced/traced rate (1.0 = free, 1.05 = 5%
+/// slower). The untraced row is the one the CI tripwire guards — the
+/// disabled emit points (one relaxed load each) must stay invisible; the
+/// traced row documents the cost of actually recording.
+template <typename Fn>
+void AddInstrumentationOverheadRows(JsonReport* report, Fn&& fn) {
+  const double untraced = MeasureRate(fn);
+  obs::Tracer tracer;
+  tracer.Install();
+  const double traced = MeasureRate(fn);
+  tracer.Uninstall();
+  report->AddRow("instrumentation/untraced",
+                 {{"replays_per_sec", untraced}});
+  report->AddRow("instrumentation/traced",
+                 {{"replays_per_sec", traced},
+                  {"overhead_ratio", traced > 0.0 ? untraced / traced : 0.0}});
+  std::printf("  instrumentation overhead: untraced=%.0f/s traced=%.0f/s "
+              "(x%.3f)\n",
+              untraced, traced, traced > 0.0 ? untraced / traced : 0.0);
+}
 
 /// Runs the report function, then google-benchmark.
 #define HIERARQ_BENCH_MAIN(report_fn)                       \

@@ -44,7 +44,6 @@
 /// that owns it (one controller per worker); plans may be shared across
 /// workers but each worker keeps private feedback.
 
-#include <chrono>
 #include <cstddef>
 #include <unordered_map>
 #include <vector>
@@ -55,6 +54,7 @@
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/sharded.h"
 #include "hierarq/data/storage.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/util/logging.h"
 
@@ -259,7 +259,6 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
     std::vector<AnnotatedRelation<typename M::value_type>>& relations,
     const IntraQueryParallel& par, AdaptiveController* controller) {
   using K = typename M::value_type;
-  using Clock = std::chrono::steady_clock;
   HIERARQ_CHECK(controller != nullptr);
   HIERARQ_CHECK_EQ(relations.size(), plan.num_atoms());
 
@@ -270,14 +269,18 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
     return monoid.Times(a, b);
   };
 
+  obs::Tracer* const tracer = obs::Tracer::Current();
   size_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     AnnotatedRelation<K>& result = relations[step.result_atom];
     const VarSet& result_vars = plan.vars_of(step.result_atom);
 
-    const Clock::time_point start = Clock::now();
+    // One clock per step edge serves both consumers: the controller's
+    // EWMA feedback and (when installed) the trace event.
+    const uint64_t start_ns = obs::Tracer::NowNs();
     size_t input_rows = 0;
     StepChoice choice;
+    StepExecution exec;
     if (step.rule == EliminationRule::kProjectVariable) {
       AnnotatedRelation<K>& source = relations[step.source_atom];
       HIERARQ_CHECK_LT(step.drop_pos, source.schema().size());
@@ -287,7 +290,7 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
       choice = controller->Choose(&plan, step_index, stats);
       ProjectDropStep(source, step.drop_pos, result_vars, plus,
                       adaptive_internal::StepParallel(par, choice),
-                      choice.serial_storage, &result);
+                      choice.serial_storage, &result, &exec);
       source.Clear();
     } else {
       AnnotatedRelation<K>& left = relations[step.left_atom];
@@ -303,14 +306,29 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
       choice = controller->Choose(&plan, step_index, stats);
       JoinUnionStep(left, right, result_vars, times, monoid.Zero(),
                     adaptive_internal::StepParallel(par, choice),
-                    choice.serial_storage, &result);
+                    choice.serial_storage, &result, &exec);
       left.Clear();
       right.Clear();
     }
-    const double seconds =
-        std::chrono::duration<double>(Clock::now() - start).count();
+    const uint64_t end_ns = obs::Tracer::NowNs();
     controller->RecordMeasured(&plan, step_index, choice.parallel,
-                               input_rows, seconds);
+                               input_rows,
+                               static_cast<double>(end_ns - start_ns) * 1e-9);
+    if (tracer != nullptr) {
+      obs::TraceStepArgs args;
+      args.step_index = static_cast<uint32_t>(step_index);
+      args.rule = step.rule == EliminationRule::kProjectVariable ? 1 : 2;
+      args.backend = result.storage();
+      args.simd = simd::ActiveLevel();
+      args.adaptive = true;
+      args.parallel = exec.parallel;
+      args.threads = static_cast<uint32_t>(exec.threads);
+      args.rows_in = input_rows;
+      args.rows_out = result.size();
+      args.predicted_serial_ns = choice.predicted_serial_ns;
+      args.predicted_parallel_ns = choice.predicted_parallel_ns;
+      tracer->EmitStep(start_ns, end_ns, args);
+    }
     ++step_index;
   }
 

@@ -41,6 +41,7 @@
 
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/data/annotated.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -71,27 +72,46 @@ typename M::value_type RunAlgorithm1InPlace(
     return monoid.Times(a, b);
   };
 
+  // Hoisted once per run: the untraced hot path pays one null check per
+  // step, no clock reads, no event stores.
+  obs::Tracer* const tracer = obs::Tracer::Current();
+  uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     AnnotatedRelation<K>& result = relations[step.result_atom];
     result.Reset(plan.vars_of(step.result_atom), storage);
 
+    const uint64_t start_ns = tracer != nullptr ? obs::Tracer::NowNs() : 0;
+    uint64_t rows_in = 0;
     if (step.rule == EliminationRule::kProjectVariable) {
       // Rule 1: ⊕-project `step.variable` out of `step.source_atom`.
       AnnotatedRelation<K>& source = relations[step.source_atom];
       const size_t drop_pos = step.drop_pos;
       HIERARQ_CHECK_LT(drop_pos, source.schema().size());
       HIERARQ_CHECK_EQ(source.schema()[drop_pos], step.variable);
+      rows_in = source.size();
       source.ProjectDropInto(drop_pos, plus, &result);
       source.Clear();
     } else {
       // Rule 2: ⊗-join over the union of supports.
       AnnotatedRelation<K>& left = relations[step.left_atom];
       AnnotatedRelation<K>& right = relations[step.right_atom];
+      rows_in = left.size() + right.size();
       AnnotatedRelation<K>::JoinUnionInto(left, right, times, monoid.Zero(),
                                           &result);
       left.Clear();
       right.Clear();
     }
+    if (tracer != nullptr) {
+      obs::TraceStepArgs args;
+      args.step_index = step_index;
+      args.rule = step.rule == EliminationRule::kProjectVariable ? 1 : 2;
+      args.backend = result.storage();
+      args.simd = simd::ActiveLevel();
+      args.rows_in = rows_in;
+      args.rows_out = result.size();
+      tracer->EmitStep(start_ns, obs::Tracer::NowNs(), args);
+    }
+    ++step_index;
   }
 
   // The final atom is nullary; its only possible key is the empty tuple.

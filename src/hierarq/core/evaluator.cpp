@@ -2,7 +2,28 @@
 
 #include <utility>
 
+#include "hierarq/obs/metrics.h"
+
 namespace hierarq {
+
+namespace {
+
+// Shared with SharedPlanCache: every planner — private or shared —
+// reports into one global "planner.*" pair, so `--metrics` shows total
+// plan work regardless of which cache served it.
+obs::Counter* PlansBuiltCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.plans_built");
+  return counter;
+}
+
+obs::Counter* PlanCacheHitsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.plan_cache_hits");
+  return counter;
+}
+
+}  // namespace
 
 std::string AtomAnnotationSignature(const Atom& atom) {
   const VarSet& vars = atom.vars();
@@ -40,11 +61,13 @@ Result<const EliminationPlan*> Evaluator::GetPlan(
   auto it = plans_.find(key);
   if (it != plans_.end()) {
     ++stats_.plan_cache_hits;
+    PlanCacheHitsCounter()->Add();
     return const_cast<const EliminationPlan*>(it->second.get());
   }
   HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
                            EliminationPlan::Build(query));
   ++stats_.plans_built;
+  PlansBuiltCounter()->Add();
   auto owned = std::make_unique<EliminationPlan>(std::move(plan));
   const EliminationPlan* raw = owned.get();
   plans_.emplace(key, std::move(owned));

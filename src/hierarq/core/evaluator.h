@@ -48,6 +48,8 @@
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/database.h"
 #include "hierarq/data/storage.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/result.h"
@@ -457,11 +459,17 @@ class Evaluator : public PlanProvider {
  private:
   /// The single exit of Evaluate and every ReplayPlan overload: adaptive
   /// per-step execution when the controller exists, the fixed
-  /// configuration otherwise.
+  /// configuration otherwise. Also the single observability point — one
+  /// global counter bump and, when a tracer is installed, one enclosing
+  /// span around the step events the runners emit.
   template <TwoMonoid M>
   typename M::value_type Run(
       const EliminationPlan& plan, const M& monoid,
       std::vector<AnnotatedRelation<typename M::value_type>>& relations) {
+    static obs::Counter* const evaluations =
+        obs::MetricsRegistry::Global().GetCounter("evaluator.evaluations");
+    evaluations->Add();
+    obs::Span span("evaluate", "evaluator");
     if (adaptive_ != nullptr) {
       return RunAlgorithm1InPlaceAdaptive(plan, monoid, relations, par_,
                                           adaptive_.get());

@@ -104,6 +104,15 @@ struct IntraQueryParallel {
   bool enabled() const { return pool != nullptr && threads > 1; }
 };
 
+/// What one step primitive actually did — the parallel-vs-serial
+/// predicate is computed inside ProjectDropStep/JoinUnionStep, and the
+/// runners (and their trace events) learn the outcome through this
+/// out-param instead of re-deriving it.
+struct StepExecution {
+  bool parallel = false;
+  size_t threads = 1;
+};
+
 namespace parallel_internal {
 
 /// Deterministic [begin, end) slice `i` of `n` elements cut into `parts`.
@@ -621,9 +630,14 @@ void ProjectDropStep(const AnnotatedRelation<K>& source, size_t drop_pos,
                      const VarSet& result_vars, Plus plus,
                      const IntraQueryParallel& par,
                      StorageKind serial_storage,
-                     AnnotatedRelation<K>* result) {
+                     AnnotatedRelation<K>* result,
+                     StepExecution* exec = nullptr) {
   const bool big = par.enabled() && source.size() >= par.min_rows &&
                    parallel_internal::RangeScannable(source);
+  if (exec != nullptr) {
+    exec->parallel = big;
+    exec->threads = big ? par.threads : 1;
+  }
   if (big && result_vars.empty()) {
     // Terminal fold: all rows land on the empty key, so output sharding
     // cannot split the work; the single-key result is cheapest flat.
@@ -649,11 +663,16 @@ void JoinUnionStep(const AnnotatedRelation<K>& left,
                    const AnnotatedRelation<K>& right,
                    const VarSet& result_vars, Times times, const K& zero,
                    const IntraQueryParallel& par, StorageKind serial_storage,
-                   AnnotatedRelation<K>* result) {
+                   AnnotatedRelation<K>* result,
+                   StepExecution* exec = nullptr) {
   const bool big = par.enabled() && !result_vars.empty() &&
                    left.size() + right.size() >= par.min_rows &&
                    parallel_internal::RangeScannable(left) &&
                    parallel_internal::RangeScannable(right);
+  if (exec != nullptr) {
+    exec->parallel = big;
+    exec->threads = big ? par.threads : 1;
+  }
   if (big) {
     result->Reset(result_vars, par.parallel_storage);
     ParallelJoinUnionInto(left, right, times, zero, par, result);
@@ -688,25 +707,45 @@ typename M::value_type RunAlgorithm1InPlaceParallel(
     return monoid.Times(a, b);
   };
 
+  obs::Tracer* const tracer = obs::Tracer::Current();
+  uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     AnnotatedRelation<K>& result = relations[step.result_atom];
     const VarSet& result_vars = plan.vars_of(step.result_atom);
 
+    const uint64_t start_ns = tracer != nullptr ? obs::Tracer::NowNs() : 0;
+    uint64_t rows_in = 0;
+    StepExecution exec;
     if (step.rule == EliminationRule::kProjectVariable) {
       AnnotatedRelation<K>& source = relations[step.source_atom];
       HIERARQ_CHECK_LT(step.drop_pos, source.schema().size());
       HIERARQ_CHECK_EQ(source.schema()[step.drop_pos], step.variable);
+      rows_in = source.size();
       ProjectDropStep(source, step.drop_pos, result_vars, plus, par,
-                      source.storage(), &result);
+                      source.storage(), &result, &exec);
       source.Clear();
     } else {
       AnnotatedRelation<K>& left = relations[step.left_atom];
       AnnotatedRelation<K>& right = relations[step.right_atom];
+      rows_in = left.size() + right.size();
       JoinUnionStep(left, right, result_vars, times, monoid.Zero(), par,
-                    left.storage(), &result);
+                    left.storage(), &result, &exec);
       left.Clear();
       right.Clear();
     }
+    if (tracer != nullptr) {
+      obs::TraceStepArgs args;
+      args.step_index = step_index;
+      args.rule = step.rule == EliminationRule::kProjectVariable ? 1 : 2;
+      args.backend = result.storage();
+      args.simd = simd::ActiveLevel();
+      args.parallel = exec.parallel;
+      args.threads = static_cast<uint32_t>(exec.threads);
+      args.rows_in = rows_in;
+      args.rows_out = result.size();
+      tracer->EmitStep(start_ns, obs::Tracer::NowNs(), args);
+    }
+    ++step_index;
   }
 
   AnnotatedRelation<K>& final_rel = relations[plan.final_atom()];

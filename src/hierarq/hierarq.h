@@ -43,6 +43,9 @@
 #include "hierarq/incremental/incremental_view.h"
 #include "hierarq/incremental/monoid_traits.h"
 #include "hierarq/incremental/versioned_database.h"
+#include "hierarq/obs/explain.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/gyo.h"
 #include "hierarq/query/hierarchical.h"

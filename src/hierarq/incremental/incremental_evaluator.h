@@ -155,6 +155,9 @@ class IncrementalEvaluator {
   std::vector<std::pair<ViewHandle, K>> ApplyDelta(const DeltaBatch& batch) {
     ++stats_.batches;
     stats_.ops += batch.size();
+    incremental_internal::BatchesCounter()->Add();
+    incremental_internal::OpsCounter()->Add(batch.size());
+    obs::Span span("apply_delta", "incremental");
     database_->Apply(batch);
     std::vector<std::pair<ViewHandle, K>> results;
     results.reserve(views_.size());

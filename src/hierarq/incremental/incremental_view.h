@@ -39,6 +39,7 @@
 /// checks alongside the results.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -53,11 +54,56 @@
 #include "hierarq/incremental/delta.h"
 #include "hierarq/incremental/monoid_traits.h"
 #include "hierarq/incremental/versioned_database.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/query.h"
 #include "hierarq/util/logging.h"
 
 namespace hierarq {
+
+namespace incremental_internal {
+
+/// Global incremental-maintenance metrics, summed across every view in the
+/// process. Resolved once into statics so each Apply pays four relaxed
+/// adds, not four registry lookups.
+inline obs::Counter* ViewAppliesCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("incremental.view_applies");
+  return counter;
+}
+
+inline obs::Counter* InverseUpdatesCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("incremental.inverse_updates");
+  return counter;
+}
+
+inline obs::Counter* GroupRefoldsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("incremental.group_refolds");
+  return counter;
+}
+
+inline obs::Histogram* ViewApplyNsHistogram() {
+  static obs::Histogram* const histogram =
+      obs::MetricsRegistry::Global().GetHistogram("incremental.view_apply_ns");
+  return histogram;
+}
+
+inline obs::Counter* BatchesCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("incremental.batches");
+  return counter;
+}
+
+inline obs::Counter* OpsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("incremental.ops");
+  return counter;
+}
+
+}  // namespace incremental_internal
 
 template <TwoMonoid M>
 class IncrementalView {
@@ -68,10 +114,12 @@ class IncrementalView {
   using Annotator = std::function<K(const Fact&, double)>;
 
   struct Stats {
-    size_t batches = 0;        ///< Apply calls.
-    size_t ops_seen = 0;       ///< Delta ops consumed (incl. irrelevant).
-    size_t keys_touched = 0;   ///< Distinct (relation, key) changes moved.
-    size_t group_refolds = 0;  ///< Rule 1 fallback re-aggregations.
+    size_t batches = 0;          ///< Apply calls.
+    size_t ops_seen = 0;         ///< Delta ops consumed (incl. irrelevant).
+    size_t keys_touched = 0;     ///< Distinct (relation, key) changes moved.
+    size_t group_refolds = 0;    ///< Rule 1 fallback re-aggregations.
+    size_t inverse_updates = 0;  ///< Rule 1 O(1) ⊖-updates (invertible ⊕).
+    uint64_t apply_ns = 0;       ///< Total wall time spent inside Apply.
   };
 
   /// `par` (optional) lets Materialize run its big Rule 1/Rule 2 steps —
@@ -149,12 +197,19 @@ class IncrementalView {
         AnnotateAtom<K>(atom, *relation, annotate, plus, &relations_[a]);
       }
     }
+    obs::Tracer* const tracer = obs::Tracer::Current();
+    obs::Span materialize_span("view.materialize", "incremental");
     for (size_t si = 0; si < plan_.steps().size(); ++si) {
       const EliminationStep& step = plan_.steps()[si];
       AnnotatedRelation<K>& result = relations_[step.result_atom];
       const VarSet& result_vars = plan_.vars_of(step.result_atom);
+      const uint64_t start_ns =
+          tracer != nullptr ? obs::Tracer::NowNs() : 0;
+      uint64_t rows_in = 0;
+      StepExecution exec;
       if (step.rule == EliminationRule::kProjectVariable) {
         const AnnotatedRelation<K>& source = relations_[step.source_atom];
+        rows_in = source.size();
         // The batch engine's shared step dispatch (core/parallel.h)
         // decides parallel-vs-serial, so the two engines cannot drift in
         // coverage. A step sharded here then lives (and is delta-
@@ -162,12 +217,26 @@ class IncrementalView {
         // per-key ops as the others; serial steps keep the view's
         // configured backend.
         ProjectDropStep(source, step.drop_pos, result_vars, plus, par_,
-                        storage_, &result);
+                        storage_, &result, &exec);
         RebuildRule1Bookkeeping(si, step, source);
       } else {
+        rows_in = relations_[step.left_atom].size() +
+                  relations_[step.right_atom].size();
         JoinUnionStep(relations_[step.left_atom],
                       relations_[step.right_atom], result_vars, times,
-                      monoid_.Zero(), par_, storage_, &result);
+                      monoid_.Zero(), par_, storage_, &result, &exec);
+      }
+      if (tracer != nullptr) {
+        obs::TraceStepArgs args;
+        args.step_index = static_cast<uint32_t>(si);
+        args.rule = step.rule == EliminationRule::kProjectVariable ? 1 : 2;
+        args.backend = result.storage();
+        args.simd = simd::ActiveLevel();
+        args.parallel = exec.parallel;
+        args.threads = static_cast<uint32_t>(exec.threads);
+        args.rows_in = rows_in;
+        args.rows_out = result.size();
+        tracer->EmitStep(start_ns, obs::Tracer::NowNs(), args);
       }
     }
     RefreshResult();
@@ -177,6 +246,10 @@ class IncrementalView {
   /// sequences VersionedDatabase::Apply first) and returns the new result.
   /// Ops for relations or patterns the query cannot match are skipped.
   const K& Apply(const DeltaBatch& batch) {
+    const uint64_t start_ns = obs::Tracer::NowNs();
+    obs::Span apply_span("view.apply", "incremental");
+    const size_t refolds_before = stats_.group_refolds;
+    const size_t inverses_before = stats_.inverse_updates;
     ++stats_.batches;
     stats_.ops_seen += batch.size();
     for (DeltaMap& front : deltas_) {
@@ -229,6 +302,15 @@ class IncrementalView {
       stats_.keys_touched += front.size();
     }
     RefreshResult();
+
+    const uint64_t elapsed_ns = obs::Tracer::NowNs() - start_ns;
+    stats_.apply_ns += elapsed_ns;
+    incremental_internal::ViewAppliesCounter()->Add();
+    incremental_internal::InverseUpdatesCounter()->Add(
+        stats_.inverse_updates - inverses_before);
+    incremental_internal::GroupRefoldsCounter()->Add(stats_.group_refolds -
+                                                     refolds_before);
+    incremental_internal::ViewApplyNsHistogram()->Observe(elapsed_ns);
     return result_;
   }
 
@@ -356,6 +438,7 @@ class IncrementalView {
                              is ? *now : monoid_.Zero());
         acc = Traits::SubtractPlus(monoid_, acc,
                                    was ? old.value : monoid_.Zero());
+        ++stats_.inverse_updates;
         out.Set(projected, std::move(acc));
       }
       return;

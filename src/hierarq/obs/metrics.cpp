@@ -1,0 +1,173 @@
+#include "hierarq/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "hierarq/util/logging.h"
+
+namespace hierarq::obs {
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments resolved into function-local statics
+  // may be touched during static destruction; a leaked registry has no
+  // teardown order to lose against.
+  static MetricsRegistry* const global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HIERARQ_CHECK(gauges_.find(name) == gauges_.end() &&
+                histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HIERARQ_CHECK(counters_.find(name) == counters_.end() &&
+                histograms_.find(name) == histograms_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HIERARQ_CHECK(counters_.find(name) == counters_.end() &&
+                gauges_.find(name) == gauges_.end())
+      << "metric '" << name << "' already registered as a different kind";
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof(line), "counter %s %" PRIu64 "\n",
+                  name.c_str(), counter->Value());
+    out += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof(line), "gauge %s %" PRId64 "\n", name.c_str(),
+                  gauge->Value());
+    out += line;
+  }
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(line, sizeof(line),
+                  "histogram %s count=%" PRIu64 " sum=%" PRIu64,
+                  name.c_str(), hist->Count(), hist->Sum());
+    out += line;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = hist->BucketCount(i);
+      if (n == 0) {
+        continue;
+      }
+      std::snprintf(line, sizeof(line), " [%" PRIu64 ",%" PRIu64 "]=%" PRIu64,
+                    Histogram::BucketLowerBound(i),
+                    Histogram::BucketUpperBound(i), n);
+      out += line;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  char buf[192];
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
+                  first ? "" : ",", name.c_str(), counter->Value());
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRId64,
+                  first ? "" : ",", name.c_str(), gauge->Value());
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                  ", \"buckets\": {",
+                  first ? "" : ",", name.c_str(), hist->Count(), hist->Sum());
+    out += buf;
+    first = false;
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t n = hist->BucketCount(i);
+      if (n == 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%s\"%" PRIu64 "\": %" PRIu64,
+                    first_bucket ? "" : ", ", Histogram::BucketLowerBound(i),
+                    n);
+      out += buf;
+      first_bucket = false;
+    }
+    out += "}}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+}  // namespace hierarq::obs

@@ -47,7 +47,6 @@
 /// Dynamic Evaluation of Hierarchical Queries") motivate exactly this
 /// preprocess-once/answer-many split at server scale.
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <list>
@@ -65,6 +64,7 @@
 #include "hierarq/data/database.h"
 #include "hierarq/data/storage.h"
 #include "hierarq/incremental/versioned_database.h"
+#include "hierarq/obs/metrics.h"
 #include "hierarq/query/query.h"
 #include "hierarq/service/shared_plan_cache.h"
 #include "hierarq/util/worker_pool.h"
@@ -109,8 +109,11 @@ struct BatchResult {
   std::vector<Result<K>> values;
 };
 
-/// Aggregated service counters. Monotonic; a snapshot is cheap and may be
-/// taken while requests are in flight.
+/// Aggregated service counters — a *snapshot view* of the service's
+/// metrics registry (`EvalService::metrics()` is the one source of
+/// truth; this struct exists for call sites that want plain numbers).
+/// Monotonic; a snapshot is cheap and may be taken while requests are in
+/// flight.
 struct ServiceStats {
   size_t batches = 0;             ///< EvaluateBatch/EvaluateMany calls.
   size_t groups = 0;              ///< (database, monoid) groups processed.
@@ -121,6 +124,7 @@ struct ServiceStats {
   size_t plan_cache_hits = 0;     ///< From the shared plan cache.
   size_t singleton_moves = 0;     ///< Pool entries adopted (not copied).
   size_t annotation_cache_hits = 0;  ///< Groups served by a cached pool.
+  size_t annotation_cache_misses = 0;  ///< Named groups that had to scan.
   size_t annotation_cache_invalidations = 0;  ///< Stale pools replaced.
   size_t annotation_cache_evictions = 0;  ///< Pools LRU-evicted at capacity.
   size_t intra_parallel_replays = 0;  ///< Replays run shard-parallel.
@@ -183,7 +187,17 @@ class EvalService {
     return *worker_evaluators_[worker_index];
   }
 
+  /// Plain-number snapshot of `metrics()` (plus the shared plan cache's
+  /// counters) — the compatibility view; both read the same instruments,
+  /// so they cannot drift.
   ServiceStats stats() const;
+
+  /// This service's metrics registry: every ServiceStats field plus the
+  /// group-size histogram and queue-depth gauge, renderable as text/JSON
+  /// (`hierarq_cli batch ... --metrics`). Per-instance so two services in
+  /// one process don't blend their numbers; engine-core and worker-pool
+  /// metrics stay in MetricsRegistry::Global().
+  const obs::MetricsRegistry& metrics() const { return registry_; }
 
   /// Evaluates a batch of request groups in monoid `M`. Groups run in
   /// order; within a group, per-query replays fan out across the workers.
@@ -192,7 +206,7 @@ class EvalService {
   std::vector<BatchResult<typename M::value_type>> EvaluateBatch(
       const M& monoid,
       const std::vector<BatchRequest<typename M::value_type>>& requests) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
+    batches_->Add();
     std::vector<BatchResult<typename M::value_type>> out;
     out.reserve(requests.size());
     for (const BatchRequest<typename M::value_type>& request : requests) {
@@ -208,7 +222,7 @@ class EvalService {
       const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
       const Database& facts,
       const std::function<typename M::value_type(const Fact&)>& annotator) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
+    batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &facts;
     request.annotator = annotator;
@@ -230,7 +244,7 @@ class EvalService {
       const VersionedDatabase& database,
       const std::function<typename M::value_type(const Fact&)>& annotator,
       std::string annotator_id) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
+    batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &database.facts();
     request.annotator = annotator;
@@ -264,9 +278,12 @@ class EvalService {
       const M& monoid, const BatchRequest<typename M::value_type>& request) {
     using K = typename M::value_type;
     HIERARQ_CHECK(request.database != nullptr);
-    groups_.fetch_add(1, std::memory_order_relaxed);
-    requests_.fetch_add(request.queries.size(), std::memory_order_relaxed);
+    groups_->Add();
+    requests_->Add(request.queries.size());
+    group_size_hist_->Observe(request.queries.size());
+    queue_depth_gauge_->Set(static_cast<int64_t>(pool_.queue_depth()));
     const size_t n = request.queries.size();
+    obs::Span group_span("service.group", "service");
 
     // Query phase: resolve every plan through the shared cache. Failures
     // (non-hierarchical queries) are recorded per slot.
@@ -318,8 +335,7 @@ class EvalService {
         if (entry.pool == nullptr ||
             entry.generation != request.generation) {
           if (entry.pool != nullptr) {
-            annotation_cache_invalidations_.fetch_add(
-                1, std::memory_order_relaxed);
+            annotation_cache_invalidations_->Add();
           }
           entry.generation = request.generation;
           entry.pool = std::make_shared<AnnotationPool<K>>();
@@ -337,12 +353,13 @@ class EvalService {
           const AnnotationCacheKey victim = lru_.back();
           lru_.pop_back();
           annotation_cache_.erase(victim);
-          annotation_cache_evictions_.fetch_add(1,
-                                                std::memory_order_relaxed);
+          annotation_cache_evictions_->Add();
         }
       }
       if (hit) {
-        annotation_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        annotation_cache_hits_->Add();
+      } else {
+        annotation_cache_misses_->Add();
       }
       {
         // Extend with missing signatures and resolve under the entry's
@@ -369,10 +386,10 @@ class EvalService {
       shared = local_pool.reused;
       sources = ResolveReplaySources<K>(planned_queries, &local_pool,
                                         /*allow_moves=*/true);
-      singleton_moves_.fetch_add(sources.movable, std::memory_order_relaxed);
+      singleton_moves_->Add(sources.movable);
     }
-    annotation_scans_.fetch_add(scans, std::memory_order_relaxed);
-    annotations_shared_.fetch_add(shared, std::memory_order_relaxed);
+    annotation_scans_->Add(scans);
+    annotations_shared_->Add(shared);
 
     // Replay phase. A group with exactly one plannable query over a big
     // database has nothing to fan out across queries — route it through
@@ -395,7 +412,7 @@ class EvalService {
       values[slot] = intra_evaluator_->ReplayPlan(
           **plans[slot], monoid, *request.queries[slot],
           sources.per_query.front());
-      intra_parallel_replays_.fetch_add(1, std::memory_order_relaxed);
+      intra_parallel_replays_->Add();
     } else {
       pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
         const size_t slot = planned[j];
@@ -466,16 +483,23 @@ class EvalService {
   /// Recency order of `annotation_cache_` keys, most recent first; guarded
   /// by `annotation_cache_mutex_`.
   std::list<AnnotationCacheKey> lru_;
-  std::atomic<size_t> batches_{0};
-  std::atomic<size_t> groups_{0};
-  std::atomic<size_t> requests_{0};
-  std::atomic<size_t> annotation_scans_{0};
-  std::atomic<size_t> annotations_shared_{0};
-  std::atomic<size_t> singleton_moves_{0};
-  std::atomic<size_t> annotation_cache_hits_{0};
-  std::atomic<size_t> annotation_cache_invalidations_{0};
-  std::atomic<size_t> annotation_cache_evictions_{0};
-  std::atomic<size_t> intra_parallel_replays_{0};
+  /// The one source of truth for service counters; `ServiceStats` is a
+  /// read-through view. Handles below are resolved once in the
+  /// constructor (registry pointers are stable for its lifetime).
+  obs::MetricsRegistry registry_;
+  obs::Counter* batches_ = nullptr;
+  obs::Counter* groups_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* annotation_scans_ = nullptr;
+  obs::Counter* annotations_shared_ = nullptr;
+  obs::Counter* singleton_moves_ = nullptr;
+  obs::Counter* annotation_cache_hits_ = nullptr;
+  obs::Counter* annotation_cache_misses_ = nullptr;
+  obs::Counter* annotation_cache_invalidations_ = nullptr;
+  obs::Counter* annotation_cache_evictions_ = nullptr;
+  obs::Counter* intra_parallel_replays_ = nullptr;
+  obs::Histogram* group_size_hist_ = nullptr;  ///< Queries per group.
+  obs::Gauge* queue_depth_gauge_ = nullptr;  ///< Pool queue at group entry.
   // Declared last: the pool joins (draining in-flight tasks) before any
   // member a task could touch is destroyed.
   WorkerPool pool_;

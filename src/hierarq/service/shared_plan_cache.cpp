@@ -3,7 +3,27 @@
 #include <mutex>
 #include <utility>
 
+#include "hierarq/obs/metrics.h"
+
 namespace hierarq {
+
+namespace {
+
+// The same global pair Evaluator's private cache bumps (evaluator.cpp):
+// "planner.*" totals plan work across every cache in the process.
+obs::Counter* PlansBuiltCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.plans_built");
+  return counter;
+}
+
+obs::Counter* PlanCacheHitsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("planner.plan_cache_hits");
+  return counter;
+}
+
+}  // namespace
 
 Result<const EliminationPlan*> SharedPlanCache::GetPlan(
     const ConjunctiveQuery& query) {
@@ -13,6 +33,7 @@ Result<const EliminationPlan*> SharedPlanCache::GetPlan(
     auto it = plans_.find(key);
     if (it != plans_.end()) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      PlanCacheHitsCounter()->Add();
       return const_cast<const EliminationPlan*>(it->second.get());
     }
   }
@@ -22,11 +43,13 @@ Result<const EliminationPlan*> SharedPlanCache::GetPlan(
   auto it = plans_.find(key);
   if (it != plans_.end()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    PlanCacheHitsCounter()->Add();
     return const_cast<const EliminationPlan*>(it->second.get());
   }
   HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,
                            EliminationPlan::Build(query));
   plans_built_.fetch_add(1, std::memory_order_relaxed);
+  PlansBuiltCounter()->Add();
   auto owned = std::make_unique<EliminationPlan>(std::move(plan));
   const EliminationPlan* raw = owned.get();
   plans_.emplace(key, std::move(owned));

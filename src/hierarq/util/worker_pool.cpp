@@ -4,9 +4,35 @@
 #include <latch>
 #include <utility>
 
+#include "hierarq/obs/metrics.h"
 #include "hierarq/util/logging.h"
 
 namespace hierarq {
+
+namespace {
+
+// Global pool metrics, summed across every WorkerPool in the process
+// (service fan-out pools and evaluator-owned intra-query pools alike).
+// Resolved once into statics so the per-task cost is one relaxed add.
+obs::Counter* TasksExecutedCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("workerpool.tasks_executed");
+  return counter;
+}
+
+obs::Counter* LatchWaitsCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("workerpool.latch_waits");
+  return counter;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const gauge =
+      obs::MetricsRegistry::Global().GetGauge("workerpool.queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(size_t num_workers) {
   const size_t n = std::max<size_t>(1, num_workers);
@@ -31,6 +57,7 @@ void WorkerPool::Submit(Task task) {
     HIERARQ_CHECK(!stopping_) << "Submit on a stopping WorkerPool";
     queue_.push_back(std::move(task));
   }
+  QueueDepthGauge()->Add(1);
   cv_.notify_one();
 }
 
@@ -46,7 +73,10 @@ void WorkerPool::WorkerLoop(size_t index) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    QueueDepthGauge()->Add(-1);
     task(index);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    TasksExecutedCounter()->Add();
   }
 }
 
@@ -56,6 +86,7 @@ void WorkerPool::ParallelFor(
     return;
   }
   parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+  LatchWaitsCounter()->Add();
   // The latch synchronizes the workers' writes (results stored by `fn`)
   // with the caller's reads after wait() returns.
   std::latch done(static_cast<std::ptrdiff_t>(n));

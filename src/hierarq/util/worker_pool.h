@@ -69,13 +69,27 @@ class WorkerPool {
     return parallel_for_calls_.load(std::memory_order_relaxed);
   }
 
+  /// Total tasks workers have completed.
+  size_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks currently waiting in the queue (not the one each worker may be
+  /// running). A snapshot — the admission-control signal the future
+  /// server's queue-depth limits will read.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
  private:
   void WorkerLoop(size_t index);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   std::atomic<size_t> parallel_for_calls_{0};
+  std::atomic<size_t> tasks_executed_{0};
   bool stopping_ = false;
   std::vector<std::jthread> workers_;  // Last member: destroyed (joined) first.
 };

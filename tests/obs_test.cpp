@@ -1,0 +1,275 @@
+// Tests for the observability layer (obs/): the metrics registry's
+// counters/gauges/log-2 histograms and their concurrency story (the TSAN
+// leg runs this file), the span tracer's ring-buffer wraparound, the
+// disabled-instrumentation fast path, and the EXPLAIN ANALYZE renderer's
+// contract that every plan step appears exactly once.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/evaluator.h"
+#include "hierarq/data/database.h"
+#include "hierarq/obs/explain.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+// Figure 1a's database for the paper query Q() :- R(A,B), S(A,C), T(A,C,D).
+Database PaperDb() {
+  Database d;
+  d.AddFactOrDie("R", MakeTuple({1, 5}));
+  d.AddFactOrDie("S", MakeTuple({1, 1}));
+  d.AddFactOrDie("S", MakeTuple({1, 2}));
+  d.AddFactOrDie("T", MakeTuple({1, 2, 4}));
+  return d;
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + 1)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 holds exactly the zeros; bucket i >= 1 covers
+  // [2^(i-1), 2^i - 1] — the log-2 layout BucketOf/bit_width implies.
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketOf(7), 3u);
+  EXPECT_EQ(obs::Histogram::BucketOf(8), 4u);
+  EXPECT_EQ(obs::Histogram::BucketOf(UINT64_MAX),
+            obs::Histogram::kNumBuckets - 1);
+  for (size_t i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    EXPECT_EQ(obs::Histogram::BucketOf(obs::Histogram::BucketLowerBound(i)),
+              i);
+    EXPECT_EQ(obs::Histogram::BucketOf(obs::Histogram::BucketUpperBound(i)),
+              i);
+    if (i + 1 < obs::Histogram::kNumBuckets) {
+      EXPECT_EQ(obs::Histogram::BucketUpperBound(i) + 1,
+                obs::Histogram::BucketLowerBound(i + 1));
+    }
+  }
+
+  obs::Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1000);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 1006u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(obs::Histogram::BucketOf(1000)), 1u);
+}
+
+TEST(Metrics, CounterSumsItsShards) {
+  obs::Counter counter;
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(Metrics, DisabledMetricsDropUpdates) {
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram histogram;
+  obs::SetMetricsEnabled(false);
+  counter.Add(7);
+  gauge.Set(7);
+  histogram.Observe(7);
+  obs::SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(histogram.Count(), 0u);
+  counter.Add(7);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(Metrics, RegistryResolvesOneInstrumentPerName) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("test.counter");
+  obs::Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other"), a);
+  a->Add(3);
+  registry.GetGauge("test.gauge")->Set(-5);
+  registry.GetHistogram("test.hist")->Observe(9);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("counter test.counter 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("gauge test.gauge -5"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram test.hist count=1 sum=9"),
+            std::string::npos)
+      << text;
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"test.counter\": 3"), std::string::npos) << json;
+  registry.Reset();
+  EXPECT_EQ(a->Value(), 0u);
+}
+
+// The TSAN target: many threads hammering the same named instruments
+// through the registry must neither race nor lose updates.
+TEST(Metrics, RegistryConcurrency) {
+  obs::MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kBumps = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      obs::Counter* counter = registry.GetCounter("conc.counter");
+      obs::Gauge* gauge = registry.GetGauge("conc.gauge");
+      obs::Histogram* histogram = registry.GetHistogram("conc.hist");
+      for (size_t i = 0; i < kBumps; ++i) {
+        counter->Add();
+        gauge->Add(1);
+        histogram->Observe(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("conc.counter")->Value(), kThreads * kBumps);
+  EXPECT_EQ(registry.GetGauge("conc.gauge")->Value(),
+            static_cast<int64_t>(kThreads * kBumps));
+  EXPECT_EQ(registry.GetHistogram("conc.hist")->Count(), kThreads * kBumps);
+}
+
+TEST(Tracer, RingBufferWrapsKeepingTheMostRecentWindow) {
+  constexpr size_t kCapacity = 8;
+  constexpr size_t kEmits = 30;
+  obs::Tracer tracer(kCapacity);
+  tracer.Install();
+  for (size_t i = 0; i < kEmits; ++i) {
+    tracer.EmitInstant("tick", "i", static_cast<double>(i));
+  }
+  tracer.Uninstall();
+  const std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  EXPECT_EQ(tracer.dropped(), kEmits - kCapacity);
+  // A flight recorder keeps the newest window, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].arg,
+                     static_cast<double>(kEmits - kCapacity + i));
+  }
+}
+
+TEST(Tracer, UninstalledSpansAreCheapAndRecordNothing) {
+  ASSERT_EQ(obs::Tracer::Current(), nullptr);
+  constexpr size_t kSpans = 1000000;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kSpans; ++i) {
+    obs::Span span("noop", "test");
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double ns_per_span =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()) /
+      kSpans;
+  // One relaxed load + a branch. The bound is deliberately loose (debug
+  // builds, sanitizers, loaded CI machines) — it exists to catch the
+  // fast path growing a lock or a clock read, which costs 10-100x more.
+  EXPECT_LT(ns_per_span, 500.0);
+}
+
+TEST(Tracer, StepEventsCarryTheDecision) {
+  obs::Tracer tracer;
+  tracer.Install();
+  const uint64_t t0 = obs::Tracer::NowNs();
+  obs::TraceStepArgs args;
+  args.step_index = 3;
+  args.rule = 2;
+  args.parallel = true;
+  args.threads = 4;
+  args.rows_in = 100;
+  args.rows_out = 60;
+  args.adaptive = true;
+  args.predicted_serial_ns = 1000.0;
+  args.predicted_parallel_ns = 400.0;
+  tracer.EmitStep(t0, obs::Tracer::NowNs(), args);
+  tracer.Uninstall();
+  const std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::TraceEvent::Kind::kStep);
+  EXPECT_STREQ(events[0].name, "rule2_merge");
+  EXPECT_EQ(events[0].step.step_index, 3u);
+  EXPECT_TRUE(events[0].step.parallel);
+  EXPECT_EQ(events[0].step.threads, 4u);
+}
+
+TEST(Explain, NamesEveryPlanStepExactlyOnce) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  const Database db = PaperDb();
+  auto plan = EliminationPlan::Build(q);
+  ASSERT_TRUE(plan.ok());
+
+  obs::Tracer tracer;
+  tracer.Install();
+  Evaluator evaluator;
+  auto result = evaluator.Evaluate<CountMonoid>(
+      q, CountMonoid{}, db, [](const Fact&) -> uint64_t { return 1; });
+  tracer.Uninstall();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  size_t step_events = 0;
+  for (const obs::TraceEvent& event : events) {
+    step_events += event.kind == obs::TraceEvent::Kind::kStep ? 1 : 0;
+  }
+  EXPECT_EQ(step_events, plan->steps().size());
+
+  const std::string text =
+      obs::RenderExplainAnalyze(*plan, q.variables(), events);
+  // One "#i " step marker per elimination step, each exactly once, and
+  // every step has an observation (nothing rendered "[not executed]").
+  for (size_t i = 0; i < plan->steps().size(); ++i) {
+    const std::string marker = "#" + std::to_string(i + 1) + " ";
+    EXPECT_EQ(CountOccurrences(text, marker), 1u)
+        << "marker '" << marker << "' in:\n"
+        << text;
+  }
+  EXPECT_EQ(CountOccurrences(text, "[not executed]"), 0u) << text;
+  EXPECT_EQ(CountOccurrences(text, "rows"), plan->steps().size()) << text;
+}
+
+TEST(Explain, UnexecutedPlanRendersEveryStepAsNotRun) {
+  const ConjunctiveQuery q = MakePaperQuery();
+  auto plan = EliminationPlan::Build(q);
+  ASSERT_TRUE(plan.ok());
+  const std::string text =
+      obs::RenderExplainAnalyze(*plan, q.variables(), {});
+  EXPECT_EQ(CountOccurrences(text, "[not executed]"), plan->steps().size())
+      << text;
+}
+
+TEST(Explain, FormatNsPicksReadableUnits) {
+  EXPECT_EQ(obs::FormatNs(123.0), "123ns");
+  EXPECT_EQ(obs::FormatNs(1500.0), "1.5us");
+  EXPECT_EQ(obs::FormatNs(2350000.0), "2.35ms");
+  EXPECT_EQ(obs::FormatNs(1234000000.0), "1.234s");
+}
+
+}  // namespace
+}  // namespace hierarq

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file emitted by `hierarq_cli --trace`.
+
+Checks, in order:
+
+  1. The file parses and has the expected envelope: a top-level object
+     with a "traceEvents" array of event objects.
+  2. Timestamps are monotone: the exporter writes events sorted by start
+     time, so "ts" must be non-decreasing across the array.
+  3. Spans nest: within one (pid, tid) track, complete events ("ph": "X")
+     must form a proper hierarchy — a span that starts inside another
+     must also end inside it. Overlapping-but-not-nested spans render as
+     garbage in chrome://tracing and indicate a clock or emit bug.
+  4. Step coverage: if the trace carries a "plan" instant (args.steps =
+     N, emitted once per traced evaluation), then every step event's
+     args.step must lie in [0, N), every index in [0, N) must appear, and
+     all indices must appear the same number of times — one evaluation
+     traces each elimination step exactly once, k evaluations k times.
+
+Usage: check_trace.py FILE [FILE...]; exits 0 iff every file passes.
+"""
+
+import json
+import sys
+
+# Slack for float round-off: "ts"/"dur" are microseconds with three
+# decimals (nanosecond resolution), so one picosecond of slack is enough.
+EPS = 1e-6
+
+
+def fail(path, message):
+    print(f"check_trace: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "no top-level 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "'traceEvents' is not an array")
+    if not events:
+        return fail(path, "empty trace (no events recorded)")
+
+    # 2. Monotone timestamps.
+    last_ts = None
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ts" not in ev or "ph" not in ev:
+            return fail(path, f"event {i} is not a trace event: {ev!r}")
+        ts = ev["ts"]
+        if last_ts is not None and ts < last_ts - EPS:
+            return fail(
+                path,
+                f"event {i} breaks ts monotonicity: {ts} after {last_ts}",
+            )
+        last_ts = ts
+
+    # 3. Matched span nesting per track.
+    stacks = {}  # (pid, tid) -> stack of (start, end, name)
+    for i, ev in enumerate(events):
+        if ev["ph"] != "X":
+            continue
+        if "dur" not in ev:
+            return fail(path, f"complete event {i} has no 'dur'")
+        start = ev["ts"]
+        end = start + ev["dur"]
+        stack = stacks.setdefault((ev.get("pid"), ev.get("tid")), [])
+        while stack and stack[-1][1] <= start + EPS:
+            stack.pop()
+        if stack and end > stack[-1][1] + EPS:
+            return fail(
+                path,
+                f"event {i} ({ev.get('name')!r} [{start}, {end}]) overlaps "
+                f"enclosing span {stack[-1][2]!r} "
+                f"[{stack[-1][0]}, {stack[-1][1]}] without nesting",
+            )
+        stack.append((start, end, ev.get("name")))
+
+    # 4. Step coverage against the "plan" instant, when present.
+    plan_steps = None
+    for ev in events:
+        if ev["ph"] == "i" and ev.get("name") == "plan":
+            args = ev.get("args", {})
+            if "steps" not in args:
+                return fail(path, "'plan' instant has no args.steps")
+            plan_steps = int(args["steps"])
+    step_counts = {}
+    for i, ev in enumerate(events):
+        args = ev.get("args", {})
+        if ev["ph"] != "X" or "step" not in args:
+            continue
+        step = int(args["step"])
+        if plan_steps is not None and not 0 <= step < plan_steps:
+            return fail(
+                path,
+                f"event {i} has step index {step} outside the plan's "
+                f"[0, {plan_steps})",
+            )
+        step_counts[step] = step_counts.get(step, 0) + 1
+    if plan_steps is not None:
+        missing = [s for s in range(plan_steps) if s not in step_counts]
+        if missing:
+            return fail(
+                path,
+                f"plan has {plan_steps} steps but none traced for "
+                f"indices {missing}",
+            )
+        if len(set(step_counts.values())) > 1:
+            return fail(
+                path,
+                f"uneven step coverage (each evaluation must trace every "
+                f"step once): {dict(sorted(step_counts.items()))}",
+            )
+
+    n_spans = sum(1 for ev in events if ev["ph"] == "X")
+    plan_note = f", plan steps={plan_steps}" if plan_steps is not None else ""
+    print(
+        f"check_trace: {path}: OK ({len(events)} events, {n_spans} spans, "
+        f"{len(step_counts)} step indices{plan_note})"
+    )
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = all([check_file(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

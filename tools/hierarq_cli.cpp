@@ -25,6 +25,14 @@
 // Results are identical to every fixed configuration (bit-identical for
 // exact monoids).
 //
+// Observability (obs/): `--explain` prints an EXPLAIN ANALYZE tree after
+// the run — the elimination plan annotated with each step's backend,
+// thread count, rows in/out, wall time, SIMD tier, and (under
+// --adaptive) the predicted-vs-chosen decision. `--trace=FILE` records
+// the same per-step spans and writes Chrome trace-event JSON for
+// chrome://tracing / Perfetto. `--metrics` dumps the metrics registry to
+// stderr on exit.
+//
 //   hierarq_cli classify   <query>
 //   hierarq_cli plan       <query>
 //   hierarq_cli count      <query> <db>
@@ -70,16 +78,28 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "hierarq/hierarq.h"
+#include "hierarq/obs/explain.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
 #include "hierarq/query/gyo.h"
 #include "hierarq/util/strings.h"
 
 namespace hierarq {
 namespace {
+
+/// Observability flags (--explain / --trace=FILE / --metrics), peeled off
+/// the command line alongside --storage/--threads/--adaptive.
+struct ObsOptions {
+  bool explain = false;     ///< Print EXPLAIN ANALYZE after the run.
+  std::string trace_path;   ///< Chrome trace-event JSON output, if set.
+  bool metrics = false;     ///< Dump the metrics registry to stderr.
+};
 
 int Usage() {
   std::fprintf(stderr,
@@ -117,7 +137,16 @@ int Usage() {
                "serial; N>1 shards big Rule 1/2 steps across N threads)\n"
                "  --adaptive    per-step adaptive execution: stats + cost "
                "model pick backend/threads/cutoff per elimination step "
-               "(--threads then caps the fan-out)\n",
+               "(--threads then caps the fan-out)\n"
+               "  --explain     print EXPLAIN ANALYZE after the run: the "
+               "plan tree with per-step backend/threads/rows/time (and the "
+               "adaptive predicted-vs-chosen decision); not available in "
+               "batch mode\n"
+               "  --trace=FILE  record per-step spans and write Chrome "
+               "trace-event JSON to FILE (load in chrome://tracing or "
+               "Perfetto)\n"
+               "  --metrics     dump the metrics registry to stderr on "
+               "exit\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -186,7 +215,7 @@ void PrintServiceStats(const EvalService& service, size_t num_workers) {
 
 /// `hierarq_cli batch <solver> <queries-file> <dbs...> [workers]`.
 int RunBatch(int argc, char** argv, StorageKind storage, size_t threads,
-             bool adaptive) {
+             bool adaptive, const ObsOptions& obs) {
   if (argc < 5) {
     return Usage();
   }
@@ -308,6 +337,11 @@ int RunBatch(int argc, char** argv, StorageKind storage, size_t threads,
   }
 
   PrintServiceStats(service, service.num_workers());
+  if (obs.metrics) {
+    // The service keeps its own registry (two services in one process
+    // must not blend); dump it next to the global one Run() prints.
+    std::fputs(service.metrics().RenderText().c_str(), stderr);
+  }
   return 0;
 }
 
@@ -419,13 +453,26 @@ template <TwoMonoid M, typename Render>
 int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
                   M monoid, typename IncrementalView<M>::Annotator annotator,
                   StorageKind storage, size_t threads, bool adaptive,
-                  Dictionary* dict, Render render) {
+                  const ObsOptions& obs, Dictionary* dict, Render render) {
   IncrementalEvaluator<M> evaluator(std::move(monoid), &db,
                                     std::move(annotator),
                                     {storage, threads, adaptive});
   auto handle = evaluator.Attach(query);
   if (!handle.ok()) {
     return Fail(handle.status());
+  }
+  const IncrementalView<M>& view = evaluator.view(*handle);
+  if (obs::Tracer* const tracer = obs::Tracer::Current()) {
+    tracer->EmitInstant("plan", "steps",
+                        static_cast<double>(view.plan().steps().size()));
+    // Attach just materialized the whole view tree, so the snapshot holds
+    // one step event per plan step: the materialization EXPLAIN.
+    if (obs.explain) {
+      std::printf("%s", obs::RenderExplainAnalyze(view.plan(),
+                                                  query.variables(),
+                                                  tracer->Snapshot())
+                            .c_str());
+    }
   }
   const auto print_state = [&] {
     std::printf("gen=%llu |D|=%zu %s\n",
@@ -451,26 +498,43 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
                    batch.status().ToString().c_str());
       return 1;
     }
+    const auto& stats = view.stats();
+    const uint64_t apply_ns_before = stats.apply_ns;
+    const size_t inverses_before = stats.inverse_updates;
+    const size_t refolds_before = stats.group_refolds;
     evaluator.ApplyDelta(*batch);
-    print_state();
+    // The ack line carries the batch's maintenance cost: wall time inside
+    // Apply plus how the Rule 1 work split between O(1) inverse updates
+    // and group refolds.
+    std::printf("gen=%llu |D|=%zu %s apply_ns=%llu inv=%zu refold=%zu\n",
+                static_cast<unsigned long long>(evaluator.generation()),
+                db.NumFacts(), render(evaluator.ResultOf(*handle)).c_str(),
+                static_cast<unsigned long long>(stats.apply_ns -
+                                                apply_ns_before),
+                stats.inverse_updates - inverses_before,
+                stats.group_refolds - refolds_before);
+    std::fflush(stdout);
     // Auto-truncate once the batch is applied AND acknowledged (the
     // state line above is the ack): this process is the only reader, so
     // an endless stream must not retain an endless batch log. TruncateLog
     // stays public for readers that manage retention themselves.
     db.TruncateLog(db.generation());
   }
-  const auto& stats = evaluator.view(*handle).stats();
+  const auto& stats = view.stats();
   std::fprintf(stderr,
                "-- update: %zu batch(es), %zu op(s), %zu key(s) touched, "
-               "%zu group refold(s); view support=%zu\n",
+               "%zu inverse update(s), %zu group refold(s), %llu ns "
+               "applying; view support=%zu\n",
                stats.batches, stats.ops_seen, stats.keys_touched,
-               stats.group_refolds, evaluator.view(*handle).TotalSupport());
+               stats.inverse_updates, stats.group_refolds,
+               static_cast<unsigned long long>(stats.apply_ns),
+               view.TotalSupport());
   return 0;
 }
 
 /// `hierarq_cli update <solver> <query> <db>`.
 int RunUpdate(int argc, char** argv, StorageKind storage, size_t threads,
-              bool adaptive) {
+              bool adaptive, const ObsOptions& obs) {
   if (argc != 5) {
     return Usage();
   }
@@ -497,7 +561,7 @@ int RunUpdate(int argc, char** argv, StorageKind storage, size_t threads,
     return RunUpdateLoop(
         query, VersionedDatabase(*std::move(db)), CountMonoid{},
         [](const Fact&, double) -> uint64_t { return 1; }, storage,
-        threads, adaptive, &dict, [](uint64_t value) {
+        threads, adaptive, obs, &dict, [](uint64_t value) {
           return "Q(D) = " + std::to_string(value);
         });
   }
@@ -520,12 +584,12 @@ int RunUpdate(int argc, char** argv, StorageKind storage, size_t threads,
   };
   if (solver == "pqe") {
     return RunUpdateLoop(query, VersionedDatabase(*db), ProbMonoid{},
-                         weight_annotator, storage, threads, adaptive,
+                         weight_annotator, storage, threads, adaptive, obs,
                          &dict, render_double);
   }
   return RunUpdateLoop(query, VersionedDatabase(*db), ExpectationMonoid{},
-                       weight_annotator, storage, threads, adaptive, &dict,
-                       render_double);
+                       weight_annotator, storage, threads, adaptive, obs,
+                       &dict, render_double);
 }
 
 int Run(int argc, char** argv) {
@@ -536,6 +600,7 @@ int Run(int argc, char** argv) {
   StorageKind storage = kDefaultStorageKind;
   size_t threads = 1;
   bool adaptive = false;
+  ObsOptions obs;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -569,6 +634,22 @@ int Run(int argc, char** argv) {
       adaptive = true;
       continue;
     }
+    if (arg == "--explain") {
+      obs.explain = true;
+      continue;
+    }
+    if (arg.rfind("--trace=", 0) == 0) {
+      obs.trace_path = std::string(arg.substr(8));
+      if (obs.trace_path.empty()) {
+        std::fprintf(stderr, "error: --trace needs a file path\n");
+        return Usage();
+      }
+      continue;
+    }
+    if (arg == "--metrics") {
+      obs.metrics = true;
+      continue;
+    }
     if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -582,18 +663,49 @@ int Run(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "batch" && obs.explain) {
+    std::fprintf(stderr,
+                 "error: --explain needs a single query (batch mode "
+                 "answers many); use --trace=FILE instead\n");
+    return 2;
+  }
+
+  // The flight recorder spans every mode; the trace file and the metrics
+  // dump are written in the shared epilogue below.
+  std::optional<obs::Tracer> tracer;
+  if (obs.explain || !obs.trace_path.empty()) {
+    tracer.emplace();
+    tracer->Install();
+  }
+  const auto finish = [&](int rc) {
+    if (tracer.has_value() && !obs.trace_path.empty()) {
+      tracer->WriteChromeTraceFile(obs.trace_path);
+    }
+    if (obs.metrics) {
+      std::fputs(obs::MetricsRegistry::Global().RenderText().c_str(),
+                 stderr);
+    }
+    if (tracer.has_value()) {
+      tracer->Uninstall();
+    }
+    return rc;
+  };
+
   if (command == "batch") {
-    return RunBatch(argc, argv, storage, threads, adaptive);
+    return finish(RunBatch(argc, argv, storage, threads, adaptive, obs));
   }
   if (command == "update") {
-    return RunUpdate(argc, argv, storage, threads, adaptive);
+    return finish(RunUpdate(argc, argv, storage, threads, adaptive, obs));
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {
-    return Fail(parsed.status());
+    return finish(Fail(parsed.status()));
   }
   const ConjunctiveQuery query = std::move(parsed).ValueOrDie();
   Dictionary dict;
+  // The command dispatch runs inside a lambda so the explain/trace
+  // epilogue below sees its return code.
+  const int rc = [&]() -> int {
   // One evaluator for the whole invocation: any command that runs
   // Algorithm 1 more than once (shapley above all) shares its cached plan
   // and relation buffers. --threads applies to every Algorithm 1 run it
@@ -643,7 +755,11 @@ int Run(int argc, char** argv) {
     }
     std::printf("Q(D) = %llu  (join engine)\n",
                 static_cast<unsigned long long>(BagSetCount(query, *db)));
-    auto fast = BagSetCountHierarchical(query, *db, storage);
+    // The shared evaluator (not BagSetCountHierarchical) so the fast
+    // path honors --threads/--adaptive and shows up under --explain;
+    // both are Algorithm 1 in the counting semiring with annotation 1.
+    auto fast = evaluator.Evaluate<CountMonoid>(
+        query, CountMonoid{}, *db, [](const Fact&) -> uint64_t { return 1; });
     if (fast.ok()) {
       std::printf("Q(D) = %llu  (Algorithm 1, counting semiring)\n",
                   static_cast<unsigned long long>(*fast));
@@ -785,6 +901,37 @@ int Run(int argc, char** argv) {
   }
 
   return Usage();
+  }();
+
+  // Explain/trace epilogue for the commands that replay `query`'s
+  // elimination plan. The "plan" instant tells tools/check_trace.py how
+  // many steps a complete trace must cover.
+  const bool evaluates_plan = command == "count" || command == "pqe" ||
+                              command == "expect" || command == "shapley" ||
+                              command == "resilience" ||
+                              command == "provenance";
+  if (rc == 0 && tracer.has_value() && evaluates_plan) {
+    auto plan = EliminationPlan::Build(query);
+    if (plan.ok()) {
+      tracer->EmitInstant("plan", "steps",
+                          static_cast<double>(plan->steps().size()));
+      if (obs.explain) {
+        std::printf("%s", obs::RenderExplainAnalyze(*plan,
+                                                    query.variables(),
+                                                    tracer->Snapshot())
+                              .c_str());
+      }
+    } else if (obs.explain) {
+      std::fprintf(stderr, "note: --explain skipped: %s\n",
+                   plan.status().ToString().c_str());
+    }
+  } else if (obs.explain && !evaluates_plan) {
+    std::fprintf(stderr,
+                 "note: --explain has no effect for '%s' (nothing ran "
+                 "Algorithm 1 over the query's plan)\n",
+                 command.c_str());
+  }
+  return finish(rc);
 }
 
 }  // namespace
