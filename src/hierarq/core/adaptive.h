@@ -50,6 +50,7 @@
 
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/algorithm1.h"
+#include "hierarq/core/cancel.h"
 #include "hierarq/core/parallel.h"
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/sharded.h"
@@ -272,6 +273,8 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
   obs::Tracer* const tracer = obs::Tracer::Current();
   size_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
+    // Deadline gate between steps (see core/cancel.h).
+    CancellationCheckpoint();
     AnnotatedRelation<K>& result = relations[step.result_atom];
     const VarSet& result_vars = plan.vars_of(step.result_atom);
 

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/cancel.h"
 #include "hierarq/data/annotated.h"
 #include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
@@ -77,6 +78,9 @@ typename M::value_type RunAlgorithm1InPlace(
   obs::Tracer* const tracer = obs::Tracer::Current();
   uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
+    // Deadline gate: between steps every intermediate is a complete
+    // relation, so this is the one safe place to abandon the run.
+    CancellationCheckpoint();
     AnnotatedRelation<K>& result = relations[step.result_atom];
     result.Reset(plan.vars_of(step.result_atom), storage);
 

@@ -72,6 +72,7 @@
 
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/algorithm1.h"
+#include "hierarq/core/cancel.h"
 #include "hierarq/data/annotated.h"
 #include "hierarq/data/columnar.h"
 #include "hierarq/data/sharded.h"
@@ -710,6 +711,9 @@ typename M::value_type RunAlgorithm1InPlaceParallel(
   obs::Tracer* const tracer = obs::Tracer::Current();
   uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
+    // Deadline gate between steps (see core/cancel.h); shard sub-tasks
+    // within a step run to completion — only the step loop aborts.
+    CancellationCheckpoint();
     AnnotatedRelation<K>& result = relations[step.result_atom];
     const VarSet& result_vars = plan.vars_of(step.result_atom);
 

@@ -21,6 +21,7 @@
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/algorithm1.h"
 #include "hierarq/core/bagset.h"
+#include "hierarq/core/cancel.h"
 #include "hierarq/core/evaluator.h"
 #include "hierarq/core/expectation.h"
 #include "hierarq/core/parallel.h"
@@ -39,10 +40,15 @@
 #include "hierarq/engine/join.h"
 #include "hierarq/engine/lineage.h"
 #include "hierarq/incremental/delta.h"
+#include "hierarq/incremental/delta_text.h"
 #include "hierarq/incremental/incremental_evaluator.h"
 #include "hierarq/incremental/incremental_view.h"
 #include "hierarq/incremental/monoid_traits.h"
 #include "hierarq/incremental/versioned_database.h"
+#include "hierarq/net/async_service.h"
+#include "hierarq/net/client.h"
+#include "hierarq/net/server.h"
+#include "hierarq/net/wire.h"
 #include "hierarq/obs/explain.h"
 #include "hierarq/obs/metrics.h"
 #include "hierarq/obs/trace.h"

@@ -1,0 +1,128 @@
+#include "hierarq/incremental/delta_text.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hierarq/util/strings.h"
+
+namespace hierarq {
+
+Result<DeltaOp> ParseDeltaOp(std::string_view text, Dictionary* dict) {
+  text = TrimView(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty update command");
+  }
+  DeltaOp op;
+  switch (text.front()) {
+    case '+':
+      op.kind = DeltaKind::kInsert;
+      break;
+    case '-':
+      op.kind = DeltaKind::kDelete;
+      break;
+    case '!':
+      op.kind = DeltaKind::kSetAnnotation;
+      break;
+    default:
+      return Status::InvalidArgument(
+          "update command must start with '+', '-' or '!': '" +
+          std::string(text) + "'");
+  }
+  text.remove_prefix(1);
+
+  // Optional trailing "@weight".
+  const size_t at = text.rfind('@');
+  if (at != std::string_view::npos && at > text.rfind(')')) {
+    if (op.kind == DeltaKind::kDelete) {
+      return Status::InvalidArgument("'-' (delete) takes no '@weight': '" +
+                                     std::string(text) + "'");
+    }
+    auto weight = ParseDouble(TrimView(text.substr(at + 1)));
+    if (!weight.ok()) {
+      return Status::InvalidArgument("bad '@weight' in '" +
+                                     std::string(text) + "'");
+    }
+    op.weight = *weight;
+    text = TrimView(text.substr(0, at));
+  } else if (op.kind == DeltaKind::kSetAnnotation) {
+    return Status::InvalidArgument(
+        "'!' (re-weight) requires an '@weight': '" + std::string(text) +
+        "'");
+  }
+
+  // The fact: Name(v1, v2, ...).
+  const size_t open = text.find('(');
+  if (open == std::string_view::npos || text.back() != ')') {
+    return Status::InvalidArgument("expected 'Relation(v1,...)' in '" +
+                                   std::string(text) + "'");
+  }
+  op.fact.relation = Trim(text.substr(0, open));
+  if (!IsIdentifier(op.fact.relation)) {
+    return Status::InvalidArgument("bad relation name '" +
+                                   op.fact.relation + "'");
+  }
+  const std::string_view body =
+      text.substr(open + 1, text.size() - open - 2);
+  if (!TrimView(body).empty()) {
+    for (const std::string& piece : Split(body, ',')) {
+      // The loader's value parser: int-vs-identifier dispatch, symbolic
+      // range guard, interning — one grammar for files and streams.
+      HIERARQ_ASSIGN_OR_RETURN(Value value, ParseValue(piece, dict));
+      op.fact.tuple.push_back(value);
+    }
+  }
+  return op;
+}
+
+Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
+                                  const VersionedDatabase& db,
+                                  const ConjunctiveQuery* query) {
+  DeltaBatch batch;
+  // Arities fixed by earlier ops in THIS line for relations the schema
+  // doesn't know yet — the first op to name a new relation defines it,
+  // and a later op contradicting it fails the whole line at parse time
+  // instead of aborting mid-Apply with earlier ops already committed.
+  std::unordered_map<std::string, size_t> introduced;
+  size_t op_index = 0;
+  for (const std::string& piece : Split(line, ';')) {
+    if (piece.empty()) {
+      continue;
+    }
+    ++op_index;
+    Result<DeltaOp> parsed = ParseDeltaOp(piece, dict);
+    if (!parsed.ok()) {
+      return Status(parsed.status().code(),
+                    "op " + std::to_string(op_index) + " ('" + piece +
+                        "'): " + parsed.status().message());
+    }
+    DeltaOp op = std::move(*parsed);
+    size_t expected_arity = op.fact.tuple.size();
+    if (const Relation* relation = db.facts().FindRelation(op.fact.relation)) {
+      expected_arity = relation->arity();
+    } else if (auto it = introduced.find(op.fact.relation);
+               it != introduced.end()) {
+      expected_arity = it->second;
+    } else if (query != nullptr) {
+      if (auto atom_index = query->AtomIndexOf(op.fact.relation)) {
+        expected_arity = query->atoms()[*atom_index].arity();
+      }
+    }
+    if (op.fact.tuple.size() != expected_arity) {
+      return Status::InvalidArgument(
+          "op " + std::to_string(op_index) + " ('" + piece +
+          "'): arity mismatch: " + op.fact.relation + " takes " +
+          std::to_string(expected_arity) + " value(s), got " +
+          std::to_string(op.fact.tuple.size()));
+    }
+    introduced.try_emplace(op.fact.relation, op.fact.tuple.size());
+    batch.ops.push_back(std::move(op));
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("no ops in update line");
+  }
+  return batch;
+}
+
+}  // namespace hierarq

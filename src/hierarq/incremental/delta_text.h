@@ -1,0 +1,56 @@
+#ifndef HIERARQ_INCREMENTAL_DELTA_TEXT_H_
+#define HIERARQ_INCREMENTAL_DELTA_TEXT_H_
+
+/// \file delta_text.h
+/// \brief The textual `DeltaBatch` grammar, shared by CLI and server.
+///
+/// One grammar for every write path: `hierarq_cli update` reads it from
+/// stdin, the server's `kDeltaBatch` frames carry it as their payload, so
+/// a stream recorded against one front door replays against the other.
+/// Ops are `;`-separated on a line and the line is ATOMIC:
+///
+///     +R(1,2)        insert with the default weight
+///     +R(x,y)@0.5    insert weighted (values follow the loader's
+///                    conventions — integers map to themselves,
+///                    identifiers are interned via `ParseValue`)
+///     -R(1,2)        delete
+///     !R(1,2)@0.9    re-weight an existing fact
+///
+/// `ParseDeltaLine` validates the WHOLE line — including arity
+/// consistency against the database schema, the attached query, and
+/// (crucially) relations first introduced by *earlier ops in the same
+/// line* — before the caller applies anything. That last check is what
+/// makes the atomicity promise real: `VersionedDatabase::Apply` die()s on
+/// an arity mismatch, so a batch like `+New(1); +New(1,2)` that passed
+/// per-op validation used to abort mid-apply with the first op already
+/// committed. Here it is rejected at parse time, the batch is never
+/// applied, and the generation is unchanged.
+
+#include <string_view>
+
+#include "hierarq/data/loader.h"
+#include "hierarq/incremental/delta.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/query/query.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq {
+
+/// Parses one op (`+R(1,2)[@w]`, `-R(1,2)`, `!R(1,2)@w`). New constants
+/// are interned into `dict`.
+Result<DeltaOp> ParseDeltaOp(std::string_view text, Dictionary* dict);
+
+/// Parses one line into an atomic batch (ops split on `;`; empty pieces
+/// skipped). Every op's arity is validated against, in order of
+/// precedence: the database schema, `query`'s atoms (optional — the
+/// server has no single attached query), then the arity established by
+/// the first earlier op in this line that named the relation. Errors
+/// carry the 1-based op index and the offending op's text, so the caller
+/// only needs to add the line number. Nothing is applied on error.
+Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
+                                  const VersionedDatabase& db,
+                                  const ConjunctiveQuery* query = nullptr);
+
+}  // namespace hierarq
+
+#endif  // HIERARQ_INCREMENTAL_DELTA_TEXT_H_

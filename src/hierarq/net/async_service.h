@@ -1,0 +1,125 @@
+#ifndef HIERARQ_NET_ASYNC_SERVICE_H_
+#define HIERARQ_NET_ASYNC_SERVICE_H_
+
+/// \file async_service.h
+/// \brief Async, admission-controlled submission over `EvalService`.
+///
+/// `EvalService::EvaluateMany` blocks the calling thread until its batch
+/// is done — correct for a CLI, wrong for a connection thread that must
+/// keep reading frames while a big replay runs. `AsyncEvalService` puts a
+/// bounded job queue and a small fleet of *submitter* threads in front:
+/// `Submit` enqueues a job and returns immediately; a submitter thread
+/// later runs it (the job does the blocking `EvaluateMany` / batch-solver
+/// call and invokes whatever completion it captured — writing a response
+/// frame, fulfilling a promise). Caller threads never block in
+/// evaluation.
+///
+/// Two server-grade policies live here rather than in every caller:
+///
+///   * **Admission control.** The queue has a hard depth cap; `Submit`
+///     on a full queue returns kResourceExhausted instead of queueing —
+///     under overload the server sheds load at the door with a cheap
+///     error frame, it does not build an unbounded backlog of work it
+///     cannot finish (each rejection is counted in `metrics()`).
+///   * **Deadlines from admission.** Each accepted job gets a
+///     `CancelToken` armed when it is ACCEPTED, so time spent waiting in
+///     the queue counts against the deadline — a request that waited 90%
+///     of its budget gets only the remainder to evaluate, and the
+///     engine's checkpoints (core/cancel.h) cut the replay off between
+///     elimination steps.
+///
+/// `Shutdown` (also run by the destructor) cancels every queued job's
+/// token and drains: jobs still run — their evaluations abort at the
+/// first checkpoint — so completions always fire and no response frame
+/// is silently dropped.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hierarq/core/cancel.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/service/eval_service.h"
+
+namespace hierarq::net {
+
+class AsyncEvalService {
+ public:
+  struct Options {
+    /// The wrapped evaluation service's configuration.
+    EvalService::Options service;
+    /// Threads driving blocking evaluations. Each occupies one queued
+    /// job at a time; the service's own worker pool parallelizes within
+    /// an evaluation, so a few submitters saturate it.
+    size_t submit_threads = 2;
+    /// Admission cap: jobs waiting (not yet picked up). Submit returns
+    /// kResourceExhausted past it.
+    size_t max_queue_depth = 64;
+    /// Deadline for jobs that do not carry their own (0 = unbounded).
+    uint64_t default_deadline_ms = 0;
+  };
+
+  /// A unit of async work: runs on a submitter thread with `cancel`
+  /// armed; does its own blocking evaluation and completion. Jobs must
+  /// not throw (they run on detached-from-caller threads).
+  using Job = std::function<void(EvalService& service,
+                                 const CancelToken& cancel)>;
+
+  explicit AsyncEvalService(Options options);
+  ~AsyncEvalService();
+
+  AsyncEvalService(const AsyncEvalService&) = delete;
+  AsyncEvalService& operator=(const AsyncEvalService&) = delete;
+
+  EvalService& service() { return service_; }
+
+  /// Enqueues `job`. Returns OK and runs the job asynchronously, or
+  /// kResourceExhausted immediately when the queue is at capacity (the
+  /// job is dropped without running — the caller still holds it and can
+  /// report the rejection). `deadline_ms` 0 uses the default; the
+  /// token's clock starts now, not at job start.
+  Status Submit(Job job, uint64_t deadline_ms = 0);
+
+  /// Jobs accepted but not yet picked up by a submitter.
+  size_t queue_depth() const;
+
+  /// Cancels queued jobs' tokens, drains the queue (completions still
+  /// fire), joins the submitters. Subsequent Submit calls are rejected.
+  void Shutdown();
+
+  /// Async-layer counters: accepted/rejected/completed jobs, queue
+  /// depth. The wrapped service's evaluation counters stay in
+  /// `service().metrics()`.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+ private:
+  struct Queued {
+    Job job;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  void SubmitterLoop();
+
+  Options options_;
+  EvalService service_;
+  obs::MetricsRegistry registry_;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Gauge* queue_gauge_ = nullptr;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Queued> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> submitters_;  // Last: joined first.
+};
+
+}  // namespace hierarq::net
+
+#endif  // HIERARQ_NET_ASYNC_SERVICE_H_

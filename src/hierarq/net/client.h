@@ -1,0 +1,97 @@
+#ifndef HIERARQ_NET_CLIENT_H_
+#define HIERARQ_NET_CLIENT_H_
+
+/// \file client.h
+/// \brief `HierarqClient` — a synchronous connection to a hierarq server.
+///
+/// One client owns one socket and speaks the wire protocol (net/wire.h)
+/// request-by-request: each call writes a frame with a fresh request id,
+/// reads frames until the echoed id matches (a client that pipelines via
+/// multiple threads should use one HierarqClient per thread — this class
+/// is not thread-safe), converts kErrorFrame answers into their carried
+/// `Status`, and returns the decoded payload. The wire format chosen at
+/// construction applies to every request (the server answers in kind);
+/// `Metrics` is the exception, where the format picks the RENDERING
+/// (native = text, JSON = machine-readable) per call.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "hierarq/net/wire.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq::net {
+
+/// Splits "host:port" (or bare ":port" / "port" for loopback). Fails on
+/// missing or non-numeric ports.
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    std::string_view host_port);
+
+class HierarqClient {
+ public:
+  explicit HierarqClient(WireFormat format = WireFormat::kNative)
+      : format_(format) {}
+  ~HierarqClient() { Close(); }
+
+  HierarqClient(const HierarqClient&) = delete;
+  HierarqClient& operator=(const HierarqClient&) = delete;
+  HierarqClient(HierarqClient&& other) noexcept { *this = std::move(other); }
+  HierarqClient& operator=(HierarqClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+      format_ = other.format_;
+      next_request_id_ = other.next_request_id_;
+    }
+    return *this;
+  }
+
+  /// Connects to `host`:`port` (numeric IPv4 or "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  WireFormat format() const { return format_; }
+  void set_format(WireFormat format) { format_ = format; }
+
+  /// Evaluates `query` with `solver` server-side. `deadline_ms` 0 uses
+  /// the server default; with `capture_trace` the result carries the
+  /// request's Chrome trace JSON in `QueryResult::trace_json`.
+  Result<QueryResult> Query(SolverKind solver, const std::string& query,
+                            uint64_t deadline_ms = 0,
+                            bool capture_trace = false);
+
+  /// Applies one atomic delta line (the update grammar of
+  /// incremental/delta_text.h) to the server's database. On a parse
+  /// error NOTHING was applied and the server's generation is unchanged.
+  Result<DeltaAck> ApplyDelta(std::string_view line);
+
+  /// Scrapes the server's metrics catalog, rendered as text
+  /// (kNative) or JSON (kJson).
+  Result<std::string> Metrics(WireFormat rendering);
+
+  Status Ping();
+
+  /// Asks the server to stop; returns once the server acked (its owner
+  /// thread then tears it down).
+  Status Shutdown();
+
+ private:
+  /// Writes one request, reads until the response with the same id,
+  /// converts error frames to their Status. `expected` is the success
+  /// frame type; anything else is a protocol error.
+  Result<Frame> RoundTrip(FrameType type, uint16_t flags,
+                          std::string_view payload, WireFormat format,
+                          FrameType expected);
+
+  int fd_ = -1;
+  WireFormat format_ = WireFormat::kNative;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace hierarq::net
+
+#endif  // HIERARQ_NET_CLIENT_H_

@@ -1,0 +1,451 @@
+#include "hierarq/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "hierarq/algebra/prob_monoid.h"
+#include "hierarq/algebra/resilience_monoid.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/expectation.h"
+#include "hierarq/incremental/delta_text.h"
+#include "hierarq/obs/metrics.h"
+#include "hierarq/obs/trace.h"
+#include "hierarq/query/elimination.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/service/batch_solvers.h"
+
+namespace hierarq::net {
+
+namespace {
+
+std::string RenderFact(const Fact& fact, const Dictionary& dict) {
+  std::string out = fact.relation + "(";
+  for (size_t i = 0; i < fact.tuple.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += dict.Render(fact.tuple[i]);
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+HierarqServer::Connection::~Connection() {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+HierarqServer::HierarqServer(Options options, VersionedDatabase db,
+                             Database endogenous, Dictionary* dict)
+    : options_(options),
+      db_(std::move(db)),
+      endogenous_(std::move(endogenous)),
+      dict_(dict),
+      async_(options.async) {}
+
+HierarqServer::~HierarqServer() { Stop(); }
+
+Status HierarqServer::Start() {
+  // A peer that disappears mid-write must surface as EPIPE, not kill the
+  // process.
+  std::signal(SIGPIPE, SIG_IGN);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status =
+        Status::Internal(std::string("bind 127.0.0.1:") +
+                         std::to_string(options_.port) + ": " +
+                         std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const Status status =
+        Status::Internal(std::string("getsockname: ") +
+                         std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::jthread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HierarqServer::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void HierarqServer::Wait() {
+  std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stopped_; });
+}
+
+void HierarqServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+  // Unblock accept(2), join the acceptor, THEN close the fd — closing
+  // first would race a concurrent accept against fd-number reuse.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  accept_thread_ = std::jthread();  // Join.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every connection reader; their threads then exit. The fds
+  // stay OPEN (shutdown, not close) until the last shared_ptr drops, so
+  // in-flight async jobs still write into a dead-but-valid socket
+  // instead of a recycled descriptor.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const std::weak_ptr<Connection>& weak : connections_) {
+      if (const std::shared_ptr<Connection> connection = weak.lock()) {
+        ::shutdown(connection->fd, SHUT_RDWR);
+      }
+    }
+  }
+  std::vector<std::jthread> threads;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+  }
+  threads.clear();  // Join.
+  // Cancel + drain queued evaluations; completions fire into the
+  // shut-down sockets harmlessly.
+  async_.Shutdown();
+}
+
+void HierarqServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // Listen socket shut down (Stop) or fatal.
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection = std::move(connection)]() mutable {
+          ServeConnection(std::move(connection));
+        });
+  }
+}
+
+// Every response goes out under the connection's write mutex — shared by
+// the connection thread (errors, acks, pongs) and submitter threads
+// (query results), so two frames never interleave on the wire.
+void HierarqServer::ServeConnection(std::shared_ptr<Connection> connection) {
+  const auto send = [&connection](FrameType type, WireFormat format,
+                                  uint16_t flags, uint64_t request_id,
+                                  std::string_view payload) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    (void)WriteFrame(connection->fd, type, format, flags, request_id,
+                     payload);
+  };
+  const auto send_error = [&send](const FrameHeader& request,
+                                  const Status& status) {
+    send(FrameType::kErrorFrame, request.format, 0, request.request_id,
+         EncodeError(status, request.format));
+  };
+
+  while (true) {
+    Result<Frame> frame = ReadFrame(connection->fd);
+    if (!frame.ok()) {
+      if (!frame.status().Is(StatusCode::kNotFound)) {
+        // Protocol violation: answer once, then close — a desynchronized
+        // length-prefixed stream cannot be re-synchronized.
+        FrameHeader poison;
+        send_error(poison, frame.status());
+      }
+      return;
+    }
+    switch (frame->header.type) {
+      case FrameType::kQueryRequest:
+        HandleQuery(connection, *frame);
+        break;
+      case FrameType::kDeltaBatch:
+        HandleDelta(connection, *frame);
+        break;
+      case FrameType::kMetricsRequest:
+        HandleMetrics(connection, *frame);
+        break;
+      case FrameType::kPing:
+        send(FrameType::kPong, frame->header.format, 0,
+             frame->header.request_id, "");
+        break;
+      case FrameType::kShutdown:
+        // Ack before flagging: the client's round-trip completes, then
+        // the owning thread (blocked in Wait) runs Stop.
+        send(FrameType::kShutdown, frame->header.format, 0,
+             frame->header.request_id, "");
+        RequestShutdown();
+        return;
+      default:
+        send_error(frame->header,
+                   Status::InvalidArgument(
+                       "unexpected frame type " +
+                       std::to_string(static_cast<int>(frame->header.type)) +
+                       " for a server"));
+        return;
+    }
+  }
+}
+
+void HierarqServer::HandleQuery(
+    const std::shared_ptr<Connection>& connection, const Frame& frame) {
+  const FrameHeader header = frame.header;
+  const auto send = [connection](FrameType type, WireFormat format,
+                                 uint16_t flags, uint64_t request_id,
+                                 std::string_view payload) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    (void)WriteFrame(connection->fd, type, format, flags, request_id,
+                     payload);
+  };
+  // By VALUE: this lambda is copied into the async job below and runs on
+  // a submitter thread after this frame of HandleQuery has returned — a
+  // by-reference capture of `send`/`header` would dangle.
+  const auto send_error = [send, header](const Status& status) {
+    send(FrameType::kErrorFrame, header.format, 0, header.request_id,
+         EncodeError(status, header.format));
+  };
+
+  Result<QueryRequest> request =
+      DecodeQueryRequest(frame.payload, header.format);
+  if (!request.ok()) {
+    send_error(request.status());
+    return;
+  }
+  Result<ConjunctiveQuery> parsed = ParseQuery(request->query);
+  if (!parsed.ok()) {
+    send_error(parsed.status());
+    return;
+  }
+  const SolverKind solver = request->solver;
+  const bool want_trace = (header.flags & kFlagTrace) != 0;
+  auto query =
+      std::make_shared<ConjunctiveQuery>(std::move(parsed).ValueOrDie());
+
+  const Status admitted = async_.Submit(
+      [this, connection, query, header, solver, want_trace, send,
+       send_error](EvalService& service, const CancelToken& cancel) {
+        QueryResult result;
+        result.solver = solver;
+        Status status;
+        if (want_trace) {
+          // Traced requests run exclusive: the tracer is process-global
+          // (two traced requests would blend rings), and the unique db
+          // lock quiesces other evaluations so the captured trace covers
+          // exactly this request's steps — what check_trace.py verifies.
+          std::lock_guard<std::mutex> trace_lock(trace_mutex_);
+          std::unique_lock<std::shared_mutex> db_lock(db_mutex_);
+          obs::Tracer tracer;
+          tracer.Install();
+          status = EvaluateSolver(service, *query, solver, cancel, &result);
+          if (Result<EliminationPlan> plan = EliminationPlan::Build(*query);
+              plan.ok()) {
+            tracer.EmitInstant("plan", "steps",
+                               static_cast<double>(plan->steps().size()));
+          }
+          tracer.Uninstall();
+          std::ostringstream trace;
+          tracer.WriteChromeTrace(trace);
+          result.trace_json = std::move(trace).str();
+        } else {
+          std::shared_lock<std::shared_mutex> db_lock(db_mutex_);
+          status = EvaluateSolver(service, *query, solver, cancel, &result);
+        }
+        if (!status.ok()) {
+          send_error(status);
+          return;
+        }
+        const uint16_t flags = want_trace ? kFlagTrace : uint16_t{0};
+        send(FrameType::kResultFrame, header.format, flags,
+             header.request_id,
+             EncodeQueryResult(result, header.format, want_trace));
+      },
+      request->deadline_ms);
+  if (!admitted.ok()) {
+    // Load shed at the door: the rejection is this request's answer.
+    send_error(admitted);
+  }
+}
+
+Status HierarqServer::EvaluateSolver(EvalService& service,
+                                     const ConjunctiveQuery& query,
+                                     SolverKind solver,
+                                     const CancelToken& cancel,
+                                     QueryResult* out) {
+  const std::vector<const ConjunctiveQuery*> one{&query};
+  switch (solver) {
+    case SolverKind::kCount: {
+      const CountMonoid monoid;
+      auto values = service.EvaluateMany<CountMonoid>(
+          monoid, one, db_, [](const Fact&) -> uint64_t { return 1; },
+          "server.count", &cancel);
+      if (!values.front().ok()) {
+        return values.front().status();
+      }
+      out->count = *values.front();
+      return Status::OK();
+    }
+    case SolverKind::kPqe:
+    case SolverKind::kExpect: {
+      // Weights are probabilities, clamped exactly as TidDatabase clamps
+      // file-loaded facts, so a fact answers the same through either
+      // front door.
+      const auto annotator = [this](const Fact& fact) {
+        return std::clamp(db_.WeightOf(fact), 0.0, 1.0);
+      };
+      if (solver == SolverKind::kPqe) {
+        const ProbMonoid monoid;
+        auto values = service.EvaluateMany<ProbMonoid>(
+            monoid, one, db_, annotator, "server.pqe", &cancel);
+        if (!values.front().ok()) {
+          return values.front().status();
+        }
+        out->number = *values.front();
+      } else {
+        const ExpectationMonoid monoid;
+        auto values = service.EvaluateMany<ExpectationMonoid>(
+            monoid, one, db_, annotator, "server.expect", &cancel);
+        if (!values.front().ok()) {
+          return values.front().status();
+        }
+        out->number = *values.front();
+      }
+      return Status::OK();
+    }
+    case SolverKind::kResilience: {
+      auto values = ComputeResilienceBatch(service, one, db_.facts(),
+                                           endogenous_, &cancel);
+      if (!values.front().ok()) {
+        return values.front().status();
+      }
+      out->count = *values.front();
+      return Status::OK();
+    }
+    case SolverKind::kShapley: {
+      auto values =
+          AllShapleyValues(service, query, db_.facts(), endogenous_, &cancel);
+      if (!values.ok()) {
+        return values.status();
+      }
+      out->shapley.reserve(values->size());
+      for (const auto& [fact, fraction] : *values) {
+        out->shapley.push_back(ShapleyEntry{RenderFact(fact, *dict_),
+                                            fraction.ToString(),
+                                            fraction.ToDouble()});
+      }
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown solver");
+}
+
+void HierarqServer::HandleDelta(const std::shared_ptr<Connection>& connection,
+                                const Frame& frame) {
+  const auto send = [&connection](FrameType type, WireFormat format,
+                                  uint16_t flags, uint64_t request_id,
+                                  std::string_view payload) {
+    std::lock_guard<std::mutex> lock(connection->write_mutex);
+    (void)WriteFrame(connection->fd, type, format, flags, request_id,
+                     payload);
+  };
+  DeltaAck ack;
+  {
+    // Unique from PARSE, not just apply: ParseDeltaLine interns new
+    // constants into the shared dictionary, which query jobs read
+    // concurrently (Shapley fact rendering).
+    std::unique_lock<std::shared_mutex> lock(db_mutex_);
+    Result<DeltaBatch> batch =
+        ParseDeltaLine(frame.payload, dict_, db_, /*query=*/nullptr);
+    if (!batch.ok()) {
+      // The whole line was rejected before anything was applied — the
+      // generation is unchanged, exactly the CLI update-mode contract.
+      lock.unlock();
+      send(FrameType::kErrorFrame, frame.header.format, 0,
+           frame.header.request_id,
+           EncodeError(batch.status(), frame.header.format));
+      return;
+    }
+    db_.Apply(*batch);
+    // The applied log entry is acked below and this server is the only
+    // reader, so retention can be zero (the CLI's update loop does the
+    // same).
+    db_.TruncateLog(db_.generation());
+    ack.generation = db_.generation();
+    ack.num_facts = db_.NumFacts();
+  }
+  send(FrameType::kDeltaAck, frame.header.format, 0, frame.header.request_id,
+       EncodeDeltaAck(ack, frame.header.format));
+}
+
+void HierarqServer::HandleMetrics(
+    const std::shared_ptr<Connection>& connection, const Frame& frame) {
+  // The frame's format picks the rendering: native = text, json = JSON —
+  // same catalog either way (global + eval service + async layer).
+  std::string payload;
+  if (frame.header.format == WireFormat::kJson) {
+    payload = "{\"global\": " + obs::MetricsRegistry::Global().RenderJson() +
+              ", \"service\": " + async_.service().metrics().RenderJson() +
+              ", \"async\": " + async_.metrics().RenderJson() + "}";
+  } else {
+    payload = "# global\n" + obs::MetricsRegistry::Global().RenderText() +
+              "# service\n" + async_.service().metrics().RenderText() +
+              "# async\n" + async_.metrics().RenderText();
+  }
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  (void)WriteFrame(connection->fd, FrameType::kMetricsResponse,
+                   frame.header.format, 0, frame.header.request_id, payload);
+}
+
+}  // namespace hierarq::net

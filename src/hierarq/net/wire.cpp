@@ -1,0 +1,902 @@
+#include "hierarq/net/wire.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace hierarq::net {
+
+namespace {
+
+// -- Little-endian byte cursors ---------------------------------------
+// Append-to-string writers and a bounds-checked reader; every Decode
+// routine funnels through these, so truncation is caught in one place.
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Sequential reader over a payload; any out-of-bounds read trips
+/// `ok_` and every later read no-ops, so decoders check once at the end.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string Str() {
+    const uint32_t n = U32();
+    if (!Need(n)) return {};
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// Decode epilogue: truncated or trailing bytes both reject.
+  Status Finish(const char* what) const {
+    if (!ok_) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": truncated payload");
+    }
+    if (!AtEnd()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": trailing bytes after payload");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- Minimal JSON -----------------------------------------------------
+// The kJson format exists as the interop / A-B baseline, so it is
+// deliberately hand-rolled like the rest of the protocol: a writer for
+// the flat objects we emit and a strict recursive-descent reader for
+// the same shapes. Rejects (Status) on anything malformed.
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[32];
+  // %.17g round-trips every finite double exactly.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+/// A parsed JSON value — only what the protocol's flat objects need.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    HIERARQ_RETURN_NOT_OK(ParseValue(&v, /*depth=*/0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 32) {
+      return Err("nesting too deep");
+    }
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Err("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseLiteralBool(out);
+    if (c == 'n') return ParseLiteralNull(out);
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      HIERARQ_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Err("expected ':'");
+      }
+      ++pos_;
+      JsonValue value;
+      HIERARQ_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Err("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      HIERARQ_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        return Err("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::OK();
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (text_.size() - pos_ < 4) {
+            return Err("bad \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Err("bad \\u escape");
+          }
+          // We only ever emit \u00xx for control bytes; anything in the
+          // BMP decodes to UTF-8 here for completeness.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xc0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            *out += static_cast<char>(0xe0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            *out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseLiteralBool(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->kind = JsonValue::kBool;
+      out->boolean = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    return Err("bad literal");
+  }
+
+  Status ParseLiteralNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "null") {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return Err("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Err("expected value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Err("bad number '" + token + "'");
+    }
+    out->kind = JsonValue::kNumber;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Fetches a required field of a given kind from a decoded object.
+Result<const JsonValue*> Field(const JsonValue& doc, std::string_view key,
+                               JsonValue::Kind kind) {
+  if (doc.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("json payload is not an object");
+  }
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr || v->kind != kind) {
+    return Status::InvalidArgument("json payload missing field '" +
+                                   std::string(key) + "'");
+  }
+  return v;
+}
+
+/// u64 JSON codec, decode side. Encoders emit u64s as decimal STRINGS
+/// ("18446744073709551615"): a JSON number routes through double in this
+/// parser (and most others) and silently corrupts values past 2^53 —
+/// resilience's infinity sentinel is exactly such a value. A plain
+/// number is still accepted (hand-written clients) when it is a
+/// non-negative integer small enough to be exact in a double.
+Result<uint64_t> U64Field(const JsonValue& doc, std::string_view key) {
+  if (doc.kind != JsonValue::kObject) {
+    return Status::InvalidArgument("json payload is not an object");
+  }
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument("json payload missing field '" +
+                                   std::string(key) + "'");
+  }
+  if (v->kind == JsonValue::kString) {
+    if (v->string.empty()) {
+      return Status::InvalidArgument("json field '" + std::string(key) +
+                                     "': empty u64 string");
+    }
+    uint64_t out = 0;
+    for (const char c : v->string) {
+      if (c < '0' || c > '9' ||
+          out > (~uint64_t{0} - static_cast<uint64_t>(c - '0')) / 10) {
+        return Status::InvalidArgument("json field '" + std::string(key) +
+                                       "': not a u64: '" + v->string + "'");
+      }
+      out = out * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return out;
+  }
+  if (v->kind == JsonValue::kNumber) {
+    const double n = v->number;
+    if (n < 0 || n > 9007199254740992.0 ||
+        n != static_cast<double>(static_cast<uint64_t>(n))) {
+      return Status::InvalidArgument(
+          "json field '" + std::string(key) +
+          "': number is not an exactly-representable u64 (send it as a "
+          "string)");
+    }
+    return static_cast<uint64_t>(n);
+  }
+  return Status::InvalidArgument("json field '" + std::string(key) +
+                                 "' must be a string or number");
+}
+
+}  // namespace
+
+const char* SolverKindName(SolverKind solver) {
+  switch (solver) {
+    case SolverKind::kCount:
+      return "count";
+    case SolverKind::kPqe:
+      return "pqe";
+    case SolverKind::kExpect:
+      return "expect";
+    case SolverKind::kResilience:
+      return "resilience";
+    case SolverKind::kShapley:
+      return "shapley";
+  }
+  return "unknown";
+}
+
+Result<SolverKind> ParseSolverKind(std::string_view name) {
+  if (name == "count") return SolverKind::kCount;
+  if (name == "pqe") return SolverKind::kPqe;
+  if (name == "expect") return SolverKind::kExpect;
+  if (name == "resilience") return SolverKind::kResilience;
+  if (name == "shapley") return SolverKind::kShapley;
+  return Status::InvalidArgument("unknown solver '" + std::string(name) +
+                                 "' (expected count, pqe, expect, "
+                                 "resilience or shapley)");
+}
+
+void EncodeFrameHeader(const FrameHeader& header,
+                       char out[kFrameHeaderSize]) {
+  std::string buf;
+  buf.reserve(kFrameHeaderSize);
+  PutU32(&buf, header.payload_len);
+  buf += static_cast<char>(header.type);
+  buf += static_cast<char>(header.format);
+  buf += static_cast<char>(header.flags & 0xff);
+  buf += static_cast<char>((header.flags >> 8) & 0xff);
+  PutU64(&buf, header.request_id);
+  std::memcpy(out, buf.data(), kFrameHeaderSize);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderSize]) {
+  Cursor cursor(std::string_view(in, kFrameHeaderSize));
+  FrameHeader header;
+  header.payload_len = cursor.U32();
+  const uint8_t type = cursor.U8();
+  const uint8_t format = cursor.U8();
+  const uint8_t flags_lo = cursor.U8();
+  const uint8_t flags_hi = cursor.U8();
+  header.flags = static_cast<uint16_t>(flags_lo | (flags_hi << 8));
+  header.request_id = cursor.U64();
+  // A garbage header is the first line of defense: validate every
+  // enum-ish field and the length bound BEFORE anyone allocates or
+  // dispatches on it.
+  if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
+      type > static_cast<uint8_t>(FrameType::kShutdown)) {
+    return Status::InvalidArgument("bad frame: unknown type " +
+                                   std::to_string(type));
+  }
+  if (format > static_cast<uint8_t>(WireFormat::kJson)) {
+    return Status::InvalidArgument("bad frame: unknown format " +
+                                   std::to_string(format));
+  }
+  if (header.payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "bad frame: payload length " + std::to_string(header.payload_len) +
+        " exceeds the " + std::to_string(kMaxPayloadBytes) + "-byte cap");
+  }
+  header.type = static_cast<FrameType>(type);
+  header.format = static_cast<WireFormat>(format);
+  return header;
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request,
+                               WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kNative) {
+    out += static_cast<char>(request.solver);
+    PutU64(&out, request.deadline_ms);
+    PutStr(&out, request.query);
+    return out;
+  }
+  out += "{\"solver\":";
+  AppendJsonString(&out, SolverKindName(request.solver));
+  out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  out += ",\"query\":";
+  AppendJsonString(&out, request.query);
+  out += "}";
+  return out;
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
+                                        WireFormat format) {
+  QueryRequest request;
+  if (format == WireFormat::kNative) {
+    Cursor cursor(payload);
+    const uint8_t solver = cursor.U8();
+    request.deadline_ms = cursor.U64();
+    request.query = cursor.Str();
+    HIERARQ_RETURN_NOT_OK(cursor.Finish("query request"));
+    if (solver > static_cast<uint8_t>(SolverKind::kShapley)) {
+      return Status::InvalidArgument("query request: unknown solver tag " +
+                                     std::to_string(solver));
+    }
+    request.solver = static_cast<SolverKind>(solver);
+    return request;
+  }
+  HIERARQ_ASSIGN_OR_RETURN(JsonValue doc, JsonParser(payload).Parse());
+  HIERARQ_ASSIGN_OR_RETURN(
+      const JsonValue* solver, Field(doc, "solver", JsonValue::kString));
+  HIERARQ_ASSIGN_OR_RETURN(request.solver,
+                           ParseSolverKind(solver->string));
+  HIERARQ_ASSIGN_OR_RETURN(
+      const JsonValue* query, Field(doc, "query", JsonValue::kString));
+  request.query = query->string;
+  if (const JsonValue* deadline = doc.Find("deadline_ms");
+      deadline != nullptr && deadline->kind == JsonValue::kNumber) {
+    request.deadline_ms = static_cast<uint64_t>(deadline->number);
+  }
+  return request;
+}
+
+std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
+                              bool with_trace) {
+  std::string out;
+  if (format == WireFormat::kNative) {
+    out += static_cast<char>(result.solver);
+    switch (result.solver) {
+      case SolverKind::kCount:
+      case SolverKind::kResilience:
+        PutU64(&out, result.count);
+        break;
+      case SolverKind::kPqe:
+      case SolverKind::kExpect:
+        PutF64(&out, result.number);
+        break;
+      case SolverKind::kShapley:
+        PutU32(&out, static_cast<uint32_t>(result.shapley.size()));
+        for (const ShapleyEntry& entry : result.shapley) {
+          PutStr(&out, entry.fact);
+          PutStr(&out, entry.fraction);
+          PutF64(&out, entry.value);
+        }
+        break;
+    }
+    if (with_trace) {
+      PutStr(&out, result.trace_json);
+    }
+    return out;
+  }
+  out += "{\"solver\":";
+  AppendJsonString(&out, SolverKindName(result.solver));
+  switch (result.solver) {
+    case SolverKind::kCount:
+    case SolverKind::kResilience:
+      // String, not number: see U64Field — counts use the full u64 range
+      // (resilience infinity is ~0), past what a JSON double carries.
+      out += ",\"value\":\"" + std::to_string(result.count) + "\"";
+      break;
+    case SolverKind::kPqe:
+    case SolverKind::kExpect:
+      out += ",\"value\":";
+      AppendJsonDouble(&out, result.number);
+      break;
+    case SolverKind::kShapley:
+      out += ",\"shapley\":[";
+      for (size_t i = 0; i < result.shapley.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "{\"fact\":";
+        AppendJsonString(&out, result.shapley[i].fact);
+        out += ",\"fraction\":";
+        AppendJsonString(&out, result.shapley[i].fraction);
+        out += ",\"value\":";
+        AppendJsonDouble(&out, result.shapley[i].value);
+        out += "}";
+      }
+      out += "]";
+      break;
+  }
+  if (with_trace) {
+    out += ",\"trace\":";
+    AppendJsonString(&out, result.trace_json);
+  }
+  out += "}";
+  return out;
+}
+
+Result<QueryResult> DecodeQueryResult(std::string_view payload,
+                                      WireFormat format, bool with_trace) {
+  QueryResult result;
+  if (format == WireFormat::kNative) {
+    Cursor cursor(payload);
+    const uint8_t solver = cursor.U8();
+    if (solver > static_cast<uint8_t>(SolverKind::kShapley)) {
+      return Status::InvalidArgument("result: unknown solver tag " +
+                                     std::to_string(solver));
+    }
+    result.solver = static_cast<SolverKind>(solver);
+    switch (result.solver) {
+      case SolverKind::kCount:
+      case SolverKind::kResilience:
+        result.count = cursor.U64();
+        break;
+      case SolverKind::kPqe:
+      case SolverKind::kExpect:
+        result.number = cursor.F64();
+        break;
+      case SolverKind::kShapley: {
+        const uint32_t n = cursor.U32();
+        // The count is attacker-controlled until Finish() validates the
+        // stream; reserve nothing and let truncation trip the cursor.
+        for (uint32_t i = 0; i < n && cursor.ok(); ++i) {
+          ShapleyEntry entry;
+          entry.fact = cursor.Str();
+          entry.fraction = cursor.Str();
+          entry.value = cursor.F64();
+          result.shapley.push_back(std::move(entry));
+        }
+        break;
+      }
+    }
+    if (with_trace) {
+      result.trace_json = cursor.Str();
+    }
+    HIERARQ_RETURN_NOT_OK(cursor.Finish("result"));
+    return result;
+  }
+  HIERARQ_ASSIGN_OR_RETURN(JsonValue doc, JsonParser(payload).Parse());
+  HIERARQ_ASSIGN_OR_RETURN(
+      const JsonValue* solver, Field(doc, "solver", JsonValue::kString));
+  HIERARQ_ASSIGN_OR_RETURN(result.solver, ParseSolverKind(solver->string));
+  switch (result.solver) {
+    case SolverKind::kCount:
+    case SolverKind::kResilience: {
+      HIERARQ_ASSIGN_OR_RETURN(result.count, U64Field(doc, "value"));
+      break;
+    }
+    case SolverKind::kPqe:
+    case SolverKind::kExpect: {
+      HIERARQ_ASSIGN_OR_RETURN(
+          const JsonValue* value, Field(doc, "value", JsonValue::kNumber));
+      result.number = value->number;
+      break;
+    }
+    case SolverKind::kShapley: {
+      HIERARQ_ASSIGN_OR_RETURN(
+          const JsonValue* list, Field(doc, "shapley", JsonValue::kArray));
+      for (const JsonValue& item : list->array) {
+        ShapleyEntry entry;
+        HIERARQ_ASSIGN_OR_RETURN(
+            const JsonValue* fact, Field(item, "fact", JsonValue::kString));
+        HIERARQ_ASSIGN_OR_RETURN(
+            const JsonValue* fraction,
+            Field(item, "fraction", JsonValue::kString));
+        HIERARQ_ASSIGN_OR_RETURN(
+            const JsonValue* value,
+            Field(item, "value", JsonValue::kNumber));
+        entry.fact = fact->string;
+        entry.fraction = fraction->string;
+        entry.value = value->number;
+        result.shapley.push_back(std::move(entry));
+      }
+      break;
+    }
+  }
+  if (with_trace) {
+    HIERARQ_ASSIGN_OR_RETURN(
+        const JsonValue* trace, Field(doc, "trace", JsonValue::kString));
+    result.trace_json = trace->string;
+  }
+  return result;
+}
+
+std::string EncodeError(const Status& status, WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kNative) {
+    PutU32(&out, static_cast<uint32_t>(status.code()));
+    PutStr(&out, status.message());
+    return out;
+  }
+  out += "{\"code\":" + std::to_string(static_cast<int>(status.code()));
+  out += ",\"code_name\":";
+  AppendJsonString(&out, StatusCodeName(status.code()));
+  out += ",\"message\":";
+  AppendJsonString(&out, status.message());
+  out += "}";
+  return out;
+}
+
+Result<ErrorPayload> DecodeError(std::string_view payload,
+                                 WireFormat format) {
+  ErrorPayload error;
+  if (format == WireFormat::kNative) {
+    Cursor cursor(payload);
+    const uint32_t code = cursor.U32();
+    error.message = cursor.Str();
+    HIERARQ_RETURN_NOT_OK(cursor.Finish("error frame"));
+    if (code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+      return Status::InvalidArgument("error frame: unknown status code " +
+                                     std::to_string(code));
+    }
+    error.code = static_cast<StatusCode>(code);
+    return error;
+  }
+  HIERARQ_ASSIGN_OR_RETURN(JsonValue doc, JsonParser(payload).Parse());
+  HIERARQ_ASSIGN_OR_RETURN(const JsonValue* code,
+                           Field(doc, "code", JsonValue::kNumber));
+  HIERARQ_ASSIGN_OR_RETURN(const JsonValue* message,
+                           Field(doc, "message", JsonValue::kString));
+  const int code_int = static_cast<int>(code->number);
+  if (code_int < 0 ||
+      code_int > static_cast<int>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("error frame: unknown status code " +
+                                   std::to_string(code_int));
+  }
+  error.code = static_cast<StatusCode>(code_int);
+  error.message = message->string;
+  return error;
+}
+
+std::string EncodeDeltaAck(const DeltaAck& ack, WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kNative) {
+    PutU64(&out, ack.generation);
+    PutU64(&out, ack.num_facts);
+    return out;
+  }
+  out += "{\"generation\":\"" + std::to_string(ack.generation) + "\"";
+  out += ",\"num_facts\":\"" + std::to_string(ack.num_facts) + "\"";
+  out += "}";
+  return out;
+}
+
+Result<DeltaAck> DecodeDeltaAck(std::string_view payload,
+                                WireFormat format) {
+  DeltaAck ack;
+  if (format == WireFormat::kNative) {
+    Cursor cursor(payload);
+    ack.generation = cursor.U64();
+    ack.num_facts = cursor.U64();
+    HIERARQ_RETURN_NOT_OK(cursor.Finish("delta ack"));
+    return ack;
+  }
+  HIERARQ_ASSIGN_OR_RETURN(JsonValue doc, JsonParser(payload).Parse());
+  HIERARQ_ASSIGN_OR_RETURN(ack.generation, U64Field(doc, "generation"));
+  HIERARQ_ASSIGN_OR_RETURN(ack.num_facts, U64Field(doc, "num_facts"));
+  return ack;
+}
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal(std::string("socket write failed: ") +
+                              std::strerror(errno));
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes. `eof_ok` distinguishes "peer closed at a
+/// frame boundary" (clean, kNotFound) from "closed mid-frame"
+/// (truncation, kInvalidArgument).
+Status ReadAll(int fd, char* data, size_t n, bool eof_ok) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::Internal(std::string("socket read failed: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) {
+      if (eof_ok && got == 0) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::InvalidArgument("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const FrameHeader& header,
+                  std::string_view payload) {
+  // One buffered write per frame: header+payload coalesce into a single
+  // syscall for small frames, which is most of the protocol.
+  std::string buf;
+  buf.resize(kFrameHeaderSize);
+  FrameHeader h = header;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  EncodeFrameHeader(h, buf.data());
+  buf.append(payload);
+  return WriteAll(fd, buf.data(), buf.size());
+}
+
+Status WriteFrame(int fd, FrameType type, WireFormat format, uint16_t flags,
+                  uint64_t request_id, std::string_view payload) {
+  FrameHeader header;
+  header.type = type;
+  header.format = format;
+  header.flags = flags;
+  header.request_id = request_id;
+  return WriteFrame(fd, header, payload);
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char raw[kFrameHeaderSize];
+  HIERARQ_RETURN_NOT_OK(ReadAll(fd, raw, kFrameHeaderSize, /*eof_ok=*/true));
+  Frame frame;
+  HIERARQ_ASSIGN_OR_RETURN(frame.header, DecodeFrameHeader(raw));
+  frame.payload.resize(frame.header.payload_len);
+  if (frame.header.payload_len > 0) {
+    HIERARQ_RETURN_NOT_OK(ReadAll(fd, frame.payload.data(),
+                                  frame.header.payload_len,
+                                  /*eof_ok=*/false));
+  }
+  return frame;
+}
+
+}  // namespace hierarq::net

@@ -1,0 +1,193 @@
+#ifndef HIERARQ_NET_WIRE_H_
+#define HIERARQ_NET_WIRE_H_
+
+/// \file wire.h
+/// \brief The hierarq wire protocol: length-prefixed binary frames.
+///
+/// Everything that crosses a hierarq socket is one frame:
+///
+///     ┌────────────┬──────┬────────┬─────────┬──────────────┬─────────┐
+///     │ u32 length │ u8   │ u8     │ u16     │ u64          │ payload │
+///     │ of payload │ type │ format │ flags   │ request id   │ bytes   │
+///     └────────────┴──────┴────────┴─────────┴──────────────┴─────────┘
+///       little-endian, 16-byte header, payload length ≤ 16 MiB
+///
+/// The request id is chosen by the client and echoed verbatim on every
+/// response frame, so a client may pipeline requests and match answers
+/// out of order. `format` selects between two payload encodings of the
+/// SAME logical messages — `kNative` (the hand-rolled binary layout
+/// below) and `kJson` (a flat JSON object) — so `bench/bench_server.cpp`
+/// can A/B the framing cost in the thesis-microbench style; servers
+/// answer in the format they were asked in. `flags` bit 0 requests
+/// (on a query) / announces (on a result) per-request trace capture.
+///
+/// Native payload layouts (all integers little-endian, doubles as their
+/// IEEE-754 bit pattern in a u64):
+///
+///   kQueryRequest    u8 solver | u64 deadline_ms | u32 n | n query bytes
+///   kResultFrame     u8 solver | value... [| u32 n | n trace bytes]
+///                      count/resilience: u64
+///                      pqe/expect:       f64
+///                      shapley:          u32 k | k × (str fact,
+///                                        str fraction, f64 value)
+///                      (str = u32 length + bytes; the trailing trace
+///                       section is present iff flags bit 0 is set)
+///   kErrorFrame      u32 status code | str message
+///   kDeltaBatch      the textual update grammar, verbatim
+///                    (incremental/delta_text.h — one line, ops ';'-split,
+///                    applied atomically server-side)
+///   kDeltaAck        u64 generation | u64 num_facts
+///   kMetricsRequest  empty (format picks text vs JSON rendering)
+///   kMetricsResponse rendered registry dump, verbatim
+///   kPing/kPong      empty
+///   kShutdown        empty (server stops accepting and exits its loop)
+///
+/// Robustness contract: a reader REJECTS rather than trusts — oversized
+/// lengths, unknown frame types, and truncated payloads all produce a
+/// clean `Status` (the server answers with kErrorFrame and closes the
+/// connection, since a desynchronized length-prefixed stream cannot be
+/// re-synchronized). Nothing in this layer aborts on malformed input.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hierarq/util/result.h"
+#include "hierarq/util/status.h"
+
+namespace hierarq::net {
+
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kResultFrame = 2,
+  kErrorFrame = 3,
+  kDeltaBatch = 4,
+  kDeltaAck = 5,
+  kMetricsRequest = 6,
+  kMetricsResponse = 7,
+  kPing = 8,
+  kPong = 9,
+  kShutdown = 10,
+};
+
+enum class WireFormat : uint8_t {
+  kNative = 0,  ///< Hand-rolled binary layout (the fast path).
+  kJson = 1,    ///< Flat JSON text (the interop / A-B baseline).
+};
+
+enum class SolverKind : uint8_t {
+  kCount = 0,
+  kPqe = 1,
+  kExpect = 2,
+  kResilience = 3,
+  kShapley = 4,
+};
+
+/// Returns the CLI-facing solver name ("count", "pqe", ...).
+const char* SolverKindName(SolverKind solver);
+/// Inverse of SolverKindName; fails on unknown names.
+Result<SolverKind> ParseSolverKind(std::string_view name);
+
+/// Frame flags (bitmask in the header's u16).
+inline constexpr uint16_t kFlagTrace = 1u << 0;
+
+inline constexpr size_t kFrameHeaderSize = 16;
+/// Upper bound a reader enforces BEFORE allocating: a garbage or hostile
+/// length prefix must not become a 4 GiB allocation.
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+struct FrameHeader {
+  uint32_t payload_len = 0;
+  FrameType type = FrameType::kPing;
+  WireFormat format = WireFormat::kNative;
+  uint16_t flags = 0;
+  uint64_t request_id = 0;
+};
+
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Serializes `header` into exactly kFrameHeaderSize bytes.
+void EncodeFrameHeader(const FrameHeader& header,
+                       char out[kFrameHeaderSize]);
+/// Parses a header, validating the type tag and the payload bound.
+Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderSize]);
+
+// -- Logical payloads -------------------------------------------------
+
+struct QueryRequest {
+  SolverKind solver = SolverKind::kCount;
+  /// 0 = use the server's default deadline.
+  uint64_t deadline_ms = 0;
+  std::string query;
+};
+
+struct ShapleyEntry {
+  std::string fact;      ///< Rendered fact, e.g. "R(1,2)".
+  std::string fraction;  ///< Exact value, e.g. "1/3".
+  double value = 0.0;    ///< The fraction as a double, for display.
+};
+
+struct QueryResult {
+  SolverKind solver = SolverKind::kCount;
+  uint64_t count = 0;   ///< count / resilience (exact).
+  double number = 0.0;  ///< pqe / expect.
+  std::vector<ShapleyEntry> shapley;
+  /// Chrome trace-event JSON captured for this request; non-empty iff
+  /// the result frame's kFlagTrace is set.
+  std::string trace_json;
+};
+
+struct ErrorPayload {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+struct DeltaAck {
+  uint64_t generation = 0;
+  uint64_t num_facts = 0;
+};
+
+// -- Payload codecs (both formats) ------------------------------------
+// Encode never fails; Decode returns a Status on truncated, trailing or
+// malformed bytes — the reject-don't-trust half of the contract.
+
+std::string EncodeQueryRequest(const QueryRequest& request,
+                               WireFormat format);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
+                                        WireFormat format);
+
+std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
+                              bool with_trace);
+Result<QueryResult> DecodeQueryResult(std::string_view payload,
+                                      WireFormat format, bool with_trace);
+
+std::string EncodeError(const Status& status, WireFormat format);
+Result<ErrorPayload> DecodeError(std::string_view payload,
+                                 WireFormat format);
+
+std::string EncodeDeltaAck(const DeltaAck& ack, WireFormat format);
+Result<DeltaAck> DecodeDeltaAck(std::string_view payload,
+                                WireFormat format);
+
+// -- Framed socket I/O -------------------------------------------------
+
+/// Writes header + payload to `fd`, looping over partial writes.
+Status WriteFrame(int fd, const FrameHeader& header,
+                  std::string_view payload);
+/// Convenience: fills in payload_len from `payload`.
+Status WriteFrame(int fd, FrameType type, WireFormat format, uint16_t flags,
+                  uint64_t request_id, std::string_view payload);
+
+/// Reads one frame. kNotFound signals clean EOF at a frame boundary
+/// (peer closed); any other error is a protocol violation or I/O
+/// failure, after which the stream must be closed (the reader cannot
+/// re-synchronize a length-prefixed stream).
+Result<Frame> ReadFrame(int fd);
+
+}  // namespace hierarq::net
+
+#endif  // HIERARQ_NET_WIRE_H_

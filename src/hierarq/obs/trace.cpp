@@ -160,7 +160,11 @@ void AppendStepArgsJson(const TraceStepArgs& step, std::string* out) {
 
 void Tracer::WriteChromeTrace(std::ostream& out) const {
   const std::vector<TraceEvent> events = Snapshot();
-  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  // "dropped" tells validators (tools/check_trace.py) the rings wrapped:
+  // step coverage can then only be checked as <=, not ==, because the
+  // overwritten window may have held the missing step events.
+  out << "{\"displayTimeUnit\": \"ns\", \"dropped\": " << dropped()
+      << ", \"traceEvents\": [";
   char buf[256];
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& event = events[i];

@@ -55,14 +55,15 @@ std::vector<Result<double>> ExpectedMultiplicityBatch(
 
 std::vector<Result<uint64_t>> ComputeResilienceBatch(
     EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
-    const Database& exogenous, const Database& endogenous) {
+    const Database& exogenous, const Database& endogenous,
+    const CancelToken* cancel) {
   Result<Database> combined = exogenous.UnionWith(endogenous);
   if (!combined.ok()) {
     return std::vector<Result<uint64_t>>(queries.size(), combined.status());
   }
   const ResilienceMonoid monoid;
   return service.EvaluateMany<ResilienceMonoid>(
-      monoid, queries, *combined, ResilienceCostAnnotator(exogenous));
+      monoid, queries, *combined, ResilienceCostAnnotator(exogenous), cancel);
 }
 
 std::vector<Result<ProvenanceResult>> ComputeProvenanceBatch(
@@ -78,12 +79,21 @@ std::vector<Result<ProvenanceResult>> ComputeProvenanceBatch(
 
 Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
     EvalService& service, const ConjunctiveQuery& query,
-    const Database& exogenous, const Database& endogenous) {
+    const Database& exogenous, const Database& endogenous,
+    const CancelToken* cancel) {
   const std::vector<Fact> facts = endogenous.AllFacts();
   std::vector<std::optional<Result<Fraction>>> slots(facts.size());
   service.pool().ParallelFor(facts.size(), [&](size_t worker, size_t i) {
-    slots[i] = ShapleyValue(service.worker_evaluator(worker), query,
-                            exogenous, endogenous, facts[i]);
+    // Absorb CancelledError inside the task (pool tasks must not throw)
+    // and turn it into a per-slot status.
+    try {
+      ScopedCancel watch(cancel);
+      slots[i] = ShapleyValue(service.worker_evaluator(worker), query,
+                              exogenous, endogenous, facts[i]);
+    } catch (const CancelledError&) {
+      slots[i] = Status::DeadlineExceeded(
+          "deadline expired during Shapley fan-out");
+    }
   });
 
   std::vector<std::pair<Fact, Fraction>> out;

@@ -54,9 +54,11 @@ std::vector<Result<double>> ExpectedMultiplicityBatch(
 
 /// Resilience of each query over one (exogenous, endogenous) split,
 /// sharing one cost-annotation pass over the combined database.
+/// `cancel` (optional) bounds the replays — see core/cancel.h.
 std::vector<Result<uint64_t>> ComputeResilienceBatch(
     EvalService& service, const std::vector<const ConjunctiveQuery*>& queries,
-    const Database& exogenous, const Database& endogenous);
+    const Database& exogenous, const Database& endogenous,
+    const CancelToken* cancel = nullptr);
 
 /// Read-once provenance of each query over `db`. Fact tables are
 /// query-local, so this fans the queries out across the workers instead of
@@ -68,10 +70,12 @@ std::vector<Result<ProvenanceResult>> ComputeProvenanceBatch(
 /// Shapley values of all endogenous facts (Theorem 5.16) with the per-fact
 /// #Sat computations — 2·|Dn| full Algorithm 1 runs — spread across the
 /// service's workers. Results in `endogenous.AllFacts()` order; matches
-/// the single-threaded `AllShapleyValues` exactly.
+/// the single-threaded `AllShapleyValues` exactly. With `cancel` set, the
+/// whole call fails kDeadlineExceeded if any per-fact run is cut off.
 Result<std::vector<std::pair<Fact, Fraction>>> AllShapleyValues(
     EvalService& service, const ConjunctiveQuery& query,
-    const Database& exogenous, const Database& endogenous);
+    const Database& exogenous, const Database& endogenous,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace hierarq
 

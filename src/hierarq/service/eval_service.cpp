@@ -41,6 +41,7 @@ EvalService::EvalService(Options options)
       registry_.GetCounter("service.annotation_cache_evictions");
   intra_parallel_replays_ =
       registry_.GetCounter("service.intra_parallel_replays");
+  deadline_exceeded_ = registry_.GetCounter("service.deadline_exceeded");
   group_size_hist_ = registry_.GetHistogram("service.group_size");
   queue_depth_gauge_ = registry_.GetGauge("service.queue_depth");
 

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "hierarq/algebra/two_monoid.h"
+#include "hierarq/core/cancel.h"
 #include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/data/storage.h"
@@ -99,6 +100,11 @@ struct BatchRequest {
   /// alias a *new* database allocated at a freed address; versioned
   /// callers are immune.
   uint64_t database_uid = 0;
+  /// Optional deadline/cancellation for this group (core/cancel.h).
+  /// Checked between elimination steps of every replay; queries cut off
+  /// mid-replay report kDeadlineExceeded individually, already-finished
+  /// queries in the same group keep their values. Must outlive the call.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Per-group results, one per query in request order. Non-hierarchical
@@ -221,12 +227,14 @@ class EvalService {
   std::vector<Result<typename M::value_type>> EvaluateMany(
       const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
       const Database& facts,
-      const std::function<typename M::value_type(const Fact&)>& annotator) {
+      const std::function<typename M::value_type(const Fact&)>& annotator,
+      const CancelToken* cancel = nullptr) {
     batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &facts;
     request.annotator = annotator;
     request.queries = queries;
+    request.cancel = cancel;
     return EvaluateGroup(monoid, request).values;
   }
 
@@ -243,7 +251,7 @@ class EvalService {
       const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
       const VersionedDatabase& database,
       const std::function<typename M::value_type(const Fact&)>& annotator,
-      std::string annotator_id) {
+      std::string annotator_id, const CancelToken* cancel = nullptr) {
     batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &database.facts();
@@ -252,6 +260,7 @@ class EvalService {
     request.annotator_id = std::move(annotator_id);
     request.generation = database.generation();
     request.database_uid = database.uid();
+    request.cancel = cancel;
     return EvaluateGroup(monoid, request).values;
   }
 
@@ -409,26 +418,47 @@ class EvalService {
       // the client's thread — never inside a pool task — so ParallelFor
       // fan-out from it is safe.
       std::lock_guard<std::mutex> lock(intra_mutex_);
-      values[slot] = intra_evaluator_->ReplayPlan(
-          **plans[slot], monoid, *request.queries[slot],
-          sources.per_query.front());
+      try {
+        ScopedCancel watch(request.cancel);
+        values[slot] = intra_evaluator_->ReplayPlan(
+            **plans[slot], monoid, *request.queries[slot],
+            sources.per_query.front());
+      } catch (const CancelledError&) {
+        // Slot stays empty; reported as kDeadlineExceeded below.
+      }
       intra_parallel_replays_->Add();
     } else {
       pool_.ParallelFor(planned.size(), [&](size_t worker, size_t j) {
         const size_t slot = planned[j];
-        values[slot] = worker_evaluator(worker).ReplayPlan(
-            **plans[slot], monoid, *request.queries[slot],
-            sources.per_query[j]);
+        // CancelledError must never escape a pool task (worker_pool.h:
+        // tasks must not throw); it is absorbed here and surfaced as a
+        // per-slot status at assembly.
+        try {
+          ScopedCancel watch(request.cancel);
+          values[slot] = worker_evaluator(worker).ReplayPlan(
+              **plans[slot], monoid, *request.queries[slot],
+              sources.per_query[j]);
+        } catch (const CancelledError&) {
+        }
       });
     }
 
     BatchResult<K> out;
     out.values.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      if (plans[i].ok()) {
+      if (!plans[i].ok()) {
+        out.values.push_back(plans[i].status());
+      } else if (values[i].has_value()) {
         out.values.push_back(std::move(*values[i]));
       } else {
-        out.values.push_back(plans[i].status());
+        deadline_exceeded_->Add();
+        out.values.push_back(request.cancel != nullptr &&
+                                     request.cancel->cancelled()
+                                 ? Status::DeadlineExceeded(
+                                       "evaluation cancelled by caller")
+                                 : Status::DeadlineExceeded(
+                                       "deadline expired mid-replay; "
+                                       "database untouched"));
       }
     }
     return out;
@@ -498,6 +528,7 @@ class EvalService {
   obs::Counter* annotation_cache_invalidations_ = nullptr;
   obs::Counter* annotation_cache_evictions_ = nullptr;
   obs::Counter* intra_parallel_replays_ = nullptr;
+  obs::Counter* deadline_exceeded_ = nullptr;  ///< Queries cut off mid-replay.
   obs::Histogram* group_size_hist_ = nullptr;  ///< Queries per group.
   obs::Gauge* queue_depth_gauge_ = nullptr;  ///< Pool queue at group entry.
   // Declared last: the pool joins (draining in-flight tasks) before any

@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "out-of-range";
     case StatusCode::kNotImplemented:
       return "not-implemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
   }
   return "unknown";
 }

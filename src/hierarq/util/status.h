@@ -32,6 +32,12 @@ enum class StatusCode : int {
   kOutOfRange = 6,
   /// The requested feature is recognized but not implemented.
   kNotImplemented = 7,
+  /// The operation was cancelled at a checkpoint because its deadline
+  /// passed before it finished (see core/cancel.h).
+  kDeadlineExceeded = 8,
+  /// A bounded resource (e.g. the server's admission queue) was full and
+  /// the operation was rejected rather than queued.
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns the canonical lowercase name of a status code
@@ -73,6 +79,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

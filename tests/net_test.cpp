@@ -1,0 +1,626 @@
+// Tests for the net layer (src/hierarq/net/): wire codec round-trips in
+// both formats, reject-don't-trust decoding of truncated/oversized/
+// garbage bytes, the async submission layer's admission control and
+// deadline handling, the shared delta-text grammar's line atomicity
+// (the partial-apply regression), and a live loopback server answering
+// concurrent clients bit-identically to the single-threaded Evaluator.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/core/evaluator.h"
+#include "hierarq/data/loader.h"
+#include "hierarq/incremental/delta_text.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/net/async_service.h"
+#include "hierarq/net/client.h"
+#include "hierarq/net/server.h"
+#include "hierarq/net/wire.h"
+#include "hierarq/query/parser.h"
+#include "hierarq/util/random.h"
+#include "hierarq/workload/data_gen.h"
+
+namespace hierarq::net {
+namespace {
+
+ConjunctiveQuery MustParse(const std::string& text) {
+  auto query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status();
+  return std::move(query).ValueOrDie();
+}
+
+// ------------------------------------------------------------ wire codec --
+
+class WireFormatTest : public ::testing::TestWithParam<WireFormat> {};
+
+INSTANTIATE_TEST_SUITE_P(BothFormats, WireFormatTest,
+                         ::testing::Values(WireFormat::kNative,
+                                           WireFormat::kJson));
+
+TEST_P(WireFormatTest, QueryRequestRoundTrips) {
+  QueryRequest request;
+  request.solver = SolverKind::kShapley;
+  request.deadline_ms = 1234;
+  request.query = "Q() :- R(A,B), S(A,\"C\")";  // Quote survives JSON.
+  auto decoded =
+      DecodeQueryRequest(EncodeQueryRequest(request, GetParam()), GetParam());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->solver, SolverKind::kShapley);
+  EXPECT_EQ(decoded->deadline_ms, 1234u);
+  EXPECT_EQ(decoded->query, request.query);
+}
+
+TEST_P(WireFormatTest, CountResultRoundTrips) {
+  QueryResult result;
+  result.solver = SolverKind::kCount;
+  result.count = ~uint64_t{0} - 7;  // Exercises the full u64 range.
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(result, GetParam(), /*with_trace=*/false),
+      GetParam(), /*with_trace=*/false);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->solver, SolverKind::kCount);
+  EXPECT_EQ(decoded->count, result.count);
+}
+
+TEST_P(WireFormatTest, DoubleResultRoundTripsBitExactly) {
+  QueryResult result;
+  result.solver = SolverKind::kPqe;
+  result.number = 0.1 + 0.2;  // Not representable exactly: %.17g must hold.
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(result, GetParam(), false), GetParam(), false);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->number, result.number);  // Bit-exact, not near.
+}
+
+TEST_P(WireFormatTest, ShapleyResultWithTraceRoundTrips) {
+  QueryResult result;
+  result.solver = SolverKind::kShapley;
+  result.shapley = {{"R(1,2)", "1/3", 1.0 / 3.0},
+                    {"S(7,\"x\")", "-2/5", -0.4}};
+  result.trace_json = "{\"traceEvents\": []}";
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(result, GetParam(), /*with_trace=*/true), GetParam(),
+      /*with_trace=*/true);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->shapley.size(), 2u);
+  EXPECT_EQ(decoded->shapley[0].fact, "R(1,2)");
+  EXPECT_EQ(decoded->shapley[0].fraction, "1/3");
+  EXPECT_EQ(decoded->shapley[1].fact, "S(7,\"x\")");
+  EXPECT_EQ(decoded->shapley[1].value, -0.4);
+  EXPECT_EQ(decoded->trace_json, result.trace_json);
+}
+
+TEST_P(WireFormatTest, ErrorAndDeltaAckRoundTrip) {
+  auto error = DecodeError(
+      EncodeError(Status::DeadlineExceeded("out of \"time\""), GetParam()),
+      GetParam());
+  ASSERT_TRUE(error.ok()) << error.status();
+  EXPECT_EQ(error->code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(error->message, "out of \"time\"");
+
+  auto ack = DecodeDeltaAck(
+      EncodeDeltaAck(DeltaAck{42, 100000}, GetParam()), GetParam());
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->generation, 42u);
+  EXPECT_EQ(ack->num_facts, 100000u);
+}
+
+TEST_P(WireFormatTest, TruncatedAndTrailingPayloadsAreRejected) {
+  QueryRequest request;
+  request.query = "Q() :- R(A)";
+  const std::string good = EncodeQueryRequest(request, GetParam());
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto decoded = DecodeQueryRequest(good.substr(0, cut), GetParam());
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << cut << " accepted";
+  }
+  auto trailing = DecodeQueryRequest(good + "x", GetParam());
+  EXPECT_FALSE(trailing.ok());
+}
+
+TEST(Wire, GarbagePayloadIsRejectedNotTrusted) {
+  for (const WireFormat format : {WireFormat::kNative, WireFormat::kJson}) {
+    EXPECT_FALSE(DecodeQueryResult("\xff\xfe garbage \x01", format,
+                                   false).ok());
+    EXPECT_FALSE(DecodeDeltaAck("{not json", format).ok());
+  }
+  // JSON with the wrong shape (valid JSON, missing fields).
+  EXPECT_FALSE(DecodeQueryRequest("[1,2,3]", WireFormat::kJson).ok());
+}
+
+TEST(Wire, FrameHeaderRoundTripsAndValidates) {
+  FrameHeader header;
+  header.payload_len = 123;
+  header.type = FrameType::kDeltaBatch;
+  header.format = WireFormat::kJson;
+  header.flags = kFlagTrace;
+  header.request_id = 0xdeadbeefcafef00dull;
+  char bytes[kFrameHeaderSize];
+  EncodeFrameHeader(header, bytes);
+  auto decoded = DecodeFrameHeader(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->payload_len, 123u);
+  EXPECT_EQ(decoded->type, FrameType::kDeltaBatch);
+  EXPECT_EQ(decoded->format, WireFormat::kJson);
+  EXPECT_EQ(decoded->flags, kFlagTrace);
+  EXPECT_EQ(decoded->request_id, header.request_id);
+
+  // An oversized length prefix must be rejected BEFORE anyone allocates.
+  header.payload_len = kMaxPayloadBytes + 1;
+  EncodeFrameHeader(header, bytes);
+  EXPECT_FALSE(DecodeFrameHeader(bytes).ok());
+
+  // Unknown type and unknown format tags are protocol violations.
+  header.payload_len = 0;
+  EncodeFrameHeader(header, bytes);
+  bytes[4] = 99;
+  EXPECT_FALSE(DecodeFrameHeader(bytes).ok());
+  EncodeFrameHeader(header, bytes);
+  bytes[5] = 7;
+  EXPECT_FALSE(DecodeFrameHeader(bytes).ok());
+}
+
+// ------------------------------------------- delta-text line atomicity --
+
+TEST(DeltaText, IntraLineArityConflictRejectsTheWholeLine) {
+  Dictionary dict;
+  VersionedDatabase db(Database{});
+  // Regression: `New` is unknown to the schema, so the second op's arity
+  // used to be validated against nothing — the batch passed per-op
+  // checks, then VersionedDatabase::Apply CHECK-aborted on the mismatch
+  // with the first op already committed. The line grammar now tracks
+  // arities introduced by earlier ops in the SAME line and rejects at
+  // parse time, before anything is applied.
+  auto batch = ParseDeltaLine("+New(1); +New(1,2)", &dict, db);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("op 2"), std::string::npos)
+      << batch.status();
+  EXPECT_EQ(db.generation(), 0u) << "nothing may be applied";
+  EXPECT_EQ(db.NumFacts(), 0u);
+
+  // The consistent variant parses and applies atomically.
+  auto good = ParseDeltaLine("+New(1,2); +New(3,4); -New(1,2)", &dict, db);
+  ASSERT_TRUE(good.ok()) << good.status();
+  db.Apply(*good);
+  EXPECT_EQ(db.generation(), 1u);
+  EXPECT_EQ(db.NumFacts(), 1u);
+}
+
+TEST(DeltaText, SchemaArityStillWinsOverOpArity) {
+  Dictionary dict;
+  auto base = LoadDatabase("R(1,2)\n", &dict);
+  ASSERT_TRUE(base.ok());
+  VersionedDatabase db(std::move(base).ValueOrDie());
+  auto bad = ParseDeltaLine("+R(9)", &dict, db);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(db.generation(), 0u);
+}
+
+// --------------------------------------------------- async admission --
+
+TEST(AsyncEvalService, QueueFullRejectsInsteadOfQueueing) {
+  AsyncEvalService::Options options;
+  options.submit_threads = 1;
+  options.max_queue_depth = 1;
+  AsyncEvalService async(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  int ran = 0;
+  const auto blocking_job = [&](EvalService&, const CancelToken&) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    ++ran;
+  };
+  // First job occupies the lone submitter, second fills the queue, third
+  // must be shed at the door.
+  ASSERT_TRUE(async.Submit(blocking_job).ok());
+  // Wait for the submitter to pick up job 1 so job 2 queues.
+  while (async.queue_depth() != 0) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(async.Submit(blocking_job).ok());
+  const Status rejected = async.Submit(blocking_job);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  async.Shutdown();
+  EXPECT_EQ(ran, 2) << "accepted jobs must run; rejected ones must not";
+}
+
+TEST(AsyncEvalService, ShutdownCancelsQueuedJobsButStillRunsThem) {
+  AsyncEvalService::Options options;
+  options.submit_threads = 1;
+  options.max_queue_depth = 8;
+  AsyncEvalService async(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> cancelled{0};
+  std::atomic<int> completions{0};
+  ASSERT_TRUE(async.Submit([&](EvalService&, const CancelToken&) {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] { return release; });
+                completions.fetch_add(1);
+              }).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(async.Submit([&](EvalService&, const CancelToken& cancel) {
+                  if (cancel.Expired()) {
+                    cancelled.fetch_add(1);
+                  }
+                  completions.fetch_add(1);
+                }).ok());
+  }
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+    cv.notify_all();
+  });
+  async.Shutdown();  // Cancels the 3 queued tokens, then drains.
+  releaser.join();
+  EXPECT_EQ(completions.load(), 4) << "every accepted job's completion fires";
+  EXPECT_EQ(cancelled.load(), 3) << "queued jobs see their token cancelled";
+}
+
+TEST(EvalService, CancelledTokenReportsDeadlineExceededPerQuery) {
+  Dictionary dict;
+  auto db = LoadDatabase("R(1,2)\nS(1,3)\n", &dict);
+  ASSERT_TRUE(db.ok());
+  const ConjunctiveQuery query = MustParse("Q() :- R(A,B), S(A,C)");
+  EvalService service;
+  CancelToken cancel;
+  cancel.Cancel();  // Expired before the replay starts.
+  auto values = service.EvaluateMany<CountMonoid>(
+      CountMonoid{}, {&query}, *db, [](const Fact&) -> uint64_t { return 1; },
+      &cancel);
+  ASSERT_EQ(values.size(), 1u);
+  ASSERT_FALSE(values[0].ok());
+  EXPECT_EQ(values[0].status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// ----------------------------------------------------------- live server --
+
+struct TestServer {
+  Dictionary dict;
+  std::unique_ptr<HierarqServer> server;
+
+  /// Builds a server over in-memory database text. `options` may preset
+  /// queue/deadline knobs; port stays ephemeral.
+  explicit TestServer(const std::string& db_text,
+                      const std::string& endo_text = "",
+                      HierarqServer::Options options = {}) {
+    auto db = LoadDatabase(db_text, &dict);
+    EXPECT_TRUE(db.ok()) << db.status();
+    Database endo;
+    if (!endo_text.empty()) {
+      auto loaded = LoadDatabase(endo_text, &dict);
+      EXPECT_TRUE(loaded.ok()) << loaded.status();
+      endo = std::move(loaded).ValueOrDie();
+    }
+    server = std::make_unique<HierarqServer>(
+        options, VersionedDatabase(std::move(db).ValueOrDie()),
+        std::move(endo), &dict);
+    const Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started;
+    EXPECT_NE(server->port(), 0);
+  }
+
+  HierarqClient Connect(WireFormat format = WireFormat::kNative) {
+    HierarqClient client(format);
+    const Status connected = client.Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(connected.ok()) << connected;
+    return client;
+  }
+};
+
+constexpr const char* kSmallDb = "R(1,2)\nR(1,3)\nR(2,4)\nS(1,5)\nS(2,6)\n";
+constexpr const char* kSmallQuery = "Q() :- R(A,B), S(A,C)";
+
+TEST(Server, AnswersCountPingAndMetrics) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+  EXPECT_TRUE(client.Ping().ok());
+
+  auto result = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Reference: the single-threaded evaluator over the same facts.
+  Dictionary dict;
+  auto db = LoadDatabase(kSmallDb, &dict);
+  ASSERT_TRUE(db.ok());
+  Evaluator evaluator;
+  auto reference = evaluator.Evaluate<CountMonoid>(
+      MustParse(kSmallQuery), CountMonoid{}, *db,
+      [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(result->count, *reference);
+
+  auto metrics = client.Metrics(WireFormat::kNative);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("async.jobs_accepted"), std::string::npos);
+  auto metrics_json = client.Metrics(WireFormat::kJson);
+  ASSERT_TRUE(metrics_json.ok());
+  EXPECT_EQ(metrics_json->front(), '{');
+}
+
+TEST(Server, BothWireFormatsReturnIdenticalResults) {
+  TestServer fixture(kSmallDb);
+  HierarqClient native = fixture.Connect(WireFormat::kNative);
+  HierarqClient json = fixture.Connect(WireFormat::kJson);
+  for (const SolverKind solver : {SolverKind::kCount, SolverKind::kPqe,
+                                  SolverKind::kExpect}) {
+    auto a = native.Query(solver, kSmallQuery);
+    auto b = json.Query(solver, kSmallQuery);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->count, b->count);
+    EXPECT_EQ(a->number, b->number);  // Bit-exact across framings.
+  }
+}
+
+TEST(Server, ShapleyAndResilienceMatchDirectSolvers) {
+  const std::string exo = "R(1,2)\nR(1,3)\n";
+  const std::string endo = "S(1,5)\nS(1,6)\n";
+  TestServer fixture(exo, endo);
+  HierarqClient client = fixture.Connect();
+
+  auto resilience = client.Query(SolverKind::kResilience, kSmallQuery);
+  ASSERT_TRUE(resilience.ok()) << resilience.status();
+  EXPECT_EQ(resilience->count, 2u);  // Both endogenous S-facts must go.
+
+  auto shapley = client.Query(SolverKind::kShapley, kSmallQuery);
+  ASSERT_TRUE(shapley.ok()) << shapley.status();
+  ASSERT_EQ(shapley->shapley.size(), 2u);
+  EXPECT_EQ(shapley->shapley[0].fraction, "1/2");
+  EXPECT_EQ(shapley->shapley[1].fraction, "1/2");
+}
+
+TEST(Server, ConcurrentClientsMatchSingleThreadedReference) {
+  // The TSAN target: many clients hammering queries + pings while delta
+  // batches rewrite the database through the same front door.
+  TestServer fixture(kSmallDb);
+  constexpr size_t kClients = 4;
+  constexpr size_t kQueriesEach = 25;
+
+  // Reference once, single-threaded.
+  Dictionary dict;
+  auto db = LoadDatabase(kSmallDb, &dict);
+  ASSERT_TRUE(db.ok());
+  Evaluator evaluator;
+  auto reference = evaluator.Evaluate<CountMonoid>(
+      MustParse(kSmallQuery), CountMonoid{}, *db,
+      [](const Fact&) -> uint64_t { return 1; });
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fixture, &mismatches, reference = *reference] {
+      HierarqClient client = fixture.Connect();
+      for (size_t i = 0; i < kQueriesEach; ++i) {
+        auto result = client.Query(SolverKind::kCount, kSmallQuery);
+        if (!result.ok() || result->count != reference) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  // A concurrent writer applying no-net-change delta pairs: the count is
+  // +T facts only (T does not appear in the query), so every query's
+  // answer stays the reference value whatever the interleaving.
+  threads.emplace_back([&fixture] {
+    HierarqClient client = fixture.Connect();
+    for (int i = 0; i < 20; ++i) {
+      auto ack = client.ApplyDelta("+T(" + std::to_string(i) + ",1)");
+      EXPECT_TRUE(ack.ok()) << ack.status();
+    }
+  });
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Server, DeltaBatchesApplyAtomicallyOverTheWire) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+
+  auto before = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(before.ok());
+
+  // The regression shape, through the socket: the whole line must be
+  // rejected, the generation unchanged, and the server still healthy.
+  auto bad = client.ApplyDelta("+New(1); +New(1,2)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fixture.server->database().generation(), 0u);
+
+  auto after = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(after->count, before->count);
+
+  auto good = client.ApplyDelta("+R(3,7); +S(3,9)");
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_EQ(good->generation, 1u);
+  auto grown = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->count, before->count + 1);
+}
+
+TEST(Server, DeadlineExceededLeavesDatabaseUntouched) {
+  // Big enough that annotation alone outlasts a 1 ms budget (the token
+  // is armed at ADMISSION), so the replay's first checkpoint cancels —
+  // deterministic even on fast machines, more so under TSAN.
+  const ConjunctiveQuery query = MustParse("Q() :- R(A,B), S(A,C), T(A,D)");
+  Rng rng(7);
+  DataGenOptions gen;
+  gen.tuples_per_relation = 60000;
+  gen.domain_size = 200000;
+  const Database big = RandomDatabaseForQuery(query, rng, gen);
+
+  Dictionary dict;
+  HierarqServer::Options options;
+  HierarqServer server(options, VersionedDatabase(big), Database{}, &dict);
+  ASSERT_TRUE(server.Start().ok());
+  HierarqClient client(WireFormat::kNative);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  const uint64_t generation_before = server.database().generation();
+  auto cut = client.Query(SolverKind::kCount,
+                          "Q() :- R(A,B), S(A,C), T(A,D)",
+                          /*deadline_ms=*/1);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kDeadlineExceeded)
+      << cut.status();
+  // Clean cancellation: nothing was mutated and the server still answers.
+  EXPECT_EQ(server.database().generation(), generation_before);
+  auto retry = client.Query(SolverKind::kCount,
+                            "Q() :- R(A,B), S(A,C), T(A,D)");
+  EXPECT_TRUE(retry.ok()) << retry.status();
+  server.Stop();
+}
+
+TEST(Server, QueueFullAnswersResourceExhausted) {
+  HierarqServer::Options options;
+  options.async.submit_threads = 1;
+  options.async.max_queue_depth = 1;
+  TestServer fixture(kSmallDb, "", options);
+
+  // Raw pipelining: fire many query frames back-to-back on one socket
+  // (the synchronous client can't overrun the queue), then drain. With
+  // one submitter and depth 1, at least one of 16 rapid-fire requests
+  // must be shed — and every request gets exactly one answer.
+  HierarqClient probe = fixture.Connect();  // Ensures the server is up.
+  ASSERT_TRUE(probe.Ping().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(fixture.server->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  constexpr uint64_t kRequests = 16;
+  QueryRequest request;
+  request.solver = SolverKind::kCount;
+  request.query = kSmallQuery;
+  const std::string payload =
+      EncodeQueryRequest(request, WireFormat::kNative);
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    ASSERT_TRUE(WriteFrame(fd, FrameType::kQueryRequest,
+                           WireFormat::kNative, 0, id, payload)
+                    .ok());
+  }
+  size_t ok_answers = 0;
+  size_t shed = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    auto frame = ReadFrame(fd);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    if (frame->header.type == FrameType::kResultFrame) {
+      ++ok_answers;
+    } else {
+      ASSERT_EQ(frame->header.type, FrameType::kErrorFrame);
+      auto error = DecodeError(frame->payload, frame->header.format);
+      ASSERT_TRUE(error.ok());
+      EXPECT_EQ(error->code, StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(ok_answers + shed, kRequests);
+  EXPECT_GE(shed, 1u) << "16 pipelined requests against queue depth 1";
+  EXPECT_GE(ok_answers, 1u);
+}
+
+TEST(Server, MalformedHeaderGetsErrorFrameThenClose) {
+  TestServer fixture(kSmallDb);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(fixture.server->port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // 16 bytes of garbage: a wild length under an unknown type tag.
+  char garbage[kFrameHeaderSize];
+  std::memset(garbage, 0xab, sizeof(garbage));
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+            static_cast<ssize_t>(sizeof(garbage)));
+  auto frame = ReadFrame(fd);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->header.type, FrameType::kErrorFrame);
+  // ...and the server closes: the next read is clean EOF.
+  auto eof = ReadFrame(fd);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kNotFound);
+  ::close(fd);
+}
+
+TEST(Server, TraceCaptureAnnouncesPlanSteps) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+  auto result = client.Query(SolverKind::kCount, kSmallQuery, 0,
+                             /*capture_trace=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(result->trace_json.find("\"plan\""), std::string::npos);
+  EXPECT_NE(result->trace_json.find("\"dropped\""), std::string::npos);
+
+  // Without the flag, no trace rides along.
+  auto untraced = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(untraced.ok());
+  EXPECT_TRUE(untraced->trace_json.empty());
+}
+
+TEST(Server, BadQueryAndBadSolverInputAnswerCleanErrors) {
+  TestServer fixture(kSmallDb);  // No endogenous database.
+  HierarqClient client = fixture.Connect();
+  auto bad_query = client.Query(SolverKind::kCount, "this is not datalog");
+  ASSERT_FALSE(bad_query.ok());
+  // The connection survives payload-level errors.
+  EXPECT_TRUE(client.Ping().ok());
+  auto non_hier = client.Query(
+      SolverKind::kCount, "Q() :- R(A,B), S(B,C), T(A,C)");
+  ASSERT_FALSE(non_hier.ok());
+  EXPECT_EQ(non_hier.status().code(), StatusCode::kNotHierarchical);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(Client, ParseHostPortVariants) {
+  auto full = ParseHostPort("10.1.2.3:8080");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->first, "10.1.2.3");
+  EXPECT_EQ(full->second, 8080);
+  auto bare = ParseHostPort("9001");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->first, "127.0.0.1");
+  EXPECT_EQ(bare->second, 9001);
+  EXPECT_FALSE(ParseHostPort("host:").ok());
+  EXPECT_FALSE(ParseHostPort("host:notaport").ok());
+  EXPECT_FALSE(ParseHostPort("host:99999").ok());
+}
+
+}  // namespace
+}  // namespace hierarq::net

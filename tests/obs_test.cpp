@@ -175,6 +175,35 @@ TEST(Tracer, RingBufferWrapsKeepingTheMostRecentWindow) {
   }
 }
 
+TEST(Tracer, ChromeTraceEnvelopeCarriesTheDropCount) {
+  // tools/check_trace.py reads "dropped" to decide whether a wrapped
+  // ring may explain missing step events (it degrades the equal-coverage
+  // failure to a warning); the envelope must carry the exact count.
+  constexpr size_t kCapacity = 4;
+  constexpr size_t kEmits = 11;
+  obs::Tracer tracer(kCapacity);
+  tracer.Install();
+  for (size_t i = 0; i < kEmits; ++i) {
+    tracer.EmitInstant("tick", "i", static_cast<double>(i));
+  }
+  tracer.Uninstall();
+  std::ostringstream out;
+  tracer.WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"dropped\": " + std::to_string(kEmits - kCapacity)),
+            std::string::npos)
+      << json;
+
+  // And a quiet tracer reports zero, so the validator stays strict.
+  obs::Tracer quiet;
+  quiet.Install();
+  quiet.EmitInstant("tick", "i", 1.0);
+  quiet.Uninstall();
+  std::ostringstream quiet_out;
+  quiet.WriteChromeTrace(quiet_out);
+  EXPECT_NE(quiet_out.str().find("\"dropped\": 0"), std::string::npos);
+}
+
 TEST(Tracer, UninstalledSpansAreCheapAndRecordNothing) {
   ASSERT_EQ(obs::Tracer::Current(), nullptr);
   constexpr size_t kSpans = 1000000;

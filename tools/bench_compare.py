@@ -8,8 +8,15 @@ row name and prints, per shared metric, old -> new and the speedup factor
 (new/old, or old/new for latency-like metrics named *_ms / *_seconds,
 so that > 1.00x always reads as "better").
 
+Malformed input degrades gracefully: rows without a "name" (or that are
+not objects) are skipped with a warning, and a metric whose baseline or
+candidate value is 0 renders "n/a" with a warning instead of dividing by
+zero — a partially-written snapshot must not take the whole CI regression
+job down.
+
 Usage:
   tools/bench_compare.py OLD.json NEW.json [--metric METRIC] [--threshold X]
+  tools/bench_compare.py --self-test
 
 Exit status: 0 normally; 2 with --threshold when any compared metric
 regressed by more than the given factor (e.g. --threshold 1.10 fails on a
@@ -19,10 +26,15 @@ regressed by more than the given factor (e.g. --threshold 1.10 fails on a
 import argparse
 import json
 import sys
+import tempfile
 
 # Metrics where *smaller* is better; their ratio column is inverted so
 # "speedup > 1" uniformly means improvement.
 LATENCY_SUFFIXES = ("_ms", "_millis", "_seconds", "_ns")
+
+
+def warn(message):
+    print(f"bench_compare: warning: {message}", file=sys.stderr)
 
 
 def load(path):
@@ -31,7 +43,12 @@ def load(path):
     if "rows" not in doc or not isinstance(doc["rows"], list):
         sys.exit(f"error: {path}: not a BENCH_*.json document (no rows)")
     rows = {}
-    for row in doc["rows"]:
+    for i, row in enumerate(doc["rows"]):
+        # A truncated or hand-edited snapshot may hold junk rows; losing
+        # one row must not lose the whole comparison.
+        if not isinstance(row, dict) or not isinstance(row.get("name"), str):
+            warn(f"{path}: skipping row {i} without a 'name': {row!r}")
+            continue
         rows[row["name"]] = {
             k: v for k, v in row.items()
             if k != "name" and isinstance(v, (int, float))
@@ -48,6 +65,43 @@ def speedup(metric, old, new):
     if old == 0 or new == 0:
         return None
     return old / new if is_latency(metric) else new / old
+
+
+def self_test():
+    """In-process checks for the zero/missing-metric hardening. Exercises
+    the exact shapes that used to crash: a row without a "name", a row
+    that is not an object, and a baseline metric of 0."""
+    good = {"name": "q1", "wall_ms": 2.0, "requests_per_sec": 100.0}
+    doc = {
+        "benchmark": "self-test",
+        "rows": [
+            good,
+            {"wall_ms": 1.0},           # No name: must be skipped.
+            "not-a-row",                # Not an object: must be skipped.
+            {"name": "zero", "requests_per_sec": 0},
+        ],
+    }
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as f:
+        json.dump(doc, f)
+        path = f.name
+    _, rows = load(path)
+    assert set(rows) == {"q1", "zero"}, rows
+    assert rows["q1"]["wall_ms"] == 2.0, rows
+
+    # Zero on either side is "undefined", never a ZeroDivisionError.
+    assert speedup("requests_per_sec", 0, 100) is None
+    assert speedup("requests_per_sec", 100, 0) is None
+    assert speedup("wall_ms", 0, 0) is None
+    # Orientation: > 1 is an improvement for both metric kinds.
+    assert speedup("wall_ms", 2.0, 1.0) == 2.0        # Faster: smaller ms.
+    assert speedup("requests_per_sec", 50.0, 100.0) == 2.0
+
+    # End-to-end: comparing the malformed doc against itself must not
+    # crash and must exit 0 even with a tight threshold.
+    sys.argv = ["bench_compare.py", path, path, "--threshold", "1.05"]
+    main()
+    print("bench_compare: self-test OK")
 
 
 def main():
@@ -85,6 +139,8 @@ def main():
             new_value = new_rows[name][metric]
             factor = speedup(metric, old_value, new_value)
             if factor is None:
+                warn(f"{name} {metric}: zero value "
+                     f"({old_value} -> {new_value}), skipping ratio")
                 rendered = "   n/a"
             else:
                 rendered = f"{factor:5.2f}x"
@@ -107,4 +163,7 @@ def main():
 
 
 if __name__ == "__main__":
-    main()
+    if "--self-test" in sys.argv:
+        self_test()
+    else:
+        main()

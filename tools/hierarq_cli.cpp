@@ -101,6 +101,14 @@ struct ObsOptions {
   bool metrics = false;     ///< Dump the metrics registry to stderr.
 };
 
+/// Client-mode flags (--deadline-ms / --format / --request-trace=FILE),
+/// peeled globally like the others but only meaningful under `client`.
+struct ClientOptions {
+  uint64_t deadline_ms = 0;  ///< Per-request deadline (0 = server default).
+  net::WireFormat format = net::WireFormat::kNative;
+  std::string trace_path;    ///< Server-captured trace output, if set.
+};
+
 int Usage() {
   std::fprintf(stderr,
                "usage: hierarq_cli [--storage=flat|columnar|baseline|"
@@ -130,6 +138,14 @@ int Usage() {
                "  update count  <query> <db>\n"
                "  update pqe    <query> <tid-db>\n"
                "  update expect <query> <tid-db>\n"
+               "client mode (against a running hierarq_server):\n"
+               "  client <host:port> count|pqe|expect|resilience|shapley "
+               "<query>\n"
+               "  client <host:port> update            (delta lines on "
+               "stdin)\n"
+               "  client <host:port> metrics [text|json]\n"
+               "  client <host:port> ping\n"
+               "  client <host:port> shutdown\n"
                "options:\n"
                "  --storage=flat|columnar|baseline|sharded|"
                "sharded_columnar   relation storage backend (default: %s)\n"
@@ -146,7 +162,13 @@ int Usage() {
                "trace-event JSON to FILE (load in chrome://tracing or "
                "Perfetto)\n"
                "  --metrics     dump the metrics registry to stderr on "
-               "exit\n",
+               "exit\n"
+               "  --deadline-ms=N      (client) per-request deadline; 0 = "
+               "server default\n"
+               "  --format=native|json (client) wire payload encoding "
+               "(default native)\n"
+               "  --request-trace=FILE (client) ask the server to capture "
+               "this request's trace and write it to FILE\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -345,107 +367,6 @@ int RunBatch(int argc, char** argv, StorageKind storage, size_t threads,
   return 0;
 }
 
-/// Parses one update-mode op: `+R(1,2)`, `+R(x,y)@0.5`, `-R(1,2)`,
-/// `!R(1,2)@0.9`. Values follow the loader's conventions: integers map to
-/// themselves (below the symbolic range), identifiers are interned.
-Result<DeltaOp> ParseDeltaOp(std::string_view text, Dictionary* dict) {
-  text = TrimView(text);
-  if (text.empty()) {
-    return Status::InvalidArgument("empty update command");
-  }
-  DeltaOp op;
-  switch (text.front()) {
-    case '+':
-      op.kind = DeltaKind::kInsert;
-      break;
-    case '-':
-      op.kind = DeltaKind::kDelete;
-      break;
-    case '!':
-      op.kind = DeltaKind::kSetAnnotation;
-      break;
-    default:
-      return Status::InvalidArgument(
-          "update command must start with '+', '-' or '!': '" +
-          std::string(text) + "'");
-  }
-  text.remove_prefix(1);
-
-  // Optional trailing "@weight".
-  const size_t at = text.rfind('@');
-  if (at != std::string_view::npos && at > text.rfind(')')) {
-    if (op.kind == DeltaKind::kDelete) {
-      return Status::InvalidArgument("'-' (delete) takes no '@weight': '" +
-                                     std::string(text) + "'");
-    }
-    auto weight = ParseDouble(TrimView(text.substr(at + 1)));
-    if (!weight.ok()) {
-      return Status::InvalidArgument("bad '@weight' in '" +
-                                     std::string(text) + "'");
-    }
-    op.weight = *weight;
-    text = TrimView(text.substr(0, at));
-  } else if (op.kind == DeltaKind::kSetAnnotation) {
-    return Status::InvalidArgument(
-        "'!' (re-weight) requires an '@weight': '" + std::string(text) +
-        "'");
-  }
-
-  // The fact: Name(v1, v2, ...).
-  const size_t open = text.find('(');
-  if (open == std::string_view::npos || text.back() != ')') {
-    return Status::InvalidArgument("expected 'Relation(v1,...)' in '" +
-                                   std::string(text) + "'");
-  }
-  op.fact.relation = Trim(text.substr(0, open));
-  if (!IsIdentifier(op.fact.relation)) {
-    return Status::InvalidArgument("bad relation name '" +
-                                   op.fact.relation + "'");
-  }
-  const std::string_view body =
-      text.substr(open + 1, text.size() - open - 2);
-  if (!TrimView(body).empty()) {
-    for (const std::string& piece : Split(body, ',')) {
-      // The loader's value parser: int-vs-identifier dispatch, symbolic
-      // range guard, interning — one grammar for files and streams.
-      HIERARQ_ASSIGN_OR_RETURN(Value value, ParseValue(piece, dict));
-      op.fact.tuple.push_back(value);
-    }
-  }
-  return op;
-}
-
-/// Parses one stdin line into an atomic batch (ops split on ';'),
-/// validating each op's arity against the database schema and the query.
-Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
-                                  const ConjunctiveQuery& query,
-                                  const VersionedDatabase& db) {
-  DeltaBatch batch;
-  for (const std::string& piece : Split(line, ';')) {
-    if (piece.empty()) {
-      continue;
-    }
-    HIERARQ_ASSIGN_OR_RETURN(DeltaOp op, ParseDeltaOp(piece, dict));
-    size_t expected_arity = op.fact.tuple.size();
-    if (const Relation* relation = db.facts().FindRelation(op.fact.relation)) {
-      expected_arity = relation->arity();
-    } else if (auto atom_index = query.AtomIndexOf(op.fact.relation)) {
-      expected_arity = query.atoms()[*atom_index].arity();
-    }
-    if (op.fact.tuple.size() != expected_arity) {
-      return Status::InvalidArgument(
-          "arity mismatch: " + op.fact.relation + " takes " +
-          std::to_string(expected_arity) + " value(s), got " +
-          std::to_string(op.fact.tuple.size()));
-    }
-    batch.ops.push_back(std::move(op));
-  }
-  if (batch.empty()) {
-    return Status::InvalidArgument("no ops in update line");
-  }
-  return batch;
-}
-
 /// Streams update batches from stdin through an incremental view of
 /// `query`, printing the maintained result after each batch. `render`
 /// formats the monoid value. Returns 1 on the first malformed command.
@@ -492,7 +413,11 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
     if (Trim(line).empty()) {
       continue;
     }
-    auto batch = ParseDeltaLine(line, dict, query, db);
+    // The shared grammar (incremental/delta_text.h) validates the WHOLE
+    // line — including intra-line arity consistency for relations the
+    // schema doesn't know yet — before anything is applied, so a
+    // malformed op mid-batch leaves the database generation unchanged.
+    auto batch = ParseDeltaLine(line, dict, db, &query);
     if (!batch.ok()) {
       std::fprintf(stderr, "error: stdin:%zu: %s\n", line_number,
                    batch.status().ToString().c_str());
@@ -529,6 +454,131 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
                stats.inverse_updates, stats.group_refolds,
                static_cast<unsigned long long>(stats.apply_ns),
                view.TotalSupport());
+  return 0;
+}
+
+/// `hierarq_cli client <host:port> <command> ...` — the same solvers,
+/// answered by a running hierarq_server. Result lines are rendered
+/// exactly as direct mode renders them, so `diff` between the two modes
+/// is the bit-identical-results check.
+int RunClient(int argc, char** argv, const ClientOptions& options) {
+  if (argc < 4) {
+    return Usage();
+  }
+  auto host_port = net::ParseHostPort(argv[2]);
+  if (!host_port.ok()) {
+    return Fail(host_port.status());
+  }
+  net::HierarqClient client(options.format);
+  if (const Status connected =
+          client.Connect(host_port->first, host_port->second);
+      !connected.ok()) {
+    return Fail(connected);
+  }
+  const std::string command = argv[3];
+
+  if (command == "ping") {
+    if (const Status status = client.Ping(); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (const Status status = client.Shutdown(); !status.ok()) {
+      return Fail(status);
+    }
+    std::printf("server shutting down\n");
+    return 0;
+  }
+  if (command == "metrics") {
+    net::WireFormat rendering = net::WireFormat::kNative;
+    if (argc == 5 && std::string_view(argv[4]) == "json") {
+      rendering = net::WireFormat::kJson;
+    } else if (argc == 5 && std::string_view(argv[4]) != "text") {
+      return Usage();
+    } else if (argc > 5) {
+      return Usage();
+    }
+    auto rendered = client.Metrics(rendering);
+    if (!rendered.ok()) {
+      return Fail(rendered.status());
+    }
+    std::fputs(rendered->c_str(), stdout);
+    return 0;
+  }
+  if (command == "update") {
+    // Same stream grammar as direct update mode; each line is one atomic
+    // batch, a parse error server-side applies NOTHING and ends the
+    // stream nonzero with the server's op-precise message.
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(std::cin, line)) {
+      ++line_number;
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) {
+        line.erase(hash);
+      }
+      if (Trim(line).empty()) {
+        continue;
+      }
+      auto ack = client.ApplyDelta(line);
+      if (!ack.ok()) {
+        std::fprintf(stderr, "error: stdin:%zu: %s\n", line_number,
+                     ack.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("gen=%llu |D|=%llu\n",
+                  static_cast<unsigned long long>(ack->generation),
+                  static_cast<unsigned long long>(ack->num_facts));
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
+  auto solver = net::ParseSolverKind(command);
+  if (!solver.ok() || argc != 5) {
+    return Usage();
+  }
+  auto result = client.Query(*solver, argv[4], options.deadline_ms,
+                             !options.trace_path.empty());
+  if (!result.ok()) {
+    return Fail(result.status());
+  }
+  switch (*solver) {
+    case net::SolverKind::kCount:
+      std::printf("Q(D) = %llu  (Algorithm 1, counting semiring)\n",
+                  static_cast<unsigned long long>(result->count));
+      break;
+    case net::SolverKind::kPqe:
+      std::printf("Pr[Q] = %.12g\n", result->number);
+      break;
+    case net::SolverKind::kExpect:
+      std::printf("E[Q(D)] = %.12g\n", result->number);
+      break;
+    case net::SolverKind::kResilience:
+      if (result->count == ResilienceMonoid::kInfinity) {
+        std::printf("resilience = infinity (query cannot be falsified)\n");
+      } else {
+        std::printf("resilience = %llu\n",
+                    static_cast<unsigned long long>(result->count));
+      }
+      break;
+    case net::SolverKind::kShapley:
+      for (const net::ShapleyEntry& entry : result->shapley) {
+        std::printf("%-30s %s  (%.6f)\n", entry.fact.c_str(),
+                    entry.fraction.c_str(), entry.value);
+      }
+      break;
+  }
+  if (!options.trace_path.empty()) {
+    std::ofstream out(options.trace_path, std::ios::binary);
+    if (!out || !(out << result->trace_json)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   options.trace_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -601,6 +651,7 @@ int Run(int argc, char** argv) {
   size_t threads = 1;
   bool adaptive = false;
   ObsOptions obs;
+  ClientOptions client_options;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -650,6 +701,41 @@ int Run(int argc, char** argv) {
       obs.metrics = true;
       continue;
     }
+    if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const auto parsed_deadline = ParseInt64(arg.substr(14));
+      if (!parsed_deadline.ok() || *parsed_deadline < 0) {
+        std::fprintf(stderr,
+                     "error: bad deadline in '%s' (expected an integer "
+                     ">= 0)\n",
+                     argv[i]);
+        return Usage();
+      }
+      client_options.deadline_ms = static_cast<uint64_t>(*parsed_deadline);
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view format = arg.substr(9);
+      if (format == "native") {
+        client_options.format = net::WireFormat::kNative;
+      } else if (format == "json") {
+        client_options.format = net::WireFormat::kJson;
+      } else {
+        std::fprintf(stderr,
+                     "error: unknown wire format in '%s' (expected native "
+                     "or json)\n",
+                     argv[i]);
+        return Usage();
+      }
+      continue;
+    }
+    if (arg.rfind("--request-trace=", 0) == 0) {
+      client_options.trace_path = std::string(arg.substr(16));
+      if (client_options.trace_path.empty()) {
+        std::fprintf(stderr, "error: --request-trace needs a file path\n");
+        return Usage();
+      }
+      continue;
+    }
     if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -696,6 +782,9 @@ int Run(int argc, char** argv) {
   }
   if (command == "update") {
     return finish(RunUpdate(argc, argv, storage, threads, adaptive, obs));
+  }
+  if (command == "client") {
+    return finish(RunClient(argc, argv, client_options));
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {

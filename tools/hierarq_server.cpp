@@ -1,0 +1,227 @@
+// hierarq server daemon.
+//
+// Serves one database over the wire protocol of src/hierarq/net/wire.h:
+// query frames for the five solvers (count, pqe, expect, resilience,
+// shapley), atomic delta-batch updates in the textual grammar shared
+// with `hierarq_cli update`, and a /metrics-style scrape frame. Talk to
+// it with `hierarq_cli client <host:port> ...` or `HierarqClient`.
+//
+//   hierarq_server --db=FILE [options]
+//
+//   --db=FILE          primary database (count/pqe/expect, deltas)
+//   --tid              load --db as a TID database (weights = probs)
+//   --endo=FILE        endogenous database for resilience/shapley
+//                      (--db then acts as the exogenous side)
+//   --port=N           TCP port on 127.0.0.1 (default 0 = ephemeral;
+//                      the chosen port is printed either way)
+//   --workers=N        evaluation worker pool size (0 = all cores)
+//   --submitters=N     async submitter threads (default 2)
+//   --queue-limit=N    admission queue depth (default 64; full = reject)
+//   --deadline-ms=N    default per-request deadline (0 = unbounded)
+//   --storage=KIND     relation storage backend (flat|columnar|baseline|
+//                      sharded|sharded_columnar)
+//   --threads=N        intra-query parallelism for single huge replays
+//   --adaptive         per-step adaptive execution
+//
+// On startup prints exactly one line `listening on 127.0.0.1:PORT` to
+// stdout (flushed — CI scrapes it to find an ephemeral port), then
+// serves until SIGINT/SIGTERM or a kShutdown frame.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "hierarq/data/loader.h"
+#include "hierarq/data/storage.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/net/server.h"
+#include "hierarq/util/strings.h"
+
+namespace hierarq {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hierarq_server --db=FILE [--tid] [--endo=FILE] [--port=N]\n"
+      "                      [--workers=N] [--submitters=N] "
+      "[--queue-limit=N]\n"
+      "                      [--deadline-ms=N] [--storage=KIND] "
+      "[--threads=N]\n"
+      "                      [--adaptive]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// SIGINT/SIGTERM land here. A handler may only do async-signal-safe
+/// work, so it writes one byte into a pipe; a watcher thread turns that
+/// into the server's (mutex-guarded) shutdown request.
+int g_shutdown_pipe[2] = {-1, -1};
+
+extern "C" void HandleSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+int Run(int argc, char** argv) {
+  std::string db_path;
+  std::string endo_path;
+  bool tid = false;
+  net::HierarqServer::Options options;
+  StorageKind storage = kDefaultStorageKind;
+  size_t threads = 1;
+  bool adaptive = false;
+
+  const auto parse_count = [](std::string_view text, int64_t min,
+                              int64_t* out) {
+    auto parsed = ParseInt64(text);
+    if (!parsed.ok() || *parsed < min) {
+      return false;
+    }
+    *out = *parsed;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    int64_t n = 0;
+    if (arg.rfind("--db=", 0) == 0) {
+      db_path = std::string(arg.substr(5));
+    } else if (arg.rfind("--endo=", 0) == 0) {
+      endo_path = std::string(arg.substr(7));
+    } else if (arg == "--tid") {
+      tid = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      if (!parse_count(arg.substr(7), 0, &n) || n > 65535) {
+        std::fprintf(stderr, "error: bad port in '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.port = static_cast<uint16_t>(n);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_count(arg.substr(10), 0, &n)) {
+        std::fprintf(stderr, "error: bad worker count in '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.async.service.num_workers = static_cast<size_t>(n);
+    } else if (arg.rfind("--submitters=", 0) == 0) {
+      if (!parse_count(arg.substr(13), 1, &n)) {
+        std::fprintf(stderr, "error: bad submitter count in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      options.async.submit_threads = static_cast<size_t>(n);
+    } else if (arg.rfind("--queue-limit=", 0) == 0) {
+      if (!parse_count(arg.substr(14), 0, &n)) {
+        std::fprintf(stderr, "error: bad queue limit in '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.async.max_queue_depth = static_cast<size_t>(n);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_count(arg.substr(14), 0, &n)) {
+        std::fprintf(stderr, "error: bad deadline in '%s'\n", argv[i]);
+        return Usage();
+      }
+      options.async.default_deadline_ms = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--storage=", 0) == 0) {
+      const auto parsed_kind = ParseStorageKind(arg.substr(10));
+      if (!parsed_kind.has_value()) {
+        std::fprintf(stderr, "error: unknown storage backend in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      storage = *parsed_kind;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_count(arg.substr(10), 1, &n)) {
+        std::fprintf(stderr, "error: bad thread count in '%s'\n", argv[i]);
+        return Usage();
+      }
+      threads = static_cast<size_t>(n);
+    } else if (arg == "--adaptive") {
+      adaptive = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (db_path.empty()) {
+    std::fprintf(stderr, "error: --db=FILE is required\n");
+    return Usage();
+  }
+  options.async.service.storage = storage;
+  options.async.service.intra_query_threads = threads;
+  options.async.service.adaptive = adaptive;
+
+  // The dictionary outlives the server: databases load through it, delta
+  // frames intern into it, shapley results render from it.
+  static Dictionary dict;
+  VersionedDatabase db = [&]() -> VersionedDatabase {
+    if (tid) {
+      auto loaded = LoadTidDatabaseFromFile(db_path, &dict);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().ToString().c_str());
+        std::exit(1);
+      }
+      return VersionedDatabase(*std::move(loaded));
+    }
+    auto loaded = LoadDatabaseFromFile(db_path, &dict);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    return VersionedDatabase(std::move(loaded).ValueOrDie());
+  }();
+  Database endogenous;
+  if (!endo_path.empty()) {
+    auto loaded = LoadDatabaseFromFile(endo_path, &dict);
+    if (!loaded.ok()) {
+      return Fail(loaded.status());
+    }
+    endogenous = std::move(loaded).ValueOrDie();
+  }
+
+  net::HierarqServer server(options, std::move(db), std::move(endogenous),
+                            &dict);
+  if (const Status started = server.Start(); !started.ok()) {
+    return Fail(started);
+  }
+
+  if (::pipe(g_shutdown_pipe) != 0) {
+    return Fail(Status::Internal(std::string("pipe: ") +
+                                 std::strerror(errno)));
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::jthread signal_watcher([&server] {
+    char byte = 0;
+    while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.Stop();
+  });
+
+  std::printf("listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  server.Wait();
+  server.Stop();
+  // Unblock the watcher (self-signal through the pipe) so its jthread
+  // joins; Stop above is idempotent.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hierarq
+
+int main(int argc, char** argv) { return hierarq::Run(argc, argv); }
