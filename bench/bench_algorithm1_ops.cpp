@@ -172,6 +172,13 @@ void EmitThroughputJson() {
       benchmark::DoNotOptimize(
           evaluator.ReplayPlan(**plan, monoid, q, bases));
     });
+    // Per-query accounting overhead on the same replay: collector off
+    // (the served default unless the client asks or the slow-query log
+    // is armed) vs on. The off row carries the ≤2% budget.
+    bench::AddAccountingOverheadRows(&report, [&] {
+      benchmark::DoNotOptimize(
+          evaluator.ReplayPlan(**plan, monoid, q, bases));
+    });
   }
   report.WriteToFile();
 }

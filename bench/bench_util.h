@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hierarq/data/storage.h"
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
 #include "hierarq/util/simd.h"
 #include "hierarq/util/timer.h"
@@ -174,6 +175,31 @@ void AddInstrumentationOverheadRows(JsonReport* report, Fn&& fn) {
   std::printf("  instrumentation overhead: untraced=%.0f/s traced=%.0f/s "
               "(x%.3f)\n",
               untraced, traced, traced > 0.0 ? untraced / traced : 0.0);
+}
+
+/// Same shape for per-query accounting (obs/query_stats.h): `fn` with no
+/// collector installed (the default — one thread_local load per run,
+/// must stay invisible) versus with a `ScopedQueryStats` collector
+/// counting every step:
+///   "accounting/off"  replays_per_sec
+///   "accounting/on"   replays_per_sec, overhead_ratio
+/// The off row is the one the ≤2% budget guards; a regression here means
+/// a runner lost its hoisted null check.
+template <typename Fn>
+void AddAccountingOverheadRows(JsonReport* report, Fn&& fn) {
+  const double off = MeasureRate(fn);
+  obs::QueryStats stats;
+  double on;
+  {
+    obs::ScopedQueryStats scope(&stats);
+    on = MeasureRate(fn);
+  }
+  report->AddRow("accounting/off", {{"replays_per_sec", off}});
+  report->AddRow("accounting/on",
+                 {{"replays_per_sec", on},
+                  {"overhead_ratio", on > 0.0 ? off / on : 0.0}});
+  std::printf("  accounting overhead: off=%.0f/s on=%.0f/s (x%.3f)\n",
+              off, on, on > 0.0 ? off / on : 0.0);
 }
 
 /// Runs the report function, then google-benchmark.

@@ -271,6 +271,7 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
   };
 
   obs::Tracer* const tracer = obs::Tracer::Current();
+  obs::QueryStats* const query_stats = obs::CurrentQueryStats();
   size_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     // Deadline gate between steps (see core/cancel.h).
@@ -317,6 +318,11 @@ typename M::value_type RunAlgorithm1InPlaceAdaptive(
     controller->RecordMeasured(&plan, step_index, choice.parallel,
                                input_rows,
                                static_cast<double>(end_ns - start_ns) * 1e-9);
+    if (query_stats != nullptr) {
+      query_stats->RecordStep(
+          step.rule == EliminationRule::kProjectVariable ? 1 : 2, input_rows,
+          result.size(), exec.parallel);
+    }
     if (tracer != nullptr) {
       obs::TraceStepArgs args;
       args.step_index = static_cast<uint32_t>(step_index);

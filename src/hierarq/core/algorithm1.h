@@ -42,6 +42,7 @@
 #include "hierarq/algebra/two_monoid.h"
 #include "hierarq/core/cancel.h"
 #include "hierarq/data/annotated.h"
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/query.h"
@@ -74,8 +75,10 @@ typename M::value_type RunAlgorithm1InPlace(
   };
 
   // Hoisted once per run: the untraced hot path pays one null check per
-  // step, no clock reads, no event stores.
+  // step, no clock reads, no event stores. Same deal for the per-query
+  // stats collector (obs/query_stats.h).
   obs::Tracer* const tracer = obs::Tracer::Current();
+  obs::QueryStats* const query_stats = obs::CurrentQueryStats();
   uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     // Deadline gate: between steps every intermediate is a complete
@@ -104,6 +107,11 @@ typename M::value_type RunAlgorithm1InPlace(
                                           &result);
       left.Clear();
       right.Clear();
+    }
+    if (query_stats != nullptr) {
+      query_stats->RecordStep(
+          step.rule == EliminationRule::kProjectVariable ? 1 : 2, rows_in,
+          result.size(), /*parallel=*/false);
     }
     if (tracer != nullptr) {
       obs::TraceStepArgs args;

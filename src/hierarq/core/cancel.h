@@ -35,6 +35,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
 
 namespace hierarq {
@@ -115,9 +116,14 @@ class ScopedCancel {
 
 /// The engine-side gate, called between elimination steps by every
 /// Algorithm 1 runner. No token installed (the overwhelmingly common
-/// case): one thread_local load. Installed and expired: throws
-/// `CancelledError` for the installing layer to catch.
+/// case): one thread_local load (plus one for the stats collector, only
+/// hit between steps). Installed and expired: throws `CancelledError`
+/// for the installing layer to catch. A collected evaluation counts
+/// every poll — checkpoints-hit is part of `obs::QueryStats`.
 inline void CancellationCheckpoint() {
+  if (obs::QueryStats* const stats = obs::CurrentQueryStats()) {
+    ++stats->cancel_checkpoints;
+  }
   const CancelToken* const token = cancel_internal::g_current;
   if (token != nullptr && token->Expired()) {
     throw CancelledError{!token->cancelled()};

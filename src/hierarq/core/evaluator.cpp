@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "hierarq/obs/metrics.h"
+#include "hierarq/obs/query_stats.h"
 
 namespace hierarq {
 
@@ -62,6 +63,9 @@ Result<const EliminationPlan*> Evaluator::GetPlan(
   if (it != plans_.end()) {
     ++stats_.plan_cache_hits;
     PlanCacheHitsCounter()->Add();
+    if (obs::QueryStats* const query_stats = obs::CurrentQueryStats()) {
+      query_stats->plan_cache_hit = true;
+    }
     return const_cast<const EliminationPlan*>(it->second.get());
   }
   HIERARQ_ASSIGN_OR_RETURN(EliminationPlan plan,

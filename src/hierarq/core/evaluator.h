@@ -470,11 +470,22 @@ class Evaluator : public PlanProvider {
         obs::MetricsRegistry::Global().GetCounter("evaluator.evaluations");
     evaluations->Add();
     obs::Span span("evaluate", "evaluator");
-    if (adaptive_ != nullptr) {
-      return RunAlgorithm1InPlaceAdaptive(plan, monoid, relations, par_,
-                                          adaptive_.get());
+    // Per-evaluation accounting (obs/query_stats.h): this is the single
+    // exit of every evaluation, so the one clock edge here is the
+    // request's exec_ns. Reads the clock only when a collector is
+    // installed.
+    obs::QueryStats* const query_stats = obs::CurrentQueryStats();
+    const uint64_t start_ns =
+        query_stats != nullptr ? obs::Tracer::NowNs() : 0;
+    typename M::value_type value =
+        adaptive_ != nullptr
+            ? RunAlgorithm1InPlaceAdaptive(plan, monoid, relations, par_,
+                                           adaptive_.get())
+            : RunAlgorithm1InPlaceParallel(plan, monoid, relations, par_);
+    if (query_stats != nullptr) {
+      query_stats->exec_ns += obs::Tracer::NowNs() - start_ns;
     }
-    return RunAlgorithm1InPlaceParallel(plan, monoid, relations, par_);
+    return value;
   }
 
   struct ScratchBase {

@@ -709,6 +709,7 @@ typename M::value_type RunAlgorithm1InPlaceParallel(
   };
 
   obs::Tracer* const tracer = obs::Tracer::Current();
+  obs::QueryStats* const query_stats = obs::CurrentQueryStats();
   uint32_t step_index = 0;
   for (const EliminationStep& step : plan.steps()) {
     // Deadline gate between steps (see core/cancel.h); shard sub-tasks
@@ -736,6 +737,11 @@ typename M::value_type RunAlgorithm1InPlaceParallel(
                     left.storage(), &result, &exec);
       left.Clear();
       right.Clear();
+    }
+    if (query_stats != nullptr) {
+      query_stats->RecordStep(
+          step.rule == EliminationRule::kProjectVariable ? 1 : 2, rows_in,
+          result.size(), exec.parallel);
     }
     if (tracer != nullptr) {
       obs::TraceStepArgs args;

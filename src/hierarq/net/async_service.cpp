@@ -2,7 +2,18 @@
 
 #include <utility>
 
+#include "hierarq/obs/trace.h"
+
 namespace hierarq::net {
+
+namespace {
+
+/// Queue wait of the job running on this submitter thread (0 elsewhere).
+/// Set by SubmitterLoop immediately before each job runs; a thread_local
+/// keeps the Job signature — and every existing caller — unchanged.
+thread_local uint64_t g_current_job_queue_wait_ns = 0;
+
+}  // namespace
 
 AsyncEvalService::AsyncEvalService(Options options)
     : options_(options), service_(options.service) {
@@ -23,6 +34,7 @@ Status AsyncEvalService::Submit(Job job, uint64_t deadline_ms) {
   Queued queued;
   queued.job = std::move(job);
   queued.token = std::make_shared<CancelToken>();
+  queued.enqueue_ns = obs::Tracer::NowNs();
   const uint64_t budget_ms =
       deadline_ms != 0 ? deadline_ms : options_.default_deadline_ms;
   if (budget_ms != 0) {
@@ -54,6 +66,21 @@ Status AsyncEvalService::Submit(Job job, uint64_t deadline_ms) {
 size_t AsyncEvalService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();
+}
+
+uint64_t AsyncEvalService::oldest_job_age_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) {
+    return 0;
+  }
+  // FIFO queue: the front is always the longest waiter.
+  const uint64_t now = obs::Tracer::NowNs();
+  const uint64_t enqueued = queue_.front().enqueue_ns;
+  return now > enqueued ? now - enqueued : 0;
+}
+
+uint64_t AsyncEvalService::CurrentJobQueueWaitNs() {
+  return g_current_job_queue_wait_ns;
 }
 
 void AsyncEvalService::Shutdown() {
@@ -88,7 +115,11 @@ void AsyncEvalService::SubmitterLoop() {
       queue_.pop_front();
       queue_gauge_->Set(static_cast<int64_t>(queue_.size()));
     }
+    const uint64_t now = obs::Tracer::NowNs();
+    g_current_job_queue_wait_ns =
+        now > queued.enqueue_ns ? now - queued.enqueue_ns : 0;
     queued.job(service_, *queued.token);
+    g_current_job_queue_wait_ns = 0;
     completed_->Add();
   }
 }

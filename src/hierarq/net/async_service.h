@@ -89,6 +89,19 @@ class AsyncEvalService {
   /// Jobs accepted but not yet picked up by a submitter.
   size_t queue_depth() const;
 
+  /// Age (ns) of the job that has waited longest in the queue right now,
+  /// or 0 when the queue is empty — the fleet-view "is this server
+  /// falling behind" signal (a deep queue of fresh jobs is throughput; a
+  /// shallow queue with an old head is a stall).
+  uint64_t oldest_job_age_ns() const;
+
+  /// How long the job currently running on THIS submitter thread waited
+  /// in the admission queue. Valid only inside a running job; jobs copy
+  /// it into their `QueryStats::queue_wait_ns`. Reading it outside a
+  /// submitter thread returns 0. A thread_local accessor (rather than a
+  /// Job parameter) keeps every existing Job signature unchanged.
+  static uint64_t CurrentJobQueueWaitNs();
+
   /// Cancels queued jobs' tokens, drains the queue (completions still
   /// fire), joins the submitters. Subsequent Submit calls are rejected.
   void Shutdown();
@@ -102,6 +115,8 @@ class AsyncEvalService {
   struct Queued {
     Job job;
     std::shared_ptr<CancelToken> token;
+    /// Tracer::NowNs() at admission; queue wait = pickup − enqueue.
+    uint64_t enqueue_ns = 0;
   };
 
   void SubmitterLoop();

@@ -8,7 +8,9 @@
 
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
+#include <random>
 
 namespace hierarq::net {
 
@@ -124,12 +126,17 @@ Result<Frame> HierarqClient::RoundTrip(FrameType type, uint16_t flags,
 Result<QueryResult> HierarqClient::Query(SolverKind solver,
                                          const std::string& query,
                                          uint64_t deadline_ms,
-                                         bool capture_trace) {
+                                         bool capture_trace,
+                                         bool capture_stats,
+                                         const std::string& trace_id) {
   QueryRequest request;
   request.solver = solver;
   request.deadline_ms = deadline_ms;
   request.query = query;
-  const uint16_t flags = capture_trace ? kFlagTrace : uint16_t{0};
+  request.trace_id = trace_id;
+  const uint16_t flags =
+      static_cast<uint16_t>((capture_trace ? kFlagTrace : 0) |
+                            (capture_stats ? kFlagStats : 0));
   Result<Frame> frame =
       RoundTrip(FrameType::kQueryRequest, flags,
                 EncodeQueryRequest(request, format_), format_,
@@ -137,8 +144,32 @@ Result<QueryResult> HierarqClient::Query(SolverKind solver,
   if (!frame.ok()) {
     return frame.status();
   }
+  // Decode by what the RESPONSE announces, not what was asked: an old
+  // server ignores unknown flag bits and answers without the sections.
+  last_response_had_stats_ = (frame->header.flags & kFlagStats) != 0;
   return DecodeQueryResult(frame->payload, frame->header.format,
+                           last_response_had_stats_,
                            (frame->header.flags & kFlagTrace) != 0);
+}
+
+Result<StatusPayload> HierarqClient::ServerStatus() {
+  Result<Frame> frame = RoundTrip(FrameType::kStatusRequest, 0, "", format_,
+                                  FrameType::kStatusResponse);
+  if (!frame.ok()) {
+    return frame.status();
+  }
+  return DecodeStatusPayload(frame->payload, frame->header.format);
+}
+
+std::string HierarqClient::MintTraceId() {
+  // random_device per call: trace ids need uniqueness across processes
+  // started in the same tick, not cryptographic strength.
+  std::random_device rd;
+  const uint64_t id = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return std::string(buf);
 }
 
 Result<DeltaAck> HierarqClient::ApplyDelta(std::string_view line) {

@@ -59,10 +59,28 @@ class HierarqClient {
 
   /// Evaluates `query` with `solver` server-side. `deadline_ms` 0 uses
   /// the server default; with `capture_trace` the result carries the
-  /// request's Chrome trace JSON in `QueryResult::trace_json`.
+  /// request's Chrome trace JSON in `QueryResult::trace_json`; with
+  /// `capture_stats` it carries the server's per-query accounting in
+  /// `QueryResult::stats` (old servers ignore the bit and answer without
+  /// the section — check the response's kFlagStats before trusting it).
+  /// A non-empty `trace_id` rides the request so the server tags its
+  /// side of the work with it (see MintTraceId).
   Result<QueryResult> Query(SolverKind solver, const std::string& query,
                             uint64_t deadline_ms = 0,
-                            bool capture_trace = false);
+                            bool capture_trace = false,
+                            bool capture_stats = false,
+                            const std::string& trace_id = "");
+
+  /// Whether the last Query's response announced a stats section (the
+  /// server understood kFlagStats).
+  bool last_response_had_stats() const { return last_response_had_stats_; }
+
+  /// Fetches the server's health snapshot (uptime, queue, connections,
+  /// recent errors) — the kStatus round-trip.
+  Result<StatusPayload> ServerStatus();
+
+  /// Mints a fresh 16-hex-char trace id for cross-process correlation.
+  static std::string MintTraceId();
 
   /// Applies one atomic delta line (the update grammar of
   /// incremental/delta_text.h) to the server's database. On a parse
@@ -90,6 +108,7 @@ class HierarqClient {
   int fd_ = -1;
   WireFormat format_ = WireFormat::kNative;
   uint64_t next_request_id_ = 1;
+  bool last_response_had_stats_ = false;
 };
 
 }  // namespace hierarq::net

@@ -17,7 +17,9 @@
 #include "hierarq/algebra/semirings.h"
 #include "hierarq/core/expectation.h"
 #include "hierarq/incremental/delta_text.h"
+#include "hierarq/obs/explain.h"
 #include "hierarq/obs/metrics.h"
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/parser.h"
@@ -52,7 +54,31 @@ HierarqServer::HierarqServer(Options options, VersionedDatabase db,
       db_(std::move(db)),
       endogenous_(std::move(endogenous)),
       dict_(dict),
-      async_(options.async) {}
+      async_(options.async) {
+  frames_query_ = server_registry_.GetCounter("server.frames.query");
+  frames_delta_ = server_registry_.GetCounter("server.frames.delta");
+  frames_metrics_ = server_registry_.GetCounter("server.frames.metrics");
+  frames_status_ = server_registry_.GetCounter("server.frames.status");
+  frames_ping_ = server_registry_.GetCounter("server.frames.ping");
+  frames_shutdown_ = server_registry_.GetCounter("server.frames.shutdown");
+  error_frames_ = server_registry_.GetCounter("server.error_frames");
+  query_ns_ = server_registry_.GetHistogram("server.query_ns");
+}
+
+void HierarqServer::RecordError(const Status& status) {
+  error_frames_->Add();
+  errors_total_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(errors_mutex_);
+    recent_errors_.push_back(status.ToString());
+    // Last-N ring: old errors age out, the window stays bounded.
+    constexpr size_t kMaxRecentErrors = 16;
+    while (recent_errors_.size() > kMaxRecentErrors) {
+      recent_errors_.pop_front();
+    }
+  }
+  logger().Warn("error_frame", {{"status", status.ToString()}});
+}
 
 HierarqServer::~HierarqServer() { Stop(); }
 
@@ -99,6 +125,7 @@ Status HierarqServer::Start() {
     return status;
   }
   port_ = ntohs(bound.sin_port);
+  start_ns_ = obs::Tracer::NowNs();
   accept_thread_ = std::jthread([this] { AcceptLoop(); });
   return Status::OK();
 }
@@ -184,6 +211,13 @@ void HierarqServer::AcceptLoop() {
 // the connection thread (errors, acks, pongs) and submitter threads
 // (query results), so two frames never interleave on the wire.
 void HierarqServer::ServeConnection(std::shared_ptr<Connection> connection) {
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  // Decrement on EVERY exit path; the count feeds kStatus.
+  struct ConnectionGuard {
+    std::atomic<uint64_t>* count;
+    ~ConnectionGuard() { count->fetch_sub(1, std::memory_order_relaxed); }
+  } guard{&active_connections_};
+
   const auto send = [&connection](FrameType type, WireFormat format,
                                   uint16_t flags, uint64_t request_id,
                                   std::string_view payload) {
@@ -191,8 +225,9 @@ void HierarqServer::ServeConnection(std::shared_ptr<Connection> connection) {
     (void)WriteFrame(connection->fd, type, format, flags, request_id,
                      payload);
   };
-  const auto send_error = [&send](const FrameHeader& request,
-                                  const Status& status) {
+  const auto send_error = [this, &send](const FrameHeader& request,
+                                        const Status& status) {
+    RecordError(status);
     send(FrameType::kErrorFrame, request.format, 0, request.request_id,
          EncodeError(status, request.format));
   };
@@ -208,21 +243,31 @@ void HierarqServer::ServeConnection(std::shared_ptr<Connection> connection) {
       }
       return;
     }
+    frames_total_.fetch_add(1, std::memory_order_relaxed);
     switch (frame->header.type) {
       case FrameType::kQueryRequest:
+        frames_query_->Add();
         HandleQuery(connection, *frame);
         break;
       case FrameType::kDeltaBatch:
+        frames_delta_->Add();
         HandleDelta(connection, *frame);
         break;
       case FrameType::kMetricsRequest:
+        frames_metrics_->Add();
         HandleMetrics(connection, *frame);
         break;
+      case FrameType::kStatusRequest:
+        frames_status_->Add();
+        HandleStatus(connection, *frame);
+        break;
       case FrameType::kPing:
+        frames_ping_->Add();
         send(FrameType::kPong, frame->header.format, 0,
              frame->header.request_id, "");
         break;
       case FrameType::kShutdown:
+        frames_shutdown_->Add();
         // Ack before flagging: the client's round-trip completes, then
         // the owning thread (blocked in Wait) runs Stop.
         send(FrameType::kShutdown, frame->header.format, 0,
@@ -252,8 +297,11 @@ void HierarqServer::HandleQuery(
   };
   // By VALUE: this lambda is copied into the async job below and runs on
   // a submitter thread after this frame of HandleQuery has returned — a
-  // by-reference capture of `send`/`header` would dangle.
-  const auto send_error = [send, header](const Status& status) {
+  // by-reference capture of `send`/`header` would dangle. `this` stays
+  // valid on submitter threads: Stop() drains the async service before
+  // the server is torn down.
+  const auto send_error = [this, send, header](const Status& status) {
+    RecordError(status);
     send(FrameType::kErrorFrame, header.format, 0, header.request_id,
          EncodeError(status, header.format));
   };
@@ -271,14 +319,30 @@ void HierarqServer::HandleQuery(
   }
   const SolverKind solver = request->solver;
   const bool want_trace = (header.flags & kFlagTrace) != 0;
+  const bool want_stats = (header.flags & kFlagStats) != 0;
+  const std::string trace_id = request->trace_id;
+  const std::string query_text = request->query;
   auto query =
       std::make_shared<ConjunctiveQuery>(std::move(parsed).ValueOrDie());
 
   const Status admitted = async_.Submit(
-      [this, connection, query, header, solver, want_trace, send,
+      [this, connection, query, header, solver, want_trace, want_stats,
+       trace_id, query_text, send,
        send_error](EvalService& service, const CancelToken& cancel) {
         QueryResult result;
         result.solver = solver;
+        // Accounting is collected when the client asked for it OR the
+        // slow-query log might need it — disabled cost stays one
+        // thread_local load per step in the runners.
+        const bool collect_stats =
+            want_stats || options_.slow_query_ms >= 0;
+        obs::QueryStats* const stats =
+            collect_stats ? &result.stats : nullptr;
+        if (stats != nullptr) {
+          stats->queue_wait_ns = AsyncEvalService::CurrentJobQueueWaitNs();
+        }
+        const uint64_t eval_start_ns = obs::Tracer::NowNs();
+        std::vector<obs::TraceEvent> trace_events;
         Status status;
         if (want_trace) {
           // Traced requests run exclusive: the tracer is process-global
@@ -289,7 +353,8 @@ void HierarqServer::HandleQuery(
           std::unique_lock<std::shared_mutex> db_lock(db_mutex_);
           obs::Tracer tracer;
           tracer.Install();
-          status = EvaluateSolver(service, *query, solver, cancel, &result);
+          status = EvaluateSolver(service, *query, solver, cancel, &result,
+                                  stats);
           if (Result<EliminationPlan> plan = EliminationPlan::Build(*query);
               plan.ok()) {
             tracer.EmitInstant("plan", "steps",
@@ -297,20 +362,53 @@ void HierarqServer::HandleQuery(
           }
           tracer.Uninstall();
           std::ostringstream trace;
-          tracer.WriteChromeTrace(trace);
+          // The client stitches this into its own timeline; the envelope's
+          // trace_id ties the file to both sides' log lines.
+          tracer.WriteChromeTrace(trace, /*pid=*/1, trace_id);
           result.trace_json = std::move(trace).str();
+          trace_events = tracer.Snapshot();
         } else {
           std::shared_lock<std::shared_mutex> db_lock(db_mutex_);
-          status = EvaluateSolver(service, *query, solver, cancel, &result);
+          status = EvaluateSolver(service, *query, solver, cancel, &result,
+                                  stats);
         }
+        const uint64_t eval_ns = obs::Tracer::NowNs() - eval_start_ns;
+        query_ns_->Observe(eval_ns);
+
+        // Slow-query log: threshold 0 logs everything (how CI forces a
+        // line), errors included — a query that burned its deadline is
+        // exactly the one the operator wants to see.
+        if (options_.slow_query_ms >= 0 &&
+            eval_ns >= static_cast<uint64_t>(options_.slow_query_ms) *
+                           1'000'000ull) {
+          std::string explain;
+          if (Result<EliminationPlan> plan = EliminationPlan::Build(*query);
+              plan.ok()) {
+            explain = obs::RenderExplainAnalyze(*plan, query->variables(),
+                                                trace_events);
+          }
+          logger().Warn(
+              "slow_query",
+              {{"solver", SolverKindName(solver)},
+               {"query", query_text},
+               {"trace_id", trace_id},
+               {"status", status.ok() ? "ok" : status.ToString()},
+               {"eval_ns", std::to_string(eval_ns)},
+               {"stats", result.stats.Render()},
+               {"explain", explain}});
+        }
+
         if (!status.ok()) {
           send_error(status);
           return;
         }
-        const uint16_t flags = want_trace ? kFlagTrace : uint16_t{0};
+        const uint16_t flags =
+            static_cast<uint16_t>((want_trace ? kFlagTrace : 0) |
+                                  (want_stats ? kFlagStats : 0));
         send(FrameType::kResultFrame, header.format, flags,
              header.request_id,
-             EncodeQueryResult(result, header.format, want_trace));
+             EncodeQueryResult(result, header.format, want_stats,
+                               want_trace));
       },
       request->deadline_ms);
   if (!admitted.ok()) {
@@ -323,14 +421,15 @@ Status HierarqServer::EvaluateSolver(EvalService& service,
                                      const ConjunctiveQuery& query,
                                      SolverKind solver,
                                      const CancelToken& cancel,
-                                     QueryResult* out) {
+                                     QueryResult* out,
+                                     obs::QueryStats* stats) {
   const std::vector<const ConjunctiveQuery*> one{&query};
   switch (solver) {
     case SolverKind::kCount: {
       const CountMonoid monoid;
       auto values = service.EvaluateMany<CountMonoid>(
           monoid, one, db_, [](const Fact&) -> uint64_t { return 1; },
-          "server.count", &cancel);
+          "server.count", &cancel, stats);
       if (!values.front().ok()) {
         return values.front().status();
       }
@@ -348,7 +447,7 @@ Status HierarqServer::EvaluateSolver(EvalService& service,
       if (solver == SolverKind::kPqe) {
         const ProbMonoid monoid;
         auto values = service.EvaluateMany<ProbMonoid>(
-            monoid, one, db_, annotator, "server.pqe", &cancel);
+            monoid, one, db_, annotator, "server.pqe", &cancel, stats);
         if (!values.front().ok()) {
           return values.front().status();
         }
@@ -356,7 +455,7 @@ Status HierarqServer::EvaluateSolver(EvalService& service,
       } else {
         const ExpectationMonoid monoid;
         auto values = service.EvaluateMany<ExpectationMonoid>(
-            monoid, one, db_, annotator, "server.expect", &cancel);
+            monoid, one, db_, annotator, "server.expect", &cancel, stats);
         if (!values.front().ok()) {
           return values.front().status();
         }
@@ -412,6 +511,7 @@ void HierarqServer::HandleDelta(const std::shared_ptr<Connection>& connection,
       // The whole line was rejected before anything was applied — the
       // generation is unchanged, exactly the CLI update-mode contract.
       lock.unlock();
+      RecordError(batch.status());
       send(FrameType::kErrorFrame, frame.header.format, 0,
            frame.header.request_id,
            EncodeError(batch.status(), frame.header.format));
@@ -437,14 +537,38 @@ void HierarqServer::HandleMetrics(
   if (frame.header.format == WireFormat::kJson) {
     payload = "{\"global\": " + obs::MetricsRegistry::Global().RenderJson() +
               ", \"service\": " + async_.service().metrics().RenderJson() +
-              ", \"async\": " + async_.metrics().RenderJson() + "}";
+              ", \"async\": " + async_.metrics().RenderJson() +
+              ", \"server\": " + server_registry_.RenderJson() + "}";
   } else {
     payload = "# global\n" + obs::MetricsRegistry::Global().RenderText() +
               "# service\n" + async_.service().metrics().RenderText() +
-              "# async\n" + async_.metrics().RenderText();
+              "# async\n" + async_.metrics().RenderText() +
+              "# server\n" + server_registry_.RenderText();
   }
   std::lock_guard<std::mutex> lock(connection->write_mutex);
   (void)WriteFrame(connection->fd, FrameType::kMetricsResponse,
+                   frame.header.format, 0, frame.header.request_id, payload);
+}
+
+void HierarqServer::HandleStatus(
+    const std::shared_ptr<Connection>& connection, const Frame& frame) {
+  StatusPayload status;
+  status.uptime_ns = obs::Tracer::NowNs() - start_ns_;
+  status.queue_depth = async_.queue_depth();
+  status.oldest_job_age_ns = async_.oldest_job_age_ns();
+  status.active_connections =
+      active_connections_.load(std::memory_order_relaxed);
+  status.requests_total = frames_total_.load(std::memory_order_relaxed);
+  status.errors_total = errors_total_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(errors_mutex_);
+    status.recent_errors.assign(recent_errors_.begin(),
+                                recent_errors_.end());
+  }
+  const std::string payload =
+      EncodeStatusPayload(status, frame.header.format);
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  (void)WriteFrame(connection->fd, FrameType::kStatusResponse,
                    frame.header.format, 0, frame.header.request_id, payload);
 }
 

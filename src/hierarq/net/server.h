@@ -32,8 +32,10 @@
 /// a write mutex shared between the connection thread (errors, acks)
 /// and submitter threads (results).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -46,6 +48,8 @@
 #include "hierarq/incremental/versioned_database.h"
 #include "hierarq/net/async_service.h"
 #include "hierarq/net/wire.h"
+#include "hierarq/obs/log.h"
+#include "hierarq/obs/metrics.h"
 
 namespace hierarq::net {
 
@@ -56,6 +60,14 @@ class HierarqServer {
     /// from `port()` — how tests and the bench avoid collisions).
     uint16_t port = 0;
     AsyncEvalService::Options async;
+    /// Slow-query log threshold: a query whose evaluation wall time
+    /// reaches this many milliseconds is logged (query text, QueryStats,
+    /// EXPLAIN ANALYZE) through `logger`. 0 logs EVERY query (CI uses
+    /// this to force a line); negative disables the log.
+    int64_t slow_query_ms = -1;
+    /// Structured event sink for the slow-query log and protocol errors.
+    /// nullptr = obs::Logger::Global() (stderr).
+    obs::Logger* logger = nullptr;
   };
 
   /// `db` is the primary database (count/pqe/expect queries, delta
@@ -114,11 +126,23 @@ class HierarqServer {
                    const Frame& frame);
   void HandleMetrics(const std::shared_ptr<Connection>& connection,
                      const Frame& frame);
+  void HandleStatus(const std::shared_ptr<Connection>& connection,
+                    const Frame& frame);
   /// Runs one solver synchronously (called from a submitter thread with
-  /// the db lock already held) and fills `out` on success.
+  /// the db lock already held) and fills `out` on success. A non-null
+  /// `stats` collects per-query accounting where the solver path
+  /// supports it (count/pqe/expect; the multi-evaluation resilience and
+  /// Shapley solvers report queue/exec time only).
   Status EvaluateSolver(EvalService& service, const ConjunctiveQuery& query,
                         SolverKind solver, const CancelToken& cancel,
-                        QueryResult* out);
+                        QueryResult* out, obs::QueryStats* stats);
+  /// Records an outgoing error frame in the last-N ring, the error
+  /// counter, and the structured log.
+  void RecordError(const Status& status);
+  obs::Logger& logger() {
+    return options_.logger != nullptr ? *options_.logger
+                                      : obs::Logger::Global();
+  }
   /// Flags Wait() awake without tearing down (safe from any thread).
   void RequestShutdown();
 
@@ -135,6 +159,27 @@ class HierarqServer {
   std::mutex trace_mutex_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  /// NowNs at Start() — the kStatus uptime origin.
+  uint64_t start_ns_ = 0;
+  std::atomic<uint64_t> active_connections_{0};
+  /// Per-frame-type request counters (plus error responses), rendered as
+  /// the "server" section of kMetricsResponse; `frames_total_` mirrors
+  /// their sum for the cheap kStatus read.
+  obs::MetricsRegistry server_registry_;
+  obs::Counter* frames_query_ = nullptr;
+  obs::Counter* frames_delta_ = nullptr;
+  obs::Counter* frames_metrics_ = nullptr;
+  obs::Counter* frames_status_ = nullptr;
+  obs::Counter* frames_ping_ = nullptr;
+  obs::Counter* frames_shutdown_ = nullptr;
+  obs::Counter* error_frames_ = nullptr;
+  /// Evaluation wall time per query — the fleet view's p50/p90/p99.
+  obs::Histogram* query_ns_ = nullptr;
+  std::atomic<uint64_t> frames_total_{0};
+  std::atomic<uint64_t> errors_total_{0};
+  /// Last-N outgoing error messages, oldest first (kStatus reports them).
+  std::mutex errors_mutex_;
+  std::deque<std::string> recent_errors_;
   std::mutex lifecycle_mutex_;
   std::condition_variable shutdown_cv_;
   bool shutdown_requested_ = false;

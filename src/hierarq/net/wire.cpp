@@ -467,6 +467,92 @@ Result<uint64_t> U64Field(const JsonValue& doc, std::string_view key) {
                                  "' must be a string or number");
 }
 
+// -- QueryStats section ------------------------------------------------
+// The flag-gated trailing block of kResultFrame. Field order is the
+// declaration order in obs/query_stats.h; both sides hardcode it, so a
+// new field means a new flag bit (or a versioned section), never a
+// silent layout change.
+
+void PutStatsNative(std::string* out, const obs::QueryStats& stats) {
+  PutU64(out, stats.rule1_rows_scanned);
+  PutU64(out, stats.rule1_rows_emitted);
+  PutU64(out, stats.rule2_rows_scanned);
+  PutU64(out, stats.rule2_rows_emitted);
+  PutU64(out, stats.steps_total);
+  PutU64(out, stats.steps_serial);
+  PutU64(out, stats.steps_parallel);
+  PutU64(out, stats.cancel_checkpoints);
+  PutU64(out, stats.queue_wait_ns);
+  PutU64(out, stats.exec_ns);
+  *out += static_cast<char>(stats.plan_cache_hit ? 1 : 0);
+}
+
+void ReadStatsNative(Cursor* cursor, obs::QueryStats* stats) {
+  stats->rule1_rows_scanned = cursor->U64();
+  stats->rule1_rows_emitted = cursor->U64();
+  stats->rule2_rows_scanned = cursor->U64();
+  stats->rule2_rows_emitted = cursor->U64();
+  stats->steps_total = cursor->U64();
+  stats->steps_serial = cursor->U64();
+  stats->steps_parallel = cursor->U64();
+  stats->cancel_checkpoints = cursor->U64();
+  stats->queue_wait_ns = cursor->U64();
+  stats->exec_ns = cursor->U64();
+  stats->plan_cache_hit = cursor->U8() != 0;
+}
+
+void AppendStatsJson(std::string* out, const obs::QueryStats& stats) {
+  // u64s as decimal strings, like every u64 in this protocol (see
+  // U64Field): ns totals overflow a JSON double's 2^53 integer range.
+  const auto field = [out](const char* key, uint64_t value) {
+    *out += '"';
+    *out += key;
+    *out += "\":\"";
+    *out += std::to_string(value);
+    *out += "\",";
+  };
+  *out += '{';
+  field("rule1_rows_scanned", stats.rule1_rows_scanned);
+  field("rule1_rows_emitted", stats.rule1_rows_emitted);
+  field("rule2_rows_scanned", stats.rule2_rows_scanned);
+  field("rule2_rows_emitted", stats.rule2_rows_emitted);
+  field("steps", stats.steps_total);
+  field("serial_steps", stats.steps_serial);
+  field("parallel_steps", stats.steps_parallel);
+  field("cancel_checkpoints", stats.cancel_checkpoints);
+  field("queue_wait_ns", stats.queue_wait_ns);
+  field("exec_ns", stats.exec_ns);
+  *out += "\"plan_cache_hit\":";
+  *out += stats.plan_cache_hit ? "true" : "false";
+  *out += '}';
+}
+
+Status ParseStatsJson(const JsonValue& doc, obs::QueryStats* stats) {
+  HIERARQ_ASSIGN_OR_RETURN(stats->rule1_rows_scanned,
+                           U64Field(doc, "rule1_rows_scanned"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->rule1_rows_emitted,
+                           U64Field(doc, "rule1_rows_emitted"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->rule2_rows_scanned,
+                           U64Field(doc, "rule2_rows_scanned"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->rule2_rows_emitted,
+                           U64Field(doc, "rule2_rows_emitted"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->steps_total, U64Field(doc, "steps"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->steps_serial,
+                           U64Field(doc, "serial_steps"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->steps_parallel,
+                           U64Field(doc, "parallel_steps"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->cancel_checkpoints,
+                           U64Field(doc, "cancel_checkpoints"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->queue_wait_ns,
+                           U64Field(doc, "queue_wait_ns"));
+  HIERARQ_ASSIGN_OR_RETURN(stats->exec_ns, U64Field(doc, "exec_ns"));
+  if (const JsonValue* hit = doc.Find("plan_cache_hit");
+      hit != nullptr && hit->kind == JsonValue::kBool) {
+    stats->plan_cache_hit = hit->boolean;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* SolverKindName(SolverKind solver) {
@@ -523,7 +609,7 @@ Result<FrameHeader> DecodeFrameHeader(const char in[kFrameHeaderSize]) {
   // enum-ish field and the length bound BEFORE anyone allocates or
   // dispatches on it.
   if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
-      type > static_cast<uint8_t>(FrameType::kShutdown)) {
+      type > static_cast<uint8_t>(FrameType::kStatusResponse)) {
     return Status::InvalidArgument("bad frame: unknown type " +
                                    std::to_string(type));
   }
@@ -548,6 +634,11 @@ std::string EncodeQueryRequest(const QueryRequest& request,
     out += static_cast<char>(request.solver);
     PutU64(&out, request.deadline_ms);
     PutStr(&out, request.query);
+    // Trailing optional section, written only when present so a request
+    // without trace context is byte-identical to the old layout.
+    if (!request.trace_id.empty()) {
+      PutStr(&out, request.trace_id);
+    }
     return out;
   }
   out += "{\"solver\":";
@@ -555,6 +646,10 @@ std::string EncodeQueryRequest(const QueryRequest& request,
   out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
   out += ",\"query\":";
   AppendJsonString(&out, request.query);
+  if (!request.trace_id.empty()) {
+    out += ",\"trace_id\":";
+    AppendJsonString(&out, request.trace_id);
+  }
   out += "}";
   return out;
 }
@@ -567,6 +662,10 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
     const uint8_t solver = cursor.U8();
     request.deadline_ms = cursor.U64();
     request.query = cursor.Str();
+    // Old-style frames end here; new-style ones carry trace context.
+    if (cursor.ok() && !cursor.AtEnd()) {
+      request.trace_id = cursor.Str();
+    }
     HIERARQ_RETURN_NOT_OK(cursor.Finish("query request"));
     if (solver > static_cast<uint8_t>(SolverKind::kShapley)) {
       return Status::InvalidArgument("query request: unknown solver tag " +
@@ -587,11 +686,15 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
       deadline != nullptr && deadline->kind == JsonValue::kNumber) {
     request.deadline_ms = static_cast<uint64_t>(deadline->number);
   }
+  if (const JsonValue* trace_id = doc.Find("trace_id");
+      trace_id != nullptr && trace_id->kind == JsonValue::kString) {
+    request.trace_id = trace_id->string;
+  }
   return request;
 }
 
 std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
-                              bool with_trace) {
+                              bool with_stats, bool with_trace) {
   std::string out;
   if (format == WireFormat::kNative) {
     out += static_cast<char>(result.solver);
@@ -612,6 +715,9 @@ std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
           PutF64(&out, entry.value);
         }
         break;
+    }
+    if (with_stats) {
+      PutStatsNative(&out, result.stats);
     }
     if (with_trace) {
       PutStr(&out, result.trace_json);
@@ -647,6 +753,10 @@ std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
       out += "]";
       break;
   }
+  if (with_stats) {
+    out += ",\"stats\":";
+    AppendStatsJson(&out, result.stats);
+  }
   if (with_trace) {
     out += ",\"trace\":";
     AppendJsonString(&out, result.trace_json);
@@ -656,7 +766,8 @@ std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
 }
 
 Result<QueryResult> DecodeQueryResult(std::string_view payload,
-                                      WireFormat format, bool with_trace) {
+                                      WireFormat format, bool with_stats,
+                                      bool with_trace) {
   QueryResult result;
   if (format == WireFormat::kNative) {
     Cursor cursor(payload);
@@ -688,6 +799,9 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload,
         }
         break;
       }
+    }
+    if (with_stats) {
+      ReadStatsNative(&cursor, &result.stats);
     }
     if (with_trace) {
       result.trace_json = cursor.Str();
@@ -732,6 +846,11 @@ Result<QueryResult> DecodeQueryResult(std::string_view payload,
       }
       break;
     }
+  }
+  if (with_stats) {
+    HIERARQ_ASSIGN_OR_RETURN(
+        const JsonValue* stats, Field(doc, "stats", JsonValue::kObject));
+    HIERARQ_RETURN_NOT_OK(ParseStatsJson(*stats, &result.stats));
   }
   if (with_trace) {
     HIERARQ_ASSIGN_OR_RETURN(
@@ -815,6 +934,84 @@ Result<DeltaAck> DecodeDeltaAck(std::string_view payload,
   HIERARQ_ASSIGN_OR_RETURN(ack.generation, U64Field(doc, "generation"));
   HIERARQ_ASSIGN_OR_RETURN(ack.num_facts, U64Field(doc, "num_facts"));
   return ack;
+}
+
+std::string EncodeStatusPayload(const StatusPayload& status,
+                                WireFormat format) {
+  std::string out;
+  if (format == WireFormat::kNative) {
+    PutU64(&out, status.uptime_ns);
+    PutU64(&out, status.queue_depth);
+    PutU64(&out, status.oldest_job_age_ns);
+    PutU64(&out, status.active_connections);
+    PutU64(&out, status.requests_total);
+    PutU64(&out, status.errors_total);
+    PutU32(&out, static_cast<uint32_t>(status.recent_errors.size()));
+    for (const std::string& error : status.recent_errors) {
+      PutStr(&out, error);
+    }
+    return out;
+  }
+  out += "{\"uptime_ns\":\"" + std::to_string(status.uptime_ns) + "\"";
+  out += ",\"queue_depth\":\"" + std::to_string(status.queue_depth) + "\"";
+  out += ",\"oldest_job_age_ns\":\"" +
+         std::to_string(status.oldest_job_age_ns) + "\"";
+  out += ",\"active_connections\":\"" +
+         std::to_string(status.active_connections) + "\"";
+  out += ",\"requests_total\":\"" + std::to_string(status.requests_total) +
+         "\"";
+  out += ",\"errors_total\":\"" + std::to_string(status.errors_total) + "\"";
+  out += ",\"recent_errors\":[";
+  for (size_t i = 0; i < status.recent_errors.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(&out, status.recent_errors[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+Result<StatusPayload> DecodeStatusPayload(std::string_view payload,
+                                          WireFormat format) {
+  StatusPayload status;
+  if (format == WireFormat::kNative) {
+    Cursor cursor(payload);
+    status.uptime_ns = cursor.U64();
+    status.queue_depth = cursor.U64();
+    status.oldest_job_age_ns = cursor.U64();
+    status.active_connections = cursor.U64();
+    status.requests_total = cursor.U64();
+    status.errors_total = cursor.U64();
+    const uint32_t n = cursor.U32();
+    // Attacker-controlled count: no reserve, truncation trips the cursor.
+    for (uint32_t i = 0; i < n && cursor.ok(); ++i) {
+      status.recent_errors.push_back(cursor.Str());
+    }
+    HIERARQ_RETURN_NOT_OK(cursor.Finish("status"));
+    return status;
+  }
+  HIERARQ_ASSIGN_OR_RETURN(JsonValue doc, JsonParser(payload).Parse());
+  HIERARQ_ASSIGN_OR_RETURN(status.uptime_ns, U64Field(doc, "uptime_ns"));
+  HIERARQ_ASSIGN_OR_RETURN(status.queue_depth,
+                           U64Field(doc, "queue_depth"));
+  HIERARQ_ASSIGN_OR_RETURN(status.oldest_job_age_ns,
+                           U64Field(doc, "oldest_job_age_ns"));
+  HIERARQ_ASSIGN_OR_RETURN(status.active_connections,
+                           U64Field(doc, "active_connections"));
+  HIERARQ_ASSIGN_OR_RETURN(status.requests_total,
+                           U64Field(doc, "requests_total"));
+  HIERARQ_ASSIGN_OR_RETURN(status.errors_total,
+                           U64Field(doc, "errors_total"));
+  HIERARQ_ASSIGN_OR_RETURN(
+      const JsonValue* errors,
+      Field(doc, "recent_errors", JsonValue::kArray));
+  for (const JsonValue& item : errors->array) {
+    if (item.kind != JsonValue::kString) {
+      return Status::InvalidArgument(
+          "status: recent_errors entries must be strings");
+    }
+    status.recent_errors.push_back(item.string);
+  }
+  return status;
 }
 
 namespace {

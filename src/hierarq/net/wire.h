@@ -19,19 +19,26 @@
 /// below) and `kJson` (a flat JSON object) — so `bench/bench_server.cpp`
 /// can A/B the framing cost in the thesis-microbench style; servers
 /// answer in the format they were asked in. `flags` bit 0 requests
-/// (on a query) / announces (on a result) per-request trace capture.
+/// (on a query) / announces (on a result) per-request trace capture;
+/// bit 1 does the same for per-request resource accounting (QueryStats).
 ///
 /// Native payload layouts (all integers little-endian, doubles as their
 /// IEEE-754 bit pattern in a u64):
 ///
 ///   kQueryRequest    u8 solver | u64 deadline_ms | u32 n | n query bytes
-///   kResultFrame     u8 solver | value... [| u32 n | n trace bytes]
+///                      [| str trace_id]  (optional trailing section: the
+///                      client-minted trace context; absent on old-style
+///                      frames, which decode identically)
+///   kResultFrame     u8 solver | value... [| stats][| u32 n | n trace bytes]
 ///                      count/resilience: u64
 ///                      pqe/expect:       f64
 ///                      shapley:          u32 k | k × (str fact,
 ///                                        str fraction, f64 value)
-///                      (str = u32 length + bytes; the trailing trace
-///                       section is present iff flags bit 0 is set)
+///                      (str = u32 length + bytes; the trailing stats
+///                       section — 10 × u64 | u8 plan_cache_hit, field
+///                       order of obs::QueryStats — is present iff flags
+///                       bit 1 is set; the trace section iff bit 0 is
+///                       set; stats precede trace)
 ///   kErrorFrame      u32 status code | str message
 ///   kDeltaBatch      the textual update grammar, verbatim
 ///                    (incremental/delta_text.h — one line, ops ';'-split,
@@ -41,6 +48,11 @@
 ///   kMetricsResponse rendered registry dump, verbatim
 ///   kPing/kPong      empty
 ///   kShutdown        empty (server stops accepting and exits its loop)
+///   kStatusRequest   empty
+///   kStatusResponse  u64 uptime_ns | u64 queue_depth |
+///                    u64 oldest_job_age_ns | u64 active_connections |
+///                    u64 requests_total | u64 errors_total |
+///                    u32 n | n × str recent error (oldest first)
 ///
 /// Robustness contract: a reader REJECTS rather than trusts — oversized
 /// lengths, unknown frame types, and truncated payloads all produce a
@@ -53,6 +65,7 @@
 #include <string_view>
 #include <vector>
 
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/util/result.h"
 #include "hierarq/util/status.h"
 
@@ -69,6 +82,8 @@ enum class FrameType : uint8_t {
   kPing = 8,
   kPong = 9,
   kShutdown = 10,
+  kStatusRequest = 11,   ///< Fleet view: "how is this server doing".
+  kStatusResponse = 12,  ///< StatusPayload in the request's format.
 };
 
 enum class WireFormat : uint8_t {
@@ -91,6 +106,10 @@ Result<SolverKind> ParseSolverKind(std::string_view name);
 
 /// Frame flags (bitmask in the header's u16).
 inline constexpr uint16_t kFlagTrace = 1u << 0;
+/// On a query: "account this request"; on a result: "a QueryStats
+/// section follows the value". Old clients never set the bit and old
+/// decoders never see the section — compatibility both ways.
+inline constexpr uint16_t kFlagStats = 1u << 1;
 
 inline constexpr size_t kFrameHeaderSize = 16;
 /// Upper bound a reader enforces BEFORE allocating: a garbage or hostile
@@ -123,6 +142,13 @@ struct QueryRequest {
   /// 0 = use the server's default deadline.
   uint64_t deadline_ms = 0;
   std::string query;
+  /// Client-minted trace context, e.g. "c3a9f2d41b0e6c77" — the server
+  /// tags its spans and log lines with it so client and server sides of
+  /// one request stitch into one trace. Empty = none. Rides the payload
+  /// as an optional trailing section: old-style frames without it decode
+  /// to an empty id, old decoders given a frame WITH it reject cleanly
+  /// (trailing bytes) rather than misparse.
+  std::string trace_id;
 };
 
 struct ShapleyEntry {
@@ -136,6 +162,9 @@ struct QueryResult {
   uint64_t count = 0;   ///< count / resilience (exact).
   double number = 0.0;  ///< pqe / expect.
   std::vector<ShapleyEntry> shapley;
+  /// Per-request resource accounting; meaningful iff the result frame's
+  /// kFlagStats is set (the section rides the wire only then).
+  obs::QueryStats stats;
   /// Chrome trace-event JSON captured for this request; non-empty iff
   /// the result frame's kFlagTrace is set.
   std::string trace_json;
@@ -151,6 +180,20 @@ struct DeltaAck {
   uint64_t num_facts = 0;
 };
 
+/// The kStatusResponse payload — one server's health at a glance, cheap
+/// enough to poll every second (`tools/hierarq_top.py` does).
+struct StatusPayload {
+  uint64_t uptime_ns = 0;           ///< Since the server started serving.
+  uint64_t queue_depth = 0;         ///< Admission queue: jobs waiting.
+  uint64_t oldest_job_age_ns = 0;   ///< Head-of-queue wait; 0 when empty.
+  uint64_t active_connections = 0;  ///< Connection threads alive now.
+  uint64_t requests_total = 0;      ///< Frames served since start.
+  uint64_t errors_total = 0;        ///< Error frames sent since start.
+  /// Last-N error messages, oldest first (the server keeps a small ring;
+  /// N is the server's choice, readers take what they get).
+  std::vector<std::string> recent_errors;
+};
+
 // -- Payload codecs (both formats) ------------------------------------
 // Encode never fails; Decode returns a Status on truncated, trailing or
 // malformed bytes — the reject-don't-trust half of the contract.
@@ -160,10 +203,15 @@ std::string EncodeQueryRequest(const QueryRequest& request,
 Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
                                         WireFormat format);
 
+/// `with_stats` / `with_trace` mirror the frame's kFlagStats/kFlagTrace
+/// bits: they govern whether the optional trailing sections are written
+/// (encode) or expected (decode). Callers pass the bits they put in (or
+/// read from) the header, so frame and payload can never disagree.
 std::string EncodeQueryResult(const QueryResult& result, WireFormat format,
-                              bool with_trace);
+                              bool with_stats, bool with_trace);
 Result<QueryResult> DecodeQueryResult(std::string_view payload,
-                                      WireFormat format, bool with_trace);
+                                      WireFormat format, bool with_stats,
+                                      bool with_trace);
 
 std::string EncodeError(const Status& status, WireFormat format);
 Result<ErrorPayload> DecodeError(std::string_view payload,
@@ -172,6 +220,11 @@ Result<ErrorPayload> DecodeError(std::string_view payload,
 std::string EncodeDeltaAck(const DeltaAck& ack, WireFormat format);
 Result<DeltaAck> DecodeDeltaAck(std::string_view payload,
                                 WireFormat format);
+
+std::string EncodeStatusPayload(const StatusPayload& status,
+                                WireFormat format);
+Result<StatusPayload> DecodeStatusPayload(std::string_view payload,
+                                          WireFormat format);
 
 // -- Framed socket I/O -------------------------------------------------
 

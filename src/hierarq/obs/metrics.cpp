@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "hierarq/util/logging.h"
@@ -20,6 +21,46 @@ void Counter::Reset() {
   for (Shard& shard : shards_) {
     shard.value.store(0, std::memory_order_relaxed);
   }
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t count = Count();
+  if (count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // 0-indexed rank in the sorted sample; walk buckets until the
+  // cumulative count covers it, then place the rank proportionally
+  // between the bucket's bounds.
+  const double rank = q * static_cast<double>(count - 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t n = BucketCount(i);
+    if (n == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + n) > rank) {
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i));
+      const double within =
+          (rank - static_cast<double>(cumulative)) / static_cast<double>(n);
+      return lo + within * (hi - lo);
+    }
+    cumulative += n;
+  }
+  // Concurrent observers can make count run ahead of the bucket sums;
+  // answer with the highest populated bound rather than overrun.
+  for (size_t i = kNumBuckets; i > 0; --i) {
+    if (BucketCount(i - 1) > 0) {
+      return static_cast<double>(BucketUpperBound(i - 1));
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
 }
 
 void Histogram::Reset() {
@@ -93,6 +134,13 @@ std::string MetricsRegistry::RenderText() const {
                   "histogram %s count=%" PRIu64 " sum=%" PRIu64,
                   name.c_str(), hist->Count(), hist->Sum());
     out += line;
+    if (hist->Count() > 0) {
+      // Quantile(NaN on empty) renders "nan" — skip the noise instead.
+      std::snprintf(line, sizeof(line), " p50=%.6g p90=%.6g p99=%.6g",
+                    hist->Quantile(0.50), hist->Quantile(0.90),
+                    hist->Quantile(0.99));
+      out += line;
+    }
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const uint64_t n = hist->BucketCount(i);
       if (n == 0) {
@@ -109,12 +157,17 @@ std::string MetricsRegistry::RenderText() const {
 }
 
 std::string MetricsRegistry::RenderJson() const {
+  // Every 64-bit integer rides as a DECIMAL STRING: counters count ns
+  // and rows past 2^53, where a JSON consumer parsing them as doubles
+  // would silently round. Quantiles are genuine doubles (estimates
+  // anyway) and are omitted for empty histograms — "no data" must stay
+  // distinguishable from "all zeros".
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n  \"counters\": {";
   char buf[192];
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRIu64,
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": \"%" PRIu64 "\"",
                   first ? "" : ",", name.c_str(), counter->Value());
     out += buf;
     first = false;
@@ -123,7 +176,7 @@ std::string MetricsRegistry::RenderJson() const {
   out += "  \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
-    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %" PRId64,
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": \"%" PRId64 "\"",
                   first ? "" : ",", name.c_str(), gauge->Value());
     out += buf;
     first = false;
@@ -132,19 +185,28 @@ std::string MetricsRegistry::RenderJson() const {
   out += "  \"histograms\": {";
   first = true;
   for (const auto& [name, hist] : histograms_) {
+    const uint64_t count = hist->Count();
     std::snprintf(buf, sizeof(buf),
-                  "%s\n    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
-                  ", \"buckets\": {",
-                  first ? "" : ",", name.c_str(), hist->Count(), hist->Sum());
+                  "%s\n    \"%s\": {\"count\": \"%" PRIu64
+                  "\", \"sum\": \"%" PRIu64 "\"",
+                  first ? "" : ",", name.c_str(), count, hist->Sum());
     out += buf;
     first = false;
+    if (count > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"p50\": %.6g, \"p90\": %.6g, \"p99\": %.6g",
+                    hist->Quantile(0.50), hist->Quantile(0.90),
+                    hist->Quantile(0.99));
+      out += buf;
+    }
+    out += ", \"buckets\": {";
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       const uint64_t n = hist->BucketCount(i);
       if (n == 0) {
         continue;
       }
-      std::snprintf(buf, sizeof(buf), "%s\"%" PRIu64 "\": %" PRIu64,
+      std::snprintf(buf, sizeof(buf), "%s\"%" PRIu64 "\": \"%" PRIu64 "\"",
                     first_bucket ? "" : ", ", Histogram::BucketLowerBound(i),
                     n);
       out += buf;

@@ -186,6 +186,12 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimated `q`-quantile (q in [0,1]): finds the bucket holding the
+  /// rank and interpolates linearly inside it, so the error is bounded
+  /// by the bucket's ~2x width. NaN on an empty histogram — renderers
+  /// must not invent a bucket-0 answer for "no data".
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -219,12 +225,17 @@ class MetricsRegistry {
   /// Human-readable dump, one instrument per line in name order:
   ///   counter planner.plans_built 3
   ///   gauge workerpool.queue_depth 0
-  ///   histogram service.group_size count=2 sum=9 [4,7]=2
-  /// (histograms list only their non-empty buckets).
+  ///   histogram service.group_size count=2 sum=9 p50=4.5 p90=6.3
+  ///     p99=6.93 [4,7]=2   (one line)
+  /// (histograms list only their non-empty buckets; the p* estimates are
+  /// omitted entirely when the histogram is empty).
   std::string RenderText() const;
 
   /// Machine-readable dump: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {"count": C, "sum": S, "buckets": {"lo": n}}}}.
+  /// "histograms": {name: {"count": "C", "sum": "S", "p50": ...,
+  /// "buckets": {"lo": "n"}}}}. All 64-bit integers are DECIMAL STRINGS
+  /// (ns counters exceed 2^53, the double-exact limit); quantiles are
+  /// doubles and absent for empty histograms.
   std::string RenderJson() const;
 
   /// Zeroes every instrument (handles stay valid) — per-run deltas.

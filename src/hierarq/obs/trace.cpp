@@ -158,22 +158,27 @@ void AppendStepArgsJson(const TraceStepArgs& step, std::string* out) {
 
 }  // namespace
 
-void Tracer::WriteChromeTrace(std::ostream& out) const {
+void Tracer::WriteChromeTrace(std::ostream& out, int pid,
+                              const std::string& trace_id) const {
   const std::vector<TraceEvent> events = Snapshot();
   // "dropped" tells validators (tools/check_trace.py) the rings wrapped:
   // step coverage can then only be checked as <=, not ==, because the
   // overwritten window may have held the missing step events.
-  out << "{\"displayTimeUnit\": \"ns\", \"dropped\": " << dropped()
-      << ", \"traceEvents\": [";
+  out << "{\"displayTimeUnit\": \"ns\", \"dropped\": " << dropped();
+  if (!trace_id.empty()) {
+    // Ids are hex tokens minted by HierarqClient — no escaping needed.
+    out << ", \"trace_id\": \"" << trace_id << "\"";
+  }
+  out << ", \"traceEvents\": [";
   char buf[256];
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& event = events[i];
     out << (i == 0 ? "\n" : ",\n");
     // Chrome's ts/dur are microseconds; keep ns resolution as fractions.
     std::snprintf(buf, sizeof(buf),
-                  "{\"name\": \"%s\", \"cat\": \"%s\", \"pid\": 1, "
+                  "{\"name\": \"%s\", \"cat\": \"%s\", \"pid\": %d, "
                   "\"tid\": %u, \"ts\": %.3f",
-                  event.name, event.cat, event.tid,
+                  event.name, event.cat, pid, event.tid,
                   static_cast<double>(event.ts_ns) / 1000.0);
     out << buf;
     switch (event.kind) {
@@ -206,13 +211,14 @@ void Tracer::WriteChromeTrace(std::ostream& out) const {
   out << "\n]}\n";
 }
 
-bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+bool Tracer::WriteChromeTraceFile(const std::string& path, int pid,
+                                  const std::string& trace_id) const {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "Tracer: cannot open %s\n", path.c_str());
     return false;
   }
-  WriteChromeTrace(out);
+  WriteChromeTrace(out, pid, trace_id);
   return out.good();
 }
 

@@ -145,11 +145,17 @@ class Tracer {
   size_t capacity_per_thread() const { return capacity_; }
 
   /// Chrome trace-event JSON ({"traceEvents": [...]}) of Snapshot().
-  void WriteChromeTrace(std::ostream& out) const;
+  /// `pid` labels every event's process track — cross-process stitching
+  /// (client = 1, server = 2) renders as two process lanes in one
+  /// timeline. A non-empty `trace_id` is stamped into the envelope as a
+  /// top-level "trace_id" field, correlating the file with log lines.
+  void WriteChromeTrace(std::ostream& out, int pid = 1,
+                        const std::string& trace_id = "") const;
 
   /// WriteChromeTrace to `path`; false (with a note on stderr) on I/O
   /// failure.
-  bool WriteChromeTraceFile(const std::string& path) const;
+  bool WriteChromeTraceFile(const std::string& path, int pid = 1,
+                            const std::string& trace_id = "") const;
 
  private:
   struct Ring {

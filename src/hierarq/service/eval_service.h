@@ -66,6 +66,7 @@
 #include "hierarq/data/storage.h"
 #include "hierarq/incremental/versioned_database.h"
 #include "hierarq/obs/metrics.h"
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/query/query.h"
 #include "hierarq/service/shared_plan_cache.h"
 #include "hierarq/util/worker_pool.h"
@@ -105,6 +106,11 @@ struct BatchRequest {
   /// mid-replay report kDeadlineExceeded individually, already-finished
   /// queries in the same group keep their values. Must outlive the call.
   const CancelToken* cancel = nullptr;
+  /// Optional per-query resource accounting (obs/query_stats.h), filled
+  /// for the group's FIRST query only — the wire protocol sends
+  /// single-query groups, and one collector per group keeps the replay
+  /// fan-out free of cross-thread aggregation. Must outlive the call.
+  obs::QueryStats* stats = nullptr;
 };
 
 /// Per-group results, one per query in request order. Non-hierarchical
@@ -228,13 +234,15 @@ class EvalService {
       const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
       const Database& facts,
       const std::function<typename M::value_type(const Fact&)>& annotator,
-      const CancelToken* cancel = nullptr) {
+      const CancelToken* cancel = nullptr,
+      obs::QueryStats* stats = nullptr) {
     batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &facts;
     request.annotator = annotator;
     request.queries = queries;
     request.cancel = cancel;
+    request.stats = stats;
     return EvaluateGroup(monoid, request).values;
   }
 
@@ -251,7 +259,8 @@ class EvalService {
       const M& monoid, const std::vector<const ConjunctiveQuery*>& queries,
       const VersionedDatabase& database,
       const std::function<typename M::value_type(const Fact&)>& annotator,
-      std::string annotator_id, const CancelToken* cancel = nullptr) {
+      std::string annotator_id, const CancelToken* cancel = nullptr,
+      obs::QueryStats* stats = nullptr) {
     batches_->Add();
     BatchRequest<typename M::value_type> request;
     request.database = &database.facts();
@@ -261,6 +270,7 @@ class EvalService {
     request.generation = database.generation();
     request.database_uid = database.uid();
     request.cancel = cancel;
+    request.stats = stats;
     return EvaluateGroup(monoid, request).values;
   }
 
@@ -295,7 +305,13 @@ class EvalService {
     obs::Span group_span("service.group", "service");
 
     // Query phase: resolve every plan through the shared cache. Failures
-    // (non-hierarchical queries) are recorded per slot.
+    // (non-hierarchical queries) are recorded per slot. The accounting
+    // probe runs before resolution — GetPlan below inserts on miss, so a
+    // post-hoc probe would always report a hit.
+    if (request.stats != nullptr && n > 0) {
+      request.stats->plan_cache_hit =
+          plan_cache_.Contains(*request.queries.front());
+    }
     std::vector<Result<const EliminationPlan*>> plans;
     plans.reserve(n);
     std::vector<size_t> planned;  // Slots whose plan resolved.
@@ -420,6 +436,8 @@ class EvalService {
       std::lock_guard<std::mutex> lock(intra_mutex_);
       try {
         ScopedCancel watch(request.cancel);
+        obs::ScopedQueryStats accounting(
+            slot == 0 ? request.stats : nullptr);
         values[slot] = intra_evaluator_->ReplayPlan(
             **plans[slot], monoid, *request.queries[slot],
             sources.per_query.front());
@@ -435,6 +453,8 @@ class EvalService {
         // per-slot status at assembly.
         try {
           ScopedCancel watch(request.cancel);
+          obs::ScopedQueryStats accounting(
+              slot == 0 ? request.stats : nullptr);
           values[slot] = worker_evaluator(worker).ReplayPlan(
               **plans[slot], monoid, *request.queries[slot],
               sources.per_query[j]);

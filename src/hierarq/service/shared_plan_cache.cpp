@@ -56,6 +56,11 @@ Result<const EliminationPlan*> SharedPlanCache::GetPlan(
   return raw;
 }
 
+bool SharedPlanCache::Contains(const ConjunctiveQuery& query) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return plans_.find(query.ToString()) != plans_.end();
+}
+
 size_t SharedPlanCache::size() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   return plans_.size();

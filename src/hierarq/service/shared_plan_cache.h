@@ -52,6 +52,11 @@ class SharedPlanCache : public PlanProvider {
   Result<const EliminationPlan*> GetPlan(
       const ConjunctiveQuery& query) override;
 
+  /// Whether a plan for `query` is already cached — a side-effect-free
+  /// probe (no build, no counter bump) used by per-request accounting to
+  /// report plan_cache_hit deterministically before resolving the plan.
+  bool Contains(const ConjunctiveQuery& query) const;
+
   /// Number of distinct queries with a cached plan.
   size_t size() const;
 

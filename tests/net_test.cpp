@@ -15,6 +15,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,8 +68,9 @@ TEST_P(WireFormatTest, CountResultRoundTrips) {
   result.solver = SolverKind::kCount;
   result.count = ~uint64_t{0} - 7;  // Exercises the full u64 range.
   auto decoded = DecodeQueryResult(
-      EncodeQueryResult(result, GetParam(), /*with_trace=*/false),
-      GetParam(), /*with_trace=*/false);
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/false,
+                        /*with_trace=*/false),
+      GetParam(), /*with_stats=*/false, /*with_trace=*/false);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->solver, SolverKind::kCount);
   EXPECT_EQ(decoded->count, result.count);
@@ -79,7 +81,8 @@ TEST_P(WireFormatTest, DoubleResultRoundTripsBitExactly) {
   result.solver = SolverKind::kPqe;
   result.number = 0.1 + 0.2;  // Not representable exactly: %.17g must hold.
   auto decoded = DecodeQueryResult(
-      EncodeQueryResult(result, GetParam(), false), GetParam(), false);
+      EncodeQueryResult(result, GetParam(), false, false), GetParam(), false,
+      false);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   EXPECT_EQ(decoded->number, result.number);  // Bit-exact, not near.
 }
@@ -91,8 +94,9 @@ TEST_P(WireFormatTest, ShapleyResultWithTraceRoundTrips) {
                     {"S(7,\"x\")", "-2/5", -0.4}};
   result.trace_json = "{\"traceEvents\": []}";
   auto decoded = DecodeQueryResult(
-      EncodeQueryResult(result, GetParam(), /*with_trace=*/true), GetParam(),
-      /*with_trace=*/true);
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/false,
+                        /*with_trace=*/true),
+      GetParam(), /*with_stats=*/false, /*with_trace=*/true);
   ASSERT_TRUE(decoded.ok()) << decoded.status();
   ASSERT_EQ(decoded->shapley.size(), 2u);
   EXPECT_EQ(decoded->shapley[0].fact, "R(1,2)");
@@ -100,6 +104,143 @@ TEST_P(WireFormatTest, ShapleyResultWithTraceRoundTrips) {
   EXPECT_EQ(decoded->shapley[1].fact, "S(7,\"x\")");
   EXPECT_EQ(decoded->shapley[1].value, -0.4);
   EXPECT_EQ(decoded->trace_json, result.trace_json);
+}
+
+TEST_P(WireFormatTest, StatsSectionRoundTrips) {
+  QueryResult result;
+  result.solver = SolverKind::kCount;
+  result.count = 7;
+  result.stats.rule1_rows_scanned = ~uint64_t{0} - 3;  // Past 2^53.
+  result.stats.rule1_rows_emitted = 11;
+  result.stats.rule2_rows_scanned = 12;
+  result.stats.rule2_rows_emitted = 13;
+  result.stats.steps_total = 6;
+  result.stats.steps_serial = 4;
+  result.stats.steps_parallel = 2;
+  result.stats.cancel_checkpoints = 9;
+  result.stats.queue_wait_ns = 1234567;
+  result.stats.exec_ns = 7654321;
+  result.stats.plan_cache_hit = true;
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/true,
+                        /*with_trace=*/false),
+      GetParam(), /*with_stats=*/true, /*with_trace=*/false);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->count, 7u);
+  EXPECT_EQ(decoded->stats.rule1_rows_scanned,
+            result.stats.rule1_rows_scanned);
+  EXPECT_EQ(decoded->stats.rule1_rows_emitted, 11u);
+  EXPECT_EQ(decoded->stats.rule2_rows_scanned, 12u);
+  EXPECT_EQ(decoded->stats.rule2_rows_emitted, 13u);
+  EXPECT_EQ(decoded->stats.steps_total, 6u);
+  EXPECT_EQ(decoded->stats.steps_serial, 4u);
+  EXPECT_EQ(decoded->stats.steps_parallel, 2u);
+  EXPECT_EQ(decoded->stats.cancel_checkpoints, 9u);
+  EXPECT_EQ(decoded->stats.queue_wait_ns, 1234567u);
+  EXPECT_EQ(decoded->stats.exec_ns, 7654321u);
+  EXPECT_TRUE(decoded->stats.plan_cache_hit);
+}
+
+TEST_P(WireFormatTest, StatsAndTraceSectionsCompose) {
+  QueryResult result;
+  result.solver = SolverKind::kPqe;
+  result.number = 0.25;
+  result.stats.exec_ns = 42;
+  result.trace_json = "{\"traceEvents\": []}";
+  auto decoded = DecodeQueryResult(
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/true,
+                        /*with_trace=*/true),
+      GetParam(), /*with_stats=*/true, /*with_trace=*/true);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->number, 0.25);
+  EXPECT_EQ(decoded->stats.exec_ns, 42u);
+  EXPECT_EQ(decoded->trace_json, result.trace_json);
+}
+
+TEST_P(WireFormatTest, StatsFlagOffDecodesOldStyleFrames) {
+  // Backward compat both ways: a frame encoded WITHOUT the stats section
+  // (an old server answering a new client, which then sees kFlagStats
+  // clear and decodes accordingly) must round-trip; and a stats-bearing
+  // encoding must NOT be accepted by a decoder told no section is there
+  // — reject-don't-trust, not garbage in the value fields.
+  QueryResult result;
+  result.solver = SolverKind::kCount;
+  result.count = 99;
+  result.stats.exec_ns = 12345;  // Present in the struct, not on the wire.
+  const std::string old_style =
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/false,
+                        /*with_trace=*/false);
+  auto decoded = DecodeQueryResult(old_style, GetParam(), false, false);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->count, 99u);
+  EXPECT_EQ(decoded->stats.exec_ns, 0u) << "stats absent, not garbage";
+  EXPECT_FALSE(decoded->stats.plan_cache_hit);
+
+  const std::string with_stats =
+      EncodeQueryResult(result, GetParam(), /*with_stats=*/true,
+                        /*with_trace=*/false);
+  auto mismatched = DecodeQueryResult(with_stats, GetParam(), false, false);
+  if (GetParam() == WireFormat::kNative) {
+    // Native is positional: unexpected trailing stats bytes are a
+    // protocol violation, rejected rather than misread as a trace.
+    EXPECT_FALSE(mismatched.ok());
+  } else {
+    // JSON is keyed: an unread "stats" field is cleanly ignored, so a
+    // stats-flag-unaware decoder still gets the value out.
+    ASSERT_TRUE(mismatched.ok()) << mismatched.status();
+    EXPECT_EQ(mismatched->count, 99u);
+    EXPECT_EQ(mismatched->stats.exec_ns, 0u);
+  }
+}
+
+TEST_P(WireFormatTest, TraceIdRidesTheRequestAndOldFramesStillDecode) {
+  QueryRequest request;
+  request.solver = SolverKind::kCount;
+  request.deadline_ms = 5;
+  request.query = "Q() :- R(A)";
+  request.trace_id = "deadbeef01234567";
+  auto decoded =
+      DecodeQueryRequest(EncodeQueryRequest(request, GetParam()), GetParam());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->trace_id, "deadbeef01234567");
+
+  // An id-less request encodes byte-identically to the pre-trace-id
+  // layout (the trailing field is simply absent), so old servers decode
+  // new clients' untraced requests unchanged — and new servers decode
+  // old clients' requests to an empty id.
+  request.trace_id.clear();
+  auto old_style =
+      DecodeQueryRequest(EncodeQueryRequest(request, GetParam()), GetParam());
+  ASSERT_TRUE(old_style.ok()) << old_style.status();
+  EXPECT_TRUE(old_style->trace_id.empty());
+}
+
+TEST_P(WireFormatTest, StatusPayloadRoundTripsAndRejectsTruncation) {
+  StatusPayload status;
+  status.uptime_ns = ~uint64_t{0} - 17;
+  status.queue_depth = 3;
+  status.oldest_job_age_ns = 5'000'000'000ull;
+  status.active_connections = 8;
+  status.requests_total = 1'000'000;
+  status.errors_total = 2;
+  status.recent_errors = {"bad \"query\"", "deadline exceeded"};
+  const std::string encoded = EncodeStatusPayload(status, GetParam());
+  auto decoded = DecodeStatusPayload(encoded, GetParam());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->uptime_ns, status.uptime_ns);
+  EXPECT_EQ(decoded->queue_depth, 3u);
+  EXPECT_EQ(decoded->oldest_job_age_ns, 5'000'000'000ull);
+  EXPECT_EQ(decoded->active_connections, 8u);
+  EXPECT_EQ(decoded->requests_total, 1'000'000u);
+  EXPECT_EQ(decoded->errors_total, 2u);
+  ASSERT_EQ(decoded->recent_errors.size(), 2u);
+  EXPECT_EQ(decoded->recent_errors[0], "bad \"query\"");
+  EXPECT_EQ(decoded->recent_errors[1], "deadline exceeded");
+
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    EXPECT_FALSE(DecodeStatusPayload(encoded.substr(0, cut), GetParam()).ok())
+        << "prefix of length " << cut << " accepted";
+  }
 }
 
 TEST_P(WireFormatTest, ErrorAndDeltaAckRoundTrip) {
@@ -132,7 +273,7 @@ TEST_P(WireFormatTest, TruncatedAndTrailingPayloadsAreRejected) {
 
 TEST(Wire, GarbagePayloadIsRejectedNotTrusted) {
   for (const WireFormat format : {WireFormat::kNative, WireFormat::kJson}) {
-    EXPECT_FALSE(DecodeQueryResult("\xff\xfe garbage \x01", format,
+    EXPECT_FALSE(DecodeQueryResult("\xff\xfe garbage \x01", format, false,
                                    false).ok());
     EXPECT_FALSE(DecodeDeltaAck("{not json", format).ok());
   }
@@ -592,6 +733,103 @@ TEST(Server, TraceCaptureAnnouncesPlanSteps) {
   auto untraced = client.Query(SolverKind::kCount, kSmallQuery);
   ASSERT_TRUE(untraced.ok());
   EXPECT_TRUE(untraced->trace_json.empty());
+}
+
+TEST(Server, StatsSectionReportsAccountingOverTheWire) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+
+  auto first = client.Query(SolverKind::kCount, kSmallQuery, 0,
+                            /*capture_trace=*/false, /*capture_stats=*/true);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(client.last_response_had_stats());
+  EXPECT_GT(first->stats.steps_total, 0u);
+  EXPECT_GT(first->stats.rule1_rows_scanned, 0u);
+  EXPECT_GT(first->stats.exec_ns, 0u);
+  EXPECT_GT(first->stats.cancel_checkpoints, 0u);
+  EXPECT_FALSE(first->stats.plan_cache_hit) << "first sighting of the query";
+
+  auto second = client.Query(SolverKind::kCount, kSmallQuery, 0, false,
+                             /*capture_stats=*/true);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->stats.plan_cache_hit) << "same query, cached plan";
+  EXPECT_EQ(second->count, first->count);
+
+  // Without the flag the response carries no section and announces none.
+  auto plain = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_FALSE(client.last_response_had_stats());
+  EXPECT_EQ(plain->stats.steps_total, 0u);
+}
+
+TEST(Server, StatsAndTraceComposeOnOneRequest) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+  const std::string trace_id = HierarqClient::MintTraceId();
+  EXPECT_EQ(trace_id.size(), 16u);
+  auto result = client.Query(SolverKind::kCount, kSmallQuery, 0,
+                             /*capture_trace=*/true, /*capture_stats=*/true,
+                             trace_id);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(client.last_response_had_stats());
+  EXPECT_GT(result->stats.steps_total, 0u);
+  EXPECT_NE(result->trace_json.find("\"traceEvents\""), std::string::npos);
+  // The minted id rode the request and came back in the server's
+  // trace envelope — the cross-process correlation handle.
+  EXPECT_NE(result->trace_json.find(trace_id), std::string::npos);
+}
+
+TEST(Server, StatusFrameReportsHealthAndRecentErrors) {
+  TestServer fixture(kSmallDb);
+  HierarqClient client = fixture.Connect();
+
+  auto initial = client.ServerStatus();
+  ASSERT_TRUE(initial.ok()) << initial.status();
+  EXPECT_GE(initial->active_connections, 1u);
+  EXPECT_EQ(initial->errors_total, 0u);
+  EXPECT_TRUE(initial->recent_errors.empty());
+
+  ASSERT_TRUE(client.Query(SolverKind::kCount, kSmallQuery).ok());
+  auto bad = client.Query(SolverKind::kCount, "this is not datalog");
+  ASSERT_FALSE(bad.ok());
+
+  auto after = client.ServerStatus();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_GT(after->requests_total, initial->requests_total);
+  EXPECT_EQ(after->errors_total, 1u);
+  ASSERT_EQ(after->recent_errors.size(), 1u);
+  EXPECT_NE(after->recent_errors[0].find("parse"), std::string::npos)
+      << after->recent_errors[0];
+  EXPECT_GT(after->uptime_ns, 0u);
+
+  // The per-frame-type counters back the fleet view's traffic mix.
+  auto metrics = client.Metrics(WireFormat::kNative);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("server.frames.query"), std::string::npos);
+  EXPECT_NE(metrics->find("server.frames.status"), std::string::npos);
+  EXPECT_NE(metrics->find("server.error_frames 1"), std::string::npos)
+      << *metrics;
+  EXPECT_NE(metrics->find("server.query_ns"), std::string::npos);
+}
+
+TEST(Server, SlowQueryLogCapturesStatsAndExplain) {
+  HierarqServer::Options options;
+  options.slow_query_ms = 0;  // Log EVERY query.
+  std::ostringstream sink;
+  obs::Logger::Options log_options;
+  log_options.sink = &sink;
+  obs::Logger logger(log_options);
+  options.logger = &logger;
+  TestServer fixture(kSmallDb, "", options);
+  HierarqClient client = fixture.Connect();
+  ASSERT_TRUE(client.Query(SolverKind::kCount, kSmallQuery).ok());
+
+  const std::string log = sink.str();
+  EXPECT_NE(log.find("event=slow_query"), std::string::npos) << log;
+  EXPECT_NE(log.find("solver=count"), std::string::npos) << log;
+  EXPECT_NE(log.find("rule1_rows_scanned="), std::string::npos)
+      << "the QueryStats line rides the log event: " << log;
+  EXPECT_NE(log.find("EXPLAIN ANALYZE"), std::string::npos) << log;
 }
 
 TEST(Server, BadQueryAndBadSolverInputAnswerCleanErrors) {

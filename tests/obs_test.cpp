@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +18,9 @@
 #include "hierarq/core/evaluator.h"
 #include "hierarq/data/database.h"
 #include "hierarq/obs/explain.h"
+#include "hierarq/obs/log.h"
 #include "hierarq/obs/metrics.h"
+#include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/workload/query_gen.h"
@@ -122,9 +126,61 @@ TEST(Metrics, RegistryResolvesOneInstrumentPerName) {
             std::string::npos)
       << text;
   const std::string json = registry.RenderJson();
-  EXPECT_NE(json.find("\"test.counter\": 3"), std::string::npos) << json;
+  // 64-bit integers ride JSON as decimal strings (ns counters pass 2^53,
+  // where double-parsing consumers would silently round).
+  EXPECT_NE(json.find("\"test.counter\": \"3\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": \"1\""), std::string::npos) << json;
   registry.Reset();
   EXPECT_EQ(a->Value(), 0u);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  obs::Histogram h;
+  // An empty histogram must answer NaN, not pretend bucket 0.
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+
+  // 1000 samples 0..999: exact percentiles are known, and the log-2
+  // buckets bound the estimate to its bucket's range.
+  for (uint64_t v = 0; v < 1000; ++v) {
+    h.Observe(v);
+  }
+  const double p50 = h.Quantile(0.50);
+  const double p90 = h.Quantile(0.90);
+  const double p99 = h.Quantile(0.99);
+  // Exact p50 = 499.5 lives in [256,511]; p90 = 899.1 and p99 = 989.01
+  // share [512,1023]. The estimate may not leave the exact value's
+  // bucket, and must order correctly.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 511.0);
+  EXPECT_GE(p90, 512.0);
+  EXPECT_LE(p90, 1023.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1023.0);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  // Within-bucket interpolation: relative error against the exact
+  // percentile stays well under the 2x worst case of bucket midpoints.
+  EXPECT_NEAR(p50, 499.5, 499.5 * 0.35);
+  EXPECT_NEAR(p90, 899.1, 899.1 * 0.35);
+  EXPECT_NEAR(p99, 989.01, 989.01 * 0.35);
+
+  // Extremes clamp instead of over/underrunning the rank walk.
+  EXPECT_GE(h.Quantile(0.0), 0.0);
+  EXPECT_LE(h.Quantile(1.0), 1023.0);
+
+  obs::Histogram zeros;
+  zeros.Observe(0);
+  zeros.Observe(0);
+  EXPECT_EQ(zeros.Quantile(0.99), 0.0) << "all-zero data is bucket 0";
+
+  // Empty histograms render WITHOUT p* fields in both formats.
+  obs::MetricsRegistry registry;
+  registry.GetHistogram("test.empty");
+  EXPECT_EQ(registry.RenderText().find("p50="), std::string::npos);
+  EXPECT_EQ(registry.RenderJson().find("\"p50\""), std::string::npos);
+  registry.GetHistogram("test.full")->Observe(100);
+  EXPECT_NE(registry.RenderText().find("p50="), std::string::npos);
+  EXPECT_NE(registry.RenderJson().find("\"p50\""), std::string::npos);
 }
 
 // The TSAN target: many threads hammering the same named instruments
@@ -298,6 +354,103 @@ TEST(Explain, FormatNsPicksReadableUnits) {
   EXPECT_EQ(obs::FormatNs(1500.0), "1.5us");
   EXPECT_EQ(obs::FormatNs(2350000.0), "2.35ms");
   EXPECT_EQ(obs::FormatNs(1234000000.0), "1.234s");
+}
+
+// ------------------------------------------------------ structured log --
+
+TEST(Logger, KeyValueLinesCarryPrefixAndFields) {
+  std::ostringstream sink;
+  obs::Logger::Options options;
+  options.sink = &sink;
+  obs::Logger logger(options);
+  logger.Info("listening", {{"addr", "127.0.0.1:9000"}, {"facts", "42"}});
+  const std::string line = sink.str();
+  EXPECT_NE(line.find("level=info"), std::string::npos) << line;
+  EXPECT_NE(line.find("event=listening"), std::string::npos) << line;
+  EXPECT_NE(line.find("addr=127.0.0.1:9000"), std::string::npos) << line;
+  EXPECT_NE(line.find("facts=42"), std::string::npos) << line;
+  EXPECT_NE(line.find("ts_ns="), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+
+  // Values with spaces or quotes are quoted-and-escaped, so the line
+  // stays one-token-per-field parseable.
+  sink.str("");
+  logger.Warn("slow_query", {{"query", "Q() :- R(A,\"x\")"}});
+  EXPECT_NE(sink.str().find("query=\"Q() :- R(A,\\\"x\\\")\""),
+            std::string::npos)
+      << sink.str();
+}
+
+TEST(Logger, JsonLinesAreParseableObjects) {
+  std::ostringstream sink;
+  obs::Logger::Options options;
+  options.sink = &sink;
+  options.json = true;
+  obs::Logger logger(options);
+  logger.Error("error_frame", {{"message", "bad \"frame\""}});
+  const std::string line = sink.str();
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\":\"error_frame\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"message\":\"bad \\\"frame\\\"\""),
+            std::string::npos)
+      << line;
+}
+
+TEST(Logger, LevelGateAndRateLimitDropLines) {
+  std::ostringstream sink;
+  obs::Logger::Options options;
+  options.sink = &sink;
+  options.min_level = obs::LogLevel::kWarn;
+  obs::Logger logger(options);
+  logger.Debug("below", {});
+  logger.Info("below", {});
+  logger.Warn("kept", {});
+  EXPECT_EQ(CountOccurrences(sink.str(), "event="), 1u) << sink.str();
+
+  // Token bucket: burst admits the first N instantly, the flood beyond
+  // is counted in dropped() — except errors, which always land.
+  std::ostringstream limited_sink;
+  obs::Logger::Options limited;
+  limited.sink = &limited_sink;
+  limited.rate_per_sec = 1;
+  limited.burst = 2;
+  obs::Logger flooded(limited);
+  for (int i = 0; i < 50; ++i) {
+    flooded.Info("flood", {});
+  }
+  flooded.Error("always", {});
+  EXPECT_LE(CountOccurrences(limited_sink.str(), "event=flood"), 3u);
+  EXPECT_GE(flooded.dropped(), 47u);
+  EXPECT_NE(limited_sink.str().find("event=always"), std::string::npos)
+      << "errors bypass the bucket";
+}
+
+TEST(QueryStats, RenderAndScopedCollection) {
+  obs::QueryStats stats;
+  {
+    obs::ScopedQueryStats scope(&stats);
+    ASSERT_EQ(obs::CurrentQueryStats(), &stats);
+    obs::CurrentQueryStats()->RecordStep(1, 10, 4, false);
+    obs::CurrentQueryStats()->RecordStep(2, 8, 2, true);
+  }
+  EXPECT_EQ(obs::CurrentQueryStats(), nullptr) << "scope must uninstall";
+  EXPECT_EQ(stats.rule1_rows_scanned, 10u);
+  EXPECT_EQ(stats.rule1_rows_emitted, 4u);
+  EXPECT_EQ(stats.rule2_rows_scanned, 8u);
+  EXPECT_EQ(stats.rule2_rows_emitted, 2u);
+  EXPECT_EQ(stats.steps_total, 2u);
+  EXPECT_EQ(stats.steps_serial, 1u);
+  EXPECT_EQ(stats.steps_parallel, 1u);
+  const std::string line = stats.Render();
+  EXPECT_NE(line.find("rule1_rows_scanned=10"), std::string::npos) << line;
+  EXPECT_NE(line.find("plan_cache_hit=false"), std::string::npos) << line;
+
+  // A null scope is the disabled path: collection is a no-op, not a
+  // crash.
+  obs::ScopedQueryStats disabled(nullptr);
+  EXPECT_EQ(obs::CurrentQueryStats(), nullptr);
 }
 
 }  // namespace

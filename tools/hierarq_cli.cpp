@@ -75,10 +75,13 @@
 //   hierarq_cli bagset "Q() :- R(A,B), S(A,C), T(A,C,D)" d.facts dr.facts 2
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -106,7 +109,8 @@ struct ObsOptions {
 struct ClientOptions {
   uint64_t deadline_ms = 0;  ///< Per-request deadline (0 = server default).
   net::WireFormat format = net::WireFormat::kNative;
-  std::string trace_path;    ///< Server-captured trace output, if set.
+  std::string trace_path;    ///< Stitched client+server trace output.
+  bool stats = false;        ///< Print the server's QueryStats line.
 };
 
 int Usage() {
@@ -144,6 +148,7 @@ int Usage() {
                "  client <host:port> update            (delta lines on "
                "stdin)\n"
                "  client <host:port> metrics [text|json]\n"
+               "  client <host:port> status\n"
                "  client <host:port> ping\n"
                "  client <host:port> shutdown\n"
                "options:\n"
@@ -167,8 +172,12 @@ int Usage() {
                "server default\n"
                "  --format=native|json (client) wire payload encoding "
                "(default native)\n"
-               "  --request-trace=FILE (client) ask the server to capture "
-               "this request's trace and write it to FILE\n",
+               "  --request-trace=FILE (client) trace the request on both "
+               "sides and write ONE stitched Chrome trace to FILE (client "
+               "spans pid 1, server spans pid 2, shared trace id)\n"
+               "  --stats              (client) print the server's "
+               "per-query accounting (rows, steps, queue wait vs exec "
+               "time, plan-cache hit) after the result\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -457,6 +466,191 @@ int RunUpdateLoop(const ConjunctiveQuery& query, VersionedDatabase db,
   return 0;
 }
 
+// -- Cross-process trace stitching ------------------------------------
+// Both sides of a traced RPC are rendered by obs::Tracer::WriteChromeTrace
+// (the server ships its rendering verbatim in QueryResult::trace_json),
+// so the stitcher can rely on that exact shape — one event object per
+// line, numeric "pid"/"ts"/"dur" fields — instead of a general JSON
+// parser. Anything it cannot recognize fails the stitch, never produces
+// a half-rewritten file.
+
+/// One trace envelope reduced to what the stitcher needs.
+struct ParsedTrace {
+  uint64_t dropped = 0;
+  std::vector<std::string> events;  ///< JSON objects, one per event.
+};
+
+/// Locates the numeric value following `"key": ` in `object`; reports
+/// its offset and length so callers can read or splice it.
+bool FindJsonNumber(const std::string& object, const char* key,
+                    size_t* value_pos, size_t* value_len) {
+  const std::string needle = std::string("\"") + key + "\": ";
+  const size_t at = object.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const size_t start = at + needle.size();
+  size_t end = start;
+  while (end < object.size() &&
+         (std::isdigit(static_cast<unsigned char>(object[end])) != 0 ||
+          object[end] == '.' || object[end] == '-' || object[end] == '+' ||
+          object[end] == 'e' || object[end] == 'E')) {
+    ++end;
+  }
+  if (end == start) {
+    return false;
+  }
+  *value_pos = start;
+  *value_len = end - start;
+  return true;
+}
+
+bool ReadJsonNumber(const std::string& object, const char* key,
+                    double* value) {
+  size_t pos = 0;
+  size_t len = 0;
+  if (!FindJsonNumber(object, key, &pos, &len)) {
+    return false;
+  }
+  *value = std::strtod(object.c_str() + pos, nullptr);
+  return true;
+}
+
+bool ReplaceJsonNumber(std::string* object, const char* key,
+                       const std::string& replacement) {
+  size_t pos = 0;
+  size_t len = 0;
+  if (!FindJsonNumber(*object, key, &pos, &len)) {
+    return false;
+  }
+  object->replace(pos, len, replacement);
+  return true;
+}
+
+/// Splits a WriteChromeTrace envelope into its dropped count and event
+/// objects. False on anything that does not look like our own output.
+bool ParseTracerEnvelope(const std::string& json, ParsedTrace* out) {
+  double dropped = 0.0;
+  if (!ReadJsonNumber(json, "dropped", &dropped) || dropped < 0.0) {
+    return false;
+  }
+  out->dropped = static_cast<uint64_t>(dropped);
+  const std::string open = "\"traceEvents\": [";
+  const size_t array_at = json.find(open);
+  const size_t close = json.rfind(']');
+  if (array_at == std::string::npos || close == std::string::npos ||
+      close < array_at + open.size()) {
+    return false;
+  }
+  std::string body =
+      json.substr(array_at + open.size(), close - array_at - open.size());
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find(",\n", start);
+    if (end == std::string::npos) {
+      end = body.size();
+    }
+    std::string event = Trim(body.substr(start, end - start));
+    if (!event.empty()) {
+      if (event.front() != '{' || event.back() != '}') {
+        return false;
+      }
+      out->events.push_back(std::move(event));
+    }
+    start = end + 2;
+  }
+  return true;
+}
+
+/// Merges the client-side tracer with the server's trace JSON into ONE
+/// Chrome trace: client events keep pid 1, server events are re-labelled
+/// pid 2, and server timestamps are re-based so the server's earliest
+/// event lands at the start of the client's RPC span — each process
+/// stamps ns from its own steady epoch, so raw timestamps from the two
+/// sides are not comparable. Dropped counts add; `trace_id` is stamped
+/// into the merged envelope. False (nothing written) if either side
+/// cannot be parsed.
+bool WriteStitchedTrace(const obs::Tracer& client_tracer,
+                        const std::string& server_json,
+                        const std::string& trace_id, uint64_t rpc_start_ns,
+                        std::ostream& out) {
+  std::ostringstream client_json;
+  client_tracer.WriteChromeTrace(client_json, /*pid=*/1, trace_id);
+  ParsedTrace client;
+  ParsedTrace server;
+  if (!ParseTracerEnvelope(client_json.str(), &client) ||
+      !ParseTracerEnvelope(server_json, &server)) {
+    return false;
+  }
+  double server_min_ts = 0.0;
+  for (size_t i = 0; i < server.events.size(); ++i) {
+    double ts = 0.0;
+    if (!ReadJsonNumber(server.events[i], "ts", &ts)) {
+      return false;
+    }
+    if (i == 0 || ts < server_min_ts) {
+      server_min_ts = ts;
+    }
+  }
+  // Chrome ts are microseconds; shift the server timeline so its first
+  // event coincides with the client's send (the earliest instant the
+  // server work can truly have started after).
+  const double delta_us =
+      static_cast<double>(rpc_start_ns) / 1000.0 - server_min_ts;
+  struct Ordered {
+    double ts = 0.0;
+    double dur = 0.0;
+    std::string json;
+  };
+  std::vector<Ordered> merged;
+  merged.reserve(client.events.size() + server.events.size());
+  for (std::string& event : client.events) {
+    Ordered entry;
+    if (!ReadJsonNumber(event, "ts", &entry.ts)) {
+      return false;
+    }
+    ReadJsonNumber(event, "dur", &entry.dur);  // Instants carry none.
+    entry.json = std::move(event);
+    merged.push_back(std::move(entry));
+  }
+  for (std::string& event : server.events) {
+    Ordered entry;
+    if (!ReadJsonNumber(event, "ts", &entry.ts)) {
+      return false;
+    }
+    entry.ts += delta_us;
+    char rebased[32];
+    std::snprintf(rebased, sizeof(rebased), "%.3f", entry.ts);
+    if (!ReplaceJsonNumber(&event, "ts", rebased) ||
+        !ReplaceJsonNumber(&event, "pid", "2")) {
+      return false;
+    }
+    ReadJsonNumber(event, "dur", &entry.dur);
+    entry.json = std::move(event);
+    merged.push_back(std::move(entry));
+  }
+  // The validator's ordering contract: ts ascending, parents (longer
+  // durations) before children at equal starts.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Ordered& a, const Ordered& b) {
+                     if (a.ts != b.ts) {
+                       return a.ts < b.ts;
+                     }
+                     return a.dur > b.dur;
+                   });
+  out << "{\"displayTimeUnit\": \"ns\", \"dropped\": "
+      << (client.dropped + server.dropped);
+  if (!trace_id.empty()) {
+    out << ", \"trace_id\": \"" << trace_id << "\"";
+  }
+  out << ", \"traceEvents\": [";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << merged[i].json;
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
 /// `hierarq_cli client <host:port> <command> ...` — the same solvers,
 /// answered by a running hierarq_server. Result lines are rendered
 /// exactly as direct mode renders them, so `diff` between the two modes
@@ -489,6 +683,28 @@ int RunClient(int argc, char** argv, const ClientOptions& options) {
       return Fail(status);
     }
     std::printf("server shutting down\n");
+    return 0;
+  }
+  if (command == "status") {
+    auto status = client.ServerStatus();
+    if (!status.ok()) {
+      return Fail(status.status());
+    }
+    std::printf("uptime_s           %.1f\n",
+                static_cast<double>(status->uptime_ns) / 1e9);
+    std::printf("queue_depth        %llu\n",
+                static_cast<unsigned long long>(status->queue_depth));
+    std::printf("oldest_job_age_ms  %.3f\n",
+                static_cast<double>(status->oldest_job_age_ns) / 1e6);
+    std::printf("active_connections %llu\n",
+                static_cast<unsigned long long>(status->active_connections));
+    std::printf("requests_total     %llu\n",
+                static_cast<unsigned long long>(status->requests_total));
+    std::printf("errors_total       %llu\n",
+                static_cast<unsigned long long>(status->errors_total));
+    for (const std::string& error : status->recent_errors) {
+      std::printf("recent_error       %s\n", error.c_str());
+    }
     return 0;
   }
   if (command == "metrics") {
@@ -540,8 +756,25 @@ int RunClient(int argc, char** argv, const ClientOptions& options) {
   if (!solver.ok() || argc != 5) {
     return Usage();
   }
+  // A traced request is traced on BOTH sides: the client records its own
+  // spans (pid 1) around the RPC, the server tags its work with the
+  // minted trace id, and the two are stitched into one file below.
+  const bool capture_trace = !options.trace_path.empty();
+  std::string trace_id;
+  std::optional<obs::Tracer> client_tracer;
+  if (capture_trace) {
+    trace_id = net::HierarqClient::MintTraceId();
+    client_tracer.emplace();
+    client_tracer->Install();
+  }
+  const uint64_t rpc_start_ns = obs::Tracer::NowNs();
   auto result = client.Query(*solver, argv[4], options.deadline_ms,
-                             !options.trace_path.empty());
+                             capture_trace, options.stats, trace_id);
+  const uint64_t rpc_end_ns = obs::Tracer::NowNs();
+  if (client_tracer.has_value()) {
+    client_tracer->EmitSpan("client_rpc", "net", rpc_start_ns, rpc_end_ns);
+    client_tracer->Uninstall();
+  }
   if (!result.ok()) {
     return Fail(result.status());
   }
@@ -571,13 +804,30 @@ int RunClient(int argc, char** argv, const ClientOptions& options) {
       }
       break;
   }
-  if (!options.trace_path.empty()) {
+  if (options.stats) {
+    if (client.last_response_had_stats()) {
+      std::printf("stats: %s\n", result->stats.Render().c_str());
+      std::printf(
+          "timing: queue_wait=%.3fms exec=%.3fms\n",
+          static_cast<double>(result->stats.queue_wait_ns) / 1e6,
+          static_cast<double>(result->stats.exec_ns) / 1e6);
+    } else {
+      std::fprintf(stderr,
+                   "warning: server answered without a stats section "
+                   "(pre-accounting server?)\n");
+    }
+  }
+  if (capture_trace) {
     std::ofstream out(options.trace_path, std::ios::binary);
-    if (!out || !(out << result->trace_json)) {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
+    if (!out ||
+        !WriteStitchedTrace(*client_tracer, result->trace_json, trace_id,
+                            rpc_start_ns, out)) {
+      std::fprintf(stderr, "error: cannot write stitched trace to %s\n",
                    options.trace_path.c_str());
       return 1;
     }
+    std::fprintf(stderr, "trace %s written to %s\n", trace_id.c_str(),
+                 options.trace_path.c_str());
   }
   return 0;
 }
@@ -734,6 +984,10 @@ int Run(int argc, char** argv) {
         std::fprintf(stderr, "error: --request-trace needs a file path\n");
         return Usage();
       }
+      continue;
+    }
+    if (arg == "--stats") {
+      client_options.stats = true;
       continue;
     }
     if (i > 0 && arg.rfind("--", 0) == 0) {

@@ -22,10 +22,16 @@
 //                      sharded|sharded_columnar)
 //   --threads=N        intra-query parallelism for single huge replays
 //   --adaptive         per-step adaptive execution
+//   --slow-query-ms=N  log any query at or over N ms of evaluation wall
+//                      time (query text, QueryStats, EXPLAIN ANALYZE);
+//                      0 logs every query, unset disables the log
+//   --log-json         structured logs as JSON lines (default key=value)
 //
 // On startup prints exactly one line `listening on 127.0.0.1:PORT` to
 // stdout (flushed — CI scrapes it to find an ephemeral port), then
-// serves until SIGINT/SIGTERM or a kShutdown frame.
+// serves until SIGINT/SIGTERM or a kShutdown frame. Lifecycle and
+// slow-query events go to stderr through the structured logger
+// (obs/log.h).
 
 #include <unistd.h>
 
@@ -41,6 +47,7 @@
 #include "hierarq/data/storage.h"
 #include "hierarq/incremental/versioned_database.h"
 #include "hierarq/net/server.h"
+#include "hierarq/obs/log.h"
 #include "hierarq/util/strings.h"
 
 namespace hierarq {
@@ -54,7 +61,8 @@ int Usage() {
       "[--queue-limit=N]\n"
       "                      [--deadline-ms=N] [--storage=KIND] "
       "[--threads=N]\n"
-      "                      [--adaptive]\n");
+      "                      [--adaptive] [--slow-query-ms=N] "
+      "[--log-json]\n");
   return 2;
 }
 
@@ -81,6 +89,7 @@ int Run(int argc, char** argv) {
   StorageKind storage = kDefaultStorageKind;
   size_t threads = 1;
   bool adaptive = false;
+  bool log_json = false;
 
   const auto parse_count = [](std::string_view text, int64_t min,
                               int64_t* out) {
@@ -145,6 +154,15 @@ int Run(int argc, char** argv) {
         return Usage();
       }
       threads = static_cast<size_t>(n);
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      if (!parse_count(arg.substr(16), 0, &n)) {
+        std::fprintf(stderr, "error: bad slow-query threshold in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      options.slow_query_ms = n;
+    } else if (arg == "--log-json") {
+      log_json = true;
     } else if (arg == "--adaptive") {
       adaptive = true;
     } else {
@@ -159,6 +177,14 @@ int Run(int argc, char** argv) {
   options.async.service.storage = storage;
   options.async.service.intra_query_threads = threads;
   options.async.service.adaptive = adaptive;
+
+  // Startup-only: the global logger carries every structured event from
+  // here on (lifecycle, slow queries, protocol errors), all on stderr so
+  // the scraped `listening on` stdout line stays alone.
+  obs::Logger::Options log_options;
+  log_options.json = log_json;
+  obs::Logger& log = obs::Logger::Global();
+  log.Configure(log_options);
 
   // The dictionary outlives the server: databases load through it, delta
   // frames intern into it, shapley results render from it.
@@ -201,19 +227,26 @@ int Run(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::jthread signal_watcher([&server] {
+  std::jthread signal_watcher([&server, &log] {
     char byte = 0;
     while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
     }
+    log.Info("signal", {{"action", "shutdown"}});
     server.Stop();
   });
 
   std::printf("listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+  log.Info("listening",
+           {{"addr", "127.0.0.1:" + std::to_string(server.port())},
+            {"db", db_path},
+            {"facts", std::to_string(server.database().NumFacts())},
+            {"slow_query_ms", std::to_string(options.slow_query_ms)}});
 
   server.Wait();
   server.Stop();
+  log.Info("stopped", {});
   // Unblock the watcher (self-signal through the pipe) so its jthread
   // joins; Stop above is idempotent.
   const char byte = 1;
