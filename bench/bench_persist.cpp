@@ -1,0 +1,201 @@
+// Experiment P1 — the persistence layer: durability cost end to end.
+//
+// Not a paper artifact: the paper's algorithmics are orthogonal to
+// storage. This emitter tracks the engineering floors the durable server
+// relies on across PRs — snapshot write and recover throughput (MB/s and
+// facts/s over the CRC-guarded chunk format), WAL append rate (one
+// fsynced record per acked batch: the per-update durability tax), and
+// the ratio of plain VersionedDatabase::Apply to WAL-append + Apply,
+// which is exactly what an acked delta costs over an in-memory one.
+//
+// Emits BENCH_persist.json. Directories live under /dev/shm when
+// available so numbers measure the format, not the disk.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hierarq/algebra/semirings.h"
+#include "hierarq/data/value.h"
+#include "hierarq/incremental/delta_text.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/persist/snapshot.h"
+#include "hierarq/persist/wal.h"
+#include "hierarq/util/random.h"
+#include "hierarq/util/timer.h"
+#include "hierarq/workload/data_gen.h"
+#include "hierarq/workload/query_gen.h"
+
+namespace hierarq {
+namespace {
+
+using persist::RealFileIo;
+using persist::RecoverDatabase;
+using persist::WalFileName;
+using persist::WalWriter;
+using persist::WriteSnapshot;
+
+std::string BenchDir(const std::string& tag) {
+  RealFileIo io;
+  const std::string base =
+      io.Exists("/dev/shm") ? "/dev/shm" : std::string(".");
+  const std::string dir = base + "/hierarq_bench_persist_" + tag;
+  (void)io.MakeDir(dir);
+  auto entries = io.ListDir(dir);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      (void)io.Remove(dir + "/" + name);
+    }
+  }
+  return dir;
+}
+
+void RemoveDir(const std::string& dir) {
+  RealFileIo io;
+  auto entries = io.ListDir(dir);
+  if (entries.ok()) {
+    for (const std::string& name : *entries) {
+      (void)io.Remove(dir + "/" + name);
+    }
+  }
+  ::remove(dir.c_str());
+}
+
+Database MakeWorkload(size_t total_facts) {
+  Rng rng(91);
+  DataGenOptions opts;
+  opts.tuples_per_relation = total_facts / 3;
+  opts.domain_size = std::max<size_t>(8, opts.tuples_per_relation / 4);
+  return RandomDatabaseForQuery(MakePaperQuery(), rng, opts);
+}
+
+void Report() {
+  bench::PrintHeader(
+      "P1: durable persistence (snapshot / recover / WAL)",
+      "engineering floors only — durability is orthogonal to the paper");
+  bench::JsonReport report("persist", "BENCH_persist.json");
+  Dictionary dict;
+  const size_t kFacts = 100000;
+  VersionedDatabase db(MakeWorkload(kFacts));
+  RealFileIo io;
+
+  // Snapshot write throughput.
+  const std::string snap_dir = BenchDir("snapshot");
+  uint64_t snapshot_bytes = 0;
+  const double snapshots_per_sec = bench::MeasureRate([&] {
+    auto stats = WriteSnapshot(io, snap_dir, db, dict);
+    if (stats.ok()) {
+      snapshot_bytes = stats->bytes;
+    }
+  });
+  report.AddRow(
+      "snapshot_write/100k",
+      {{"snapshots_per_sec", snapshots_per_sec},
+       {"mb_per_sec", snapshots_per_sec * snapshot_bytes / 1e6},
+       {"facts_per_sec", snapshots_per_sec * db.NumFacts()},
+       {"snapshot_bytes", static_cast<double>(snapshot_bytes)}});
+  std::printf("  snapshot: %.1f/s (%.1f MB/s, %zu facts, %llu bytes)\n",
+              snapshots_per_sec, snapshots_per_sec * snapshot_bytes / 1e6,
+              db.NumFacts(),
+              static_cast<unsigned long long>(snapshot_bytes));
+
+  // Recover throughput over the same directory.
+  const double recovers_per_sec = bench::MeasureRate([&] {
+    Dictionary scratch;
+    auto recovered = RecoverDatabase(io, snap_dir, &scratch);
+    benchmark::DoNotOptimize(recovered.ok());
+  });
+  report.AddRow(
+      "recover/100k",
+      {{"recovers_per_sec", recovers_per_sec},
+       {"mb_per_sec", recovers_per_sec * snapshot_bytes / 1e6},
+       {"facts_per_sec", recovers_per_sec * db.NumFacts()}});
+  std::printf("  recover: %.1f/s (%.1f MB/s)\n", recovers_per_sec,
+              recovers_per_sec * snapshot_bytes / 1e6);
+
+  // WAL append rate: one fsynced record per acked batch.
+  const std::string wal_dir = BenchDir("wal");
+  auto writer = WalWriter::Open(&io, wal_dir + "/" + WalFileName(0));
+  const std::string line = "+R(123456,654321)@0.5; -S(42,7)";
+  uint64_t generation = 0;
+  const double appends_per_sec = bench::MeasureRate(
+      [&] { (void)writer->Append(++generation, line); });
+  report.AddRow("wal_append",
+                {{"appends_per_sec", appends_per_sec},
+                 {"bytes_per_record",
+                  static_cast<double>(
+                      persist::EncodeWalRecord(1, line).size())}});
+  std::printf("  wal append: %.0f/s\n", appends_per_sec);
+
+  // The durability tax on one applied batch: Apply alone vs
+  // WAL-append + Apply (the server's acked path, net/server.cpp).
+  VersionedDatabase plain;
+  const double apply_only = bench::MeasureRate([&] {
+    DeltaBatch batch;
+    batch.Insert("R", MakeTuple({1, 2}));
+    plain.Apply(batch);
+    plain.TruncateLog(plain.generation());
+  });
+  VersionedDatabase durable;
+  const double apply_durable = bench::MeasureRate([&] {
+    DeltaBatch batch;
+    batch.Insert("R", MakeTuple({1, 2}));
+    (void)writer->Append(durable.generation() + 1,
+                         RenderDeltaLine(batch, dict));
+    durable.Apply(batch);
+    durable.TruncateLog(durable.generation());
+  });
+  report.AddRow("acked_delta_overhead",
+                {{"apply_only_per_sec", apply_only},
+                 {"apply_durable_per_sec", apply_durable},
+                 {"overhead_ratio",
+                  apply_durable > 0.0 ? apply_only / apply_durable : 0.0}});
+  std::printf("  acked delta: apply=%.0f/s durable=%.0f/s (x%.2f)\n",
+              apply_only, apply_durable,
+              apply_durable > 0.0 ? apply_only / apply_durable : 0.0);
+
+  (void)writer->Close();
+  report.WriteToFile();
+  RemoveDir(snap_dir);
+  RemoveDir(wal_dir);
+}
+
+// ------------------------------------------------- google-benchmark --
+
+void BM_Persist_WalAppend(benchmark::State& state) {
+  RealFileIo io;
+  const std::string dir = BenchDir("bm_wal");
+  auto writer = WalWriter::Open(&io, dir + "/" + WalFileName(0));
+  const std::string line = "+R(123456,654321)@0.5";
+  uint64_t generation = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->Append(++generation, line).ok());
+  }
+  (void)writer->Close();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Persist_WalAppend);
+
+void BM_Persist_Snapshot(benchmark::State& state) {
+  Dictionary dict;
+  VersionedDatabase db(MakeWorkload(static_cast<size_t>(state.range(0))));
+  RealFileIo io;
+  const std::string dir = BenchDir("bm_snapshot");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WriteSnapshot(io, dir, db, dict).ok());
+  }
+  state.counters["num_facts"] = static_cast<double>(db.NumFacts());
+  RemoveDir(dir);
+}
+BENCHMARK(BM_Persist_Snapshot)->Arg(30000)->Arg(100000)->UseRealTime();
+
+}  // namespace
+}  // namespace hierarq
+
+HIERARQ_BENCH_MAIN(hierarq::Report)

@@ -52,6 +52,12 @@
 #include "hierarq/obs/explain.h"
 #include "hierarq/obs/metrics.h"
 #include "hierarq/obs/trace.h"
+#include "hierarq/persist/chunk_store.h"
+#include "hierarq/persist/codec.h"
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/persist/persistor.h"
+#include "hierarq/persist/snapshot.h"
+#include "hierarq/persist/wal.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/gyo.h"
 #include "hierarq/query/hierarchical.h"

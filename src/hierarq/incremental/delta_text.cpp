@@ -1,5 +1,6 @@
 #include "hierarq/incremental/delta_text.h"
 
+#include <cstdio>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -123,6 +124,68 @@ Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
     return Status::InvalidArgument("no ops in update line");
   }
   return batch;
+}
+
+namespace {
+
+/// Shortest decimal that parses back to exactly `value` — try increasing
+/// precision until the round-trip is exact (17 significant digits always
+/// are, for finite doubles).
+std::string RenderWeight(double value) {
+  char buffer[32];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    const Result<double> parsed = ParseDouble(buffer);
+    if (parsed.ok() && *parsed == value) {
+      return buffer;
+    }
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderDeltaOp(const DeltaOp& op, const Dictionary& dict) {
+  std::string out;
+  switch (op.kind) {
+    case DeltaKind::kInsert:
+      out += '+';
+      break;
+    case DeltaKind::kDelete:
+      out += '-';
+      break;
+    case DeltaKind::kSetAnnotation:
+      out += '!';
+      break;
+  }
+  out += op.fact.relation;
+  out += '(';
+  for (size_t i = 0; i < op.fact.tuple.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += dict.Render(op.fact.tuple[i]);
+  }
+  out += ')';
+  // '@weight' mirrors the parser: deletes never carry one, '!' always
+  // does, inserts only when the weight is not the default.
+  if (op.kind == DeltaKind::kSetAnnotation ||
+      (op.kind == DeltaKind::kInsert && op.weight != 1.0)) {
+    out += '@';
+    out += RenderWeight(op.weight);
+  }
+  return out;
+}
+
+std::string RenderDeltaLine(const DeltaBatch& batch, const Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < batch.ops.size(); ++i) {
+    if (i > 0) {
+      out += "; ";
+    }
+    out += RenderDeltaOp(batch.ops[i], dict);
+  }
+  return out;
 }
 
 }  // namespace hierarq

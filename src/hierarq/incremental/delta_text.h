@@ -51,6 +51,18 @@ Result<DeltaBatch> ParseDeltaLine(std::string_view line, Dictionary* dict,
                                   const VersionedDatabase& db,
                                   const ConjunctiveQuery* query = nullptr);
 
+/// Renders one op back into the grammar: `+R(a,1)@0.5`, `-R(a,1)`,
+/// `!R(a,1)@0.9`. Symbolic values render through `dict`, `@weight` is
+/// omitted for default-weight (1.0) inserts and always present for `!`,
+/// and weights round-trip exactly (shortest-exact formatting). The WAL
+/// (persist/wal.h) stores batches this way, so a log is replayable
+/// through `ParseDeltaLine` AND greppable by a human.
+std::string RenderDeltaOp(const DeltaOp& op, const Dictionary& dict);
+
+/// Renders a batch as one atomic `;`-joined line —
+/// `ParseDeltaLine(RenderDeltaLine(b))` reproduces `b` exactly.
+std::string RenderDeltaLine(const DeltaBatch& batch, const Dictionary& dict);
+
 }  // namespace hierarq
 
 #endif  // HIERARQ_INCREMENTAL_DELTA_TEXT_H_

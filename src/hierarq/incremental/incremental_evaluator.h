@@ -71,6 +71,19 @@ class IncrementalEvaluator {
     size_t attaches = 0;       ///< Views materialized.
     size_t batches = 0;        ///< ApplyDelta calls.
     size_t ops = 0;            ///< Delta ops applied to the database.
+    size_t reattach_replays = 0;  ///< Reattaches served from the log.
+    size_t reattach_rematerializations = 0;  ///< Fell off the log.
+  };
+
+  /// A view released from delta propagation (`Release`), remembering the
+  /// generation it was last synced to. The detached-reader protocol
+  /// (versioned_database.h `log()`): hand the view back to `Reattach`
+  /// and it catches up from the log suffix — or, having fallen off a
+  /// truncated log, rematerializes. Recovery uses the same path: build
+  /// views against a recovered snapshot, stream the replayed WAL tail.
+  struct DetachedView {
+    std::unique_ptr<IncrementalView<M>> view;
+    uint64_t synced_generation = 0;
   };
 
   /// The evaluator maintains views over `*database` (non-owning; must
@@ -128,6 +141,49 @@ class IncrementalEvaluator {
     }
     views_[handle] = nullptr;
     return true;
+  }
+
+  /// Detaches a view WITHOUT destroying it: the returned DetachedView
+  /// stops seeing deltas but keeps its materialized state and the
+  /// generation it is synced to. Dies on invalid handles (Release of a
+  /// view you do not hold is a caller bug, unlike the tolerant Detach).
+  DetachedView Release(ViewHandle handle) {
+    HIERARQ_CHECK_LT(handle, views_.size());
+    HIERARQ_CHECK(views_[handle] != nullptr);
+    DetachedView detached;
+    detached.view = std::move(views_[handle]);
+    detached.synced_generation = database_->generation();
+    return detached;
+  }
+
+  /// Re-adopts a released (or recovered) view, catching it up to the
+  /// current database state: when every generation in
+  /// (synced_generation, generation()] is still in the log, the gap is
+  /// replayed through the view's delta path — no rematerialization, cost
+  /// proportional to the missed updates; when the log has been truncated
+  /// past the sync point, the view rematerializes from scratch (the
+  /// documented fallback, counted separately in stats). Returns a fresh
+  /// handle; the old one stays invalid.
+  ViewHandle Reattach(DetachedView detached) {
+    HIERARQ_CHECK(detached.view != nullptr)
+        << "Reattach of an empty DetachedView";
+    const uint64_t synced = detached.synced_generation;
+    const uint64_t current = database_->generation();
+    HIERARQ_CHECK_LE(synced, current)
+        << "DetachedView is from this database's future";
+    if (synced >= database_->log_start_generation()) {
+      const auto& log = database_->log();
+      for (uint64_t g = synced; g < current; ++g) {
+        detached.view->Apply(
+            log[static_cast<size_t>(g - database_->log_start_generation())]);
+      }
+      ++stats_.reattach_replays;
+    } else {
+      detached.view->Materialize(*database_);
+      ++stats_.reattach_rematerializations;
+    }
+    views_.push_back(std::move(detached.view));
+    return views_.size() - 1;
   }
 
   /// Number of live (attached) views.

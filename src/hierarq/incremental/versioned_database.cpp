@@ -46,6 +46,14 @@ VersionedDatabase::VersionedDatabase(const TidDatabase& tid)
   }
 }
 
+VersionedDatabase::VersionedDatabase(
+    Database base, std::unordered_map<Fact, double, FactHash> weights,
+    uint64_t generation)
+    : facts_(std::move(base)),
+      weights_(std::move(weights)),
+      generation_(generation),
+      log_start_generation_(generation) {}
+
 double VersionedDatabase::WeightOf(const Fact& fact) const {
   auto it = weights_.find(fact);
   if (it != weights_.end()) {
@@ -56,6 +64,13 @@ double VersionedDatabase::WeightOf(const Fact& fact) const {
 
 VersionedDatabase::ApplyStats VersionedDatabase::Apply(
     const DeltaBatch& batch) {
+  // The single-writer assertion (see the header's thread-model comment):
+  // two concurrent Applys on one database is a caller bug that would
+  // corrupt the containers below — die at the door instead. The exchange
+  // is atomic so even the detection itself is race-free under TSAN.
+  HIERARQ_CHECK(!writer_.busy.exchange(true, std::memory_order_acquire))
+      << "VersionedDatabase::Apply raced another Apply: the database is "
+         "single-writer; serialize writers behind one lock or queue";
   ApplyStats stats;
   for (const DeltaOp& op : batch.ops) {
     switch (op.kind) {
@@ -99,6 +114,7 @@ VersionedDatabase::ApplyStats VersionedDatabase::Apply(
   }
   ++generation_;
   log_.push_back(batch);
+  writer_.busy.store(false, std::memory_order_release);
   return stats;
 }
 

@@ -30,7 +30,15 @@
 /// `facts()`. The generation counter proves a finished scan fresh or
 /// stale; it cannot protect a scan in flight. Callers that serve reads
 /// and writes concurrently put one lock (or one queue) in front of both.
+/// The single-writer half of that contract is *asserted*: `Apply` CHECKs
+/// that no other Apply is in flight, so a caller that lets two writers
+/// race (e.g. a delta handler racing a service shutdown) dies loudly at
+/// the entry point instead of corrupting containers — and the persisted
+/// path inherits the same guarantee for its WAL-append + Apply pair,
+/// which must execute atomically together for ack-implies-durable to
+/// hold (see net/server.cpp HandleDelta).
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +66,15 @@ class VersionedDatabase {
 
   /// Wraps a TID database: facts plus their probabilities as weights.
   explicit VersionedDatabase(const TidDatabase& tid);
+
+  /// Restores recovered state: `base` + `weights` AT `generation` — the
+  /// persistence layer's re-entry point (persist/snapshot.h). The log is
+  /// empty and starts at `generation`, exactly as if every prior batch
+  /// had been applied and truncated away, so acks, annotation-cache keys
+  /// and detached-reader catch-up all resume with correct numbering.
+  VersionedDatabase(Database base,
+                    std::unordered_map<Fact, double, FactHash> weights,
+                    uint64_t generation);
 
   const Database& facts() const { return facts_; }
 
@@ -106,12 +123,24 @@ class VersionedDatabase {
   size_t NumFacts() const { return facts_.NumFacts(); }
 
  private:
+  /// The single-writer assertion. A plain member would delete the move
+  /// operations (std::atomic is immovable), so the flag lives in a
+  /// wrapper that moves/copies as a FRESH flag — correct, because a
+  /// moved-from or copied database is a different writer domain.
+  struct WriterFlag {
+    std::atomic<bool> busy{false};
+    WriterFlag() = default;
+    WriterFlag(const WriterFlag&) noexcept {}
+    WriterFlag& operator=(const WriterFlag&) noexcept { return *this; }
+  };
+
   Database facts_;
   std::unordered_map<Fact, double, FactHash> weights_;
   uint64_t generation_ = 0;
   uint64_t uid_ = NextUid();
   std::vector<DeltaBatch> log_;
   uint64_t log_start_generation_ = 0;
+  WriterFlag writer_;
 
   static uint64_t NextUid();
 };

@@ -6,11 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <random>
+#include <thread>
 
 namespace hierarq::net {
 
@@ -101,6 +104,20 @@ Result<Frame> HierarqClient::RoundTrip(FrameType type, uint16_t flags,
       }
       return frame.status();
     }
+    if (frame->header.request_id == 0 &&
+        frame->header.type == FrameType::kErrorFrame) {
+      // Request id 0 is the CONNECTION-scoped error convention (wire.h):
+      // the server rejected the connection itself (e.g. the connection
+      // cap) before any request existed. Client ids start at 1, so this
+      // can never collide with a response of ours — surface it instead
+      // of skipping and hanging on a socket that will never answer.
+      Result<ErrorPayload> error =
+          DecodeError(frame->payload, frame->header.format);
+      if (!error.ok()) {
+        return error.status();
+      }
+      return Status(error->code, error->message);
+    }
     if (frame->header.request_id != request_id) {
       // Not ours (e.g. a stale response after a timeout); skip it — ids
       // are strictly increasing per connection, so ours is still ahead.
@@ -137,10 +154,34 @@ Result<QueryResult> HierarqClient::Query(SolverKind solver,
   const uint16_t flags =
       static_cast<uint16_t>((capture_trace ? kFlagTrace : 0) |
                             (capture_stats ? kFlagStats : 0));
-  Result<Frame> frame =
-      RoundTrip(FrameType::kQueryRequest, flags,
-                EncodeQueryRequest(request, format_), format_,
-                FrameType::kResultFrame);
+  const std::string encoded = EncodeQueryRequest(request, format());
+  Result<Frame> frame = RoundTrip(FrameType::kQueryRequest, flags, encoded,
+                                  format(), FrameType::kResultFrame);
+  // The retry loop (opt-in, Options::max_retries). ONLY a decoded
+  // kResourceExhausted error frame retries: the server answered
+  // completely ("queue full, come back later") and applied nothing, so
+  // re-sending is safe. Transport failures — including a torn read
+  // after a partial response — return immediately: re-sending there
+  // could double-evaluate against a desynchronized stream.
+  for (uint32_t attempt = 0;
+       !frame.ok() && frame.status().Is(StatusCode::kResourceExhausted) &&
+       attempt < options_.max_retries;
+       ++attempt) {
+    const uint64_t shift = attempt < 20 ? attempt : 20;
+    const uint64_t delay_ms =
+        std::min(options_.backoff_cap_ms, options_.backoff_initial_ms
+                                              << shift);
+    // Jitter into [delay/2, delay] so rejected clients spread out.
+    const uint64_t jittered_ms =
+        delay_ms == 0 ? 0
+                      : static_cast<uint64_t>(rng_.UniformInt(
+                            static_cast<int64_t>(delay_ms / 2),
+                            static_cast<int64_t>(delay_ms)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(jittered_ms));
+    ++retries_;
+    frame = RoundTrip(FrameType::kQueryRequest, flags, encoded, format(),
+                      FrameType::kResultFrame);
+  }
   if (!frame.ok()) {
     return frame.status();
   }
@@ -153,7 +194,7 @@ Result<QueryResult> HierarqClient::Query(SolverKind solver,
 }
 
 Result<StatusPayload> HierarqClient::ServerStatus() {
-  Result<Frame> frame = RoundTrip(FrameType::kStatusRequest, 0, "", format_,
+  Result<Frame> frame = RoundTrip(FrameType::kStatusRequest, 0, "", format(),
                                   FrameType::kStatusResponse);
   if (!frame.ok()) {
     return frame.status();
@@ -173,7 +214,7 @@ std::string HierarqClient::MintTraceId() {
 }
 
 Result<DeltaAck> HierarqClient::ApplyDelta(std::string_view line) {
-  Result<Frame> frame = RoundTrip(FrameType::kDeltaBatch, 0, line, format_,
+  Result<Frame> frame = RoundTrip(FrameType::kDeltaBatch, 0, line, format(),
                                   FrameType::kDeltaAck);
   if (!frame.ok()) {
     return frame.status();
@@ -191,12 +232,12 @@ Result<std::string> HierarqClient::Metrics(WireFormat rendering) {
 }
 
 Status HierarqClient::Ping() {
-  return RoundTrip(FrameType::kPing, 0, "", format_, FrameType::kPong)
+  return RoundTrip(FrameType::kPing, 0, "", format(), FrameType::kPong)
       .status();
 }
 
 Status HierarqClient::Shutdown() {
-  return RoundTrip(FrameType::kShutdown, 0, "", format_,
+  return RoundTrip(FrameType::kShutdown, 0, "", format(),
                    FrameType::kShutdown)
       .status();
 }

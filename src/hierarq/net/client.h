@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "hierarq/net/wire.h"
+#include "hierarq/util/random.h"
 #include "hierarq/util/result.h"
 
 namespace hierarq::net {
@@ -31,8 +32,29 @@ Result<std::pair<std::string, uint16_t>> ParseHostPort(
 
 class HierarqClient {
  public:
+  struct Options {
+    WireFormat format = WireFormat::kNative;
+    /// Opt-in retry for TRANSIENT query rejections: a `Query` answered
+    /// with a complete kResourceExhausted error frame (the server's
+    /// admission queue is full) is retried up to this many times with
+    /// capped jittered exponential backoff. 0 (the default) never
+    /// retries. Only fully-decoded error frames retry — a transport
+    /// error or torn read never does, so a request whose response was
+    /// partially received is never silently re-sent.
+    uint32_t max_retries = 0;
+    /// First backoff delay; attempt k waits min(cap, initial << k),
+    /// jittered uniformly into [delay/2, delay] so a herd of rejected
+    /// clients does not re-arrive in lockstep.
+    uint64_t backoff_initial_ms = 5;
+    uint64_t backoff_cap_ms = 250;
+    /// Seeds the jitter (deterministic for tests).
+    uint64_t retry_jitter_seed = 0x9e3779b97f4a7c15ULL;
+  };
+
   explicit HierarqClient(WireFormat format = WireFormat::kNative)
-      : format_(format) {}
+      : HierarqClient(Options{.format = format}) {}
+  explicit HierarqClient(Options options)
+      : options_(options), rng_(options.retry_jitter_seed) {}
   ~HierarqClient() { Close(); }
 
   HierarqClient(const HierarqClient&) = delete;
@@ -43,8 +65,9 @@ class HierarqClient {
       Close();
       fd_ = other.fd_;
       other.fd_ = -1;
-      format_ = other.format_;
+      options_ = other.options_;
       next_request_id_ = other.next_request_id_;
+      retries_ = other.retries_;
     }
     return *this;
   }
@@ -54,8 +77,12 @@ class HierarqClient {
   bool connected() const { return fd_ >= 0; }
   void Close();
 
-  WireFormat format() const { return format_; }
-  void set_format(WireFormat format) { format_ = format; }
+  WireFormat format() const { return options_.format; }
+  void set_format(WireFormat format) { options_.format = format; }
+  const Options& options() const { return options_; }
+
+  /// Total retries performed by `Query` over this client's lifetime.
+  uint64_t retries() const { return retries_; }
 
   /// Evaluates `query` with `solver` server-side. `deadline_ms` 0 uses
   /// the server default; with `capture_trace` the result carries the
@@ -106,8 +133,10 @@ class HierarqClient {
                           FrameType expected);
 
   int fd_ = -1;
-  WireFormat format_ = WireFormat::kNative;
+  Options options_;
+  Rng rng_;
   uint64_t next_request_id_ = 1;
+  uint64_t retries_ = 0;
   bool last_response_had_stats_ = false;
 };
 

@@ -21,6 +21,7 @@
 #include "hierarq/obs/metrics.h"
 #include "hierarq/obs/query_stats.h"
 #include "hierarq/obs/trace.h"
+#include "hierarq/persist/persistor.h"
 #include "hierarq/query/elimination.h"
 #include "hierarq/query/parser.h"
 #include "hierarq/service/batch_solvers.h"
@@ -62,6 +63,8 @@ HierarqServer::HierarqServer(Options options, VersionedDatabase db,
   frames_ping_ = server_registry_.GetCounter("server.frames.ping");
   frames_shutdown_ = server_registry_.GetCounter("server.frames.shutdown");
   error_frames_ = server_registry_.GetCounter("server.error_frames");
+  connections_rejected_ =
+      server_registry_.GetCounter("server.connections_rejected");
   query_ns_ = server_registry_.GetHistogram("server.query_ns");
 }
 
@@ -197,6 +200,30 @@ void HierarqServer::AcceptLoop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // The connection cap: accept-then-reject. Accepting first (instead
+    // of letting the peer rot in the listen backlog) lets us answer with
+    // a decodable error frame, so a client can distinguish "server full,
+    // retry later" from a dead server. Request id 0 marks the error as
+    // connection-scoped (wire.h) — the peer has not sent a request yet.
+    // The count is claimed HERE, not in ServeConnection, so a burst of
+    // accepts cannot overshoot the cap before the threads start.
+    if (options_.max_connections > 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
+      connections_rejected_->Add();
+      const Status status = Status::ResourceExhausted(
+          "connection limit reached (" +
+          std::to_string(options_.max_connections) + " active)");
+      logger().Warn("connection_rejected",
+                    {{"max_connections",
+                      std::to_string(options_.max_connections)}});
+      (void)WriteFrame(fd, FrameType::kErrorFrame, WireFormat::kNative, 0,
+                       /*request_id=*/0,
+                       EncodeError(status, WireFormat::kNative));
+      ::close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     auto connection = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(connections_mutex_);
     connections_.push_back(connection);
@@ -211,7 +238,7 @@ void HierarqServer::AcceptLoop() {
 // the connection thread (errors, acks, pongs) and submitter threads
 // (query results), so two frames never interleave on the wire.
 void HierarqServer::ServeConnection(std::shared_ptr<Connection> connection) {
-  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  // The count was claimed in AcceptLoop (against the connection cap).
   // Decrement on EVERY exit path; the count feeds kStatus.
   struct ConnectionGuard {
     std::atomic<uint64_t>* count;
@@ -517,6 +544,28 @@ void HierarqServer::HandleDelta(const std::shared_ptr<Connection>& connection,
            EncodeError(batch.status(), frame.header.format));
       return;
     }
+    if (options_.persist != nullptr) {
+      // Durability point, still under the unique lock: the WAL append
+      // and the Apply are atomic together, so the on-disk log never
+      // disagrees with the state it claims to describe (the
+      // single-writer CHECK in VersionedDatabase::Apply backstops the
+      // lock). Only after the fsynced append may we apply and ack —
+      // ack implies durable. The line is stored in canonical rendered
+      // form, so recovery replays exactly the batch applied here.
+      const Status appended = options_.persist->Append(
+          db_.generation() + 1, RenderDeltaLine(*batch, *dict_));
+      if (!appended.ok()) {
+        // Not applied, not acked — the client sees the failure, and a
+        // crash now recovers to the pre-batch generation. Consistent
+        // either way.
+        lock.unlock();
+        RecordError(appended);
+        send(FrameType::kErrorFrame, frame.header.format, 0,
+             frame.header.request_id,
+             EncodeError(appended, frame.header.format));
+        return;
+      }
+    }
     db_.Apply(*batch);
     // The applied log entry is acked below and this server is the only
     // reader, so retention can be zero (the CLI's update loop does the
@@ -524,6 +573,17 @@ void HierarqServer::HandleDelta(const std::shared_ptr<Connection>& connection,
     db_.TruncateLog(db_.generation());
     ack.generation = db_.generation();
     ack.num_facts = db_.NumFacts();
+    if (options_.persist != nullptr && options_.persist->ShouldSnapshot()) {
+      // Still under the lock: the snapshot sees exactly the acked
+      // state. Failure is logged, not fatal — the WAL already holds
+      // every acked batch, so durability is intact; only replay time
+      // suffers until a snapshot succeeds.
+      const Status snapshot = options_.persist->WriteSnapshot(db_, *dict_);
+      if (!snapshot.ok()) {
+        logger().Error("persist.snapshot_failed",
+                       {{"status", snapshot.ToString()}});
+      }
+    }
   }
   send(FrameType::kDeltaAck, frame.header.format, 0, frame.header.request_id,
        EncodeDeltaAck(ack, frame.header.format));

@@ -51,6 +51,10 @@
 #include "hierarq/obs/log.h"
 #include "hierarq/obs/metrics.h"
 
+namespace hierarq::persist {
+class Persistor;
+}  // namespace hierarq::persist
+
 namespace hierarq::net {
 
 class HierarqServer {
@@ -68,6 +72,19 @@ class HierarqServer {
     /// Structured event sink for the slow-query log and protocol errors.
     /// nullptr = obs::Logger::Global() (stderr).
     obs::Logger* logger = nullptr;
+    /// Durability (persist/persistor.h): when set (non-owning; must be
+    /// Boot()ed with the database this server is constructed with, and
+    /// outlive the server), every delta batch is WAL-appended and
+    /// fsynced BEFORE it is applied and acked — an ack therefore
+    /// guarantees the batch survives any crash — and a snapshot is
+    /// written every `Persistor::Options::snapshot_every` acks, under
+    /// the same exclusive lock as the applies. nullptr = in-memory only.
+    persist::Persistor* persist = nullptr;
+    /// Accepted-connection cap (0 = unlimited). The connection past the
+    /// cap is accepted, answered with one resource-exhausted error frame
+    /// (request id 0 — connection-scoped, see wire.h), and closed; the
+    /// listen backlog is not consumed by a stuck peer.
+    size_t max_connections = 0;
   };
 
   /// `db` is the primary database (count/pqe/expect queries, delta
@@ -104,6 +121,11 @@ class HierarqServer {
 
   const VersionedDatabase& database() const { return db_; }
   AsyncEvalService& async() { return async_; }
+
+  /// The server's own metrics registry (the one the kMetrics scrape
+  /// frame renders) — per-instance so tests running several servers in
+  /// one process read unpolluted counters.
+  obs::MetricsRegistry& metrics() { return server_registry_; }
 
  private:
   /// One live connection; shared with in-flight jobs so a response can
@@ -173,6 +195,7 @@ class HierarqServer {
   obs::Counter* frames_ping_ = nullptr;
   obs::Counter* frames_shutdown_ = nullptr;
   obs::Counter* error_frames_ = nullptr;
+  obs::Counter* connections_rejected_ = nullptr;
   /// Evaluation wall time per query — the fleet view's p50/p90/p99.
   obs::Histogram* query_ns_ = nullptr;
   std::atomic<uint64_t> frames_total_{0};

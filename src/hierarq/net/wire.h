@@ -121,6 +121,11 @@ struct FrameHeader {
   FrameType type = FrameType::kPing;
   WireFormat format = WireFormat::kNative;
   uint16_t flags = 0;
+  /// Echoed request correlator. Clients allocate ids from 1 upward;
+  /// id 0 is reserved for CONNECTION-scoped server messages — an error
+  /// frame with request_id 0 concerns the connection itself (e.g. the
+  /// server's connection cap rejected it before any request existed)
+  /// and clients must surface it rather than skip it as "not mine".
   uint64_t request_id = 0;
 };
 

@@ -1,0 +1,286 @@
+#include "hierarq/persist/chunk_store.h"
+
+#include <utility>
+
+#include "hierarq/persist/codec.h"
+
+namespace hierarq::persist {
+
+namespace {
+
+// Four-byte magics, read/written as little-endian u32s.
+constexpr uint32_t kManifestMagic = 0x464D5148;  // "HQMF"
+constexpr uint32_t kChunkMagic = 0x4B435148;     // "HQCK"
+constexpr uint32_t kDictMagic = 0x43445148;      // "HQDC"
+
+/// Appends the CRC of everything accumulated so far — the last four
+/// bytes of every persisted structure.
+void SealWithCrc(std::string* out) {
+  const uint32_t crc = Crc32(*out);
+  PutU32(out, crc);
+}
+
+/// Splits off and verifies the trailing CRC; returns the body.
+Result<std::string_view> CheckCrc(std::string_view bytes,
+                                  const char* what) {
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": too short to hold a CRC");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader tail(bytes.substr(bytes.size() - 4));
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t stored, tail.U32());
+  const uint32_t actual = Crc32(body);
+  if (stored != actual) {
+    return Status::InvalidArgument(std::string(what) + ": CRC mismatch");
+  }
+  return body;
+}
+
+}  // namespace
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out;
+  PutU32(&out, kManifestMagic);
+  PutU32(&out, manifest.version);
+  PutU64(&out, manifest.generation);
+  PutStr(&out, manifest.wal_file);
+  PutStr(&out, manifest.dict_file);
+  PutU64(&out, manifest.dict_bytes);
+  PutU32(&out, manifest.dict_crc);
+  PutU32(&out, static_cast<uint32_t>(manifest.chunks.size()));
+  for (const ChunkInfo& chunk : manifest.chunks) {
+    PutStr(&out, chunk.file);
+    PutStr(&out, chunk.relation);
+    PutU32(&out, chunk.arity);
+    PutU64(&out, chunk.rows);
+    PutU64(&out, chunk.bytes);
+    PutU32(&out, chunk.crc);
+  }
+  SealWithCrc(&out);
+  return out;
+}
+
+Result<Manifest> DecodeManifest(std::string_view bytes) {
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view body,
+                           CheckCrc(bytes, "manifest"));
+  ByteReader reader(body);
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument("manifest: bad magic");
+  }
+  Manifest manifest;
+  HIERARQ_ASSIGN_OR_RETURN(manifest.version, reader.U32());
+  if (manifest.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "manifest: unsupported format version " +
+        std::to_string(manifest.version) + " (this build reads version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  HIERARQ_ASSIGN_OR_RETURN(manifest.generation, reader.U64());
+  HIERARQ_ASSIGN_OR_RETURN(manifest.wal_file, reader.Str());
+  HIERARQ_ASSIGN_OR_RETURN(manifest.dict_file, reader.Str());
+  HIERARQ_ASSIGN_OR_RETURN(manifest.dict_bytes, reader.U64());
+  HIERARQ_ASSIGN_OR_RETURN(manifest.dict_crc, reader.U32());
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t num_chunks, reader.U32());
+  manifest.chunks.reserve(num_chunks);
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    ChunkInfo chunk;
+    HIERARQ_ASSIGN_OR_RETURN(chunk.file, reader.Str());
+    HIERARQ_ASSIGN_OR_RETURN(chunk.relation, reader.Str());
+    HIERARQ_ASSIGN_OR_RETURN(chunk.arity, reader.U32());
+    HIERARQ_ASSIGN_OR_RETURN(chunk.rows, reader.U64());
+    HIERARQ_ASSIGN_OR_RETURN(chunk.bytes, reader.U64());
+    HIERARQ_ASSIGN_OR_RETURN(chunk.crc, reader.U32());
+    manifest.chunks.push_back(std::move(chunk));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("manifest: trailing bytes");
+  }
+  return manifest;
+}
+
+std::string EncodeRelationChunk(const Relation& relation,
+                                const VersionedDatabase& db) {
+  const size_t arity = relation.arity();
+  const auto& tuples = relation.tuples();
+  std::string out;
+  out.reserve(64 + tuples.size() * (arity + 1) * 8);
+  PutU32(&out, kChunkMagic);
+  PutU32(&out, kFormatVersion);
+  PutStr(&out, relation.name());
+  PutU32(&out, static_cast<uint32_t>(arity));
+  PutU64(&out, tuples.size());
+  // Column-major: one contiguous vector per column position, the
+  // ColumnarStore layout — a future lazy loader can map single columns.
+  for (size_t column = 0; column < arity; ++column) {
+    for (const Tuple& tuple : tuples) {
+      PutI64(&out, tuple[column]);
+    }
+  }
+  // The annotation vector rides only when it carries information.
+  bool weighted = false;
+  for (const Tuple& tuple : tuples) {
+    if (db.WeightOf(Fact{relation.name(), tuple}) != 1.0) {
+      weighted = true;
+      break;
+    }
+  }
+  out.push_back(weighted ? 1 : 0);
+  if (weighted) {
+    for (const Tuple& tuple : tuples) {
+      PutF64(&out, db.WeightOf(Fact{relation.name(), tuple}));
+    }
+  }
+  SealWithCrc(&out);
+  return out;
+}
+
+Status DecodeRelationChunk(
+    std::string_view bytes, const ChunkInfo& expected,
+    const std::vector<Value>& symbol_remap, Database* facts,
+    std::unordered_map<Fact, double, FactHash>* weights) {
+  if (bytes.size() != expected.bytes) {
+    return Status::InvalidArgument(
+        "chunk " + expected.file + ": size " +
+        std::to_string(bytes.size()) + " != manifest's " +
+        std::to_string(expected.bytes));
+  }
+  // Two guards on purpose: the manifest CRC covers the whole file (did
+  // we read the file the manifest committed?), the trailing CRC covers
+  // the body (is the file itself intact?).
+  if (Crc32(bytes) != expected.crc) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": CRC mismatch with manifest");
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view body,
+                           CheckCrc(bytes, "chunk"));
+  ByteReader reader(body);
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  if (magic != kChunkMagic) {
+    return Status::InvalidArgument("chunk " + expected.file + ": bad magic");
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": unsupported format version " +
+                                   std::to_string(version));
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const std::string relation, reader.Str());
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t arity, reader.U32());
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t rows, reader.U64());
+  if (relation != expected.relation || arity != expected.arity ||
+      rows != expected.rows) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": header disagrees with manifest");
+  }
+  // Columns are fixed-width, so the whole grid is bounds-checked up
+  // front: a lying row count cannot walk the reader off the buffer.
+  if (reader.remaining() < rows * arity * 8) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": truncated column data");
+  }
+  const auto remap = [&](Value value) -> Result<Value> {
+    if (!Dictionary::IsSymbolic(value)) {
+      return value;
+    }
+    const uint64_t index =
+        static_cast<uint64_t>(value - kFirstSymbolicValue);
+    if (index >= symbol_remap.size()) {
+      return Status::InvalidArgument(
+          "chunk " + expected.file + ": symbolic value " +
+          std::to_string(value) + " has no dictionary entry");
+    }
+    return symbol_remap[static_cast<size_t>(index)];
+  };
+  std::vector<Tuple> tuples(rows);
+  for (auto& tuple : tuples) {
+    tuple.resize(arity);
+  }
+  for (uint32_t column = 0; column < arity; ++column) {
+    for (uint64_t row = 0; row < rows; ++row) {
+      HIERARQ_ASSIGN_OR_RETURN(const int64_t raw, reader.I64());
+      HIERARQ_ASSIGN_OR_RETURN(tuples[row][column], remap(raw));
+    }
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const uint8_t weighted, reader.U8());
+  if (weighted > 1) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": bad annotation flag");
+  }
+  std::vector<double> row_weights;
+  if (weighted == 1) {
+    row_weights.resize(static_cast<size_t>(rows), 1.0);
+    for (uint64_t row = 0; row < rows; ++row) {
+      HIERARQ_ASSIGN_OR_RETURN(row_weights[row], reader.F64());
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("chunk " + expected.file +
+                                   ": trailing bytes");
+  }
+  // All validation passed — only now touch the output database, so a
+  // corrupt chunk never leaves a half-loaded relation behind.
+  for (uint64_t row = 0; row < rows; ++row) {
+    HIERARQ_ASSIGN_OR_RETURN(const bool fresh,
+                             facts->AddFact(relation, tuples[row]));
+    if (!fresh) {
+      return Status::InvalidArgument("chunk " + expected.file +
+                                     ": duplicate tuple at row " +
+                                     std::to_string(row));
+    }
+    if (weighted == 1 && row_weights[row] != 1.0) {
+      weights->emplace(Fact{relation, tuples[row]}, row_weights[row]);
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeDictionaryChunk(const Dictionary& dict) {
+  std::string out;
+  PutU32(&out, kDictMagic);
+  PutU32(&out, kFormatVersion);
+  PutU64(&out, dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    PutStr(&out, dict.Render(kFirstSymbolicValue + static_cast<Value>(i)));
+  }
+  SealWithCrc(&out);
+  return out;
+}
+
+Result<std::vector<Value>> DecodeDictionaryChunk(std::string_view bytes,
+                                                 Dictionary* dict) {
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view body,
+                           CheckCrc(bytes, "dictionary chunk"));
+  ByteReader reader(body);
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t magic, reader.U32());
+  if (magic != kDictMagic) {
+    return Status::InvalidArgument("dictionary chunk: bad magic");
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "dictionary chunk: unsupported format version " +
+        std::to_string(version));
+  }
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t symbols, reader.U64());
+  // Each entry needs >= 4 bytes (its length prefix), so this rejects a
+  // hostile count before any allocation sized by it.
+  if (symbols > reader.remaining() / 4) {
+    return Status::InvalidArgument("dictionary chunk: symbol count " +
+                                   std::to_string(symbols) +
+                                   " exceeds the buffer");
+  }
+  std::vector<Value> remap;
+  remap.reserve(static_cast<size_t>(symbols));
+  for (uint64_t i = 0; i < symbols; ++i) {
+    HIERARQ_ASSIGN_OR_RETURN(const std::string symbol, reader.Str());
+    remap.push_back(dict->Intern(symbol));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("dictionary chunk: trailing bytes");
+  }
+  return remap;
+}
+
+}  // namespace hierarq::persist

@@ -1,0 +1,104 @@
+#ifndef HIERARQ_PERSIST_CHUNK_STORE_H_
+#define HIERARQ_PERSIST_CHUNK_STORE_H_
+
+/// \file chunk_store.h
+/// \brief CRC32-guarded chunk encoding for snapshots: per-relation
+/// column vectors + annotation vectors, a dictionary chunk, and the
+/// versioned manifest that binds them to one generation.
+///
+/// A snapshot is a set of files in the data directory, every one
+/// published via `AtomicWriteFile` (write-temp + fsync + rename):
+///
+///     chunk-<G>-<k>.hq   relation k's tuples, column-major (the
+///                        ColumnarStore layout: one contiguous i64
+///                        vector per column position), plus the per-row
+///                        annotation (weight) vector when any weight
+///                        differs from the default 1.0
+///     dict-<G>.hq        the string dictionary, symbols in id order
+///     wal-<G>.log        the delta log for generations > G (see wal.h)
+///     MANIFEST           the commit record: generation, file list with
+///                        per-file byte counts and CRCs
+///     MANIFEST.1         the previous snapshot's manifest, kept so
+///                        recovery can fall back if the newest snapshot
+///                        is damaged ("newest *valid* snapshot")
+///
+/// Every chunk and the manifest carry a trailing CRC32 over their whole
+/// body, so a reader rejects bit-flips and truncation before parsing a
+/// single field. File names embed the generation, so a crashed snapshot
+/// can never alias files into a different snapshot's namespace.
+///
+/// Symbolic values are stored as raw interned ids PLUS the dictionary
+/// chunk; decoding re-interns each symbol into the live dictionary and
+/// remaps ids through the returned table, so recovery composes with a
+/// dictionary that already holds other symbols (e.g. an --endo load).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "hierarq/data/database.h"
+#include "hierarq/data/relation.h"
+#include "hierarq/data/value.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq::persist {
+
+/// Bumped when the on-disk layout changes; decoders reject other
+/// versions with a clean error instead of misparsing.
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr char kManifestName[] = "MANIFEST";
+inline constexpr char kPreviousManifestName[] = "MANIFEST.1";
+
+/// One chunk file as the manifest records it.
+struct ChunkInfo {
+  std::string file;      ///< Name within the data dir, e.g. "chunk-3-0.hq".
+  std::string relation;  ///< Relation the chunk holds.
+  uint32_t arity = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;  ///< Exact file size — a mismatch is corruption.
+  uint32_t crc = 0;    ///< CRC32 of the whole file.
+};
+
+struct Manifest {
+  uint32_t version = kFormatVersion;
+  uint64_t generation = 0;
+  std::string wal_file;   ///< Log of batches past `generation`.
+  std::string dict_file;  ///< Dictionary chunk ("" = no symbols).
+  uint64_t dict_bytes = 0;
+  uint32_t dict_crc = 0;
+  std::vector<ChunkInfo> chunks;
+};
+
+std::string EncodeManifest(const Manifest& manifest);
+/// Rejects truncation, CRC mismatch, bad magic, and unknown versions.
+Result<Manifest> DecodeManifest(std::string_view bytes);
+
+/// Serializes `relation`'s tuples column-major with weights from `db`.
+std::string EncodeRelationChunk(const Relation& relation,
+                                const VersionedDatabase& db);
+
+/// Validates `bytes` (CRC first, then structure), checks the relation
+/// name against `expected`, remaps symbolic values through
+/// `symbol_remap`, and inserts facts/weights. Order-preserving: tuples
+/// land in `facts` in chunk order, which is the writer's tuples() order
+/// — what makes recovery bit-identical to the never-crashed state.
+Status DecodeRelationChunk(std::string_view bytes,
+                           const ChunkInfo& expected,
+                           const std::vector<Value>& symbol_remap,
+                           Database* facts,
+                           std::unordered_map<Fact, double, FactHash>* weights);
+
+std::string EncodeDictionaryChunk(const Dictionary& dict);
+
+/// Re-interns each stored symbol into `dict`; entry i of the returned
+/// table is the live id of stored id `kFirstSymbolicValue + i`.
+Result<std::vector<Value>> DecodeDictionaryChunk(std::string_view bytes,
+                                                 Dictionary* dict);
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_CHUNK_STORE_H_

@@ -1,0 +1,109 @@
+#include "hierarq/persist/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace hierarq::persist {
+
+namespace {
+
+struct CrcTable {
+  uint32_t entries[256];
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(std::string_view bytes, uint32_t seed) {
+  static const CrcTable table;
+  uint32_t crc = ~seed;
+  for (const char c : bytes) {
+    crc = (crc >> 8) ^ table.entries[(crc ^ static_cast<uint8_t>(c)) & 0xFF];
+  }
+  return ~crc;
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutI64(std::string* out, int64_t value) {
+  PutU64(out, static_cast<uint64_t>(value));
+}
+
+void PutF64(std::string* out, double value) {
+  PutU64(out, std::bit_cast<uint64_t>(value));
+}
+
+void PutStr(std::string* out, std::string_view value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+Result<std::string_view> ByteReader::Take(size_t n) {
+  if (remaining() < n) {
+    return Status::InvalidArgument(
+        "truncated buffer: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(position_) + ", have " + std::to_string(remaining()));
+  }
+  const std::string_view piece = bytes_.substr(position_, n);
+  position_ += n;
+  return piece;
+}
+
+Result<uint8_t> ByteReader::U8() {
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view piece, Take(1));
+  return static_cast<uint8_t>(piece[0]);
+}
+
+Result<uint32_t> ByteReader::U32() {
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view piece, Take(4));
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<uint8_t>(piece[i]);
+  }
+  return value;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view piece, Take(8));
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<uint8_t>(piece[i]);
+  }
+  return value;
+}
+
+Result<int64_t> ByteReader::I64() {
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t value, U64());
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ByteReader::F64() {
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t value, U64());
+  return std::bit_cast<double>(value);
+}
+
+Result<std::string> ByteReader::Str() {
+  HIERARQ_ASSIGN_OR_RETURN(const uint32_t length, U32());
+  HIERARQ_ASSIGN_OR_RETURN(const std::string_view piece, Take(length));
+  return std::string(piece);
+}
+
+}  // namespace hierarq::persist

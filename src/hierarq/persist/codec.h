@@ -1,0 +1,66 @@
+#ifndef HIERARQ_PERSIST_CODEC_H_
+#define HIERARQ_PERSIST_CODEC_H_
+
+/// \file codec.h
+/// \brief Byte-level encoding for the persistence layer: little-endian
+/// primitives, length-prefixed strings, and CRC32.
+///
+/// Every on-disk structure (chunks, manifest, WAL records) is built from
+/// these four primitives and guarded by `Crc32` so that a torn tail, a
+/// stale sector, or a flipped bit is *detected* — the recovery layer's
+/// contract is "reject, then fall back", never "trust and crash".
+///
+/// The reader is bounds-checked: over-reads return a Status instead of
+/// touching out-of-range memory, which is what keeps corrupt-input
+/// handling UB-free under ASan/UBSan.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hierarq/util/result.h"
+
+namespace hierarq::persist {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `bytes`,
+/// continuing from `seed` (pass a previous result to chain buffers).
+uint32_t Crc32(std::string_view bytes, uint32_t seed = 0);
+
+void PutU32(std::string* out, uint32_t value);
+void PutU64(std::string* out, uint64_t value);
+void PutI64(std::string* out, int64_t value);
+void PutF64(std::string* out, double value);
+/// u32 length + raw bytes.
+void PutStr(std::string* out, std::string_view value);
+
+/// A bounds-checked forward cursor over an immutable byte buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Str();
+
+  /// Advances past `n` bytes (clamped to the end).
+  void Skip(size_t n) {
+    position_ = n < remaining() ? position_ + n : bytes_.size();
+  }
+
+  size_t position() const { return position_; }
+  size_t remaining() const { return bytes_.size() - position_; }
+  bool AtEnd() const { return position_ == bytes_.size(); }
+
+ private:
+  Result<std::string_view> Take(size_t n);
+
+  std::string_view bytes_;
+  size_t position_ = 0;
+};
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_CODEC_H_

@@ -1,0 +1,334 @@
+#include "hierarq/persist/fault_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace hierarq::persist {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status RealFileIo::MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", path);
+}
+
+Result<std::vector<std::string>> RealFileIo::ListDir(
+    const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such directory: " + path);
+    }
+    return Errno("opendir", path);
+  }
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") {
+      names.push_back(name);
+    }
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool RealFileIo::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status RealFileIo::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) {
+    return Status::OK();
+  }
+  return Errno("unlink", path);
+}
+
+Status RealFileIo::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) == 0) {
+    return Status::OK();
+  }
+  return Errno("rename", from + " -> " + to);
+}
+
+Status RealFileIo::SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Errno("open dir", path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Errno("fsync dir", path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> RealFileIo::ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      break;
+    }
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Result<uint64_t> RealFileIo::OpenForWrite(const std::string& path,
+                                          bool truncate) {
+  const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Errno("open for write", path);
+  }
+  return static_cast<uint64_t>(fd);
+}
+
+Status RealFileIo::Write(uint64_t file, std::string_view bytes) {
+  const int fd = static_cast<int>(file);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("write", "fd " + std::to_string(fd));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RealFileIo::Sync(uint64_t file) {
+  if (::fsync(static_cast<int>(file)) != 0) {
+    return Errno("fsync", "fd " + std::to_string(file));
+  }
+  return Status::OK();
+}
+
+Status RealFileIo::Close(uint64_t file) {
+  if (::close(static_cast<int>(file)) != 0) {
+    return Errno("close", "fd " + std::to_string(file));
+  }
+  return Status::OK();
+}
+
+// -- FaultInjectingIo --------------------------------------------------
+
+FaultInjectingIo::Fault FaultInjectingIo::NextOp() {
+  ++ops_;
+  if (options_.crash_at_op != 0 && ops_ == options_.crash_at_op) {
+    return Fault::kCrash;
+  }
+  if (options_.fail_sync_at_op != 0 && ops_ == options_.fail_sync_at_op) {
+    return Fault::kFailSync;
+  }
+  if (options_.flip_bit_at_op != 0 && ops_ == options_.flip_bit_at_op) {
+    return Fault::kFlipBit;
+  }
+  return Fault::kNone;
+}
+
+Status FaultInjectingIo::MakeDir(const std::string& path) {
+  if (crashed_) {
+    return Crashed();
+  }
+  return delegate_->MakeDir(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingIo::ListDir(
+    const std::string& path) {
+  if (crashed_) {
+    return Crashed();
+  }
+  return delegate_->ListDir(path);
+}
+
+bool FaultInjectingIo::Exists(const std::string& path) {
+  return crashed_ ? false : delegate_->Exists(path);
+}
+
+Status FaultInjectingIo::Remove(const std::string& path) {
+  if (crashed_) {
+    return Crashed();
+  }
+  if (NextOp() == Fault::kCrash) {
+    crashed_ = true;
+    return Crashed();
+  }
+  return delegate_->Remove(path);
+}
+
+Status FaultInjectingIo::Rename(const std::string& from,
+                                const std::string& to) {
+  if (crashed_) {
+    return Crashed();
+  }
+  if (NextOp() == Fault::kCrash) {
+    crashed_ = true;
+    return Crashed();
+  }
+  return delegate_->Rename(from, to);
+}
+
+Status FaultInjectingIo::SyncDir(const std::string& path) {
+  if (crashed_) {
+    return Crashed();
+  }
+  switch (NextOp()) {
+    case Fault::kCrash:
+      crashed_ = true;
+      return Crashed();
+    case Fault::kFailSync:
+      return Status::Internal("injected fsync failure (dir)");
+    default:
+      return delegate_->SyncDir(path);
+  }
+}
+
+Result<std::string> FaultInjectingIo::ReadFile(const std::string& path) {
+  if (crashed_) {
+    return Crashed();
+  }
+  return delegate_->ReadFile(path);
+}
+
+Result<uint64_t> FaultInjectingIo::OpenForWrite(const std::string& path,
+                                                bool truncate) {
+  if (crashed_) {
+    return Crashed();
+  }
+  return delegate_->OpenForWrite(path, truncate);
+}
+
+Status FaultInjectingIo::Write(uint64_t file, std::string_view bytes) {
+  if (crashed_) {
+    return Crashed();
+  }
+  switch (NextOp()) {
+    case Fault::kCrash: {
+      // A dying writer leaves a prefix behind: [0, n) seeded bytes made
+      // it to the file, the rest did not. The torn result is exactly
+      // what CRC framing and atomic-rename must make invisible.
+      crashed_ = true;
+      if (!bytes.empty()) {
+        const size_t prefix = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+        if (prefix > 0) {
+          (void)delegate_->Write(file, bytes.substr(0, prefix));
+        }
+      }
+      return Crashed();
+    }
+    case Fault::kFlipBit: {
+      if (!bytes.empty()) {
+        std::string corrupted(bytes);
+        const size_t byte = static_cast<size_t>(rng_.UniformInt(
+            0, static_cast<int64_t>(corrupted.size()) - 1));
+        const int bit = static_cast<int>(rng_.UniformInt(0, 7));
+        corrupted[byte] = static_cast<char>(corrupted[byte] ^ (1 << bit));
+        return delegate_->Write(file, corrupted);
+      }
+      return delegate_->Write(file, bytes);
+    }
+    default:
+      return delegate_->Write(file, bytes);
+  }
+}
+
+Status FaultInjectingIo::Sync(uint64_t file) {
+  if (crashed_) {
+    return Crashed();
+  }
+  switch (NextOp()) {
+    case Fault::kCrash:
+      crashed_ = true;
+      return Crashed();
+    case Fault::kFailSync:
+      return Status::Internal("injected fsync failure");
+    default:
+      return delegate_->Sync(file);
+  }
+}
+
+Status FaultInjectingIo::Close(uint64_t file) {
+  // Close always reaches the delegate — even a dead process's fds close
+  // — so wrappers never leak descriptors across a simulated crash.
+  const Status closed = delegate_->Close(file);
+  return crashed_ ? Crashed() : closed;
+}
+
+// -- Atomic publish ----------------------------------------------------
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+Status AtomicWriteFile(FileIo& io, const std::string& path,
+                       std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t file,
+                           io.OpenForWrite(tmp, /*truncate=*/true));
+  Status status = io.Write(file, bytes);
+  if (status.ok()) {
+    status = io.Sync(file);
+  }
+  const Status closed = io.Close(file);
+  if (status.ok()) {
+    status = closed;
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  // The commit point: rename is atomic, so `path` flips from old-or-
+  // absent to the complete new bytes in one step; the directory fsync
+  // makes the flip itself durable.
+  HIERARQ_RETURN_NOT_OK(io.Rename(tmp, path));
+  return io.SyncDir(DirName(path));
+}
+
+}  // namespace hierarq::persist

@@ -1,0 +1,166 @@
+#ifndef HIERARQ_PERSIST_FAULT_IO_H_
+#define HIERARQ_PERSIST_FAULT_IO_H_
+
+/// \file fault_io.h
+/// \brief The file-I/O seam of the persistence layer, and its
+/// deterministic fault-injecting implementation.
+///
+/// Everything the chunk store and the WAL do to the filesystem goes
+/// through a `FileIo`, so tests can interpose `FaultInjectingIo` and die
+/// at any chosen operation — a short write mid-chunk, a failed fsync, a
+/// crash between temp-write and rename, a silent bit-flip — and then
+/// prove that `Recover` (run through a fresh `RealFileIo`, like a
+/// restarted process) still reaches the last durable generation.
+///
+/// The contract `AtomicWriteFile` builds on these primitives is the
+/// entwine chunk-storage idiom: write `<path>.tmp`, fsync it, rename it
+/// over `path`, fsync the parent directory. A reader therefore either
+/// sees the old complete file or the new complete file, never a torn
+/// one; torn *temp* files are invisible garbage that the next snapshot
+/// sweep removes.
+///
+/// Write handles are opaque `uint64_t` tokens (valid until `Close`) so a
+/// `FaultInjectingIo` can wrap a delegate without owning descriptors.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hierarq/util/random.h"
+#include "hierarq/util/result.h"
+#include "hierarq/util/status.h"
+
+namespace hierarq::persist {
+
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  /// Creates one directory level; succeeding on an already-existing
+  /// directory (callers create parents outermost-first).
+  virtual Status MakeDir(const std::string& path) = 0;
+
+  /// Entry names (no paths) in `path`, sorted; "." and ".." excluded.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Removes a file (not a directory). Missing files are OK — removal
+  /// is cleanup, and cleanup must be idempotent across crashes.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Durably persists a previous Rename in `path` (fsync of the
+  /// directory itself — without it the rename may not survive a crash).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  /// The whole file, or kNotFound when it does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  /// Opens `path` for writing: truncate-or-create when `truncate`,
+  /// append-or-create otherwise (the WAL). Returns an opaque handle.
+  virtual Result<uint64_t> OpenForWrite(const std::string& path,
+                                        bool truncate) = 0;
+  /// Writes all of `bytes` (loops over partial writes).
+  virtual Status Write(uint64_t file, std::string_view bytes) = 0;
+  /// fsync(2) — the durability point of every write path.
+  virtual Status Sync(uint64_t file) = 0;
+  virtual Status Close(uint64_t file) = 0;
+};
+
+/// The production implementation: thin POSIX wrappers, handles are fds.
+class RealFileIo : public FileIo {
+ public:
+  Status MakeDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> OpenForWrite(const std::string& path,
+                                bool truncate) override;
+  Status Write(uint64_t file, std::string_view bytes) override;
+  Status Sync(uint64_t file) override;
+  Status Close(uint64_t file) override;
+};
+
+/// Wraps a delegate and injects faults at chosen points of the
+/// *mutating* operation sequence (Write, Sync, Rename, Remove — the ops
+/// whose loss or corruption a crash can cause). Operations are numbered
+/// from 1 in call order, so a schedule is just "which op dies": run a
+/// workload once fault-free, read `mutating_ops()`, then replay it with
+/// `crash_at_op` drawn from [1, mutating_ops()].
+///
+/// Fault semantics:
+///   - `crash_at_op`: the op does NOT complete — a crashing Write first
+///     writes a seeded prefix of its buffer (a short write: exactly what
+///     a dying process leaves behind), a crashing Sync/Rename/Remove
+///     does nothing — and every subsequent operation fails too (the
+///     process is dead). Recovery then runs through a fresh RealFileIo.
+///   - `fail_sync_at_op`: that op, if a Sync, reports failure once
+///     without crashing (a transient EIO the caller must surface).
+///   - `flip_bit_at_op`: that op, if a Write, flips one seeded bit of
+///     its buffer and then succeeds — silent corruption the CRC layer
+///     must catch at read time.
+class FaultInjectingIo : public FileIo {
+ public:
+  struct Options {
+    uint64_t seed = 1;          ///< Drives short-write lengths, bit picks.
+    uint64_t crash_at_op = 0;   ///< 1-based mutating-op index; 0 = never.
+    uint64_t fail_sync_at_op = 0;
+    uint64_t flip_bit_at_op = 0;
+  };
+
+  FaultInjectingIo(FileIo* delegate, Options options)
+      : delegate_(delegate), options_(options), rng_(options.seed) {}
+
+  /// Mutating operations observed so far (fault-free runs size the
+  /// crash-schedule space).
+  uint64_t mutating_ops() const { return ops_; }
+  bool crashed() const { return crashed_; }
+
+  Status MakeDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status Remove(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> OpenForWrite(const std::string& path,
+                                bool truncate) override;
+  Status Write(uint64_t file, std::string_view bytes) override;
+  Status Sync(uint64_t file) override;
+  Status Close(uint64_t file) override;
+
+ private:
+  /// Advances the op counter; returns the fault to apply to THIS op.
+  enum class Fault { kNone, kCrash, kFailSync, kFlipBit };
+  Fault NextOp();
+  Status Crashed() const {
+    return Status::Internal("injected crash: process is dead");
+  }
+
+  FileIo* delegate_;
+  Options options_;
+  Rng rng_;
+  uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+/// Durably publishes `bytes` as `path` via write-temp + fsync + rename +
+/// directory fsync. On any failure the destination is untouched (the
+/// temp file may remain; snapshot sweeps remove strays).
+Status AtomicWriteFile(FileIo& io, const std::string& path,
+                       std::string_view bytes);
+
+/// The directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_FAULT_IO_H_

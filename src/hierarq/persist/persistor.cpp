@@ -1,0 +1,177 @@
+#include "hierarq/persist/persistor.h"
+
+#include <utility>
+
+#include "hierarq/obs/metrics.h"
+#include "hierarq/persist/chunk_store.h"
+#include "hierarq/util/timer.h"
+
+namespace hierarq::persist {
+
+namespace {
+
+/// persist.* instruments, resolved once (handles are stable).
+struct PersistMetrics {
+  obs::Counter* wal_appends;
+  obs::Counter* wal_append_bytes;
+  obs::Histogram* wal_append_ns;
+  obs::Counter* snapshots;
+  obs::Counter* snapshot_bytes;
+  obs::Histogram* snapshot_ns;
+  obs::Counter* recoveries;
+  obs::Gauge* recovered_generation;
+  obs::Counter* wal_replayed_records;
+  obs::Counter* wal_truncated_bytes;
+
+  static PersistMetrics& Get() {
+    static PersistMetrics* const metrics = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      auto* m = new PersistMetrics;
+      m->wal_appends = registry.GetCounter("persist.wal_appends");
+      m->wal_append_bytes = registry.GetCounter("persist.wal_append_bytes");
+      m->wal_append_ns = registry.GetHistogram("persist.wal_append_ns");
+      m->snapshots = registry.GetCounter("persist.snapshots");
+      m->snapshot_bytes = registry.GetCounter("persist.snapshot_bytes");
+      m->snapshot_ns = registry.GetHistogram("persist.snapshot_ns");
+      m->recoveries = registry.GetCounter("persist.recoveries");
+      m->recovered_generation =
+          registry.GetGauge("persist.recovered_generation");
+      m->wal_replayed_records =
+          registry.GetCounter("persist.wal_replayed_records");
+      m->wal_truncated_bytes =
+          registry.GetCounter("persist.wal_truncated_bytes");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+uint64_t Nanos(const WallTimer& timer) {
+  return static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9);
+}
+
+}  // namespace
+
+Persistor::Persistor(std::string dir, Options options,
+                     std::unique_ptr<FileIo> owned)
+    : dir_(std::move(dir)),
+      options_(options),
+      owned_io_(std::move(owned)),
+      io_(options.io != nullptr ? options.io : owned_io_.get()) {}
+
+Persistor::~Persistor() = default;
+
+obs::Logger& Persistor::logger() {
+  return options_.logger != nullptr ? *options_.logger
+                                    : obs::Logger::Global();
+}
+
+Result<std::unique_ptr<Persistor>> Persistor::Open(std::string dir,
+                                                   Options options) {
+  std::unique_ptr<FileIo> owned;
+  if (options.io == nullptr) {
+    owned = std::make_unique<RealFileIo>();
+  }
+  std::unique_ptr<Persistor> persistor(
+      new Persistor(std::move(dir), options, std::move(owned)));
+  HIERARQ_RETURN_NOT_OK(persistor->io().MakeDir(persistor->dir_));
+  return persistor;
+}
+
+Result<VersionedDatabase> Persistor::Boot(VersionedDatabase initial,
+                                          Dictionary* dict) {
+  auto& metrics = PersistMetrics::Get();
+  VersionedDatabase db = std::move(initial);
+  const bool have_snapshot = io().Exists(dir_ + "/" + kManifestName) ||
+                             io().Exists(dir_ + "/" + kPreviousManifestName);
+  if (have_snapshot) {
+    WallTimer timer;
+    RecoverResult detail;
+    HIERARQ_ASSIGN_OR_RETURN(db, RecoverDatabase(io(), dir_, dict, &detail));
+    metrics.recoveries->Add();
+    metrics.recovered_generation->Set(
+        static_cast<int64_t>(detail.recovered_generation));
+    metrics.wal_replayed_records->Add(detail.wal_records);
+    metrics.wal_truncated_bytes->Add(detail.wal_truncated_bytes);
+    logger().Info(
+        "persist.recovered",
+        {{"dir", dir_},
+         {"snapshot_generation", std::to_string(detail.snapshot_generation)},
+         {"recovered_generation", std::to_string(detail.recovered_generation)},
+         {"wal_records", std::to_string(detail.wal_records)},
+         {"wal_truncated_bytes", std::to_string(detail.wal_truncated_bytes)},
+         {"used_fallback_manifest",
+          detail.used_fallback_manifest ? "true" : "false"},
+         {"elapsed_ms", std::to_string(timer.ElapsedMillis())}});
+    recovery_ = std::move(detail);
+  } else {
+    logger().Info("persist.boot_seed",
+                  {{"dir", dir_},
+                   {"generation", std::to_string(db.generation())},
+                   {"facts", std::to_string(db.NumFacts())}});
+  }
+  // The healing snapshot (see the class comment): fold the replayed tail
+  // into chunks, rotate to a fresh WAL, replace anything damaged. After
+  // it commits, the directory is exactly "snapshot at db.generation(),
+  // empty log" — the one state Append needs.
+  const Dictionary empty;
+  HIERARQ_RETURN_NOT_OK(WriteSnapshot(db, dict != nullptr ? *dict : empty));
+  return db;
+}
+
+Status Persistor::Append(uint64_t generation, std::string_view line) {
+  if (!wal_.has_value()) {
+    return Status::Internal(
+        "Persistor::Append before Boot/WriteSnapshot opened a WAL");
+  }
+  auto& metrics = PersistMetrics::Get();
+  WallTimer timer;
+  HIERARQ_RETURN_NOT_OK(wal_->Append(generation, line));
+  metrics.wal_appends->Add();
+  metrics.wal_append_bytes->Add(line.size());
+  metrics.wal_append_ns->Observe(Nanos(timer));
+  ++appends_since_snapshot_;
+  return Status::OK();
+}
+
+bool Persistor::ShouldSnapshot() const {
+  return options_.snapshot_every > 0 &&
+         appends_since_snapshot_ >= options_.snapshot_every;
+}
+
+Status Persistor::WriteSnapshot(const VersionedDatabase& db,
+                                const Dictionary& dict) {
+  auto& metrics = PersistMetrics::Get();
+  WallTimer timer;
+  // Snapshot FIRST: if it fails, the old manifest still governs and the
+  // still-open WAL handle keeps appending to the file it names — the
+  // durable path survives a failed snapshot untouched. (The rotation
+  // rename may replace an identically-named wal file only in the
+  // zero-append re-snapshot case, where nothing can be appended between
+  // the rename and the handle swap below: callers hold the db lock.)
+  HIERARQ_ASSIGN_OR_RETURN(const SnapshotStats stats,
+                           persist::WriteSnapshot(io(), dir_, db, dict));
+  if (wal_.has_value()) {
+    const Status closed = wal_->Close();
+    wal_.reset();
+    HIERARQ_RETURN_NOT_OK(closed);
+  }
+  HIERARQ_ASSIGN_OR_RETURN(
+      WalWriter wal,
+      WalWriter::Open(io_, dir_ + "/" + WalFileName(db.generation())));
+  wal_ = std::move(wal);
+  appends_since_snapshot_ = 0;
+  metrics.snapshots->Add();
+  metrics.snapshot_bytes->Add(stats.bytes);
+  metrics.snapshot_ns->Observe(Nanos(timer));
+  logger().Info("persist.snapshot",
+                {{"dir", dir_},
+                 {"generation", std::to_string(stats.generation)},
+                 {"relations", std::to_string(stats.relations)},
+                 {"facts", std::to_string(stats.facts)},
+                 {"bytes", std::to_string(stats.bytes)},
+                 {"elapsed_ms", std::to_string(timer.ElapsedMillis())}});
+  return Status::OK();
+}
+
+}  // namespace hierarq::persist

@@ -1,0 +1,123 @@
+#ifndef HIERARQ_PERSIST_PERSISTOR_H_
+#define HIERARQ_PERSIST_PERSISTOR_H_
+
+/// \file persistor.h
+/// \brief `Persistor` — the server-facing durability lifecycle over one
+/// data directory.
+///
+/// The lower layers are policy-free mechanisms (chunk_store.h writes
+/// snapshots, wal.h appends records, snapshot.h recovers); `Persistor`
+/// is the policy: boot by recovering (or seeding from an initial
+/// database), append every delta line BEFORE it is applied and acked,
+/// auto-snapshot every `snapshot_every` appends, and account everything
+/// through `persist.*` metrics and structured log events.
+///
+/// The durability contract it gives the server (net/server.cpp):
+///
+///     Append(G, line) returned OK  =>  a crash at ANY later point
+///     recovers the database at generation >= G.
+///
+/// because Append fsyncs the WAL record before returning, and the
+/// server only Applies + acks after Append succeeds. The converse
+/// direction is free: a batch whose Append failed (or tore in a crash)
+/// was never acked, so dropping it at recovery is correct.
+///
+/// Boot always ends by writing a fresh snapshot at the recovered
+/// generation. That "healing snapshot" keeps the append path trivial
+/// (the WAL to continue is always the one Boot just rotated), folds the
+/// replayed tail back into chunks, and replaces any damaged manifest or
+/// torn WAL tail with clean files — recovery work is done once at boot,
+/// not re-done on every subsequent boot.
+///
+/// Thread model: `Append`/`WriteSnapshot`/`ShouldSnapshot` are called
+/// under the same exclusive lock that guards `VersionedDatabase::Apply`
+/// (the server's db mutex) — the WAL append and the Apply must be atomic
+/// together or the log could disagree with the state it claims to
+/// describe. `Boot` is startup-time, single-threaded.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hierarq/data/value.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/obs/log.h"
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/persist/snapshot.h"
+#include "hierarq/persist/wal.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq::persist {
+
+class Persistor {
+ public:
+  struct Options {
+    /// The I/O seam. nullptr = an owned `RealFileIo` (production); tests
+    /// pass a `FaultInjectingIo`.
+    FileIo* io = nullptr;
+    /// Write a snapshot after this many WAL appends (0 = only at boot
+    /// and on explicit request). Snapshots bound replay time and let
+    /// the WAL be truncated.
+    uint64_t snapshot_every = 0;
+    /// Structured event sink. nullptr = obs::Logger::Global().
+    obs::Logger* logger = nullptr;
+  };
+
+  /// Binds a persistor to `dir` (created if missing). No I/O beyond the
+  /// directory probe happens until `Boot`.
+  static Result<std::unique_ptr<Persistor>> Open(std::string dir,
+                                                 Options options);
+
+  ~Persistor();
+  Persistor(const Persistor&) = delete;
+  Persistor& operator=(const Persistor&) = delete;
+
+  /// Brings the directory and a database into sync, exactly one of:
+  ///   - dir holds a snapshot: recover it (replaying the WAL tail) and
+  ///     return the recovered database — `initial` is IGNORED (the
+  ///     directory is the source of truth once it exists);
+  ///   - dir is empty: snapshot `initial` as generation 0 seed.
+  /// Either way a fresh snapshot is committed and the WAL writer is
+  /// open before returning, so `Append` is ready. `recovery()` tells a
+  /// caller which path ran.
+  Result<VersionedDatabase> Boot(VersionedDatabase initial, Dictionary* dict);
+
+  /// Durably logs the delta `line` that will move the database to
+  /// `generation` (i.e. db.generation() + 1 at call time). Returns only
+  /// after the record is fsynced — the caller may then Apply and ack.
+  Status Append(uint64_t generation, std::string_view line);
+
+  /// True when `snapshot_every` appends have accumulated since the last
+  /// snapshot — the caller (holding its db lock) should `WriteSnapshot`.
+  bool ShouldSnapshot() const;
+
+  /// Commits a full snapshot of `db` and rotates the WAL. After it
+  /// returns the caller may `db.TruncateLog(db.generation())` — replay
+  /// never needs the in-memory log, and the on-disk one restarts empty.
+  Status WriteSnapshot(const VersionedDatabase& db, const Dictionary& dict);
+
+  const std::string& dir() const { return dir_; }
+  /// Detail of the Boot-time recovery; nullopt when Boot seeded from
+  /// `initial` (no snapshot existed) or has not run.
+  const std::optional<RecoverResult>& recovery() const { return recovery_; }
+  uint64_t appends_since_snapshot() const { return appends_since_snapshot_; }
+
+ private:
+  Persistor(std::string dir, Options options, std::unique_ptr<FileIo> owned);
+
+  FileIo& io() { return *io_; }
+  obs::Logger& logger();
+
+  std::string dir_;
+  Options options_;
+  std::unique_ptr<FileIo> owned_io_;
+  FileIo* io_ = nullptr;
+  std::optional<WalWriter> wal_;
+  std::optional<RecoverResult> recovery_;
+  uint64_t appends_since_snapshot_ = 0;
+};
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_PERSISTOR_H_

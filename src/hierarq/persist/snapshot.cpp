@@ -1,0 +1,299 @@
+#include "hierarq/persist/snapshot.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hierarq/incremental/delta_text.h"
+#include "hierarq/persist/chunk_store.h"
+#include "hierarq/persist/codec.h"
+#include "hierarq/persist/wal.h"
+#include "hierarq/util/strings.h"
+
+namespace hierarq::persist {
+
+namespace {
+
+std::string Join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+/// Extracts the generation a data-dir file belongs to from its name
+/// ("chunk-<G>-<k>.hq", "dict-<G>.hq", "wal-<G>.log"). False when the
+/// name is not part of the snapshot naming scheme.
+bool GenerationOfFile(const std::string& name, uint64_t* generation) {
+  for (const std::string_view prefix : {"chunk-", "dict-", "wal-"}) {
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string_view rest = std::string_view(name).substr(prefix.size());
+    const size_t digits = rest.find_first_not_of("0123456789");
+    if (digits == 0 || digits == std::string_view::npos) {
+      continue;
+    }
+    Result<int64_t> parsed = ParseInt64(rest.substr(0, digits));
+    if (!parsed.ok() || *parsed < 0) {
+      continue;
+    }
+    *generation = static_cast<uint64_t>(*parsed);
+    return true;
+  }
+  return false;
+}
+
+/// Deletes snapshot-scheme files of generations outside `keep` plus any
+/// leftover temp files. Best effort: a file that refuses to die is a
+/// disk-space leak, not a correctness problem, so errors are swallowed —
+/// the next snapshot retries.
+void SweepStale(FileIo& io, const std::string& dir,
+                const std::vector<uint64_t>& keep) {
+  Result<std::vector<std::string>> names = io.ListDir(dir);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : *names) {
+    const bool is_temp = name.size() > 4 && name.ends_with(".tmp");
+    uint64_t generation = 0;
+    bool drop = is_temp;
+    if (!drop && GenerationOfFile(name, &generation)) {
+      drop = true;
+      for (uint64_t g : keep) {
+        if (generation == g) {
+          drop = false;
+          break;
+        }
+      }
+    }
+    if (drop) {
+      (void)io.Remove(Join(dir, name));
+    }
+  }
+}
+
+/// Loads the snapshot `manifest` describes: dictionary, then every
+/// relation chunk, validating sizes and CRCs against the manifest.
+Result<VersionedDatabase> LoadSnapshot(FileIo& io, const std::string& dir,
+                                       const Manifest& manifest,
+                                       Dictionary* dict) {
+  std::vector<Value> remap;
+  if (!manifest.dict_file.empty()) {
+    HIERARQ_ASSIGN_OR_RETURN(const std::string bytes,
+                             io.ReadFile(Join(dir, manifest.dict_file)));
+    if (bytes.size() != manifest.dict_bytes ||
+        Crc32(bytes) != manifest.dict_crc) {
+      return Status::InvalidArgument("dictionary chunk " + manifest.dict_file +
+                                     " does not match its manifest entry "
+                                     "(truncated or corrupt)");
+    }
+    HIERARQ_ASSIGN_OR_RETURN(remap, DecodeDictionaryChunk(bytes, dict));
+  }
+  Database facts;
+  std::unordered_map<Fact, double, FactHash> weights;
+  for (const ChunkInfo& chunk : manifest.chunks) {
+    HIERARQ_ASSIGN_OR_RETURN(const std::string bytes,
+                             io.ReadFile(Join(dir, chunk.file)));
+    HIERARQ_RETURN_NOT_OK(
+        DecodeRelationChunk(bytes, chunk, remap, &facts, &weights));
+  }
+  return VersionedDatabase(std::move(facts), std::move(weights),
+                           manifest.generation);
+}
+
+}  // namespace
+
+std::string ChunkFileName(uint64_t generation, size_t index) {
+  return "chunk-" + std::to_string(generation) + "-" + std::to_string(index) +
+         ".hq";
+}
+
+std::string DictFileName(uint64_t generation) {
+  return "dict-" + std::to_string(generation) + ".hq";
+}
+
+std::string WalFileName(uint64_t generation) {
+  return "wal-" + std::to_string(generation) + ".log";
+}
+
+Result<SnapshotStats> WriteSnapshot(FileIo& io, const std::string& dir,
+                                    const VersionedDatabase& db,
+                                    const Dictionary& dict) {
+  HIERARQ_RETURN_NOT_OK(io.MakeDir(dir));
+  const uint64_t generation = db.generation();
+  SnapshotStats stats;
+  stats.generation = generation;
+
+  // Remember the outgoing snapshot's generation (if its manifest still
+  // decodes) so the sweep below can keep its files as the fallback.
+  std::vector<uint64_t> keep = {generation};
+  const std::string manifest_path = Join(dir, kManifestName);
+  if (io.Exists(manifest_path)) {
+    Result<std::string> previous = io.ReadFile(manifest_path);
+    if (previous.ok()) {
+      Result<Manifest> decoded = DecodeManifest(*previous);
+      if (decoded.ok()) {
+        keep.push_back(decoded->generation);
+      }
+    }
+  }
+
+  Manifest manifest;
+  manifest.generation = generation;
+  manifest.wal_file = WalFileName(generation);
+
+  // Chunks first — each is invisible until the manifest commits. The
+  // relations() map iterates in name order, so chunk indices (and with
+  // them the recovered insertion order) are deterministic.
+  size_t index = 0;
+  for (const auto& [name, relation] : db.facts().relations()) {
+    ChunkInfo info;
+    info.file = ChunkFileName(generation, index++);
+    info.relation = name;
+    info.arity = static_cast<uint32_t>(relation.arity());
+    info.rows = relation.tuples().size();
+    const std::string bytes = EncodeRelationChunk(relation, db);
+    info.bytes = bytes.size();
+    info.crc = Crc32(bytes);
+    HIERARQ_RETURN_NOT_OK(AtomicWriteFile(io, Join(dir, info.file), bytes));
+    stats.bytes += bytes.size();
+    stats.facts += relation.tuples().size();
+    manifest.chunks.push_back(std::move(info));
+  }
+  stats.relations = manifest.chunks.size();
+
+  if (dict.size() > 0) {
+    const std::string bytes = EncodeDictionaryChunk(dict);
+    manifest.dict_file = DictFileName(generation);
+    manifest.dict_bytes = bytes.size();
+    manifest.dict_crc = Crc32(bytes);
+    HIERARQ_RETURN_NOT_OK(
+        AtomicWriteFile(io, Join(dir, manifest.dict_file), bytes));
+    stats.bytes += bytes.size();
+  }
+
+  // The rotated (empty) WAL must exist durably before the manifest that
+  // names it. AtomicWriteFile also covers the only legal overwrite case:
+  // re-snapshotting at an unchanged generation (boot healing with zero
+  // replayed records), where the old wal-<G>.log holds at most a torn
+  // tail that SHOULD be discarded.
+  HIERARQ_RETURN_NOT_OK(AtomicWriteFile(io, Join(dir, manifest.wal_file), ""));
+
+  // The commit point. Rotate the old manifest into the fallback slot
+  // first; if we crash between the two steps, recovery finds no MANIFEST
+  // and proceeds straight to MANIFEST.1 — the same snapshot it would
+  // have used anyway.
+  if (io.Exists(manifest_path)) {
+    HIERARQ_RETURN_NOT_OK(
+        io.Rename(manifest_path, Join(dir, kPreviousManifestName)));
+    HIERARQ_RETURN_NOT_OK(io.SyncDir(dir));
+  }
+  const std::string encoded = EncodeManifest(manifest);
+  HIERARQ_RETURN_NOT_OK(AtomicWriteFile(io, manifest_path, encoded));
+  stats.bytes += encoded.size();
+
+  SweepStale(io, dir, keep);
+  return stats;
+}
+
+Result<RecoverResult> Recover(FileIo& io, const std::string& dir,
+                              Dictionary* dict) {
+  // Newest valid snapshot: MANIFEST, then the MANIFEST.1 fallback. A
+  // candidate is rejected (not fatal) when its manifest or any of its
+  // chunks fails validation — only when NO candidate loads do we error.
+  bool any_manifest = false;
+  std::string failures;
+  for (const char* name : {kManifestName, kPreviousManifestName}) {
+    const std::string path = Join(dir, name);
+    Result<std::string> bytes = io.ReadFile(path);
+    if (!bytes.ok()) {
+      if (!bytes.status().Is(StatusCode::kNotFound)) {
+        return bytes.status();
+      }
+      continue;
+    }
+    any_manifest = true;
+    Result<Manifest> manifest = DecodeManifest(*bytes);
+    Result<VersionedDatabase> loaded =
+        manifest.ok() ? LoadSnapshot(io, dir, *manifest, dict)
+                      : manifest.status();
+    if (!loaded.ok()) {
+      failures += std::string(failures.empty() ? "" : "; ") + name + ": " +
+                  loaded.status().message();
+      continue;
+    }
+
+    RecoverResult result;
+    result.db = *std::move(loaded);
+    result.snapshot_generation = manifest->generation;
+    result.used_fallback_manifest = (name == kPreviousManifestName);
+
+    // Replay the WAL chain. The snapshot's own log runs up to the point
+    // where a NEWER snapshot (whose manifest may be the one that just
+    // failed above) rotated to wal-<G'>.log; keep following those hops
+    // so no acked record is lost to a damaged newest manifest. Records
+    // must advance the generation by exactly one each — a gap or
+    // repeat means corruption, and truncation applies from there.
+    VersionedDatabase scratch = result.db;  // Arity schema for parsing.
+    std::string wal_file = manifest->wal_file;
+    uint64_t next_generation = result.snapshot_generation + 1;
+    while (true) {
+      WalReadStats wal_stats;
+      Result<std::vector<WalRecord>> records =
+          ReadWal(io, Join(dir, wal_file), &wal_stats);
+      if (!records.ok()) {
+        return records.status();
+      }
+      result.wal_truncated_bytes += wal_stats.truncated_bytes;
+      bool clean = !wal_stats.torn_tail;
+      for (const WalRecord& record : *records) {
+        if (record.generation != next_generation) {
+          clean = false;
+          break;
+        }
+        Result<DeltaBatch> batch =
+            ParseDeltaLine(record.line, dict, scratch);
+        if (!batch.ok()) {
+          clean = false;
+          break;
+        }
+        scratch.Apply(*batch);
+        result.tail.push_back(*std::move(batch));
+        ++result.wal_records;
+        ++next_generation;
+      }
+      if (!clean) {
+        break;  // Torn, corrupt, or discontinuous — stop at the last good record.
+      }
+      const std::string next_wal = WalFileName(next_generation - 1);
+      if (next_wal == wal_file || !io.Exists(Join(dir, next_wal))) {
+        break;  // No newer rotation to chain into.
+      }
+      wal_file = next_wal;
+    }
+    result.recovered_generation =
+        result.snapshot_generation + result.tail.size();
+    return result;
+  }
+  if (!any_manifest) {
+    return Status::NotFound("no snapshot manifest in " + dir);
+  }
+  return Status::InvalidArgument("no valid snapshot in " + dir + " (" +
+                                 failures + ")");
+}
+
+Result<VersionedDatabase> RecoverDatabase(FileIo& io, const std::string& dir,
+                                          Dictionary* dict,
+                                          RecoverResult* detail) {
+  HIERARQ_ASSIGN_OR_RETURN(RecoverResult result, Recover(io, dir, dict));
+  for (const DeltaBatch& batch : result.tail) {
+    result.db.Apply(batch);
+  }
+  if (detail != nullptr) {
+    RecoverResult& out = *detail;
+    out = std::move(result);
+    return std::move(out.db);
+  }
+  return std::move(result.db);
+}
+
+}  // namespace hierarq::persist

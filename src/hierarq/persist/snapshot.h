@@ -1,0 +1,94 @@
+#ifndef HIERARQ_PERSIST_SNAPSHOT_H_
+#define HIERARQ_PERSIST_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// \brief Snapshot + log-replay durability for `VersionedDatabase`.
+///
+/// `WriteSnapshot` captures the database at its current generation G as
+/// CRC-guarded chunks plus a manifest (chunk_store.h), and rotates the
+/// WAL: records for generations > G accumulate in `wal-<G>.log`
+/// (wal.h). Every file is published atomically, the manifest last — the
+/// manifest rename IS the snapshot's commit point, and the previous
+/// manifest is retained as `MANIFEST.1` so one damaged snapshot never
+/// loses the directory.
+///
+/// `Recover` inverts it: load the newest *valid* snapshot (MANIFEST,
+/// falling back to MANIFEST.1), then replay the WAL chain — the
+/// snapshot's own log, then any later `wal-<G'>.log` a newer (possibly
+/// corrupt) snapshot had rotated to — truncating at the first torn or
+/// corrupt record. The result is the database at the last durable
+/// generation: every batch whose WAL append was fsynced (i.e. every
+/// ACKED batch) survives; a torn tail record is by construction an
+/// unacked batch and is dropped.
+///
+/// `Recover` returns the database AT the snapshot generation plus the
+/// replayed tail as parsed batches, so callers can attach incremental
+/// views against the snapshot state and stream the tail through them —
+/// view recovery without re-deriving anything (the PR 4 detached-reader
+/// catch-up, end to end). `RecoverDatabase` is the convenience that
+/// just wants the final state.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hierarq/data/value.h"
+#include "hierarq/incremental/delta.h"
+#include "hierarq/incremental/versioned_database.h"
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq::persist {
+
+/// File-name helpers — the data directory's naming scheme. Generations
+/// are embedded so a crashed snapshot can never alias another's files.
+std::string ChunkFileName(uint64_t generation, size_t index);
+std::string DictFileName(uint64_t generation);
+std::string WalFileName(uint64_t generation);
+
+struct SnapshotStats {
+  uint64_t generation = 0;
+  size_t relations = 0;
+  size_t facts = 0;
+  uint64_t bytes = 0;  ///< Total bytes written (chunks + dict + manifest).
+};
+
+/// Writes a full snapshot of `db` into `dir` (created if missing) and
+/// rotates the WAL. On success the snapshot is durably committed; on
+/// failure the previous snapshot is untouched (stray temp/partial files
+/// are swept by the next successful snapshot).
+Result<SnapshotStats> WriteSnapshot(FileIo& io, const std::string& dir,
+                                    const VersionedDatabase& db,
+                                    const Dictionary& dict);
+
+struct RecoverResult {
+  /// The database AT `snapshot_generation` — the tail is NOT applied.
+  VersionedDatabase db;
+  /// Parsed WAL batches past the snapshot, in order; applying tail[i]
+  /// moves the db to generation snapshot_generation + i + 1.
+  std::vector<DeltaBatch> tail;
+  uint64_t snapshot_generation = 0;
+  /// snapshot_generation + tail.size() — the last durable generation.
+  uint64_t recovered_generation = 0;
+  size_t wal_records = 0;          ///< Valid records replayed.
+  size_t wal_truncated_bytes = 0;  ///< Torn/corrupt tail bytes dropped.
+  bool used_fallback_manifest = false;  ///< MANIFEST was invalid; MANIFEST.1 won.
+};
+
+/// Loads the newest valid snapshot of `dir` and replays its WAL chain.
+/// New symbols intern into `dict` (ids are remapped, so a pre-populated
+/// dictionary is fine). kNotFound when the directory holds no manifest
+/// at all; kInvalidArgument when manifests exist but none is loadable.
+Result<RecoverResult> Recover(FileIo& io, const std::string& dir,
+                              Dictionary* dict);
+
+/// Recover + apply the tail: the database at the last durable
+/// generation. `detail`, when non-null, receives the full RecoverResult
+/// (with `db` moved out of).
+Result<VersionedDatabase> RecoverDatabase(FileIo& io, const std::string& dir,
+                                          Dictionary* dict,
+                                          RecoverResult* detail = nullptr);
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_SNAPSHOT_H_

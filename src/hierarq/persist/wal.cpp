@@ -1,0 +1,128 @@
+#include "hierarq/persist/wal.h"
+
+#include <utility>
+
+#include "hierarq/persist/codec.h"
+
+namespace hierarq::persist {
+
+namespace {
+
+/// Guards the payload-length prefix before any allocation: a WAL line
+/// is one delta batch, far below this; anything larger is garbage bytes
+/// being misread as a length.
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+}  // namespace
+
+std::string EncodeWalRecord(uint64_t generation, std::string_view line) {
+  std::string body;
+  PutU64(&body, generation);
+  body.append(line);
+  std::string record;
+  record.reserve(body.size() + 8);
+  PutU32(&record, static_cast<uint32_t>(line.size()));
+  PutU32(&record, Crc32(body));
+  record.append(body);
+  return record;
+}
+
+Result<WalWriter> WalWriter::Open(FileIo* io, std::string path) {
+  HIERARQ_ASSIGN_OR_RETURN(const uint64_t file,
+                           io->OpenForWrite(path, /*truncate=*/false));
+  WalWriter writer(io, std::move(path), file);
+  writer.open_ = true;
+  return writer;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (open_) {
+      (void)io_->Close(file_);
+    }
+    io_ = other.io_;
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    open_ = other.open_;
+    appended_ = other.appended_;
+    other.open_ = false;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (open_) {
+    (void)io_->Close(file_);
+    open_ = false;
+  }
+}
+
+Status WalWriter::Append(uint64_t generation, std::string_view line) {
+  if (!open_) {
+    return Status::Internal("WAL writer is closed");
+  }
+  // One Write call per record: the kernel appends atomically enough for
+  // a single writer, and the CRC framing catches whatever a crash tears.
+  HIERARQ_RETURN_NOT_OK(io_->Write(file_, EncodeWalRecord(generation, line)));
+  // The durability point — only after this fsync may the caller apply
+  // and ack the batch.
+  HIERARQ_RETURN_NOT_OK(io_->Sync(file_));
+  ++appended_;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (!open_) {
+    return Status::OK();
+  }
+  open_ = false;
+  return io_->Close(file_);
+}
+
+Result<std::vector<WalRecord>> ReadWal(FileIo& io, const std::string& path,
+                                       WalReadStats* stats) {
+  WalReadStats local;
+  WalReadStats* out = stats != nullptr ? stats : &local;
+  *out = WalReadStats{};
+  std::vector<WalRecord> records;
+  Result<std::string> bytes = io.ReadFile(path);
+  if (!bytes.ok()) {
+    if (bytes.status().Is(StatusCode::kNotFound)) {
+      return records;  // No appends since the snapshot.
+    }
+    return bytes.status();
+  }
+  ByteReader reader(*bytes);
+  while (!reader.AtEnd()) {
+    const size_t record_start = reader.position();
+    const auto truncate_here = [&]() {
+      out->torn_tail = true;
+      out->truncated_bytes = bytes->size() - record_start;
+      return records;
+    };
+    // Any decode failure from here on is a torn or corrupt tail — stop
+    // at the last good record instead of erroring.
+    Result<uint32_t> payload_len = reader.U32();
+    Result<uint32_t> crc =
+        payload_len.ok() ? reader.U32() : payload_len.status();
+    if (!crc.ok() || *payload_len > kMaxRecordBytes ||
+        reader.remaining() < 8 + *payload_len) {
+      return truncate_here();
+    }
+    const std::string_view body =
+        std::string_view(*bytes).substr(reader.position(), 8 + *payload_len);
+    if (Crc32(body) != *crc) {
+      return truncate_here();
+    }
+    ByteReader body_reader(body);
+    WalRecord record;
+    HIERARQ_ASSIGN_OR_RETURN(record.generation, body_reader.U64());
+    record.line = std::string(body.substr(8));
+    reader.Skip(body.size());
+    records.push_back(std::move(record));
+    ++out->records;
+  }
+  return records;
+}
+
+}  // namespace hierarq::persist

@@ -1,0 +1,89 @@
+#ifndef HIERARQ_PERSIST_WAL_H_
+#define HIERARQ_PERSIST_WAL_H_
+
+/// \file wal.h
+/// \brief The write-ahead delta log: append-only, per-record CRC
+/// framing, torn-tail truncation on read.
+///
+/// Each record carries one `DeltaBatch` in the textual grammar of
+/// incremental/delta_text.h — the same encoding `hierarq_cli update`
+/// reads from stdin and `kDeltaBatch` wire frames carry — stamped with
+/// the generation the batch moves the database TO:
+///
+///     ┌────────────────┬─────────┬────────────────┬───────────────┐
+///     │ u32 payload len│ u32 crc │ u64 generation │ payload bytes │
+///     └────────────────┴─────────┴────────────────┴───────────────┘
+///       crc = CRC32(generation_le || payload), little-endian
+///
+/// The writer appends one record and fsyncs before the caller applies
+/// (and acks) the batch — ack implies durable. The reader walks records
+/// until the first torn or corrupt one and STOPS there: a crash mid-
+/// append leaves a partial tail record, which is by construction an
+/// unacked batch, so dropping it recovers exactly the acked state.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/util/result.h"
+
+namespace hierarq::persist {
+
+/// One decoded log record.
+struct WalRecord {
+  uint64_t generation = 0;  ///< Generation the batch moves the db TO.
+  std::string line;         ///< The delta-text payload.
+};
+
+/// Encodes one record (framing above) — shared by writer, tests, bench.
+std::string EncodeWalRecord(uint64_t generation, std::string_view line);
+
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it if missing).
+  static Result<WalWriter> Open(FileIo* io, std::string path);
+
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one record and fsyncs. After OK, the record survives any
+  /// crash; after an error the tail may be torn — the caller must NOT
+  /// ack (recovery truncates the tear).
+  Status Append(uint64_t generation, std::string_view line);
+
+  uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  Status Close();
+
+ private:
+  WalWriter(FileIo* io, std::string path, uint64_t file)
+      : io_(io), path_(std::move(path)), file_(file) {}
+
+  FileIo* io_ = nullptr;
+  std::string path_;
+  uint64_t file_ = 0;
+  bool open_ = false;
+  uint64_t appended_ = 0;
+};
+
+struct WalReadStats {
+  size_t records = 0;          ///< Valid records decoded.
+  size_t truncated_bytes = 0;  ///< Bytes dropped at the first bad record.
+  bool torn_tail = false;      ///< Whether truncation happened.
+};
+
+/// Reads every valid record of `path`, truncating at the first torn or
+/// CRC-corrupt one (never an error — that is the crash-recovery
+/// contract). A missing file reads as empty.
+Result<std::vector<WalRecord>> ReadWal(FileIo& io, const std::string& path,
+                                       WalReadStats* stats);
+
+}  // namespace hierarq::persist
+
+#endif  // HIERARQ_PERSIST_WAL_H_

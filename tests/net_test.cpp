@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -29,6 +30,7 @@
 #include "hierarq/net/client.h"
 #include "hierarq/net/server.h"
 #include "hierarq/net/wire.h"
+#include "hierarq/obs/metrics.h"
 #include "hierarq/query/parser.h"
 #include "hierarq/util/random.h"
 #include "hierarq/workload/data_gen.h"
@@ -844,6 +846,181 @@ TEST(Server, BadQueryAndBadSolverInputAnswerCleanErrors) {
   ASSERT_FALSE(non_hier.ok());
   EXPECT_EQ(non_hier.status().code(), StatusCode::kNotHierarchical);
   EXPECT_TRUE(client.Ping().ok());
+}
+
+// ------------------------------------------------- retry + connection cap --
+
+// A scripted one-connection server: answers the first `rejections` query
+// frames with kResourceExhausted error frames (echoing the request id),
+// then — when `then_answer` — answers count=42; when `close_instead`,
+// it reads one frame and slams the connection shut with no response at
+// all. Deterministic behavior the retry loop can be pinned against,
+// with no queue timing involved.
+struct ScriptedServer {
+  int listen_fd = -1;
+  uint16_t port = 0;
+  std::thread thread;
+
+  ScriptedServer(int rejections, bool then_answer, bool close_instead = false) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd, 1), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    EXPECT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                            &len),
+              0);
+    port = ntohs(bound.sin_port);
+    thread = std::thread([this, rejections, then_answer, close_instead] {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        return;
+      }
+      int remaining = rejections;
+      while (true) {
+        auto frame = ReadFrame(fd);
+        if (!frame.ok()) {
+          break;
+        }
+        if (close_instead) {
+          break;  // Hang up mid-request: a transport-level failure.
+        }
+        if (remaining > 0) {
+          --remaining;
+          (void)WriteFrame(fd, FrameType::kErrorFrame, WireFormat::kNative,
+                           0, frame->header.request_id,
+                           EncodeError(Status::ResourceExhausted(
+                                           "scripted: queue full"),
+                                       WireFormat::kNative));
+          continue;
+        }
+        if (then_answer) {
+          QueryResult result;
+          result.solver = SolverKind::kCount;
+          result.count = 42;
+          (void)WriteFrame(fd, FrameType::kResultFrame, WireFormat::kNative,
+                           0, frame->header.request_id,
+                           EncodeQueryResult(result, WireFormat::kNative,
+                                             false, false));
+        }
+      }
+      ::close(fd);
+    });
+  }
+
+  ~ScriptedServer() {
+    if (thread.joinable()) {
+      thread.join();
+    }
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+    }
+  }
+};
+
+TEST(ClientRetry, RetriesTransientQueueFullThenSucceeds) {
+  ScriptedServer server(/*rejections=*/2, /*then_answer=*/true);
+  HierarqClient::Options options;
+  options.max_retries = 5;
+  options.backoff_initial_ms = 1;
+  options.backoff_cap_ms = 4;
+  HierarqClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port).ok());
+  auto result = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->count, 42u);
+  EXPECT_EQ(client.retries(), 2u);
+  client.Close();
+}
+
+TEST(ClientRetry, GivesUpAfterMaxRetriesWithTheLastError) {
+  ScriptedServer server(/*rejections=*/100, /*then_answer=*/false);
+  HierarqClient::Options options;
+  options.max_retries = 3;
+  options.backoff_initial_ms = 1;
+  options.backoff_cap_ms = 2;
+  HierarqClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port).ok());
+  auto result = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // 1 initial attempt + exactly max_retries retries, no more.
+  EXPECT_EQ(client.retries(), 3u);
+  client.Close();
+}
+
+TEST(ClientRetry, NeverRetriesAfterATransportFailure) {
+  ScriptedServer server(/*rejections=*/0, /*then_answer=*/false,
+                        /*close_instead=*/true);
+  HierarqClient::Options options;
+  options.max_retries = 5;
+  options.backoff_initial_ms = 1;
+  HierarqClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port).ok());
+  auto result = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_FALSE(result.ok());
+  // A torn/absent response is NOT kResourceExhausted: the client cannot
+  // know whether the server acted, so re-sending would risk double
+  // evaluation — zero retries, the error surfaces as-is.
+  EXPECT_NE(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.retries(), 0u);
+  client.Close();
+}
+
+TEST(ClientRetry, DefaultOptionsNeverRetry) {
+  ScriptedServer server(/*rejections=*/1, /*then_answer=*/true);
+  HierarqClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port).ok());
+  auto result = client.Query(SolverKind::kCount, kSmallQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.retries(), 0u);
+  client.Close();
+}
+
+TEST(Server, MaxConnectionsRejectsExcessWithConnectionScopedError) {
+  HierarqServer::Options options;
+  options.max_connections = 1;
+  TestServer fixture(kSmallDb, "", options);
+  obs::Counter* rejected =
+      fixture.server->metrics().GetCounter("server.connections_rejected");
+  const uint64_t rejected_before = rejected->Value();
+
+  HierarqClient first = fixture.Connect();
+  ASSERT_TRUE(first.Ping().ok());  // The slot is definitely claimed now.
+
+  // The second connection is accepted, answered with ONE error frame
+  // (request id 0 — connection-scoped, wire.h), and closed. The client
+  // surfaces it from any request.
+  HierarqClient second = fixture.Connect();
+  const Status rejected_status = second.Ping();
+  ASSERT_FALSE(rejected_status.ok());
+  EXPECT_EQ(rejected_status.code(), StatusCode::kResourceExhausted)
+      << rejected_status;
+  EXPECT_GE(rejected->Value(), rejected_before + 1);
+  second.Close();
+
+  // Releasing the first connection frees the slot — a later client gets
+  // in (the decrement runs when the connection thread unwinds, so poll).
+  first.Close();
+  Status admitted = Status::Internal("never connected");
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    HierarqClient retry = fixture.Connect();
+    admitted = retry.Ping();
+    retry.Close();
+    if (admitted.ok()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(admitted.ok()) << admitted;
 }
 
 TEST(Client, ParseHostPortVariants) {

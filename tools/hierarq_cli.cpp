@@ -90,6 +90,8 @@
 #include "hierarq/obs/explain.h"
 #include "hierarq/obs/metrics.h"
 #include "hierarq/obs/trace.h"
+#include "hierarq/persist/fault_io.h"
+#include "hierarq/persist/snapshot.h"
 #include "hierarq/query/gyo.h"
 #include "hierarq/util/strings.h"
 
@@ -111,6 +113,7 @@ struct ClientOptions {
   net::WireFormat format = net::WireFormat::kNative;
   std::string trace_path;    ///< Stitched client+server trace output.
   bool stats = false;        ///< Print the server's QueryStats line.
+  uint32_t max_retries = 0;  ///< Query retries on queue-full rejections.
 };
 
 int Usage() {
@@ -142,6 +145,10 @@ int Usage() {
                "  update count  <query> <db>\n"
                "  update pqe    <query> <tid-db>\n"
                "  update expect <query> <tid-db>\n"
+               "durability (persist/snapshot.h data directories):\n"
+               "  snapshot <db> <dir>   commit <db> as a durable snapshot\n"
+               "  recover  <dir>        run crash recovery, report what "
+               "survived\n"
                "client mode (against a running hierarq_server):\n"
                "  client <host:port> count|pqe|expect|resilience|shapley "
                "<query>\n"
@@ -177,7 +184,10 @@ int Usage() {
                "spans pid 1, server spans pid 2, shared trace id)\n"
                "  --stats              (client) print the server's "
                "per-query accounting (rows, steps, queue wait vs exec "
-               "time, plan-cache hit) after the result\n",
+               "time, plan-cache hit) after the result\n"
+               "  --retries=N          (client) retry a query up to N "
+               "times with jittered exponential backoff when the server's "
+               "admission queue is full (default 0 = fail fast)\n",
                StorageKindName(kDefaultStorageKind));
   return 2;
 }
@@ -663,7 +673,10 @@ int RunClient(int argc, char** argv, const ClientOptions& options) {
   if (!host_port.ok()) {
     return Fail(host_port.status());
   }
-  net::HierarqClient client(options.format);
+  net::HierarqClient::Options client_opts;
+  client_opts.format = options.format;
+  client_opts.max_retries = options.max_retries;
+  net::HierarqClient client(client_opts);
   if (const Status connected =
           client.Connect(host_port->first, host_port->second);
       !connected.ok()) {
@@ -892,6 +905,63 @@ int RunUpdate(int argc, char** argv, StorageKind storage, size_t threads,
                        &dict, render_double);
 }
 
+/// `snapshot <db> <dir>`: load a database file and commit it as a
+/// durable snapshot (generation 0) — the offline way to seed a server
+/// data directory before the first `--data-dir` boot.
+int RunSnapshot(int argc, char** argv) {
+  if (argc != 4) {
+    return Usage();
+  }
+  Dictionary dict;
+  auto db = LoadDatabaseFromFile(argv[2], &dict);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  const VersionedDatabase versioned(std::move(db).ValueOrDie());
+  persist::RealFileIo io;
+  auto stats = persist::WriteSnapshot(io, argv[3], versioned, dict);
+  if (!stats.ok()) {
+    return Fail(stats.status());
+  }
+  std::printf("snapshot generation %llu: %zu relation(s), %zu fact(s), "
+              "%llu bytes -> %s\n",
+              static_cast<unsigned long long>(stats->generation),
+              stats->relations, stats->facts,
+              static_cast<unsigned long long>(stats->bytes), argv[3]);
+  return 0;
+}
+
+/// `recover <dir>`: run crash recovery (newest valid snapshot + WAL
+/// replay) and report what survived — the offline check that a data
+/// directory is loadable and how far it reaches.
+int RunRecover(int argc, char** argv) {
+  if (argc != 3) {
+    return Usage();
+  }
+  Dictionary dict;
+  persist::RealFileIo io;
+  persist::RecoverResult detail;
+  auto db = persist::RecoverDatabase(io, argv[2], &dict, &detail);
+  if (!db.ok()) {
+    return Fail(db.status());
+  }
+  std::printf("recovered generation %llu (snapshot %llu + %zu wal "
+              "record(s))\n",
+              static_cast<unsigned long long>(detail.recovered_generation),
+              static_cast<unsigned long long>(detail.snapshot_generation),
+              detail.wal_records);
+  std::printf("%zu relation(s), %zu fact(s)\n",
+              db->facts().relations().size(), db->NumFacts());
+  if (detail.used_fallback_manifest) {
+    std::printf("note: MANIFEST was invalid; recovered via MANIFEST.1\n");
+  }
+  if (detail.wal_truncated_bytes > 0) {
+    std::printf("note: %zu torn/corrupt wal byte(s) truncated\n",
+                detail.wal_truncated_bytes);
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   // Peel the global --storage / --threads flags off wherever they
   // appear, leaving the positional arguments in place. Unknown backends,
@@ -990,6 +1060,15 @@ int Run(int argc, char** argv) {
       client_options.stats = true;
       continue;
     }
+    if (arg.rfind("--retries=", 0) == 0) {
+      auto parsed_retries = ParseInt64(arg.substr(10));
+      if (!parsed_retries.ok() || *parsed_retries < 0) {
+        std::fprintf(stderr, "error: bad retry count in '%s'\n", argv[i]);
+        return Usage();
+      }
+      client_options.max_retries = static_cast<uint32_t>(*parsed_retries);
+      continue;
+    }
     if (i > 0 && arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", argv[i]);
       return Usage();
@@ -1039,6 +1118,12 @@ int Run(int argc, char** argv) {
   }
   if (command == "client") {
     return finish(RunClient(argc, argv, client_options));
+  }
+  if (command == "snapshot") {
+    return finish(RunSnapshot(argc, argv));
+  }
+  if (command == "recover") {
+    return finish(RunRecover(argc, argv));
   }
   auto parsed = ParseQuery(argv[2]);
   if (!parsed.ok()) {

@@ -7,8 +7,19 @@
 // it with `hierarq_cli client <host:port> ...` or `HierarqClient`.
 //
 //   hierarq_server --db=FILE [options]
+//   hierarq_server --data-dir=DIR [--db=FILE] [options]
 //
 //   --db=FILE          primary database (count/pqe/expect, deltas)
+//   --data-dir=DIR     durable persistence (persist/persistor.h): on
+//                      start, recover the database from DIR if it holds
+//                      a snapshot (--db is then only the first-boot
+//                      seed); while serving, WAL-append + fsync every
+//                      delta BEFORE acking — an acked update survives
+//                      SIGKILL — and snapshot periodically
+//   --snapshot-every=N with --data-dir: write a snapshot every N acked
+//                      deltas (default 256; 0 = only at boot)
+//   --max-connections=N reject connections past N with a clean
+//                      resource-exhausted error frame (default 0 = off)
 //   --tid              load --db as a TID database (weights = probs)
 //   --endo=FILE        endogenous database for resilience/shapley
 //                      (--db then acts as the exogenous side)
@@ -39,6 +50,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -48,6 +60,7 @@
 #include "hierarq/incremental/versioned_database.h"
 #include "hierarq/net/server.h"
 #include "hierarq/obs/log.h"
+#include "hierarq/persist/persistor.h"
 #include "hierarq/util/strings.h"
 
 namespace hierarq {
@@ -57,6 +70,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: hierarq_server --db=FILE [--tid] [--endo=FILE] [--port=N]\n"
+      "                      [--data-dir=DIR] [--snapshot-every=N]\n"
+      "                      [--max-connections=N]\n"
       "                      [--workers=N] [--submitters=N] "
       "[--queue-limit=N]\n"
       "                      [--deadline-ms=N] [--storage=KIND] "
@@ -84,6 +99,8 @@ extern "C" void HandleSignal(int) {
 int Run(int argc, char** argv) {
   std::string db_path;
   std::string endo_path;
+  std::string data_dir;
+  uint64_t snapshot_every = 256;
   bool tid = false;
   net::HierarqServer::Options options;
   StorageKind storage = kDefaultStorageKind;
@@ -107,6 +124,22 @@ int Run(int argc, char** argv) {
       db_path = std::string(arg.substr(5));
     } else if (arg.rfind("--endo=", 0) == 0) {
       endo_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      data_dir = std::string(arg.substr(11));
+    } else if (arg.rfind("--snapshot-every=", 0) == 0) {
+      if (!parse_count(arg.substr(17), 0, &n)) {
+        std::fprintf(stderr, "error: bad snapshot interval in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      snapshot_every = static_cast<uint64_t>(n);
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      if (!parse_count(arg.substr(18), 0, &n)) {
+        std::fprintf(stderr, "error: bad connection limit in '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      options.max_connections = static_cast<size_t>(n);
     } else if (arg == "--tid") {
       tid = true;
     } else if (arg.rfind("--port=", 0) == 0) {
@@ -170,8 +203,8 @@ int Run(int argc, char** argv) {
       return Usage();
     }
   }
-  if (db_path.empty()) {
-    std::fprintf(stderr, "error: --db=FILE is required\n");
+  if (db_path.empty() && data_dir.empty()) {
+    std::fprintf(stderr, "error: --db=FILE (or --data-dir=DIR) is required\n");
     return Usage();
   }
   options.async.service.storage = storage;
@@ -190,6 +223,9 @@ int Run(int argc, char** argv) {
   // frames intern into it, shapley results render from it.
   static Dictionary dict;
   VersionedDatabase db = [&]() -> VersionedDatabase {
+    if (db_path.empty()) {
+      return VersionedDatabase();  // --data-dir only: recover or start empty.
+    }
     if (tid) {
       auto loaded = LoadTidDatabaseFromFile(db_path, &dict);
       if (!loaded.ok()) {
@@ -213,6 +249,27 @@ int Run(int argc, char** argv) {
       return Fail(loaded.status());
     }
     endogenous = std::move(loaded).ValueOrDie();
+  }
+
+  // Durability: recover-or-seed the database from the data dir BEFORE
+  // the server sees it, and hand the server the persistor so every
+  // acked delta is WAL-durable. The persistor outlives the server (the
+  // server holds a raw pointer and appends until Stop()).
+  std::unique_ptr<persist::Persistor> persistor;
+  if (!data_dir.empty()) {
+    persist::Persistor::Options persist_options;
+    persist_options.snapshot_every = snapshot_every;
+    auto opened = persist::Persistor::Open(data_dir, persist_options);
+    if (!opened.ok()) {
+      return Fail(opened.status());
+    }
+    persistor = std::move(*opened);
+    auto booted = persistor->Boot(std::move(db), &dict);
+    if (!booted.ok()) {
+      return Fail(booted.status());
+    }
+    db = std::move(*booted);
+    options.persist = persistor.get();
   }
 
   net::HierarqServer server(options, std::move(db), std::move(endogenous),
